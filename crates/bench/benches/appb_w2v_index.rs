@@ -1,0 +1,101 @@
+//! **Appendix B** — the word-substitution index: fraction of query
+//! predicates resolved without the full k-d tree similarity search, and
+//! the lookup speedup versus always running the full search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opine_bench::{banner, build_db, hotel_corpus};
+use opine_corpus::workload::hotel_workload;
+use opine_embed::subst::LookupPath;
+use opine_embed::{KdTree, SubstitutionIndex};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench(c: &mut Criterion) {
+    banner("Appendix B: w2v substitution index vs full similarity search");
+    let corpus = hotel_corpus();
+    let db = build_db(&corpus);
+    let bank = hotel_workload(&corpus.spec);
+
+    // Index every linguistic variation of every attribute.
+    let mut phrases: Vec<(String, usize)> = Vec::new();
+    for (attr, domain) in db.interpreter().domains().iter().enumerate() {
+        for v in domain.variations() {
+            phrases.push((v.phrase.clone(), attr));
+        }
+    }
+    let index = SubstitutionIndex::build(&phrases, db.embedder(), db.vocab());
+
+    // Plain k-d tree over the same phrases (the always-full-search path).
+    let tree_items: Vec<(Vec<f32>, usize)> = phrases
+        .iter()
+        .map(|(p, attr)| {
+            let mut rep = db.embedder().rep(p, db.vocab());
+            opine_embed::normalize(&mut rep);
+            (rep, *attr)
+        })
+        .collect();
+    let tree = KdTree::build(tree_items);
+
+    let mut exact = 0usize;
+    let mut substituted = 0usize;
+    let mut full = 0usize;
+    let t0 = Instant::now();
+    for p in &bank {
+        match index.lookup(&p.text, db.embedder(), db.vocab()) {
+            Some((_, LookupPath::Exact)) => exact += 1,
+            Some((_, LookupPath::Substitution)) => substituted += 1,
+            _ => full += 1,
+        }
+    }
+    let indexed_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    for p in &bank {
+        let mut rep = db.embedder().rep(&p.text, db.vocab());
+        opine_embed::normalize(&mut rep);
+        black_box(tree.nearest(&rep));
+    }
+    let full_time = t1.elapsed();
+
+    let n = bank.len() as f64;
+    let avoided = 100.0 * (exact + substituted) as f64 / n;
+    println!(
+        "{} predicates over {} indexed variations:",
+        bank.len(),
+        phrases.len()
+    );
+    println!(
+        "  exact dictionary hits: {exact}, one-word substitutions: {substituted}, full searches: {full}"
+    );
+    println!("  similarity searches avoided: {avoided:.1}%");
+    println!(
+        "  lookup time: indexed {:.2?} vs always-full-search {:.2?} ({:.1}% speedup)",
+        indexed_time,
+        full_time,
+        100.0 * (1.0 - indexed_time.as_secs_f64() / full_time.as_secs_f64().max(1e-12))
+    );
+
+    let mut group = c.benchmark_group("appb");
+    group.bench_function("indexed_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let p = &bank[i % bank.len()];
+            i += 1;
+            black_box(index.lookup(&p.text, db.embedder(), db.vocab()))
+        })
+    });
+    group.bench_function("full_kdtree_search", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let p = &bank[i % bank.len()];
+            i += 1;
+            let mut rep = db.embedder().rep(&p.text, db.vocab());
+            opine_embed::normalize(&mut rep);
+            black_box(tree.nearest(&rep))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

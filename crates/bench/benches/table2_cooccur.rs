@@ -1,0 +1,75 @@
+//! **Table 2** — example outputs of the co-occurrence interpretation
+//! method: hard query predicates and their top-1 `attribute."marker"`
+//! interpretations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opine_bench::{banner, build_db, hotel_corpus, restaurant_corpus};
+use opine_core::{Interpretation, OpineDb};
+use std::hint::black_box;
+
+fn print_interpretations(db: &OpineDb, domain: &str, predicates: &[&str]) {
+    println!("{domain}:");
+    for p in predicates {
+        let result = db.interpreter().cooccurrence_stage(p, db.vocab());
+        let rendered = match result {
+            Some(Interpretation::CoOccur { terms, conjunctive }) => {
+                let parts: Vec<String> = terms
+                    .iter()
+                    .map(|&(a, m)| {
+                        format!(
+                            "{}.\"{}\"",
+                            db.attributes[a],
+                            db.marker_set(a).markers[m].phrase
+                        )
+                    })
+                    .collect();
+                parts.join(if conjunctive { " ⊗ " } else { " ⊕ " })
+            }
+            _ => "(no confident interpretation — text fallback)".to_string(),
+        };
+        println!("  {:<34} -> {rendered}", format!("\"{p}\""));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Table 2: co-occurrence method example outputs");
+    let hotels = hotel_corpus();
+    let hotel_db = build_db(&hotels);
+    print_interpretations(
+        &hotel_db,
+        "Hotels",
+        &[
+            "for our anniversary",
+            "multiple eating options",
+            "kid friendly hotel",
+            "is a romantic getaway",
+        ],
+    );
+    let restaurants = restaurant_corpus();
+    let rest_db = build_db(&restaurants);
+    print_interpretations(
+        &rest_db,
+        "Restaurants",
+        &[
+            "dinner with kids",
+            "close to public transportation",
+            "private dinner vibe",
+        ],
+    );
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("cooccurrence_interpretation", |b| {
+        b.iter(|| {
+            black_box(
+                hotel_db
+                    .interpreter()
+                    .cooccurrence_stage("is a romantic getaway", hotel_db.vocab()),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

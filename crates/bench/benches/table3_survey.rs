@@ -1,0 +1,30 @@
+//! **Table 3** — percentage of subjective search criteria per domain,
+//! from the (simulated) 30-worker × 7-criteria user survey.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opine_bench::banner;
+use opine_corpus::survey::run_survey;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 3: subjective attributes in different domains (simulated survey)");
+    println!("{:<12} {:>10}   Some examples", "Domain", "%Subj.");
+    for row in run_survey(30, 7, 42) {
+        println!(
+            "{:<12} {:>9.1}%   {}",
+            row.domain,
+            row.pct_subjective,
+            row.examples.join(", ")
+        );
+    }
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(20);
+    group.bench_function("run_survey", |b| {
+        b.iter(|| black_box(run_survey(30, 7, 42)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

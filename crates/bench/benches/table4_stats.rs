@@ -1,0 +1,71 @@
+//! **Table 4** — review statistics per objective selection: number of
+//! entities, reviews, average words per review, and average polarity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opine_bench::{banner, hotel_corpus, restaurant_corpus};
+use opine_corpus::Corpus;
+use opine_eval::ObjectiveFilter;
+use opine_sentiment::SentimentAnalyzer;
+use std::hint::black_box;
+
+fn stats_row(corpus: &Corpus, filter: ObjectiveFilter, senti: &SentimentAnalyzer) {
+    let entities: Vec<usize> = corpus
+        .entities
+        .iter()
+        .filter(|e| filter.accepts(e))
+        .map(|e| e.id)
+        .collect();
+    let reviews: Vec<&opine_corpus::Review> = corpus
+        .reviews
+        .iter()
+        .filter(|r| entities.contains(&r.entity_id))
+        .collect();
+    let avg_words = reviews
+        .iter()
+        .map(|r| r.text.split_whitespace().count())
+        .sum::<usize>() as f64
+        / reviews.len().max(1) as f64;
+    let avg_polarity = reviews.iter().map(|r| senti.score(&r.text)).sum::<f64>()
+        / reviews.len().max(1) as f64;
+    println!(
+        "{:<16} {:>9} {:>9} {:>11.2} {:>13.2}",
+        filter.label(),
+        entities.len(),
+        reviews.len(),
+        avg_words,
+        avg_polarity
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Table 4: review statistics per selection");
+    println!(
+        "{:<16} {:>9} {:>9} {:>11} {:>13}",
+        "Selection", "#Entities", "#Reviews", "avg #words", "avg polarity"
+    );
+    let senti = SentimentAnalyzer::new();
+    let hotels = hotel_corpus();
+    stats_row(&hotels, ObjectiveFilter::LondonUnder300, &senti);
+    stats_row(&hotels, ObjectiveFilter::Amsterdam, &senti);
+    let restaurants = restaurant_corpus();
+    stats_row(&restaurants, ObjectiveFilter::LowPrice, &senti);
+    stats_row(&restaurants, ObjectiveFilter::Japanese, &senti);
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("sentiment_scoring_100_reviews", |b| {
+        b.iter(|| {
+            let total: f64 = hotels
+                .reviews
+                .iter()
+                .take(100)
+                .map(|r| senti.score(&r.text))
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! **Table 5** — query result quality (sat-normalized NDCG@10) of OpineDB
+//! vs the GZ12 IR baseline, ByPrice, ByRating, and the 1-/2-attribute
+//! oracle, over easy/medium/hard query sets × two objective variants per
+//! domain. Also prints the product-vs-Gödel t-norm ablation called out in
+//! DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opine_bench::{build_db, hotel_corpus, opine_rank, restaurant_corpus, banner};
+use opine_core::OpineDb;
+use opine_corpus::workload::{hotel_workload, restaurant_workload};
+use opine_corpus::Corpus;
+use opine_eval::{
+    generate_queries, rank_by_price, rank_by_rating, workload_quality, EvalQuery, IrBaseline,
+    KAttributeOracle, ObjectiveFilter,
+};
+use std::hint::black_box;
+
+const QUERIES_PER_SET: usize = 60;
+const TOP_K: usize = 10;
+
+fn run_domain(corpus: &Corpus, db: &OpineDb, filters: [ObjectiveFilter; 2], bank_label: &str) {
+    let bank = if corpus.spec.name == "hotel" {
+        hotel_workload(&corpus.spec)
+    } else {
+        restaurant_workload(&corpus.spec)
+    };
+    let ir = IrBaseline::build(corpus, 7);
+    let one_attr = KAttributeOracle::new(corpus, 1);
+    let two_attr = KAttributeOracle::new(corpus, 2);
+
+    println!("\n{bank_label}: quality (sat / sat-max) of the top-{TOP_K} result");
+    println!(
+        "{:<18} {:>22} {:>22}",
+        "Method",
+        format!("{} e/m/h", filters[0].label()),
+        format!("{} e/m/h", filters[1].label())
+    );
+
+    let mut sets: Vec<(ObjectiveFilter, usize, Vec<EvalQuery>)> = Vec::new();
+    for &f in &filters {
+        for conjuncts in [2usize, 4, 7] {
+            sets.push((
+                f,
+                conjuncts,
+                generate_queries(&bank, QUERIES_PER_SET, conjuncts, f, 1000 + conjuncts as u64),
+            ));
+        }
+    }
+
+    let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
+    let methods: Vec<(&str, Box<dyn Fn(&EvalQuery) -> Vec<usize>>)> = vec![
+        ("GZ12 (IR-based)", Box::new(|q: &EvalQuery| ir.rank(q, corpus))),
+        ("ByPrice", Box::new(|q: &EvalQuery| rank_by_price(q, corpus))),
+        ("ByRating", Box::new(|q: &EvalQuery| rank_by_rating(q, corpus))),
+        ("1-Attribute", Box::new(|q: &EvalQuery| one_attr.rank(q, corpus, TOP_K))),
+        ("2-Attribute", Box::new(|q: &EvalQuery| two_attr.rank(q, corpus, TOP_K))),
+        ("OpineDB", Box::new(|q: &EvalQuery| opine_rank(db, q, TOP_K))),
+    ];
+    for (name, rank) in &methods {
+        let scores: Vec<f64> = sets
+            .iter()
+            .map(|(_, _, queries)| workload_quality(queries, corpus, TOP_K, |q| rank(q)))
+            .collect();
+        rows.push((name, scores));
+    }
+    for (name, scores) in &rows {
+        println!(
+            "{:<18} {:>6.2} {:>6.2} {:>6.2}   {:>6.2} {:>6.2} {:>6.2}",
+            name, scores[0], scores[1], scores[2], scores[3], scores[4], scores[5]
+        );
+    }
+
+    // Ablation: Gödel (min/max) t-norm on the first medium set.
+    let medium = &sets[1].2;
+    let godel = workload_quality(medium, corpus, TOP_K, |q| {
+        let sql = q.to_sql(db.entity_table(), TOP_K);
+        db.query_with_algebra(&sql, opine_store::FuzzyAlgebra::Godel)
+            .map(|out| {
+                out.result
+                    .rows
+                    .iter()
+                    .filter_map(|(row, _)| row[0].as_str().and_then(|k| db.entity_id(k)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    });
+    let product = workload_quality(medium, corpus, TOP_K, |q| opine_rank(db, q, TOP_K));
+    println!(
+        "t-norm ablation ({} medium): product = {product:.2}, godel(min/max) = {godel:.2}",
+        sets[1].0.label()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Table 5: result quality — OpineDB vs baselines");
+    let hotels = hotel_corpus();
+    let hotel_db = build_db(&hotels);
+    run_domain(
+        &hotels,
+        &hotel_db,
+        [ObjectiveFilter::LondonUnder300, ObjectiveFilter::Amsterdam],
+        "booking.com-style hotel dataset",
+    );
+    let restaurants = restaurant_corpus();
+    let rest_db = build_db(&restaurants);
+    run_domain(
+        &restaurants,
+        &rest_db,
+        [ObjectiveFilter::LowPrice, ObjectiveFilter::Japanese],
+        "yelp-style restaurant dataset",
+    );
+
+    // Criterion measurement: one hard OpineDB query end to end.
+    let bank = hotel_workload(&hotels.spec);
+    let queries = generate_queries(&bank, 10, 7, ObjectiveFilter::LondonUnder300, 99);
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("opinedb_hard_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(opine_rank(&hotel_db, q, TOP_K))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

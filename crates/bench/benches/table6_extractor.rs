@@ -1,0 +1,147 @@
+//! **Table 6** — extractor quality: our embedding-feature tagger ("BERT
+//! stand-in") vs the lexical-only prior-SOTA tagger on four labelled
+//! datasets of the paper's sizes. Also prints the Sec. 4.2 attribute
+//! classifier accuracies (seed expansion → weak supervision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opine_bench::{banner, bench_build_config, hotel_corpus, restaurant_corpus};
+use opine_corpus::absa::absa_datasets;
+use opine_corpus::Corpus;
+use opine_embed::{PhraseEmbedder, Word2Vec};
+use opine_extract::seeds::seeds_from_spec;
+use opine_extract::{expand_seeds, AttributeClassifier, EmbeddingClusters, Extractor};
+use opine_ml::{LogRegConfig, TaggerConfig};
+use opine_text::{split_sentences, tokenize, IdfModel, Vocab};
+use std::hint::black_box;
+
+/// Pre-trains word2vec on a corpus's unlabeled review text and clusters it.
+fn pretrain_clusters(corpus: &Corpus, k: usize) -> (Vocab, Word2Vec) {
+    let mut vocab = Vocab::new();
+    let mut sentences = Vec::new();
+    for review in &corpus.reviews {
+        for s in split_sentences(&review.text) {
+            sentences.push(vocab.intern_all(&tokenize(s)));
+        }
+    }
+    let w2v = Word2Vec::train(&sentences, vocab.len(), &bench_build_config().w2v);
+    let _ = k;
+    (vocab, w2v)
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Table 6: extractor F1 (combined aspect/opinion) — SOTA vs ours");
+    let hotels = hotel_corpus();
+    let restaurants = restaurant_corpus();
+    let (h_vocab, h_w2v) = pretrain_clusters(&hotels, 40);
+    let (r_vocab, r_w2v) = pretrain_clusters(&restaurants, 40);
+    let h_clusters = EmbeddingClusters::build(&h_w2v, &h_vocab, 40, 3);
+    let r_clusters = EmbeddingClusters::build(&r_w2v, &r_vocab, 40, 3);
+
+    println!(
+        "{:<24} {:>6} {:>6} {:>12} {:>12}",
+        "Dataset", "Train", "Test", "SOTA F1", "Our F1"
+    );
+    let datasets = absa_datasets(2024);
+    let mut small_train_gap = None;
+    for ds in &datasets {
+        let clusters = if ds.name.contains("Hotel") {
+            &h_clusters
+        } else {
+            &r_clusters
+        };
+        let cfg = TaggerConfig {
+            epochs: 5,
+            seed: 11,
+        };
+        let sota = Extractor::train(&ds.train, None, &cfg);
+        let ours = Extractor::train(&ds.train, Some(clusters.clone()), &cfg);
+        let f_sota = sota.combined_f1(&ds.test) * 100.0;
+        let f_ours = ours.combined_f1(&ds.test) * 100.0;
+        println!(
+            "{:<24} {:>6} {:>6} {:>11.2}% {:>11.2}%",
+            ds.name,
+            ds.train.len(),
+            ds.test.len(),
+            f_sota,
+            f_ours
+        );
+        if ds.name.contains("Hotel") {
+            small_train_gap = Some(f_ours - f_sota);
+        }
+    }
+    if let Some(gap) = small_train_gap {
+        println!(
+            "(pre-training margin on the smallest dataset: {gap:+.2} points — the paper's \
+             transfer-learning effect)"
+        );
+    }
+
+    // Sec. 4.2: attribute classifier accuracy from seed expansion.
+    println!("\nAttribute classifier (weak supervision via seed expansion):");
+    for (corpus, vocab, w2v) in [(&hotels, &h_vocab, &h_w2v), (&restaurants, &r_vocab, &r_w2v)] {
+        let mut idf = IdfModel::new(vocab);
+        for review in &corpus.reviews {
+            let toks: Vec<_> = tokenize(&review.text)
+                .iter()
+                .filter_map(|t| vocab.get(t))
+                .collect();
+            idf.add_document(&toks);
+        }
+        let embedder = PhraseEmbedder::new(w2v.clone(), idf);
+        let seeds = seeds_from_spec(&corpus.spec, 0.6);
+        let seed_count: usize = seeds
+            .iter()
+            .map(|s| s.aspect_terms.len() + s.opinion_terms.len())
+            .sum();
+        let records = expand_seeds(&seeds, w2v, vocab, 3, 0.35, 5000);
+        let clf = AttributeClassifier::train(
+            &records,
+            corpus.spec.aspects.len(),
+            &embedder,
+            vocab,
+            &LogRegConfig {
+                epochs: 25,
+                ..Default::default()
+            },
+        );
+        // Test on gold extraction pairs from the corpus (held-out labels).
+        let test: Vec<(String, usize)> = corpus
+            .reviews
+            .iter()
+            .take(400)
+            .flat_map(|r| {
+                r.gold
+                    .iter()
+                    .map(|g| (format!("{} {}", g.aspect_term, g.opinion_term), g.aspect))
+                    .collect::<Vec<_>>()
+            })
+            .take(1000)
+            .collect();
+        let acc = clf.accuracy(&test, &embedder, vocab) * 100.0;
+        println!(
+            "  {:<12} {} attributes, {} seeds -> {} weak records, accuracy {:.2}%",
+            corpus.spec.name,
+            corpus.spec.aspects.len(),
+            seed_count,
+            records.len(),
+            acc
+        );
+    }
+
+    let ds_small = &datasets[3];
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    group.bench_function("train_hotel_extractor", |b| {
+        b.iter(|| {
+            black_box(Extractor::train(
+                &ds_small.train,
+                None,
+                &TaggerConfig { epochs: 2, seed: 1 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

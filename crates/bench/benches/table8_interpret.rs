@@ -1,0 +1,103 @@
+//! **Table 8** — predicate-interpretation accuracy: word2vec alone,
+//! co-occurrence alone, and combined with the fallback threshold, plus the
+//! θ1 threshold sweep from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opine_bench::{banner, build_db, hotel_corpus, restaurant_corpus};
+use opine_core::{Interpretation, OpineDb};
+use opine_corpus::workload::{hotel_workload, restaurant_workload, WorkloadPredicate};
+use std::hint::black_box;
+
+/// Top-1 attribute of an interpretation, if any.
+fn top_attribute(interp: &Interpretation) -> Option<usize> {
+    match interp {
+        Interpretation::Direct { attribute, .. } => Some(*attribute),
+        Interpretation::CoOccur { terms, .. } => terms.first().map(|&(a, _)| a),
+        Interpretation::TextFallback => None,
+    }
+}
+
+fn accuracies(db: &OpineDb, bank: &[WorkloadPredicate], fallback_theta: f32) -> (f64, f64, f64) {
+    let mut w2v_ok = 0usize;
+    let mut co_ok = 0usize;
+    let mut combined_ok = 0usize;
+    for p in bank {
+        let w2v = db
+            .interpreter()
+            .word2vec_stage(&p.text, db.embedder(), db.vocab());
+        if w2v.as_ref().and_then(top_attribute) == Some(p.gold_aspect) {
+            w2v_ok += 1;
+        }
+        let co = db.interpreter().cooccurrence_stage(&p.text, db.vocab());
+        if co.as_ref().and_then(top_attribute) == Some(p.gold_aspect) {
+            co_ok += 1;
+        }
+        // Combined: accept the w2v answer only above the fallback
+        // threshold, otherwise use the co-occurrence answer.
+        let combined = match &w2v {
+            Some(Interpretation::Direct { similarity, .. }) if *similarity >= fallback_theta => {
+                w2v.clone()
+            }
+            _ => co.clone().or(w2v),
+        };
+        if combined.as_ref().and_then(top_attribute) == Some(p.gold_aspect) {
+            combined_ok += 1;
+        }
+    }
+    let n = bank.len() as f64;
+    (
+        100.0 * w2v_ok as f64 / n,
+        100.0 * co_ok as f64 / n,
+        100.0 * combined_ok as f64 / n,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Table 8: query-predicate interpretation accuracy (%)");
+    let hotels = hotel_corpus();
+    let hotel_db = build_db(&hotels);
+    let restaurants = restaurant_corpus();
+    let rest_db = build_db(&restaurants);
+    let h_bank = hotel_workload(&hotels.spec);
+    let r_bank = restaurant_workload(&restaurants.spec);
+
+    println!(
+        "{:<22} {:>5} {:>8} {:>10} {:>14}",
+        "Query set", "size", "w2v", "co-occur", "w2v+co-occur"
+    );
+    for (label, db, bank) in [
+        ("Hotel queries", &hotel_db, &h_bank),
+        ("Restaurant queries", &rest_db, &r_bank),
+    ] {
+        let (w, co, comb) = accuracies(db, bank, 0.8);
+        println!("{label:<22} {:>5} {w:>7.2} {co:>9.2} {comb:>13.2}", bank.len());
+    }
+
+    println!("\nθ1 fallback-threshold sweep (hotel queries, combined accuracy):");
+    for theta in [0.5f32, 0.65, 0.8, 0.9] {
+        let (_, _, comb) = accuracies(&hotel_db, &h_bank, theta);
+        println!("  θ1 = {theta:.2} -> {comb:.2}%");
+    }
+
+    let mut group = c.benchmark_group("table8");
+    group.sample_size(10);
+    group.bench_function("interpret_bank_of_190", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in h_bank.iter().take(20) {
+                if hotel_db
+                    .interpreter()
+                    .word2vec_stage(&p.text, hotel_db.embedder(), hotel_db.vocab())
+                    .is_some()
+                {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,671 @@
+//! [`OpineDb`]: the end-to-end subjective database engine.
+//!
+//! Executes Subjective SQL by combining the relational executor of
+//! `opine-store` with the interpreter, membership functions, and fuzzy
+//! logic of this crate (Fig. 4 of the paper).
+
+use crate::builder::BuildConfig;
+use crate::domain::LinguisticDomain;
+use crate::interpret::{Interpretation, Interpreter};
+use crate::membership::{marker_features, scan_features, MembershipModel};
+use crate::summary::{MarkerSet, MarkerSummary};
+use opine_embed::PhraseEmbedder;
+use opine_ir::{Bm25Params, InvertedIndex};
+use opine_sentiment::SentimentAnalyzer;
+use opine_store::ast::ColumnRef;
+use opine_store::exec::{execute_with_algebra, SubjectiveScorer};
+use opine_store::{
+    execute, parse_select, Catalog, FuzzyAlgebra, ResultSet, StoreError, Value,
+};
+use opine_text::Vocab;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One extracted phrase occurrence in an entity's raw digest.
+#[derive(Debug, Clone, Copy)]
+pub struct PhraseOcc {
+    /// Index into the attribute's opinion domain.
+    pub variation: usize,
+    /// Sentiment of the phrase.
+    pub sentiment: f64,
+    /// Source review id.
+    pub review_id: usize,
+}
+
+/// Review metadata kept for review-qualifying filters.
+#[derive(Debug, Clone, Copy)]
+pub struct ReviewMeta {
+    /// Reviewed entity.
+    pub entity_id: usize,
+    /// Author id.
+    pub reviewer_id: usize,
+    /// Publication year.
+    pub year: u32,
+    /// Helpful votes.
+    pub helpful_votes: u32,
+}
+
+/// Errors surfaced by [`OpineDb`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpineError {
+    /// SQL parse failure.
+    Parse(String),
+    /// Storage/execution failure.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for OpineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpineError::Parse(m) => write!(f, "{m}"),
+            OpineError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpineError {}
+
+impl From<StoreError> for OpineError {
+    fn from(e: StoreError) -> Self {
+        OpineError::Store(e)
+    }
+}
+
+/// A ranked query answer plus the interpretations that produced it.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The ranked relational result.
+    pub result: ResultSet,
+    /// `(predicate, interpretation)` for every natural-language predicate.
+    pub interpretations: Vec<(String, Interpretation)>,
+}
+
+/// The subjective database engine.
+pub struct OpineDb {
+    /// Subjective attribute names, index-aligned with the domain spec.
+    pub attributes: Vec<String>,
+    vocab: Vocab,
+    embedder: PhraseEmbedder,
+    sentiment: SentimentAnalyzer,
+    opinion_domains: Vec<LinguisticDomain>,
+    interpreter: Interpreter,
+    summaries: Vec<Vec<MarkerSummary>>,
+    raw: Vec<Vec<Vec<PhraseOcc>>>,
+    membership_markers: MembershipModel,
+    membership_scan: MembershipModel,
+    entity_index: InvertedIndex,
+    catalog: Catalog,
+    entity_table: String,
+    entity_keys: Vec<String>,
+    key_to_entity: HashMap<String, usize>,
+    review_meta: Vec<ReviewMeta>,
+    config: BuildConfig,
+    interp_cache: Mutex<HashMap<String, Interpretation>>,
+    degree_cache: Mutex<HashMap<(usize, String), f64>>,
+    /// When false, degrees are recomputed by scanning raw extractions
+    /// (the Table 7 "no markers" ablation).
+    use_markers: std::sync::atomic::AtomicBool,
+    /// When false, degrees are recomputed on every call (honest timing).
+    cache_degrees: std::sync::atomic::AtomicBool,
+}
+
+impl OpineDb {
+    /// Assembles a database from prebuilt parts (used by [`crate::build`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        attributes: Vec<String>,
+        vocab: Vocab,
+        embedder: PhraseEmbedder,
+        sentiment: SentimentAnalyzer,
+        opinion_domains: Vec<LinguisticDomain>,
+        interpreter: Interpreter,
+        summaries: Vec<Vec<MarkerSummary>>,
+        raw: Vec<Vec<Vec<PhraseOcc>>>,
+        membership_markers: MembershipModel,
+        membership_scan: MembershipModel,
+        entity_index: InvertedIndex,
+        catalog: Catalog,
+        entity_table: String,
+        entity_keys: Vec<String>,
+        review_meta: Vec<ReviewMeta>,
+        config: BuildConfig,
+    ) -> Self {
+        let key_to_entity = entity_keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i))
+            .collect();
+        Self {
+            attributes,
+            vocab,
+            embedder,
+            sentiment,
+            opinion_domains,
+            interpreter,
+            summaries,
+            raw,
+            membership_markers,
+            membership_scan,
+            entity_index,
+            catalog,
+            entity_table,
+            entity_keys,
+            key_to_entity,
+            review_meta,
+            config,
+            interp_cache: Mutex::new(HashMap::new()),
+            degree_cache: Mutex::new(HashMap::new()),
+            use_markers: std::sync::atomic::AtomicBool::new(true),
+            cache_degrees: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entity_keys.len()
+    }
+
+    /// The entity key (name) for a dense entity id.
+    pub fn entity_key(&self, entity: usize) -> &str {
+        &self.entity_keys[entity]
+    }
+
+    /// Dense entity id for a key, if known.
+    pub fn entity_id(&self, key: &str) -> Option<usize> {
+        self.key_to_entity.get(key).copied()
+    }
+
+    /// The name of the entity table ("hotels" / "restaurants").
+    pub fn entity_table(&self) -> &str {
+        &self.entity_table
+    }
+
+    /// The relational catalog (entities + reviews).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The marker set of an attribute.
+    pub fn marker_set(&self, attribute: usize) -> &MarkerSet {
+        &self.interpreter.marker_sets()[attribute]
+    }
+
+    /// The marker summary of an entity/attribute.
+    pub fn summary(&self, entity: usize, attribute: usize) -> &MarkerSummary {
+        &self.summaries[entity][attribute]
+    }
+
+    /// The vocabulary built over the corpus.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The phrase embedder (word2vec + IDF).
+    pub fn embedder(&self) -> &PhraseEmbedder {
+        &self.embedder
+    }
+
+    /// The sentiment analyzer.
+    pub fn sentiment(&self) -> &SentimentAnalyzer {
+        &self.sentiment
+    }
+
+    /// The three-stage interpreter.
+    pub fn interpreter(&self) -> &Interpreter {
+        &self.interpreter
+    }
+
+    /// Enables/disables marker summaries for degree computation (the
+    /// Table 7 ablation). Clears the degree cache.
+    pub fn set_use_markers(&self, enabled: bool) {
+        self.use_markers
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+        self.degree_cache.lock().clear();
+    }
+
+    /// Enables/disables the degree-of-truth cache (disabled for honest
+    /// per-query timing in the Table 7 experiment) and clears it.
+    pub fn set_degree_cache(&self, enabled: bool) {
+        self.cache_degrees
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+        self.degree_cache.lock().clear();
+    }
+
+    /// The marker-feature membership function.
+    pub fn membership_markers(&self) -> &MembershipModel {
+        &self.membership_markers
+    }
+
+    /// The raw-scan membership function (no-marker ablation).
+    pub fn membership_scan(&self) -> &MembershipModel {
+        &self.membership_scan
+    }
+
+    /// The opinion-level linguistic domain of an attribute.
+    pub fn opinion_domain(&self, attribute: usize) -> &LinguisticDomain {
+        &self.opinion_domains[attribute]
+    }
+
+    /// `(rep, sentiment)` views of every raw extracted phrase of an
+    /// entity/attribute (the scan path's input).
+    pub fn raw_phrases(&self, entity: usize, attribute: usize) -> Vec<(&[f32], f64)> {
+        self.raw[entity][attribute]
+            .iter()
+            .map(|occ| {
+                (
+                    self.opinion_domains[attribute].variations()[occ.variation]
+                        .rep
+                        .as_slice(),
+                    occ.sentiment,
+                )
+            })
+            .collect()
+    }
+
+    /// Executes a Subjective SQL query (the paper's running example shape:
+    /// `select * from hotels where price_pn < 150 and "clean rooms"`).
+    pub fn query(&self, sql: &str) -> Result<QueryOutput, OpineError> {
+        let select = parse_select(sql).map_err(|e| OpineError::Parse(e.to_string()))?;
+        let interpretations = select
+            .where_clause
+            .as_ref()
+            .map(|w| {
+                w.subjective_predicates()
+                    .into_iter()
+                    .map(|p| (p.to_string(), self.interpret(p)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let result = execute(&select, &self.catalog, self)?;
+        Ok(QueryOutput {
+            result,
+            interpretations,
+        })
+    }
+
+    /// Executes with an explicit fuzzy algebra (ablation hook; joins are
+    /// only supported under the default product algebra).
+    pub fn query_with_algebra(
+        &self,
+        sql: &str,
+        algebra: FuzzyAlgebra,
+    ) -> Result<QueryOutput, OpineError> {
+        let select = parse_select(sql).map_err(|e| OpineError::Parse(e.to_string()))?;
+        let result = execute_with_algebra(&select, &self.catalog, self, algebra)?;
+        Ok(QueryOutput {
+            result,
+            interpretations: Vec::new(),
+        })
+    }
+
+    /// Interprets a predicate, with caching.
+    pub fn interpret(&self, predicate: &str) -> Interpretation {
+        if let Some(hit) = self.interp_cache.lock().get(predicate) {
+            return hit.clone();
+        }
+        let interp = self
+            .interpreter
+            .interpret(predicate, &self.embedder, &self.vocab);
+        self.interp_cache
+            .lock()
+            .insert(predicate.to_string(), interp.clone());
+        interp
+    }
+
+    /// Degree of truth of a natural-language predicate for an entity.
+    pub fn degree(&self, entity: usize, predicate: &str) -> f64 {
+        let caching = self
+            .cache_degrees
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if caching {
+            if let Some(&d) = self
+                .degree_cache
+                .lock()
+                .get(&(entity, predicate.to_string()))
+            {
+                return d;
+            }
+        }
+        let interp = self.interpret(predicate);
+        let d = self.degree_for_interpretation(entity, predicate, &interp);
+        if caching {
+            self.degree_cache
+                .lock()
+                .insert((entity, predicate.to_string()), d);
+        }
+        d
+    }
+
+    /// Degree of truth under a given interpretation.
+    pub fn degree_for_interpretation(
+        &self,
+        entity: usize,
+        predicate: &str,
+        interp: &Interpretation,
+    ) -> f64 {
+        let algebra = FuzzyAlgebra::Product;
+        match interp {
+            Interpretation::Direct { attribute, .. } => {
+                self.attribute_degree(entity, *attribute, predicate)
+            }
+            Interpretation::CoOccur { terms, conjunctive } => {
+                let degrees = terms.iter().map(|&(a, m)| {
+                    let phrase = self.marker_set(a).markers[m].phrase.clone();
+                    self.attribute_degree(entity, a, &phrase)
+                });
+                if *conjunctive {
+                    degrees.fold(1.0, |acc, d| algebra.and(acc, d))
+                } else {
+                    degrees.fold(0.0, |acc, d| algebra.or(acc, d))
+                }
+            }
+            Interpretation::TextFallback => self.text_degree(entity, predicate),
+        }
+    }
+
+    /// Degree of truth of `attribute .= phrase` for an entity, via the
+    /// membership function (marker features or raw-scan features).
+    pub fn attribute_degree(&self, entity: usize, attribute: usize, phrase: &str) -> f64 {
+        let mut q_rep = self.embedder.rep(phrase, &self.vocab);
+        opine_embed::normalize(&mut q_rep);
+        let q_sent = self.sentiment.score(phrase);
+        if self.use_markers.load(std::sync::atomic::Ordering::Relaxed) {
+            let feats = marker_features(
+                &self.summaries[entity][attribute],
+                self.marker_set(attribute),
+                &q_rep,
+                q_sent,
+            );
+            self.membership_markers.degree(&feats)
+        } else {
+            let occs = &self.raw[entity][attribute];
+            let phrase_refs: Vec<(&[f32], f64)> = occs
+                .iter()
+                .map(|occ| {
+                    (
+                        self.opinion_domains[attribute].variations()[occ.variation]
+                            .rep
+                            .as_slice(),
+                        occ.sentiment,
+                    )
+                })
+                .collect();
+            self.membership_scan
+                .degree(&scan_features(&phrase_refs, &q_rep, q_sent))
+        }
+    }
+
+    /// Text-retrieval fallback degree: `sigmoid(BM25(D_e, q) − c)`.
+    pub fn text_degree(&self, entity: usize, predicate: &str) -> f64 {
+        let terms: Vec<_> = opine_text::tokenize(predicate)
+            .iter()
+            .filter_map(|t| self.vocab.get(t))
+            .collect();
+        let score = self.entity_index.bm25(
+            opine_ir::DocId(entity as u32),
+            &terms,
+            &Bm25Params::default(),
+        );
+        sigmoid(score - self.config.sigmoid_c)
+    }
+
+    /// Recomputes all summaries over the subset of reviews accepted by
+    /// `filter` — the paper's "only consider opinions of people who
+    /// reviewed at least 10 hotels" / "reviews after 2010" queries.
+    pub fn summaries_with_review_filter<F>(&self, filter: F) -> Vec<Vec<MarkerSummary>>
+    where
+        F: Fn(&ReviewMeta) -> bool,
+    {
+        let dim = self.embedder.dim();
+        let mut out: Vec<Vec<MarkerSummary>> = (0..self.num_entities())
+            .map(|_| {
+                (0..self.attributes.len())
+                    .map(|a| MarkerSummary::empty(self.marker_set(a).markers.len(), dim))
+                    .collect()
+            })
+            .collect();
+        for (entity, per_attr) in self.raw.iter().enumerate() {
+            for (attr, occs) in per_attr.iter().enumerate() {
+                for occ in occs {
+                    if !filter(&self.review_meta[occ.review_id]) {
+                        continue;
+                    }
+                    let variation = &self.opinion_domains[attr].variations()[occ.variation];
+                    out[entity][attr].add_phrase(
+                        &variation.phrase,
+                        &variation.rep,
+                        occ.sentiment,
+                        self.marker_set(attr),
+                        self.config.assign,
+                        self.config.unmatched_threshold,
+                        occ.review_id,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Degree of `attribute .= phrase` computed over externally supplied
+    /// summaries (pairs with [`Self::summaries_with_review_filter`]).
+    pub fn attribute_degree_with_summaries(
+        &self,
+        summaries: &[Vec<MarkerSummary>],
+        entity: usize,
+        attribute: usize,
+        phrase: &str,
+    ) -> f64 {
+        let mut q_rep = self.embedder.rep(phrase, &self.vocab);
+        opine_embed::normalize(&mut q_rep);
+        let q_sent = self.sentiment.score(phrase);
+        let feats = marker_features(
+            &summaries[entity][attribute],
+            self.marker_set(attribute),
+            &q_rep,
+            q_sent,
+        );
+        self.membership_markers.degree(&feats)
+    }
+
+    /// Number of reviews aggregated for an entity.
+    pub fn review_count(&self, entity: usize) -> usize {
+        self.review_meta
+            .iter()
+            .filter(|m| m.entity_id == entity)
+            .count()
+    }
+
+    /// Resolves an attribute name to its index.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == name)
+    }
+}
+
+impl SubjectiveScorer for OpineDb {
+    fn degree_predicate(&self, predicate: &str, key: &Value) -> Result<f64, StoreError> {
+        let entity = self
+            .key_to_entity
+            .get(&key.to_string())
+            .copied()
+            .ok_or_else(|| StoreError::Execution(format!("unknown entity key {key}")))?;
+        Ok(self.degree(entity, predicate))
+    }
+
+    fn degree_match(
+        &self,
+        attribute: &ColumnRef,
+        phrase: &str,
+        key: &Value,
+    ) -> Result<f64, StoreError> {
+        let entity = self
+            .key_to_entity
+            .get(&key.to_string())
+            .copied()
+            .ok_or_else(|| StoreError::Execution(format!("unknown entity key {key}")))?;
+        let attr = self
+            .attribute_index(&attribute.column)
+            .ok_or_else(|| StoreError::UnknownColumn(attribute.column.clone()))?;
+        Ok(self.attribute_degree(entity, attr, phrase))
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build, BuildConfig};
+    use opine_corpus::hotel::hotel_spec;
+    use opine_corpus::{Corpus, CorpusConfig};
+    use opine_embed::Word2VecConfig;
+
+    fn db() -> (Corpus, OpineDb) {
+        let corpus = Corpus::generate(
+            hotel_spec(),
+            &CorpusConfig {
+                num_entities: 16,
+                mean_reviews: 16,
+                seed: 9,
+            },
+        );
+        let db = build(
+            &corpus,
+            &BuildConfig {
+                w2v: Word2VecConfig {
+                    dim: 24,
+                    epochs: 2,
+                    ..Default::default()
+                },
+                membership_tuples: 400,
+                ..Default::default()
+            },
+        );
+        (corpus, db)
+    }
+
+    #[test]
+    fn end_to_end_query_ranks_clean_hotels_higher() {
+        let (corpus, db) = db();
+        let out = db
+            .query("select * from hotels where \"clean rooms\" limit 16")
+            .unwrap();
+        assert!(!out.result.rows.is_empty());
+        // The top third should have higher average cleanliness θ than the
+        // bottom third.
+        let n = out.result.rows.len();
+        let theta = |rows: &[(Vec<Value>, f64)]| -> f64 {
+            rows.iter()
+                .map(|(r, _)| {
+                    let id = db.entity_id(r[0].as_str().unwrap()).unwrap();
+                    corpus.entities[id].quality[0]
+                })
+                .sum::<f64>()
+                / rows.len() as f64
+        };
+        let top = theta(&out.result.rows[..n / 3]);
+        let bottom = theta(&out.result.rows[n - n / 3..]);
+        assert!(
+            top > bottom,
+            "top θ {top} should exceed bottom θ {bottom}"
+        );
+    }
+
+    #[test]
+    fn objective_and_subjective_conditions_combine() {
+        let (_, db) = db();
+        let out = db
+            .query("select * from hotels where price_pn < 250 and \"clean rooms\" limit 50")
+            .unwrap();
+        for (row, score) in &out.result.rows {
+            assert!(row[2].as_f64().unwrap() < 250.0);
+            assert!((0.0..=1.0).contains(score));
+        }
+    }
+
+    #[test]
+    fn interpretations_are_reported() {
+        let (_, db) = db();
+        let out = db
+            .query("select * from hotels where \"spotless rooms\" limit 3")
+            .unwrap();
+        assert_eq!(out.interpretations.len(), 1);
+        assert_eq!(out.interpretations[0].0, "spotless rooms");
+    }
+
+    #[test]
+    fn degree_cache_is_consistent() {
+        let (_, db) = db();
+        let a = db.degree(0, "clean rooms");
+        let b = db.degree(0, "clean rooms");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn marker_and_scan_paths_correlate() {
+        let (_, db) = db();
+        let with_markers: Vec<f64> = (0..db.num_entities())
+            .map(|e| db.degree(e, "clean rooms"))
+            .collect();
+        db.set_use_markers(false);
+        let without: Vec<f64> = (0..db.num_entities())
+            .map(|e| db.attribute_degree(e, 0, "clean rooms"))
+            .collect();
+        db.set_use_markers(true);
+        // Spearman-ish check: the top marker-entity should be in the upper
+        // half of the scan ranking.
+        let top = with_markers
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let rank = without
+            .iter()
+            .filter(|&&d| d > without[top])
+            .count();
+        assert!(
+            rank <= db.num_entities() / 2,
+            "marker-top entity ranks {rank} under scan"
+        );
+    }
+
+    #[test]
+    fn review_filter_recomputes_summaries() {
+        let (_, db) = db();
+        let filtered = db.summaries_with_review_filter(|m| m.year >= 2012);
+        let full_total: f64 = (0..db.num_entities())
+            .map(|e| db.summary(e, 0).total)
+            .sum();
+        let filtered_total: f64 = filtered.iter().map(|per| per[0].total).sum();
+        assert!(filtered_total < full_total);
+        assert!(filtered_total > 0.0);
+    }
+
+    #[test]
+    fn marker_match_syntax_works() {
+        let (_, db) = db();
+        let out = db
+            .query("select * from hotels h where h.room_cleanliness .= \"very clean\" limit 5")
+            .unwrap();
+        assert!(!out.result.rows.is_empty());
+    }
+
+    #[test]
+    fn text_fallback_degree_is_bounded() {
+        let (_, db) = db();
+        for e in 0..db.num_entities() {
+            let d = db.text_degree(e, "great for motorcyclists");
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn unknown_table_query_errors() {
+        let (_, db) = db();
+        assert!(db.query("select * from nonexistent").is_err());
+        assert!(db.query("not sql at all").is_err());
+    }
+}
+

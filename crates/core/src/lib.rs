@@ -1,0 +1,36 @@
+//! **OpineDB core** — the paper's primary contribution.
+//!
+//! A subjective database models attributes like `room_cleanliness` as
+//! aggregates over phrases mined from reviews:
+//!
+//! * [`domain`] — linguistic domains: the set of phrases describing an
+//!   attribute, with counts, sentiment, and embeddings;
+//! * [`summary`] — markers and marker summaries: designer-chosen landmarks
+//!   and the per-entity histograms over them, with incremental updates and
+//!   provenance (Sec. 2, Sec. 4.2.2);
+//! * [`membership`] — learned membership functions translating a marker
+//!   summary + query phrase into a degree of truth (Sec. 3.3);
+//! * [`interpret`] — the three-stage predicate interpreter: word2vec →
+//!   co-occurrence → text-retrieval fallback (Sec. 3.2, Fig. 5);
+//! * [`builder`] — the construction pipeline from a raw review corpus
+//!   (Sec. 4): extraction, attribute classification, marker discovery,
+//!   summary aggregation;
+//! * [`db`] — [`OpineDb`]: the end-to-end engine executing Subjective SQL
+//!   with fuzzy combination (Sec. 3.1);
+//! * [`topk`] — Fagin's Threshold Algorithm for fuzzy top-k (an extension
+//!   the paper cites as the standard technique \[15\]).
+
+pub mod builder;
+pub mod db;
+pub mod domain;
+pub mod interpret;
+pub mod membership;
+pub mod summary;
+pub mod topk;
+
+pub use builder::{build, BuildConfig, ExtractionMode};
+pub use db::{OpineDb, QueryOutput};
+pub use domain::LinguisticDomain;
+pub use interpret::{Interpretation, Interpreter, InterpreterConfig};
+pub use membership::MembershipModel;
+pub use summary::{AssignMode, Marker, MarkerSet, MarkerSummary, SummaryKind};

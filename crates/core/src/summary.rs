@@ -1,0 +1,396 @@
+//! Markers and marker summaries (Sec. 2 and Sec. 4.2 of the paper).
+//!
+//! A marker summary is "a view that aggregates the phrases from the
+//! reviews onto the markers": per entity and attribute, a histogram over
+//! the markers plus precomputed features — per-marker average sentiment
+//! and average phrase embedding — that the membership functions consume.
+
+use crate::domain::LinguisticDomain;
+use opine_embed::cosine;
+use opine_ml::{KMeans, KMeansConfig};
+
+/// Whether a marker set forms a linear scale or unordered categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryKind {
+    /// `[very_clean, average, dirty, very_dirty]`-style scales.
+    Linear,
+    /// `[old, standard, modern, luxurious]`-style category sets.
+    Categorical,
+}
+
+/// How a phrase's mass is distributed over markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignMode {
+    /// The paper's current implementation: all mass to the best marker.
+    #[default]
+    Best,
+    /// The paper's model (future work there, implemented here): mass split
+    /// proportionally over the two nearest markers for linear summaries.
+    Proportional,
+}
+
+/// One marker: a designated linguistic variation.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// The marker phrase, e.g. "very clean".
+    pub phrase: String,
+    /// Unit-normalized embedding of the phrase.
+    pub rep: Vec<f32>,
+    /// Sentiment of the marker phrase.
+    pub sentiment: f64,
+}
+
+/// The marker set (record type) of one subjective attribute.
+#[derive(Debug, Clone)]
+pub struct MarkerSet {
+    /// Attribute name.
+    pub attribute: String,
+    /// Linear or categorical.
+    pub kind: SummaryKind,
+    /// The markers, in scale order for linear sets.
+    pub markers: Vec<Marker>,
+}
+
+impl MarkerSet {
+    /// Auto-generates markers from a linguistic domain (Sec. 4.2.1).
+    ///
+    /// Linear domains: variations are sorted by sentiment and split into
+    /// `k` equal buckets; the center variation of each bucket becomes the
+    /// marker. Categorical domains: k-means over phrase embeddings; the
+    /// medoid variation of each cluster becomes the marker.
+    pub fn discover(
+        attribute: &str,
+        domain: &LinguisticDomain,
+        kind: SummaryKind,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        let variations = domain.variations();
+        let k = k.clamp(1, variations.len().max(1));
+        let markers = if variations.is_empty() {
+            Vec::new()
+        } else {
+            match kind {
+                SummaryKind::Linear => {
+                    let mut order: Vec<usize> = (0..variations.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        variations[a].sentiment.total_cmp(&variations[b].sentiment)
+                    });
+                    let bucket = (variations.len() as f64 / k as f64).max(1.0);
+                    (0..k)
+                        .map(|i| {
+                            let center = ((i as f64 + 0.5) * bucket) as usize;
+                            let v = &variations[order[center.min(order.len() - 1)]];
+                            Marker {
+                                phrase: v.phrase.clone(),
+                                rep: v.rep.clone(),
+                                sentiment: v.sentiment,
+                            }
+                        })
+                        .collect()
+                }
+                SummaryKind::Categorical => {
+                    let points: Vec<Vec<f32>> =
+                        variations.iter().map(|v| v.rep.clone()).collect();
+                    let km = KMeans::fit(
+                        &points,
+                        &KMeansConfig {
+                            k,
+                            max_iters: 40,
+                            seed,
+                        },
+                    );
+                    km.medoid_indices(&points)
+                        .into_iter()
+                        .map(|i| Marker {
+                            phrase: variations[i].phrase.clone(),
+                            rep: variations[i].rep.clone(),
+                            sentiment: variations[i].sentiment,
+                        })
+                        .collect()
+                }
+            }
+        };
+        Self {
+            attribute: attribute.to_string(),
+            kind,
+            markers,
+        }
+    }
+
+    /// Index of the marker whose phrase equals `phrase`, if any.
+    pub fn marker_index(&self, phrase: &str) -> Option<usize> {
+        self.markers.iter().position(|m| m.phrase == phrase)
+    }
+
+    /// `(marker index, weight)` assignments for a phrase representation.
+    pub fn assign(&self, rep: &[f32], mode: AssignMode) -> Vec<(usize, f64)> {
+        if self.markers.is_empty() {
+            return Vec::new();
+        }
+        let mut sims: Vec<(usize, f32)> = self
+            .markers
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i, cosine(rep, &m.rep)))
+            .collect();
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1));
+        match mode {
+            AssignMode::Best => vec![(sims[0].0, 1.0)],
+            AssignMode::Proportional => {
+                if sims.len() == 1 || self.kind == SummaryKind::Categorical {
+                    return vec![(sims[0].0, 1.0)];
+                }
+                // Split over the two nearest, proportional to shifted sims.
+                let (i1, s1) = sims[0];
+                let (i2, s2) = sims[1];
+                let w1 = (s1 + 1.0) as f64;
+                let w2 = (s2 + 1.0) as f64;
+                let total = (w1 + w2).max(1e-9);
+                vec![(i1, w1 / total), (i2, w2 / total)]
+            }
+        }
+    }
+}
+
+/// One provenance record: where an aggregated phrase came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Source review id.
+    pub review_id: usize,
+    /// The extracted phrase.
+    pub phrase: String,
+}
+
+/// A per-entity marker-summary instance.
+#[derive(Debug, Clone)]
+pub struct MarkerSummary {
+    /// Phrase mass per marker.
+    pub counts: Vec<f64>,
+    /// Running mean sentiment of phrases assigned to each marker.
+    pub sentiments: Vec<f64>,
+    /// Running mean embedding of phrases assigned to each marker.
+    pub centroids: Vec<Vec<f32>>,
+    /// Total phrase mass (matched + unmatched).
+    pub total: f64,
+    /// Mass of phrases whose best marker similarity fell below the
+    /// unmatched threshold.
+    pub unmatched: f64,
+    /// Provenance of every aggregated phrase.
+    pub provenance: Vec<Provenance>,
+}
+
+impl MarkerSummary {
+    /// Empty summary for a marker set with `k` markers and embedding
+    /// dimensionality `dim`.
+    pub fn empty(k: usize, dim: usize) -> Self {
+        Self {
+            counts: vec![0.0; k],
+            sentiments: vec![0.0; k],
+            centroids: vec![vec![0.0; dim]; k],
+            total: 0.0,
+            unmatched: 0.0,
+            provenance: Vec::new(),
+        }
+    }
+
+    /// Incrementally aggregates one extracted phrase (Sec. 4.2.2: "the
+    /// marker summaries can be incrementally computed").
+    ///
+    /// `min_similarity` is the threshold below which the phrase counts as
+    /// unmatched rather than being forced onto a marker.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_phrase(
+        &mut self,
+        phrase: &str,
+        rep: &[f32],
+        sentiment: f64,
+        markers: &MarkerSet,
+        mode: AssignMode,
+        min_similarity: f32,
+        review_id: usize,
+    ) {
+        self.total += 1.0;
+        self.provenance.push(Provenance {
+            review_id,
+            phrase: phrase.to_string(),
+        });
+        let assignments = markers.assign(rep, mode);
+        let best_sim = markers
+            .markers
+            .iter()
+            .map(|m| cosine(rep, &m.rep))
+            .fold(f32::NEG_INFINITY, f32::max);
+        if assignments.is_empty() || best_sim < min_similarity {
+            self.unmatched += 1.0;
+            return;
+        }
+        for (idx, weight) in assignments {
+            let prev = self.counts[idx];
+            self.counts[idx] += weight;
+            let new_total = self.counts[idx].max(1e-12);
+            self.sentiments[idx] = (self.sentiments[idx] * prev + sentiment * weight) / new_total;
+            for (c, x) in self.centroids[idx].iter_mut().zip(rep) {
+                *c = (*c * prev as f32 + *x * weight as f32) / new_total as f32;
+            }
+        }
+    }
+
+    /// Fraction of matched mass on each marker (zeros when empty).
+    pub fn fractions(&self) -> Vec<f64> {
+        let matched = (self.total - self.unmatched).max(1e-12);
+        self.counts.iter().map(|c| c / matched).collect()
+    }
+
+    /// Fraction of phrases that matched no marker.
+    pub fn unmatched_fraction(&self) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            self.unmatched / self.total
+        }
+    }
+
+    /// Total matched mass across markers.
+    pub fn matched_mass(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::LinguisticDomain;
+    use opine_embed::{PhraseEmbedder, Word2Vec, Word2VecConfig};
+    use opine_text::{IdfModel, Vocab, WordId};
+
+    fn fixture() -> (Vocab, PhraseEmbedder, LinguisticDomain) {
+        let mut vocab = Vocab::new();
+        let sentences = [
+            vec!["room", "very", "clean", "fresh"],
+            vec!["room", "clean", "fresh"],
+            vec!["room", "average", "fine"],
+            vec!["room", "dirty", "bad"],
+            vec!["room", "very", "dirty", "bad"],
+        ];
+        let interned: Vec<Vec<WordId>> = (0..40)
+            .flat_map(|_| sentences.iter())
+            .map(|s| s.iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let mut idf = IdfModel::new(&vocab);
+        for s in &interned {
+            idf.add_document(s);
+        }
+        let w2v = Word2Vec::train(
+            &interned,
+            vocab.len(),
+            &Word2VecConfig {
+                dim: 16,
+                epochs: 8,
+                seed: 6,
+                ..Default::default()
+            },
+        );
+        let embedder = PhraseEmbedder::new(w2v, idf);
+        let mut domain = LinguisticDomain::new();
+        for (p, s) in [
+            ("very clean", 0.9),
+            ("clean", 0.65),
+            ("average", 0.0),
+            ("dirty", -0.7),
+            ("very dirty", -0.9),
+        ] {
+            domain.observe(p, s, &embedder, &vocab);
+        }
+        (vocab, embedder, domain)
+    }
+
+    #[test]
+    fn linear_markers_are_sentiment_ordered() {
+        let (_, _, domain) = fixture();
+        let set = MarkerSet::discover("room_cleanliness", &domain, SummaryKind::Linear, 4, 1);
+        assert_eq!(set.markers.len(), 4);
+        // Buckets are in ascending sentiment order by construction.
+        for w in set.markers.windows(2) {
+            assert!(w[0].sentiment <= w[1].sentiment);
+        }
+    }
+
+    #[test]
+    fn categorical_markers_are_domain_members() {
+        let (_, _, domain) = fixture();
+        let set = MarkerSet::discover("style", &domain, SummaryKind::Categorical, 3, 1);
+        assert_eq!(set.markers.len(), 3);
+        for m in &set.markers {
+            assert!(domain.get(&m.phrase).is_some());
+        }
+    }
+
+    #[test]
+    fn discover_with_k_larger_than_domain_clamps() {
+        let (_, _, domain) = fixture();
+        let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 50, 1);
+        assert!(set.markers.len() <= domain.len());
+    }
+
+    #[test]
+    fn best_assignment_has_unit_mass() {
+        let (vocab, embedder, domain) = fixture();
+        let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 3, 1);
+        let mut rep = embedder.rep("clean", &vocab);
+        opine_embed::normalize(&mut rep);
+        let a = set.assign(&rep, AssignMode::Best);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].1, 1.0);
+    }
+
+    #[test]
+    fn proportional_assignment_conserves_mass() {
+        let (vocab, embedder, domain) = fixture();
+        let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 3, 1);
+        let mut rep = embedder.rep("clean", &vocab);
+        opine_embed::normalize(&mut rep);
+        let a = set.assign(&rep, AssignMode::Proportional);
+        assert_eq!(a.len(), 2);
+        let mass: f64 = a.iter().map(|(_, w)| w).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_aggregation_tracks_counts_and_provenance() {
+        let (vocab, embedder, domain) = fixture();
+        let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 3, 1);
+        let mut s = MarkerSummary::empty(set.markers.len(), embedder.dim());
+        for (i, phrase) in ["very clean", "clean", "dirty"].iter().enumerate() {
+            let mut rep = embedder.rep(phrase, &vocab);
+            opine_embed::normalize(&mut rep);
+            s.add_phrase(phrase, &rep, 0.5, &set, AssignMode::Best, -1.0, i);
+        }
+        assert_eq!(s.total, 3.0);
+        assert_eq!(s.matched_mass(), 3.0);
+        assert_eq!(s.provenance.len(), 3);
+        assert_eq!(s.provenance[0].phrase, "very clean");
+        let fracs = s.fractions();
+        assert!((fracs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dissimilar_phrase_goes_to_unmatched() {
+        let (vocab, embedder, domain) = fixture();
+        let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 3, 1);
+        let mut s = MarkerSummary::empty(set.markers.len(), embedder.dim());
+        // A zero rep has cosine 0 with everything; threshold 0.5 rejects it.
+        let rep = embedder.rep("qqqq zzzz", &vocab);
+        s.add_phrase("qqqq zzzz", &rep, 0.0, &set, AssignMode::Best, 0.5, 0);
+        assert_eq!(s.unmatched, 1.0);
+        assert_eq!(s.matched_mass(), 0.0);
+        assert!((s.unmatched_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_has_zero_fractions() {
+        let s = MarkerSummary::empty(4, 8);
+        assert_eq!(s.fractions(), vec![0.0; 4]);
+        assert_eq!(s.unmatched_fraction(), 0.0);
+    }
+}

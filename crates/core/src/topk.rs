@@ -1,0 +1,156 @@
+//! Fagin's Threshold Algorithm for fuzzy top-k (the classic technique the
+//! paper cites as [15] for efficient evaluation of fuzzy selections).
+//!
+//! Given one sorted `(entity, degree)` list per predicate and the product
+//! t-norm as the combiner, TA scans the lists in parallel, random-accessing
+//! each newly seen entity's remaining degrees, and stops as soon as the
+//! k-th best combined score is at least the threshold — the product of the
+//! current scan positions' degrees.
+
+use std::collections::{HashMap, HashSet};
+
+/// Top-k entities by product-combined degree across `lists`.
+///
+/// Every list must cover the same entity set and be sorted by degree
+/// descending. Returns `(entity, combined degree)` sorted descending;
+/// fewer than `k` results when the entity set is smaller.
+pub fn threshold_topk(lists: &[Vec<(usize, f64)>], k: usize) -> Vec<(usize, f64)> {
+    if lists.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    // Random-access maps per list.
+    let access: Vec<HashMap<usize, f64>> = lists
+        .iter()
+        .map(|l| l.iter().copied().collect())
+        .collect();
+    let depth_max = lists.iter().map(Vec::len).max().unwrap_or(0);
+
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut best: Vec<(usize, f64)> = Vec::new();
+
+    for depth in 0..depth_max {
+        // Sorted access: one entry per list at this depth.
+        for list in lists {
+            let Some(&(entity, _)) = list.get(depth) else {
+                continue;
+            };
+            if !seen.insert(entity) {
+                continue;
+            }
+            let combined: f64 = access
+                .iter()
+                .map(|m| m.get(&entity).copied().unwrap_or(0.0))
+                .product();
+            best.push((entity, combined));
+        }
+        best.sort_by(|a, b| b.1.total_cmp(&a.1));
+        best.truncate(k.max(1));
+
+        // Threshold: product of degrees at the current scan depth.
+        let threshold: f64 = lists
+            .iter()
+            .map(|l| l.get(depth).map(|&(_, d)| d).unwrap_or(0.0))
+            .product();
+        if best.len() >= k && best[k - 1].1 >= threshold {
+            break;
+        }
+    }
+    best
+}
+
+/// Reference implementation: full scan over all entities.
+pub fn full_scan_topk(lists: &[Vec<(usize, f64)>], k: usize) -> Vec<(usize, f64)> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    let access: Vec<HashMap<usize, f64>> = lists
+        .iter()
+        .map(|l| l.iter().copied().collect())
+        .collect();
+    let mut combined: Vec<(usize, f64)> = lists[0]
+        .iter()
+        .map(|&(e, _)| {
+            (
+                e,
+                access
+                    .iter()
+                    .map(|m| m.get(&e).copied().unwrap_or(0.0))
+                    .product(),
+            )
+        })
+        .collect();
+    combined.sort_by(|a, b| b.1.total_cmp(&a.1));
+    combined.truncate(k);
+    combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sorted_list(degrees: &[(usize, f64)]) -> Vec<(usize, f64)> {
+        let mut l = degrees.to_vec();
+        l.sort_by(|a, b| b.1.total_cmp(&a.1));
+        l
+    }
+
+    #[test]
+    fn matches_full_scan_on_small_case() {
+        let l1 = sorted_list(&[(0, 0.9), (1, 0.8), (2, 0.1)]);
+        let l2 = sorted_list(&[(0, 0.2), (1, 0.9), (2, 0.9)]);
+        let ta = threshold_topk(&[l1.clone(), l2.clone()], 2);
+        let fs = full_scan_topk(&[l1, l2], 2);
+        assert_eq!(ta, fs);
+        assert_eq!(ta[0].0, 1); // 0.8 * 0.9 = 0.72 is the best product
+    }
+
+    #[test]
+    fn matches_full_scan_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let n = 50;
+            let lists: Vec<Vec<(usize, f64)>> = (0..3)
+                .map(|_| {
+                    sorted_list(
+                        &(0..n)
+                            .map(|e| (e, rng.gen::<f64>()))
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let ta = threshold_topk(&lists, 5);
+            let fs = full_scan_topk(&lists, 5);
+            let ta_scores: Vec<f64> = ta.iter().map(|&(_, s)| s).collect();
+            let fs_scores: Vec<f64> = fs.iter().map(|&(_, s)| s).collect();
+            for (a, b) in ta_scores.iter().zip(&fs_scores) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_happens() {
+        // One dominant entity: TA should stop after ~1 depth.
+        let l1 = sorted_list(&(0..1000).map(|e| (e, if e == 0 { 1.0 } else { 0.001 })).collect::<Vec<_>>());
+        let l2 = l1.clone();
+        let top = threshold_topk(&[l1, l2], 1);
+        assert_eq!(top[0].0, 0);
+        assert!((top[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_zero_and_empty_inputs() {
+        assert!(threshold_topk(&[], 3).is_empty());
+        let l = sorted_list(&[(0, 0.5)]);
+        assert!(threshold_topk(&[l], 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_entity_count() {
+        let l = sorted_list(&[(0, 0.5), (1, 0.4)]);
+        let top = threshold_topk(&[l], 10);
+        assert_eq!(top.len(), 2);
+    }
+}

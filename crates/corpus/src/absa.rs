@@ -1,0 +1,491 @@
+//! Labelled opinion-extraction datasets for the Table 6 experiment.
+//!
+//! The paper evaluates its tagger on SemEval-14 Restaurant/Laptop,
+//! SemEval-15 Restaurant, and a hand-labelled Booking.com hotel set
+//! (3 841 / 3 845 / 2 000 / 912 sentences). We generate synthetic datasets
+//! of the same sizes and train/test splits, with gold BIO tags over aspect
+//! (AS) and opinion (OP) terms.
+//!
+//! Each dataset draws opinions from a bank of which only a fraction appears
+//! in its training split; the held-out fraction appears only at test time.
+//! A tagger with *pre-trained embedding features* (trained on the large
+//! unlabeled review corpus) can generalize to those unseen words through
+//! their embedding neighbourhood — the mechanism by which BERT beats the
+//! train-from-scratch SOTA models in the paper, strongest on the smallest
+//! (hotel) training set.
+
+use crate::hotel::hotel_spec;
+use crate::restaurant::restaurant_spec;
+use crate::spec::{AspectKind, AspectSpec, DomainSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// BIO tag ids used across the repository.
+pub mod tags {
+    /// Outside any term.
+    pub const O: usize = 0;
+    /// Beginning of an aspect term.
+    pub const B_AS: usize = 1;
+    /// Inside an aspect term.
+    pub const I_AS: usize = 2;
+    /// Beginning of an opinion term.
+    pub const B_OP: usize = 3;
+    /// Inside an opinion term.
+    pub const I_OP: usize = 4;
+    /// Number of tags.
+    pub const COUNT: usize = 5;
+}
+
+/// One labelled sentence.
+#[derive(Debug, Clone)]
+pub struct AbsaSentence {
+    /// Lowercased tokens.
+    pub tokens: Vec<String>,
+    /// BIO tag per token (see [`tags`]).
+    pub tags: Vec<usize>,
+}
+
+impl AbsaSentence {
+    /// `(start, end)` spans (end exclusive) of a term type, where `begin` /
+    /// `inside` are the B-/I- tags of that type.
+    pub fn spans(&self, begin: usize, inside: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.tags.len() {
+            if self.tags[i] == begin {
+                let start = i;
+                i += 1;
+                while i < self.tags.len() && self.tags[i] == inside {
+                    i += 1;
+                }
+                out.push((start, i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Aspect-term spans.
+    pub fn aspect_spans(&self) -> Vec<(usize, usize)> {
+        self.spans(tags::B_AS, tags::I_AS)
+    }
+
+    /// Opinion-term spans.
+    pub fn opinion_spans(&self) -> Vec<(usize, usize)> {
+        self.spans(tags::B_OP, tags::I_OP)
+    }
+}
+
+/// A named dataset with train/test splits.
+#[derive(Debug, Clone)]
+pub struct AbsaDataset {
+    /// Dataset name as in Table 6.
+    pub name: String,
+    /// Training sentences.
+    pub train: Vec<AbsaSentence>,
+    /// Test sentences.
+    pub test: Vec<AbsaSentence>,
+}
+
+/// A miniature laptop domain for the SemEval-14 Laptop stand-in.
+pub fn laptop_spec() -> DomainSpec {
+    let aspects = vec![
+        AspectSpec::linear(
+            "battery",
+            &["battery", "battery life", "charge"],
+            &[
+                ("dead", 0.05),
+                ("terrible", 0.1),
+                ("short", 0.25),
+                ("weak", 0.3),
+                ("average", 0.5),
+                ("decent", 0.6),
+                ("long", 0.75),
+                ("excellent", 0.88),
+                ("incredible", 0.95),
+            ],
+            0.5,
+        ),
+        AspectSpec::linear(
+            "screen",
+            &["screen", "display", "panel"],
+            &[
+                ("cracked", 0.05),
+                ("dim", 0.2),
+                ("washed-out", 0.28),
+                ("grainy", 0.32),
+                ("fine", 0.5),
+                ("sharp", 0.7),
+                ("bright", 0.75),
+                ("gorgeous", 0.9),
+                ("stunning", 0.95),
+            ],
+            0.5,
+        ),
+        AspectSpec::linear(
+            "keyboard",
+            &["keyboard", "keys", "trackpad"],
+            &[
+                ("mushy", 0.15),
+                ("sticky", 0.2),
+                ("cramped", 0.3),
+                ("stiff", 0.35),
+                ("usable", 0.5),
+                ("comfortable", 0.68),
+                ("responsive", 0.78),
+                ("clicky", 0.72),
+                ("superb", 0.9),
+            ],
+            0.45,
+        ),
+        AspectSpec::linear(
+            "performance",
+            &["performance", "speed", "processor"],
+            &[
+                ("sluggish", 0.1),
+                ("slow", 0.2),
+                ("laggy", 0.25),
+                ("adequate", 0.5),
+                ("snappy", 0.72),
+                ("fast", 0.78),
+                ("blazing", 0.9),
+                ("phenomenal", 0.95),
+            ],
+            0.55,
+        ),
+        AspectSpec::linear(
+            "price",
+            &["price", "cost", "value"],
+            &[
+                ("outrageous", 0.08),
+                ("overpriced", 0.18),
+                ("steep", 0.3),
+                ("fair", 0.55),
+                ("reasonable", 0.65),
+                ("great", 0.8),
+                ("unbeatable", 0.92),
+            ],
+            0.4,
+        ),
+    ];
+    DomainSpec {
+        name: "laptop".into(),
+        aspects,
+        concepts: vec![],
+        filler: (
+            vec!["would buy again".into(), "totally worth it".into()],
+            vec![
+                "i bought this last month".into(),
+                "it arrived in two days".into(),
+            ],
+            vec!["returning it tomorrow".into(), "what a waste".into()],
+        ),
+    }
+}
+
+/// Generation knobs for one dataset.
+#[derive(Debug, Clone)]
+struct DatasetConfig {
+    name: &'static str,
+    train: usize,
+    test: usize,
+    /// Fraction of each opinion bank visible to the training split.
+    train_bank_fraction: f64,
+    /// Probability of a two-aspect sentence.
+    multi_aspect_prob: f64,
+    seed: u64,
+}
+
+/// Builds the four Table 6 datasets at paper sizes.
+pub fn absa_datasets(seed: u64) -> Vec<AbsaDataset> {
+    let configs = [
+        (
+            restaurant_spec(),
+            DatasetConfig {
+                name: "SemEval-14 Restaurant",
+                train: 3041,
+                test: 800,
+                train_bank_fraction: 0.85,
+                multi_aspect_prob: 0.35,
+                seed: seed ^ 0x0001,
+            },
+        ),
+        (
+            laptop_spec(),
+            DatasetConfig {
+                name: "SemEval-14 Laptop",
+                train: 3045,
+                test: 800,
+                train_bank_fraction: 0.8,
+                multi_aspect_prob: 0.35,
+                seed: seed ^ 0x0002,
+            },
+        ),
+        (
+            restaurant_spec(),
+            DatasetConfig {
+                name: "SemEval-15 Restaurant",
+                train: 1315,
+                test: 685,
+                train_bank_fraction: 0.72,
+                multi_aspect_prob: 0.45,
+                seed: seed ^ 0x0003,
+            },
+        ),
+        (
+            hotel_spec(),
+            DatasetConfig {
+                name: "Booking.com Hotel",
+                train: 800,
+                test: 112,
+                train_bank_fraction: 0.6,
+                multi_aspect_prob: 0.4,
+                seed: seed ^ 0x0004,
+            },
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(spec, cfg)| generate_dataset(&spec, &cfg))
+        .collect()
+}
+
+fn generate_dataset(spec: &DomainSpec, cfg: &DatasetConfig) -> AbsaDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let train = (0..cfg.train)
+        .map(|_| generate_sentence(spec, cfg.train_bank_fraction, cfg.multi_aspect_prob, &mut rng))
+        .collect();
+    let test = (0..cfg.test)
+        .map(|_| generate_sentence(spec, 1.0, cfg.multi_aspect_prob, &mut rng))
+        .collect();
+    AbsaDataset {
+        name: cfg.name.to_string(),
+        train,
+        test,
+    }
+}
+
+/// Renders one labelled sentence; `bank_fraction` limits which opinion
+/// phrases (by bank prefix) may appear.
+fn generate_sentence(
+    spec: &DomainSpec,
+    bank_fraction: f64,
+    multi_aspect_prob: f64,
+    rng: &mut StdRng,
+) -> AbsaSentence {
+    let mut tokens: Vec<String> = Vec::new();
+    let mut tag_ids: Vec<usize> = Vec::new();
+
+    let num_aspects = if rng.gen_bool(multi_aspect_prob) { 2 } else { 1 };
+    let connectors = ["but", "and", "while"];
+
+    for i in 0..num_aspects {
+        if i > 0 {
+            push_plain(&mut tokens, &mut tag_ids, connectors[rng.gen_range(0..3)]);
+        }
+        let aspect_idx = rng.gen_range(0..spec.aspects.len());
+        let aspect = &spec.aspects[aspect_idx];
+        let aspect_term = &aspect.aspect_terms[rng.gen_range(0..aspect.aspect_terms.len())];
+        let opinion_term = sample_opinion(aspect, bank_fraction, rng);
+
+        match rng.gen_range(0..3) {
+            0 => {
+                // "the {asp} was [really] {op}" — the optional untagged
+                // intensifier breaks "first word after the copula is an
+                // opinion" position heuristics.
+                push_plain(&mut tokens, &mut tag_ids, "the");
+                push_term(&mut tokens, &mut tag_ids, aspect_term, tags::B_AS, tags::I_AS);
+                push_plain(&mut tokens, &mut tag_ids, "was");
+                if rng.gen_bool(0.35) {
+                    let adv = ["really", "honestly", "overall", "frankly"];
+                    push_plain(&mut tokens, &mut tag_ids, adv[rng.gen_range(0..4)]);
+                }
+                push_term(&mut tokens, &mut tag_ids, &opinion_term, tags::B_OP, tags::I_OP);
+            }
+            1 => {
+                // "{op} {asp}"
+                push_term(&mut tokens, &mut tag_ids, &opinion_term, tags::B_OP, tags::I_OP);
+                push_term(&mut tokens, &mut tag_ids, aspect_term, tags::B_AS, tags::I_AS);
+            }
+            _ => {
+                // "{asp} a bit {op} honestly"
+                push_term(&mut tokens, &mut tag_ids, aspect_term, tags::B_AS, tags::I_AS);
+                push_plain(&mut tokens, &mut tag_ids, "a");
+                push_plain(&mut tokens, &mut tag_ids, "bit");
+                push_term(&mut tokens, &mut tag_ids, &opinion_term, tags::B_OP, tags::I_OP);
+                if rng.gen_bool(0.4) {
+                    push_plain(&mut tokens, &mut tag_ids, "honestly");
+                }
+            }
+        }
+    }
+
+    // Objective clause: an aspect word in a non-opinionated statement, all
+    // tagged O ("the room was near the station"). Position and even word
+    // identity of the noun no longer determine the tags; the tagger has to
+    // recognize *opinion vocabulary*, which is where pre-trained embedding
+    // clusters pay off for words unseen in training.
+    if rng.gen_bool(0.4) {
+        let aspect = &spec.aspects[rng.gen_range(0..spec.aspects.len())];
+        let noun = &aspect.aspect_terms[rng.gen_range(0..aspect.aspect_terms.len())];
+        let objective = [
+            "near the entrance",
+            "on the third floor",
+            "behind the station",
+            "next to the lobby",
+            "by the window",
+        ];
+        push_plain(&mut tokens, &mut tag_ids, "and the");
+        push_plain(&mut tokens, &mut tag_ids, noun);
+        push_plain(&mut tokens, &mut tag_ids, "was");
+        push_plain(
+            &mut tokens,
+            &mut tag_ids,
+            objective[rng.gen_range(0..objective.len())],
+        );
+    }
+
+    // Occasionally no-opinion filler before/after.
+    if rng.gen_bool(0.25) {
+        let (_, neu, _) = &spec.filler;
+        for w in neu[rng.gen_range(0..neu.len())].split_whitespace() {
+            push_plain(&mut tokens, &mut tag_ids, w);
+        }
+    }
+
+    AbsaSentence {
+        tokens,
+        tags: tag_ids,
+    }
+}
+
+fn sample_opinion(aspect: &AspectSpec, bank_fraction: f64, rng: &mut StdRng) -> String {
+    let phrases: Vec<String> = match &aspect.kind {
+        AspectKind::Linear { opinions } => opinions.iter().map(|(p, _)| p.clone()).collect(),
+        AspectKind::Categorical { opinions, .. } => {
+            opinions.iter().map(|(p, _, _)| p.clone()).collect()
+        }
+    };
+    let visible = ((phrases.len() as f64 * bank_fraction).ceil() as usize).max(1);
+    phrases[rng.gen_range(0..visible.min(phrases.len()))].clone()
+}
+
+fn push_plain(tokens: &mut Vec<String>, tag_ids: &mut Vec<usize>, text: &str) {
+    for w in text.split_whitespace() {
+        tokens.push(w.to_lowercase());
+        tag_ids.push(tags::O);
+    }
+}
+
+fn push_term(
+    tokens: &mut Vec<String>,
+    tag_ids: &mut Vec<usize>,
+    term: &str,
+    begin: usize,
+    inside: usize,
+) {
+    for (i, w) in term.split_whitespace().enumerate() {
+        tokens.push(w.to_lowercase());
+        tag_ids.push(if i == 0 { begin } else { inside });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_match_paper_sizes() {
+        let ds = absa_datasets(7);
+        let sizes: Vec<(usize, usize)> =
+            ds.iter().map(|d| (d.train.len(), d.test.len())).collect();
+        assert_eq!(
+            sizes,
+            vec![(3041, 800), (3045, 800), (1315, 685), (800, 112)]
+        );
+    }
+
+    #[test]
+    fn tags_align_with_tokens() {
+        for ds in absa_datasets(11) {
+            for s in ds.train.iter().chain(&ds.test).take(200) {
+                assert_eq!(s.tokens.len(), s.tags.len());
+                assert!(s.tags.iter().all(|&t| t < tags::COUNT));
+            }
+        }
+    }
+
+    #[test]
+    fn i_tags_never_start_a_span() {
+        for ds in absa_datasets(13) {
+            for s in ds.train.iter().take(300) {
+                let mut prev = tags::O;
+                for &t in &s.tags {
+                    if t == tags::I_AS {
+                        assert!(prev == tags::B_AS || prev == tags::I_AS);
+                    }
+                    if t == tags::I_OP {
+                        assert!(prev == tags::B_OP || prev == tags::I_OP);
+                    }
+                    prev = t;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spans_extract_correctly() {
+        let s = AbsaSentence {
+            tokens: vec!["the".into(), "battery".into(), "life".into(), "was".into(), "short".into()],
+            tags: vec![tags::O, tags::B_AS, tags::I_AS, tags::O, tags::B_OP],
+        };
+        assert_eq!(s.aspect_spans(), vec![(1, 3)]);
+        assert_eq!(s.opinion_spans(), vec![(4, 5)]);
+    }
+
+    #[test]
+    fn most_sentences_have_an_aspect_and_opinion() {
+        let ds = &absa_datasets(17)[0];
+        let with_both = ds
+            .train
+            .iter()
+            .filter(|s| !s.aspect_spans().is_empty() && !s.opinion_spans().is_empty())
+            .count();
+        assert!(with_both as f64 > ds.train.len() as f64 * 0.95);
+    }
+
+    #[test]
+    fn test_split_uses_full_bank_train_does_not() {
+        // The hotel dataset hides 40% of each bank from training.
+        let ds = absa_datasets(23)
+            .into_iter()
+            .find(|d| d.name == "Booking.com Hotel")
+            .unwrap();
+        let collect_opinions = |sents: &[AbsaSentence]| -> std::collections::HashSet<String> {
+            sents
+                .iter()
+                .flat_map(|s| {
+                    s.opinion_spans()
+                        .into_iter()
+                        .map(|(a, b)| s.tokens[a..b].join(" "))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let train_ops = collect_opinions(&ds.train);
+        let test_ops = collect_opinions(&ds.test);
+        let unseen: Vec<&String> = test_ops.difference(&train_ops).collect();
+        assert!(
+            !unseen.is_empty(),
+            "test split must contain opinions unseen in training"
+        );
+    }
+
+    #[test]
+    fn laptop_spec_is_wellformed() {
+        let spec = laptop_spec();
+        assert_eq!(spec.name, "laptop");
+        assert_eq!(spec.aspects.len(), 5);
+    }
+}

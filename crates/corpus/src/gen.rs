@@ -1,0 +1,537 @@
+//! The review-corpus generator.
+//!
+//! Entities receive latent per-aspect qualities; reviews are rendered from
+//! the domain's phrase banks conditioned on those qualities. The latent
+//! state is retained so every experiment has exact ground truth.
+
+use crate::spec::{AspectKind, DomainSpec, Entity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of entities to generate.
+    pub num_entities: usize,
+    /// Mean reviews per entity (actual counts vary ±50%).
+    pub mean_reviews: usize,
+    /// Master seed; generation is fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            num_entities: 60,
+            mean_reviews: 30,
+            seed: 42,
+        }
+    }
+}
+
+/// One extracted gold opinion pair (ground truth for the extractor).
+#[derive(Debug, Clone)]
+pub struct GoldPair {
+    /// Index into `DomainSpec::aspects`.
+    pub aspect: usize,
+    /// The aspect term as written in the sentence.
+    pub aspect_term: String,
+    /// The opinion term as written in the sentence.
+    pub opinion_term: String,
+}
+
+/// A generated review with provenance back to the latent state.
+#[derive(Debug, Clone)]
+pub struct Review {
+    /// Dense review id.
+    pub id: usize,
+    /// The reviewed entity.
+    pub entity_id: usize,
+    /// The authoring reviewer (for "qualified reviewer" filters).
+    pub reviewer_id: usize,
+    /// Publication year (2005..=2019).
+    pub year: u32,
+    /// Helpful votes (0..=25).
+    pub helpful_votes: u32,
+    /// Full review text.
+    pub text: String,
+    /// Gold aspect/opinion pairs, for extractor evaluation.
+    pub gold: Vec<GoldPair>,
+}
+
+/// A generated corpus: domain spec + entities + reviews.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The domain schema the corpus was generated from.
+    pub spec: DomainSpec,
+    /// Entities with latent ground truth.
+    pub entities: Vec<Entity>,
+    /// All reviews, grouped by entity in id order.
+    pub reviews: Vec<Review>,
+}
+
+impl Corpus {
+    /// Generates a corpus for `spec`.
+    pub fn generate(spec: DomainSpec, config: &CorpusConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let is_hotel = spec.name == "hotel";
+
+        let entities: Vec<Entity> = (0..config.num_entities)
+            .map(|id| generate_entity(id, &spec, is_hotel, &mut rng))
+            .collect();
+
+        // Reviewer pool: ~1 reviewer per 4 reviews, 15% prolific (weight 8).
+        let expected_reviews = config.num_entities * config.mean_reviews;
+        let num_reviewers = (expected_reviews / 4).max(8);
+        let prolific_cutoff = num_reviewers / 7 + 1;
+
+        let mut reviews = Vec::with_capacity(expected_reviews);
+        for entity in &entities {
+            let lo = (config.mean_reviews / 2).max(1);
+            let hi = config.mean_reviews * 3 / 2 + 1;
+            let n = rng.gen_range(lo..hi.max(lo + 1));
+            for _ in 0..n {
+                let reviewer_id = if rng.gen_bool(0.45) {
+                    rng.gen_range(0..prolific_cutoff)
+                } else {
+                    rng.gen_range(prolific_cutoff..num_reviewers)
+                };
+                let id = reviews.len();
+                reviews.push(generate_review(
+                    id,
+                    entity,
+                    reviewer_id,
+                    &spec,
+                    is_hotel,
+                    &mut rng,
+                ));
+            }
+        }
+
+        Self {
+            spec,
+            entities,
+            reviews,
+        }
+    }
+
+    /// Reviews of one entity, in id order.
+    pub fn reviews_of(&self, entity_id: usize) -> impl Iterator<Item = &Review> {
+        self.reviews.iter().filter(move |r| r.entity_id == entity_id)
+    }
+
+    /// Number of reviews written by each reviewer id.
+    pub fn reviewer_counts(&self) -> std::collections::HashMap<usize, usize> {
+        let mut counts = std::collections::HashMap::new();
+        for r in &self.reviews {
+            *counts.entry(r.reviewer_id).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// All review text of an entity concatenated into one document (the
+    /// entity-document representation of the GZ12 baseline).
+    pub fn entity_document(&self, entity_id: usize) -> String {
+        let mut doc = String::new();
+        for r in self.reviews_of(entity_id) {
+            doc.push_str(&r.text);
+            doc.push(' ');
+        }
+        doc
+    }
+}
+
+fn generate_entity(id: usize, spec: &DomainSpec, is_hotel: bool, rng: &mut StdRng) -> Entity {
+    // Latent quality: hotels are mixed, restaurants skew positive (the Yelp
+    // subset in Table 4 has much higher average polarity than Booking.com).
+    // A shared per-entity factor correlates aspects (ρ ≈ 0.36) — real
+    // venues' aspect qualities co-vary through management quality, which is
+    // also what makes overall-rating sorting a sane baseline at all.
+    let (mu, sigma) = if is_hotel { (0.55, 0.22) } else { (0.68, 0.18) };
+    let global = gauss(rng);
+    let quality: Vec<f64> = spec
+        .aspects
+        .iter()
+        .map(|_| (mu + sigma * (0.6 * global + 0.8 * gauss(rng))).clamp(0.02, 0.98))
+        .collect();
+    let category: Vec<usize> = spec
+        .aspects
+        .iter()
+        .map(|a| match &a.kind {
+            AspectKind::Linear { .. } => 0,
+            AspectKind::Categorical { categories, .. } => rng.gen_range(0..categories.len()),
+        })
+        .collect();
+
+    let (city, price, cuisine) = if is_hotel {
+        let city = if id % 10 < 7 { "London" } else { "Amsterdam" };
+        // Price correlates loosely with quality, plus noise.
+        let mean_q: f64 = quality.iter().sum::<f64>() / quality.len() as f64;
+        let price = 60.0 + 400.0 * (0.35 * mean_q + 0.65 * rng.gen::<f64>());
+        (city.to_string(), price, String::new())
+    } else {
+        let cuisines = [
+            "Japanese", "Italian", "Chinese", "Thai", "Canadian", "Mexican", "Indian", "French",
+        ];
+        // Japanese gets extra mass so the "JP Cuisine" slice is sizeable.
+        let cuisine = if id % 8 < 2 {
+            "Japanese"
+        } else {
+            cuisines[id % cuisines.len()]
+        };
+        let price_range = 1 + (rng.gen::<f64>().powf(1.3) * 4.0) as u8;
+        let price = price_range as f64 * 18.0 + rng.gen::<f64>() * 10.0;
+        ("Toronto".to_string(), price, cuisine.to_string())
+    };
+    let price_range = if is_hotel {
+        ((price / 150.0).ceil() as u8).clamp(1, 4)
+    } else {
+        ((price / 18.0).floor() as u8).clamp(1, 4)
+    };
+
+    let mean_q: f64 = quality.iter().sum::<f64>() / quality.len() as f64;
+    let rating = (1.0 + 4.0 * mean_q + 0.3 * gauss(rng)).clamp(1.0, 5.0);
+    // Published per-aspect scores are *coarse* public aggregates: heavy
+    // noise plus one-decimal quantization, like booking.com's 8 category
+    // scores — far weaker signals than the latent state itself.
+    let aspect_ratings: Vec<f64> = quality
+        .iter()
+        .map(|q| {
+            let noisy = (1.0 + 4.0 * q + 0.7 * gauss(rng)).clamp(1.0, 5.0);
+            (noisy * 10.0).round() / 10.0
+        })
+        .collect();
+
+    Entity {
+        id,
+        name: format!(
+            "{} {}",
+            if is_hotel { "Hotel" } else { "Restaurant" },
+            id
+        ),
+        city,
+        price,
+        price_range,
+        cuisine,
+        capacity: 20 + (id as u32 % 40) * 10,
+        quality,
+        category,
+        rating,
+        aspect_ratings,
+    }
+}
+
+fn generate_review(
+    id: usize,
+    entity: &Entity,
+    reviewer_id: usize,
+    spec: &DomainSpec,
+    is_hotel: bool,
+    rng: &mut StdRng,
+) -> Review {
+    let mut sentences: Vec<String> = Vec::new();
+    let mut gold: Vec<GoldPair> = Vec::new();
+
+    // Hotels: short reviews (~34 words); restaurants: long (~105+ words).
+    let (min_aspects, extra_aspects, filler_count) = if is_hotel {
+        (2usize, 2usize, 1usize)
+    } else {
+        (4, 5, 3)
+    };
+    let target_aspects = min_aspects + rng.gen_range(0..=extra_aspects);
+
+    // Sample aspects weighted by mention probability, without replacement.
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut attempts = 0;
+    while chosen.len() < target_aspects && attempts < 80 {
+        attempts += 1;
+        let idx = rng.gen_range(0..spec.aspects.len());
+        if !chosen.contains(&idx) && rng.gen_bool(spec.aspects[idx].mention_prob) {
+            chosen.push(idx);
+        }
+    }
+    if chosen.is_empty() {
+        chosen.push(0);
+    }
+
+    for &aspect_idx in &chosen {
+        let (sentence, pair) = render_aspect_sentence(entity, aspect_idx, spec, rng);
+        sentences.push(sentence);
+        gold.push(pair);
+    }
+
+    // Concept mentions: when the entity qualifies, inject the concept phrase
+    // and (usually) positive mentions of the required aspects — the
+    // co-occurrence signal.
+    for concept in &spec.concepts {
+        if entity.has_concept(concept) && rng.gen_bool(concept.mention_prob) {
+            let phrase = &concept.mention_phrases
+                [rng.gen_range(0..concept.mention_phrases.len())];
+            sentences.push(phrase.clone());
+            for req in &concept.requires {
+                if rng.gen_bool(0.7) {
+                    let aspect_idx = match *req {
+                        crate::spec::ConceptRequirement::MinQuality(a, _) => a,
+                        crate::spec::ConceptRequirement::Category(a, _) => a,
+                    };
+                    let (sentence, pair) = render_aspect_sentence(entity, aspect_idx, spec, rng);
+                    sentences.push(sentence);
+                    gold.push(pair);
+                }
+            }
+        }
+    }
+
+    // Filler, polarity-matched to the entity's average quality.
+    let mean_q: f64 = entity.quality.iter().sum::<f64>() / entity.quality.len() as f64;
+    let (pos, neu, neg) = &spec.filler;
+    for _ in 0..rng.gen_range(0..=filler_count) {
+        let pool = if mean_q > 0.62 {
+            pos
+        } else if mean_q < 0.42 {
+            neg
+        } else {
+            neu
+        };
+        sentences.push(pool[rng.gen_range(0..pool.len())].clone());
+    }
+
+    let text = sentences.join(". ") + ".";
+    Review {
+        id,
+        entity_id: entity.id,
+        reviewer_id,
+        year: 2005 + rng.gen_range(0..15),
+        helpful_votes: (rng.gen::<f64>().powi(3) * 25.0) as u32,
+        text,
+        gold,
+    }
+}
+
+/// Renders one aspect sentence for `entity`, returning the gold pair.
+pub(crate) fn render_aspect_sentence(
+    entity: &Entity,
+    aspect_idx: usize,
+    spec: &DomainSpec,
+    rng: &mut StdRng,
+) -> (String, GoldPair) {
+    let aspect = &spec.aspects[aspect_idx];
+    let aspect_term = aspect.aspect_terms[rng.gen_range(0..aspect.aspect_terms.len())].clone();
+
+    let opinion_term = match &aspect.kind {
+        AspectKind::Linear { opinions } => {
+            let observed = (entity.quality[aspect_idx] + 0.12 * gauss(rng)).clamp(0.0, 1.0);
+            // Occasionally phrase a low opinion as a negated high one
+            // ("not clean", "not quiet") — the trap that defeats raw BM25.
+            if observed < 0.45 && rng.gen_bool(0.18) {
+                let target = 1.0 - observed;
+                format!("not {}", nearest_linear(opinions, target, rng))
+            } else {
+                nearest_linear(opinions, observed, rng)
+            }
+        }
+        AspectKind::Categorical { opinions, .. } => {
+            let cat = entity.category[aspect_idx];
+            // Mostly the dominant category; sometimes a stray other style.
+            let target_cat = if rng.gen_bool(0.8) {
+                cat
+            } else {
+                opinions[rng.gen_range(0..opinions.len())].1
+            };
+            let candidates: Vec<&(String, usize, f64)> =
+                opinions.iter().filter(|(_, c, _)| *c == target_cat).collect();
+            candidates[rng.gen_range(0..candidates.len())].0.clone()
+        }
+    };
+
+    let template = rng.gen_range(0..4);
+    let sentence = match template {
+        0 => format!("the {aspect_term} was {opinion_term}"),
+        1 => format!("{opinion_term} {aspect_term}"),
+        2 => format!("the {aspect_term} seemed {opinion_term}"),
+        _ => format!("we found the {aspect_term} {opinion_term}"),
+    };
+    (
+        sentence,
+        GoldPair {
+            aspect: aspect_idx,
+            aspect_term,
+            opinion_term,
+        },
+    )
+}
+
+/// Picks a phrase whose quality is near `target` (with mild randomness
+/// between the two closest so banks do not collapse to one phrase).
+fn nearest_linear(opinions: &[(String, f64)], target: f64, rng: &mut StdRng) -> String {
+    let mut sorted: Vec<&(String, f64)> = opinions.iter().collect();
+    sorted.sort_by(|a, b| {
+        (a.1 - target)
+            .abs()
+            .total_cmp(&(b.1 - target).abs())
+    });
+    let pick = if sorted.len() > 1 && rng.gen_bool(0.3) { 1 } else { 0 };
+    sorted[pick].0.clone()
+}
+
+/// Standard normal via Box–Muller.
+pub(crate) fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotel::hotel_spec;
+    use crate::restaurant::restaurant_spec;
+
+    fn small_hotel() -> Corpus {
+        Corpus::generate(
+            hotel_spec(),
+            &CorpusConfig {
+                num_entities: 20,
+                mean_reviews: 10,
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn generates_requested_entities() {
+        let c = small_hotel();
+        assert_eq!(c.entities.len(), 20);
+        assert!(!c.reviews.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_hotel();
+        let b = small_hotel();
+        assert_eq!(a.reviews.len(), b.reviews.len());
+        assert_eq!(a.reviews[0].text, b.reviews[0].text);
+        assert_eq!(a.entities[3].quality, b.entities[3].quality);
+    }
+
+    #[test]
+    fn reviews_reference_valid_entities_and_years() {
+        let c = small_hotel();
+        for r in &c.reviews {
+            assert!(r.entity_id < c.entities.len());
+            assert!((2005..2020).contains(&r.year));
+            assert!(r.helpful_votes <= 25);
+            assert!(!r.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn gold_pairs_appear_in_text() {
+        let c = small_hotel();
+        for r in c.reviews.iter().take(50) {
+            for g in &r.gold {
+                assert!(
+                    r.text.contains(&g.aspect_term),
+                    "aspect term '{}' missing from '{}'",
+                    g.aspect_term,
+                    r.text
+                );
+                assert!(
+                    r.text.contains(&g.opinion_term),
+                    "opinion term '{}' missing from '{}'",
+                    g.opinion_term,
+                    r.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_quality_entities_get_positive_phrases() {
+        let c = small_hotel();
+        // Find the entity with the best room cleanliness.
+        let best = c
+            .entities
+            .iter()
+            .max_by(|a, b| a.quality[0].total_cmp(&b.quality[0]))
+            .unwrap();
+        let worst = c
+            .entities
+            .iter()
+            .min_by(|a, b| a.quality[0].total_cmp(&b.quality[0]))
+            .unwrap();
+        let doc_best = c.entity_document(best.id);
+        let doc_worst = c.entity_document(worst.id);
+        // Cheap proxy: the best entity's document should contain more
+        // positive cleanliness words than the worst's.
+        let count = |doc: &str, w: &str| doc.matches(w).count();
+        if best.quality[0] > 0.8 && worst.quality[0] < 0.3 {
+            assert!(
+                count(&doc_best, "clean") + count(&doc_best, "spotless")
+                    >= count(&doc_worst, "spotless")
+            );
+        }
+    }
+
+    #[test]
+    fn restaurant_reviews_are_longer_than_hotel_reviews() {
+        let h = small_hotel();
+        let r = Corpus::generate(
+            restaurant_spec(),
+            &CorpusConfig {
+                num_entities: 20,
+                mean_reviews: 10,
+                seed: 2,
+            },
+        );
+        let avg = |c: &Corpus| {
+            c.reviews
+                .iter()
+                .map(|r| r.text.split_whitespace().count())
+                .sum::<usize>() as f64
+                / c.reviews.len() as f64
+        };
+        assert!(
+            avg(&r) > avg(&h) * 1.5,
+            "restaurant {} vs hotel {}",
+            avg(&r),
+            avg(&h)
+        );
+    }
+
+    #[test]
+    fn hotel_cities_split_london_amsterdam() {
+        let c = small_hotel();
+        let london = c.entities.iter().filter(|e| e.city == "London").count();
+        let amsterdam = c.entities.iter().filter(|e| e.city == "Amsterdam").count();
+        assert!(london > amsterdam);
+        assert!(amsterdam > 0);
+    }
+
+    #[test]
+    fn reviewer_pool_contains_prolific_reviewers() {
+        let c = Corpus::generate(
+            hotel_spec(),
+            &CorpusConfig {
+                num_entities: 30,
+                mean_reviews: 20,
+                seed: 3,
+            },
+        );
+        let counts = c.reviewer_counts();
+        assert!(
+            counts.values().any(|&n| n >= 10),
+            "need prolific reviewers for the qualified-reviewer experiment"
+        );
+    }
+
+    #[test]
+    fn entity_document_concatenates_reviews() {
+        let c = small_hotel();
+        let n = c.reviews_of(0).count();
+        assert!(n > 0);
+        let doc = c.entity_document(0);
+        let first = &c.reviews_of(0).next().unwrap().text;
+        assert!(doc.contains(first.as_str()));
+    }
+}

@@ -1,0 +1,655 @@
+//! The hotel domain: 15 subjective aspects (the paper reports 15 attributes
+//! for hotels, Sec. 4.2) with phrase banks, query predicates, and latent
+//! concepts, modelled on the Booking.com schema of Fig. 2.
+
+use crate::spec::{AspectSpec, ConceptRequirement, ConceptSpec, DomainSpec};
+
+/// Aspect indices, fixed by construction order (handy for tests/benches).
+pub mod aspect {
+    /// `room_cleanliness`
+    pub const CLEANLINESS: usize = 0;
+    /// `bathroom_style` (categorical)
+    pub const BATHROOM_STYLE: usize = 1;
+    /// `service`
+    pub const SERVICE: usize = 2;
+    /// `bed_comfort`
+    pub const BED_COMFORT: usize = 3;
+    /// `room_quietness`
+    pub const QUIETNESS: usize = 4;
+    /// `breakfast`
+    pub const BREAKFAST: usize = 5;
+    /// `staff`
+    pub const STAFF: usize = 6;
+    /// `location`
+    pub const LOCATION: usize = 7;
+    /// `wifi`
+    pub const WIFI: usize = 8;
+    /// `amenities`
+    pub const AMENITIES: usize = 9;
+    /// `value`
+    pub const VALUE: usize = 10;
+    /// `bar`
+    pub const BAR: usize = 11;
+    /// `view`
+    pub const VIEW: usize = 12;
+    /// `food`
+    pub const FOOD: usize = 13;
+    /// `bathroom_cleanliness`
+    pub const BATHROOM_CLEAN: usize = 14;
+}
+
+/// Bathroom style category indices.
+pub mod bathroom_style {
+    /// old
+    pub const OLD: usize = 0;
+    /// standard
+    pub const STANDARD: usize = 1;
+    /// modern
+    pub const MODERN: usize = 2;
+    /// luxurious
+    pub const LUXURIOUS: usize = 3;
+}
+
+/// Builds the hotel [`DomainSpec`].
+pub fn hotel_spec() -> DomainSpec {
+    let aspects = vec![
+        AspectSpec::linear(
+            "room_cleanliness",
+            &["room", "carpet", "bedroom", "floor", "furniture", "linen"],
+            &[
+                ("filthy", 0.02),
+                ("disgusting", 0.04),
+                ("very dirty", 0.08),
+                ("grimy", 0.12),
+                ("dirty", 0.18),
+                ("stained", 0.22),
+                ("dusty", 0.3),
+                ("a bit dirty", 0.38),
+                ("average", 0.5),
+                ("ok", 0.52),
+                ("tidy", 0.62),
+                ("clean", 0.72),
+                ("very clean", 0.85),
+                ("spotless", 0.93),
+                ("immaculate", 0.97),
+            ],
+            0.6,
+        )
+        .with_high_queries(&[
+            "clean rooms",
+            "has really clean rooms",
+            "spotless rooms",
+            "immaculate bedroom",
+            "very clean room",
+            "meticulously clean rooms",
+            "rooms without dust",
+            "a tidy room",
+            "fresh and clean rooms",
+            "clean carpet",
+        ]),
+        AspectSpec::categorical(
+            "bathroom_style",
+            &["bathroom", "shower", "bathtub", "faucet"],
+            &["old", "standard", "modern", "luxurious"],
+            &[
+                ("old", bathroom_style::OLD, -0.25),
+                ("old-fashioned", bathroom_style::OLD, -0.2),
+                ("dated", bathroom_style::OLD, -0.3),
+                ("worn", bathroom_style::OLD, -0.35),
+                ("standard", bathroom_style::STANDARD, 0.05),
+                ("basic", bathroom_style::STANDARD, -0.05),
+                ("adequate", bathroom_style::STANDARD, 0.1),
+                ("ok", bathroom_style::STANDARD, 0.05),
+                ("modern", bathroom_style::MODERN, 0.5),
+                ("sleek", bathroom_style::MODERN, 0.5),
+                ("renovated", bathroom_style::MODERN, 0.45),
+                ("stylish", bathroom_style::MODERN, 0.55),
+                ("luxurious", bathroom_style::LUXURIOUS, 0.85),
+                ("five-star", bathroom_style::LUXURIOUS, 0.85),
+                ("marble", bathroom_style::LUXURIOUS, 0.6),
+                ("extravagant", bathroom_style::LUXURIOUS, 0.7),
+            ],
+            0.35,
+        )
+        .with_category_query("luxurious bathrooms", bathroom_style::LUXURIOUS)
+        .with_category_query("has a luxurious bathroom", bathroom_style::LUXURIOUS)
+        .with_category_query("modern bathroom", bathroom_style::MODERN)
+        .with_category_query("sleek modern shower", bathroom_style::MODERN)
+        .with_category_query("marble bathtub", bathroom_style::LUXURIOUS)
+        .with_category_query("renovated stylish bathroom", bathroom_style::MODERN),
+        AspectSpec::linear(
+            "service",
+            &["service", "concierge", "reception", "check-in"],
+            &[
+                ("very bad", 0.05),
+                ("terrible", 0.08),
+                ("bad", 0.18),
+                ("slow", 0.28),
+                ("indifferent", 0.38),
+                ("average", 0.5),
+                ("decent", 0.58),
+                ("good", 0.68),
+                ("attentive", 0.78),
+                ("excellent", 0.88),
+                ("exceptional", 0.95),
+                ("outstanding", 0.97),
+            ],
+            0.5,
+        )
+        .with_high_queries(&[
+            "excellent service",
+            "exceptional service",
+            "great customer service",
+            "attentive concierge",
+            "fast check-in",
+            "good service",
+            "helpful concierge",
+            "outstanding service",
+            "top notch service",
+            "service that goes the extra mile",
+        ]),
+        AspectSpec::linear(
+            "bed_comfort",
+            &["bed", "mattress", "pillow", "bedding"],
+            &[
+                ("worn-out", 0.05),
+                ("lumpy", 0.1),
+                ("very hard", 0.18),
+                ("uncomfortable", 0.22),
+                ("too soft", 0.32),
+                ("ok", 0.5),
+                ("firm", 0.6),
+                ("comfortable", 0.72),
+                ("comfy", 0.75),
+                ("very comfortable", 0.85),
+                ("heavenly", 0.95),
+            ],
+            0.5,
+        )
+        .with_high_queries(&[
+            "comfortable beds",
+            "has firm beds",
+            "comfy mattress",
+            "very comfortable bed",
+            "soft pillows",
+            "great bedding",
+            "a bed you sink into",
+            "heavenly beds",
+        ]),
+        AspectSpec::linear(
+            "room_quietness",
+            &["room", "street", "night", "walls"],
+            &[
+                ("unbearably noisy", 0.03),
+                ("very noisy", 0.08),
+                ("constant noise", 0.12),
+                ("traffic noise", 0.18),
+                ("noisy", 0.22),
+                ("loud", 0.28),
+                ("annoying", 0.32),
+                ("thin walls", 0.35),
+                ("some noise", 0.45),
+                ("fairly quiet", 0.62),
+                ("quiet", 0.75),
+                ("very quiet", 0.85),
+                ("peaceful", 0.92),
+                ("silent", 0.95),
+            ],
+            0.45,
+        )
+        .with_high_queries(&[
+            "quiet room",
+            "a quiet place to sleep",
+            "peaceful nights",
+            "very quiet rooms",
+            "no street noise",
+            "silent at night",
+            "calm and peaceful room",
+            "thick walls no noise",
+        ]),
+        AspectSpec::linear(
+            "breakfast",
+            &["breakfast", "buffet", "coffee", "croissants"],
+            &[
+                ("inedible", 0.05),
+                ("terrible", 0.1),
+                ("stale", 0.18),
+                ("cold", 0.25),
+                ("bland", 0.32),
+                ("limited", 0.4),
+                ("average", 0.5),
+                ("decent", 0.6),
+                ("good", 0.7),
+                ("fresh", 0.78),
+                ("delicious", 0.88),
+                ("amazing", 0.95),
+            ],
+            0.45,
+        )
+        .with_high_queries(&[
+            "good breakfast",
+            "delicious breakfast",
+            "great breakfast buffet",
+            "fresh croissants",
+            "amazing coffee",
+            "rich breakfast choices",
+            "breakfast worth waking up for",
+            "tasty morning buffet",
+        ]),
+        AspectSpec::linear(
+            "staff",
+            &["staff", "receptionist", "housekeeping", "porter"],
+            &[
+                ("hostile", 0.03),
+                ("rude", 0.08),
+                ("unfriendly", 0.15),
+                ("cold", 0.25),
+                ("indifferent", 0.35),
+                ("ok", 0.5),
+                ("polite", 0.62),
+                ("friendly", 0.72),
+                ("helpful", 0.78),
+                ("very kind", 0.85),
+                ("wonderful", 0.92),
+                ("went above and beyond", 0.97),
+            ],
+            0.55,
+        )
+        .with_high_queries(&[
+            "friendly staff",
+            "helpful staff",
+            "kind receptionist",
+            "welcoming staff",
+            "staff that cares",
+            "very kind staff",
+            "polite housekeeping",
+            "warm welcome",
+        ]),
+        AspectSpec::linear(
+            "location",
+            &["location", "area", "neighborhood", "surroundings"],
+            &[
+                ("dangerous", 0.05),
+                ("sketchy", 0.12),
+                ("far from everything", 0.18),
+                ("inconvenient", 0.25),
+                ("remote", 0.32),
+                ("average", 0.5),
+                ("convenient", 0.65),
+                ("good", 0.7),
+                ("central", 0.78),
+                ("great", 0.85),
+                ("perfect", 0.93),
+                ("unbeatable", 0.97),
+            ],
+            0.5,
+        )
+        .with_high_queries(&[
+            "nice location",
+            "great location",
+            "central location",
+            "close to attractions",
+            "convenient area",
+            "perfect location for sightseeing",
+            "walkable neighborhood",
+            "in the middle of everything",
+        ]),
+        AspectSpec::linear(
+            "wifi",
+            &["wifi", "internet", "connection"],
+            &[
+                ("broken", 0.05),
+                ("unusable", 0.1),
+                ("very slow", 0.18),
+                ("spotty", 0.28),
+                ("unreliable", 0.35),
+                ("ok", 0.5),
+                ("decent", 0.6),
+                ("stable", 0.7),
+                ("fast", 0.8),
+                ("blazing fast", 0.92),
+            ],
+            0.3,
+        )
+        .with_high_queries(&[
+            "fast wifi",
+            "reliable internet",
+            "stable connection",
+            "good wifi for work",
+            "strong wifi signal",
+            "fast and reliable wifi",
+        ]),
+        AspectSpec::linear(
+            "amenities",
+            &["pool", "gym", "spa", "facilities", "parking"],
+            &[
+                ("nonexistent", 0.05),
+                ("closed", 0.12),
+                ("rundown", 0.2),
+                ("outdated", 0.3),
+                ("limited", 0.4),
+                ("average", 0.5),
+                ("decent", 0.6),
+                ("good", 0.7),
+                ("well-equipped", 0.8),
+                ("excellent", 0.9),
+                ("world-class", 0.96),
+            ],
+            0.35,
+        )
+        .with_high_queries(&[
+            "nice pool",
+            "good gym",
+            "relaxing spa",
+            "well-equipped facilities",
+            "easy parking",
+            "great fitness center",
+            "heated swimming pool",
+        ]),
+        AspectSpec::linear(
+            "value",
+            &["price", "value", "rate", "cost"],
+            &[
+                ("a ripoff", 0.05),
+                ("overpriced", 0.15),
+                ("expensive", 0.28),
+                ("pricey", 0.35),
+                ("fair", 0.55),
+                ("reasonable", 0.65),
+                ("good value", 0.75),
+                ("a bargain", 0.85),
+                ("unbeatable value", 0.95),
+            ],
+            0.35,
+        )
+        .with_high_queries(&[
+            "good value for money",
+            "reasonable price",
+            "worth the price",
+            "fair rates",
+            "a real bargain",
+            "affordable comfort",
+        ]),
+        AspectSpec::linear(
+            "bar",
+            &["bar", "lounge", "rooftop bar", "cocktails"],
+            &[
+                ("closed", 0.08),
+                ("dead", 0.15),
+                ("boring", 0.25),
+                ("empty", 0.32),
+                ("average", 0.5),
+                ("cozy", 0.62),
+                ("nice", 0.68),
+                ("fun", 0.75),
+                ("lively", 0.85),
+                ("buzzing", 0.92),
+            ],
+            0.25,
+        )
+        .with_high_queries(&[
+            "a lively bar scene",
+            "fun hotel bar",
+            "great cocktails",
+            "buzzing rooftop bar",
+            "cozy lounge",
+            "a bar with atmosphere",
+        ]),
+        AspectSpec::linear(
+            "view",
+            &["view", "window", "scenery", "skyline"],
+            &[
+                ("a brick wall", 0.05),
+                ("depressing", 0.12),
+                ("blocked", 0.2),
+                ("nothing special", 0.4),
+                ("ok", 0.5),
+                ("pleasant", 0.62),
+                ("nice", 0.7),
+                ("lovely", 0.78),
+                ("stunning", 0.9),
+                ("breathtaking", 0.96),
+            ],
+            0.3,
+        )
+        .with_high_queries(&[
+            "stunning views",
+            "nice view from the room",
+            "breathtaking skyline view",
+            "lovely scenery",
+            "room with a view",
+            "panoramic city views",
+        ]),
+        AspectSpec::linear(
+            "food",
+            &["dinner", "food", "room service", "restaurant"],
+            &[
+                ("inedible", 0.05),
+                ("awful", 0.1),
+                ("bland", 0.25),
+                ("mediocre", 0.38),
+                ("average", 0.5),
+                ("decent", 0.6),
+                ("good", 0.7),
+                ("tasty", 0.78),
+                ("delicious", 0.88),
+                ("exquisite", 0.95),
+            ],
+            0.3,
+        )
+        .with_high_queries(&[
+            "delicious food",
+            "good dinner options",
+            "tasty room service",
+            "great hotel restaurant",
+            "exquisite dining",
+            "multiple eating options",
+        ]),
+        AspectSpec::linear(
+            "bathroom_cleanliness",
+            &["bathroom", "shower", "toilet", "sink"],
+            &[
+                ("moldy", 0.05),
+                ("filthy", 0.08),
+                ("smelly", 0.15),
+                ("dirty", 0.22),
+                ("grubby", 0.3),
+                ("average", 0.5),
+                ("clean", 0.7),
+                ("very clean", 0.85),
+                ("sparkling", 0.92),
+                ("spotless", 0.95),
+            ],
+            0.35,
+        )
+        .with_high_queries(&[
+            "clean bathroom",
+            "spotless shower",
+            "sparkling clean bathroom",
+            "hygienic bathroom",
+            "very clean toilet",
+            "fresh smelling bathroom",
+        ]),
+    ];
+
+    let concepts = vec![
+        ConceptSpec {
+            name: "romantic getaway".into(),
+            mention_phrases: vec![
+                "a perfect romantic getaway".into(),
+                "so romantic".into(),
+                "ideal for a romantic weekend".into(),
+                "we came here for a romantic escape".into(),
+            ],
+            queries: vec![
+                "is a romantic getaway".into(),
+                "romantic hotel for couples".into(),
+                "a romantic escape".into(),
+            ],
+            requires: vec![
+                ConceptRequirement::MinQuality(aspect::SERVICE, 0.75),
+                ConceptRequirement::Category(aspect::BATHROOM_STYLE, bathroom_style::LUXURIOUS),
+            ],
+            mention_prob: 0.3,
+            gold_aspect: aspect::SERVICE,
+        },
+        ConceptSpec {
+            name: "anniversary".into(),
+            mention_phrases: vec![
+                "we celebrated our anniversary here".into(),
+                "perfect for our anniversary".into(),
+                "made our anniversary special".into(),
+            ],
+            queries: vec!["for our anniversary".into(), "anniversary celebration".into()],
+            requires: vec![
+                ConceptRequirement::MinQuality(aspect::SERVICE, 0.75),
+                ConceptRequirement::MinQuality(aspect::STAFF, 0.7),
+            ],
+            mention_prob: 0.2,
+            gold_aspect: aspect::STAFF,
+        },
+        ConceptSpec {
+            name: "kid friendly".into(),
+            mention_phrases: vec![
+                "very kid friendly".into(),
+                "great with our kids".into(),
+                "the children loved it".into(),
+            ],
+            queries: vec!["kid friendly hotel".into(), "good for families with children".into()],
+            requires: vec![
+                ConceptRequirement::MinQuality(aspect::STAFF, 0.7),
+                ConceptRequirement::MinQuality(aspect::AMENITIES, 0.6),
+            ],
+            mention_prob: 0.25,
+            gold_aspect: aspect::STAFF,
+        },
+        ConceptSpec {
+            name: "business travel".into(),
+            mention_phrases: vec![
+                "great for business trips".into(),
+                "ideal for a work stay".into(),
+            ],
+            queries: vec!["good for business travelers".into()],
+            requires: vec![
+                ConceptRequirement::MinQuality(aspect::WIFI, 0.7),
+                ConceptRequirement::MinQuality(aspect::LOCATION, 0.6),
+            ],
+            mention_prob: 0.2,
+            gold_aspect: aspect::WIFI,
+        },
+        ConceptSpec {
+            name: "motorcyclists".into(),
+            mention_phrases: vec![
+                "secure parking for our motorcycles".into(),
+                "great for motorcyclists".into(),
+            ],
+            queries: vec!["good for motorcyclists".into()],
+            requires: vec![ConceptRequirement::MinQuality(aspect::AMENITIES, 0.7)],
+            mention_prob: 0.03,
+            gold_aspect: aspect::AMENITIES,
+        },
+    ];
+
+    let filler = (
+        vec![
+            "would definitely come back".into(),
+            "we loved our stay".into(),
+            "highly recommended".into(),
+            "a wonderful stay overall".into(),
+        ],
+        vec![
+            "we stayed for three nights".into(),
+            "checked in late in the evening".into(),
+            "the hotel is near the station".into(),
+            "we booked through the website".into(),
+        ],
+        vec![
+            "we will not be returning".into(),
+            "quite disappointing overall".into(),
+            "not what we expected".into(),
+            "would not recommend".into(),
+        ],
+    );
+
+    DomainSpec {
+        name: "hotel".into(),
+        aspects,
+        concepts,
+        filler,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_fifteen_aspects() {
+        let spec = hotel_spec();
+        assert_eq!(spec.aspects.len(), 15, "paper reports 15 hotel attributes");
+    }
+
+    #[test]
+    fn aspect_indices_match_names() {
+        let spec = hotel_spec();
+        assert_eq!(spec.aspects[aspect::CLEANLINESS].name, "room_cleanliness");
+        assert_eq!(spec.aspects[aspect::BATHROOM_STYLE].name, "bathroom_style");
+        assert_eq!(spec.aspects[aspect::QUIETNESS].name, "room_quietness");
+        assert_eq!(spec.aspects[aspect::BATHROOM_CLEAN].name, "bathroom_cleanliness");
+    }
+
+    #[test]
+    fn linear_opinions_are_quality_sorted_or_at_least_bounded() {
+        let spec = hotel_spec();
+        for a in &spec.aspects {
+            if let crate::spec::AspectKind::Linear { opinions } = &a.kind {
+                for (p, q) in opinions {
+                    assert!((0.0..=1.0).contains(q), "{p} quality {q} out of range");
+                }
+                assert!(opinions.len() >= 8, "{} bank too small", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_aspect_has_queries_or_is_categorical_with_queries() {
+        let spec = hotel_spec();
+        for a in &spec.aspects {
+            assert!(!a.queries.is_empty(), "{} has no queries", a.name);
+        }
+    }
+
+    #[test]
+    fn concepts_reference_valid_aspects() {
+        let spec = hotel_spec();
+        for c in &spec.concepts {
+            assert!(c.gold_aspect < spec.aspects.len());
+            for r in &c.requires {
+                match *r {
+                    ConceptRequirement::MinQuality(a, t) => {
+                        assert!(a < spec.aspects.len());
+                        assert!((0.0..=1.0).contains(&t));
+                    }
+                    ConceptRequirement::Category(a, cat) => {
+                        match &spec.aspects[a].kind {
+                            crate::spec::AspectKind::Categorical { categories, .. } => {
+                                assert!(cat < categories.len());
+                            }
+                            _ => panic!("category requirement on linear aspect"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn romantic_getaway_matches_paper_example() {
+        // The paper interprets "is a romantic getaway" as exceptional
+        // service ⊕ luxurious bathrooms; our latent concept encodes that.
+        let spec = hotel_spec();
+        let romantic = &spec.concepts[0];
+        assert_eq!(romantic.name, "romantic getaway");
+        assert_eq!(romantic.requires.len(), 2);
+    }
+}

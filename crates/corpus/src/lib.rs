@@ -1,0 +1,36 @@
+//! Synthetic data substrate for the OpineDB reproduction.
+//!
+//! The paper evaluates on the Booking.com (515k reviews, 1 493 hotels) and
+//! Yelp Toronto (176k reviews, 860 restaurants) datasets, labelled SemEval
+//! ABSA data, and an MTurk user survey — none of which ship with this
+//! repository. This crate substitutes a **seeded generative simulator**:
+//!
+//! * every entity carries a *latent* per-aspect quality θ ∈ \[0,1\] (and a
+//!   dominant category for categorical aspects such as bathroom style);
+//! * reviews are rendered from phrase banks conditioned on θ, with
+//!   negations, intensifiers, filler text, reviewer profiles, years and
+//!   helpful votes;
+//! * latent *concepts* ("romantic getaway") fire when their aspect
+//!   requirements hold and inject correlated mentions — exactly the signal
+//!   the co-occurrence interpreter mines;
+//! * the latent state doubles as **exact ground truth** for the sat(q, e)
+//!   labels that the paper had to crowd-source.
+//!
+//! Sub-modules: [`spec`] (domain schemas), [`hotel`] / [`restaurant`]
+//! (the two evaluation domains), [`gen`] (corpus generator), [`workload`]
+//! (the 190/185 query-predicate banks with gold attributes and sat rules),
+//! [`survey`] (Table 3), [`absa`] (Table 6 datasets), [`pairing`]
+//! (Appendix C data).
+
+pub mod absa;
+pub mod gen;
+pub mod hotel;
+pub mod pairing;
+pub mod restaurant;
+pub mod spec;
+pub mod survey;
+pub mod workload;
+
+pub use gen::{Corpus, CorpusConfig, Review};
+pub use spec::{AspectKind, AspectSpec, ConceptRequirement, ConceptSpec, DomainSpec, Entity};
+pub use workload::{SatRule, WorkloadPredicate};

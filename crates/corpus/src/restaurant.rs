@@ -1,0 +1,461 @@
+//! The restaurant domain: 11 subjective aspects (the paper reports 11
+//! attributes for restaurants, Sec. 4.2) modelled on the Yelp Toronto data.
+
+use crate::spec::{AspectSpec, ConceptRequirement, ConceptSpec, DomainSpec};
+
+/// Aspect indices, fixed by construction order.
+pub mod aspect {
+    /// `food`
+    pub const FOOD: usize = 0;
+    /// `service`
+    pub const SERVICE: usize = 1;
+    /// `vibe` (ambience) — categorical
+    pub const VIBE: usize = 2;
+    /// `staff`
+    pub const STAFF: usize = 3;
+    /// `cleanliness`
+    pub const CLEANLINESS: usize = 4;
+    /// `drinks`
+    pub const DRINKS: usize = 5;
+    /// `portions`
+    pub const PORTIONS: usize = 6;
+    /// `wait_time`
+    pub const WAIT_TIME: usize = 7;
+    /// `noise`
+    pub const NOISE: usize = 8;
+    /// `table` (seating)
+    pub const TABLE: usize = 9;
+    /// `general`
+    pub const GENERAL: usize = 10;
+}
+
+/// Vibe category indices.
+pub mod vibe {
+    /// casual
+    pub const CASUAL: usize = 0;
+    /// romantic
+    pub const ROMANTIC: usize = 1;
+    /// trendy
+    pub const TRENDY: usize = 2;
+    /// family
+    pub const FAMILY: usize = 3;
+}
+
+/// Builds the restaurant [`DomainSpec`].
+pub fn restaurant_spec() -> DomainSpec {
+    let aspects = vec![
+        AspectSpec::linear(
+            "food",
+            &["food", "dish", "sushi", "pasta", "flavors", "menu"],
+            &[
+                ("inedible", 0.03),
+                ("disgusting", 0.06),
+                ("awful", 0.1),
+                ("bland", 0.22),
+                ("mediocre", 0.35),
+                ("average", 0.5),
+                ("decent", 0.58),
+                ("good", 0.68),
+                ("tasty", 0.75),
+                ("fresh", 0.78),
+                ("delicious", 0.88),
+                ("incredible", 0.94),
+                ("exquisite", 0.97),
+            ],
+            0.85,
+        )
+        .with_high_queries(&[
+            "delicious food",
+            "tasty food",
+            "serves delicious food",
+            "fresh ingredients",
+            "amazing dishes",
+            "incredible flavors",
+            "food to die for",
+            "authentic cooking",
+            "great menu",
+            "mouthwatering dishes",
+            "exquisite plates",
+            "good options",
+        ]),
+        AspectSpec::linear(
+            "service",
+            &["service", "waiter", "server"],
+            &[
+                ("insulting", 0.04),
+                ("terrible", 0.08),
+                ("rude", 0.15),
+                ("slow", 0.28),
+                ("forgetful", 0.35),
+                ("average", 0.5),
+                ("fine", 0.55),
+                ("good", 0.68),
+                ("attentive", 0.78),
+                ("excellent", 0.88),
+                ("impeccable", 0.95),
+            ],
+            0.6,
+        )
+        .with_high_queries(&[
+            "great service",
+            "attentive waiters",
+            "excellent service",
+            "quick friendly service",
+            "impeccable table service",
+            "servers who care",
+            "good service",
+        ]),
+        AspectSpec::categorical(
+            "vibe",
+            &["atmosphere", "ambience", "vibe", "decor"],
+            &["casual", "romantic", "trendy", "family"],
+            &[
+                ("laid-back", vibe::CASUAL, 0.35),
+                ("casual", vibe::CASUAL, 0.3),
+                ("relaxed", vibe::CASUAL, 0.45),
+                ("easygoing", vibe::CASUAL, 0.4),
+                ("romantic", vibe::ROMANTIC, 0.7),
+                ("intimate", vibe::ROMANTIC, 0.6),
+                ("candlelit", vibe::ROMANTIC, 0.6),
+                ("quiet place", vibe::ROMANTIC, 0.5),
+                ("trendy", vibe::TRENDY, 0.5),
+                ("hip", vibe::TRENDY, 0.45),
+                ("buzzing", vibe::TRENDY, 0.4),
+                ("stylish", vibe::TRENDY, 0.55),
+                ("family-friendly", vibe::FAMILY, 0.5),
+                ("welcoming to kids", vibe::FAMILY, 0.45),
+                ("homey", vibe::FAMILY, 0.45),
+            ],
+            0.5,
+        )
+        .with_category_query("romantic atmosphere", vibe::ROMANTIC)
+        .with_category_query("intimate candlelit dinner", vibe::ROMANTIC)
+        .with_category_query("a romantic rendezvous", vibe::ROMANTIC)
+        .with_category_query("trendy vibe", vibe::TRENDY)
+        .with_category_query("hip and stylish spot", vibe::TRENDY)
+        .with_category_query("casual relaxed atmosphere", vibe::CASUAL)
+        .with_category_query("family friendly ambience", vibe::FAMILY)
+        .with_category_query("laid-back vibe", vibe::CASUAL),
+        AspectSpec::linear(
+            "staff",
+            &["staff", "host", "hostess", "chef"],
+            &[
+                ("hostile", 0.05),
+                ("rude", 0.1),
+                ("cold", 0.22),
+                ("indifferent", 0.35),
+                ("ok", 0.5),
+                ("polite", 0.62),
+                ("friendly", 0.72),
+                ("very kind", 0.82),
+                ("charming", 0.88),
+                ("wonderful", 0.93),
+            ],
+            0.5,
+        )
+        .with_high_queries(&[
+            "friendly staff",
+            "kind staff",
+            "welcoming host",
+            "very kind staff",
+            "charming hostess",
+            "staff that remembers you",
+        ]),
+        AspectSpec::linear(
+            "cleanliness",
+            &["tables", "restroom", "dining room", "cutlery"],
+            &[
+                ("filthy", 0.05),
+                ("sticky", 0.12),
+                ("dirty", 0.2),
+                ("greasy", 0.28),
+                ("untidy", 0.38),
+                ("average", 0.5),
+                ("clean", 0.7),
+                ("very clean", 0.85),
+                ("spotless", 0.93),
+            ],
+            0.3,
+        )
+        .with_high_queries(&[
+            "clean tables",
+            "spotless dining room",
+            "clean restrooms",
+            "hygienic kitchen",
+            "very clean place",
+        ]),
+        AspectSpec::linear(
+            "drinks",
+            &["drinks", "wine", "cocktails", "sake"],
+            &[
+                ("watered-down", 0.08),
+                ("overpriced", 0.18),
+                ("limited", 0.3),
+                ("basic", 0.4),
+                ("average", 0.5),
+                ("decent", 0.6),
+                ("good", 0.7),
+                ("creative", 0.8),
+                ("excellent", 0.88),
+                ("world-class", 0.95),
+            ],
+            0.3,
+        )
+        .with_high_queries(&[
+            "great cocktails",
+            "good wine list",
+            "creative drinks",
+            "excellent sake selection",
+            "well-made cocktails",
+        ]),
+        AspectSpec::linear(
+            "portions",
+            &["portions", "servings", "plates"],
+            &[
+                ("microscopic", 0.05),
+                ("tiny", 0.12),
+                ("small", 0.25),
+                ("skimpy", 0.3),
+                ("average", 0.5),
+                ("fair", 0.58),
+                ("good", 0.68),
+                ("generous", 0.82),
+                ("huge", 0.9),
+            ],
+            0.3,
+        )
+        .with_high_queries(&[
+            "generous portions",
+            "big servings",
+            "huge plates",
+            "filling portions",
+            "good portion sizes",
+        ]),
+        AspectSpec::linear(
+            "wait_time",
+            &["wait", "line", "reservation", "seating"],
+            &[
+                ("endless", 0.05),
+                ("ridiculous", 0.1),
+                ("very long", 0.18),
+                ("long", 0.28),
+                ("slow", 0.35),
+                ("average", 0.5),
+                ("reasonable", 0.62),
+                ("short", 0.75),
+                ("instant", 0.9),
+            ],
+            0.3,
+        )
+        .with_high_queries(&[
+            "short wait times",
+            "quick seating",
+            "no long lines",
+            "easy reservations",
+            "seated right away",
+        ]),
+        AspectSpec::linear(
+            "noise",
+            &["room", "music", "crowd"],
+            &[
+                ("deafening", 0.05),
+                ("very loud", 0.12),
+                ("loud", 0.22),
+                ("noisy", 0.28),
+                ("blaring music", 0.32),
+                ("lively", 0.55),
+                ("pleasant hum", 0.65),
+                ("quiet", 0.78),
+                ("peaceful", 0.88),
+            ],
+            0.3,
+        )
+        .with_high_queries(&[
+            "quiet restaurant",
+            "a quiet dinner spot",
+            "peaceful dining",
+            "not too loud",
+            "conversation friendly noise level",
+        ]),
+        AspectSpec::linear(
+            "table",
+            &["table", "seats", "booth", "chairs"],
+            &[
+                ("broken", 0.08),
+                ("wobbly", 0.15),
+                ("cramped", 0.25),
+                ("uncomfortable", 0.32),
+                ("average", 0.5),
+                ("fine", 0.58),
+                ("comfortable", 0.7),
+                ("spacious", 0.8),
+                ("high chair", 0.72),
+                ("cozy booth", 0.75),
+            ],
+            0.25,
+        )
+        .with_high_queries(&[
+            "comfortable seating",
+            "spacious tables",
+            "cozy booths",
+            "high chairs for kids",
+            "comfy chairs",
+        ]),
+        AspectSpec::linear(
+            "general",
+            &["place", "spot", "experience", "restaurant"],
+            &[
+                ("a disaster", 0.05),
+                ("awful", 0.1),
+                ("disappointing", 0.25),
+                ("forgettable", 0.38),
+                ("average", 0.5),
+                ("solid", 0.6),
+                ("good", 0.68),
+                ("great place", 0.8),
+                ("a gem", 0.9),
+                ("unforgettable", 0.95),
+            ],
+            0.4,
+        )
+        .with_high_queries(&[
+            "a great place",
+            "a hidden gem",
+            "an unforgettable experience",
+            "a solid choice",
+            "worth the trip",
+        ]),
+    ];
+
+    let concepts = vec![
+        ConceptSpec {
+            name: "dinner with kids".into(),
+            mention_phrases: vec![
+                "came for dinner with kids".into(),
+                "they brought a high chair right away".into(),
+                "perfect with children".into(),
+            ],
+            queries: vec!["dinner with kids".into(), "good for children".into()],
+            requires: vec![
+                ConceptRequirement::Category(aspect::VIBE, super::restaurant::vibe::FAMILY),
+                ConceptRequirement::MinQuality(aspect::TABLE, 0.6),
+            ],
+            mention_prob: 0.25,
+            gold_aspect: aspect::TABLE,
+        },
+        ConceptSpec {
+            name: "private dinner".into(),
+            mention_phrases: vec![
+                "felt like a private dinner".into(),
+                "an intimate quiet corner".into(),
+            ],
+            queries: vec!["private dinner vibe".into(), "a discreet intimate dinner".into()],
+            requires: vec![
+                ConceptRequirement::Category(aspect::VIBE, super::restaurant::vibe::ROMANTIC),
+                ConceptRequirement::MinQuality(aspect::NOISE, 0.65),
+            ],
+            mention_prob: 0.2,
+            gold_aspect: aspect::VIBE,
+        },
+        ConceptSpec {
+            name: "public transportation".into(),
+            mention_phrases: vec![
+                "right next to the subway".into(),
+                "easy to reach by public transportation".into(),
+            ],
+            queries: vec!["close to public transportation".into()],
+            requires: vec![ConceptRequirement::MinQuality(aspect::GENERAL, 0.6)],
+            mention_prob: 0.1,
+            gold_aspect: aspect::GENERAL,
+        },
+        ConceptSpec {
+            name: "date night".into(),
+            mention_phrases: vec![
+                "perfect date night spot".into(),
+                "took my partner for date night".into(),
+            ],
+            queries: vec!["good for a date".into(), "date night restaurant".into()],
+            requires: vec![
+                ConceptRequirement::Category(aspect::VIBE, super::restaurant::vibe::ROMANTIC),
+                ConceptRequirement::MinQuality(aspect::FOOD, 0.65),
+            ],
+            mention_prob: 0.25,
+            gold_aspect: aspect::VIBE,
+        },
+    ];
+
+    let filler = (
+        vec![
+            "will definitely be back".into(),
+            "cannot wait to return".into(),
+            "exceeded every expectation".into(),
+            "one of our favourites in toronto".into(),
+        ],
+        vec![
+            "we came on a saturday evening".into(),
+            "the restaurant is on queen street".into(),
+            "we ordered the tasting menu".into(),
+            "parking nearby was easy".into(),
+        ],
+        vec![
+            "we left halfway through".into(),
+            "a letdown from start to finish".into(),
+            "save your money".into(),
+            "never again".into(),
+        ],
+    );
+
+    DomainSpec {
+        name: "restaurant".into(),
+        aspects,
+        concepts,
+        filler,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AspectKind;
+
+    #[test]
+    fn has_eleven_aspects() {
+        let spec = restaurant_spec();
+        assert_eq!(spec.aspects.len(), 11, "paper reports 11 restaurant attributes");
+    }
+
+    #[test]
+    fn vibe_is_categorical_with_four_categories() {
+        let spec = restaurant_spec();
+        match &spec.aspects[aspect::VIBE].kind {
+            AspectKind::Categorical { categories, .. } => assert_eq!(categories.len(), 4),
+            _ => panic!("vibe should be categorical"),
+        }
+    }
+
+    #[test]
+    fn aspect_indices_match_names() {
+        let spec = restaurant_spec();
+        assert_eq!(spec.aspects[aspect::FOOD].name, "food");
+        assert_eq!(spec.aspects[aspect::VIBE].name, "vibe");
+        assert_eq!(spec.aspects[aspect::GENERAL].name, "general");
+    }
+
+    #[test]
+    fn concept_requirements_are_valid() {
+        let spec = restaurant_spec();
+        for c in &spec.concepts {
+            assert!(c.gold_aspect < spec.aspects.len());
+            assert!(!c.queries.is_empty());
+        }
+    }
+
+    #[test]
+    fn food_is_the_most_mentioned_aspect() {
+        let spec = restaurant_spec();
+        let food_prob = spec.aspects[aspect::FOOD].mention_prob;
+        for a in &spec.aspects {
+            assert!(a.mention_prob <= food_prob);
+        }
+    }
+}

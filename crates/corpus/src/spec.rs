@@ -1,0 +1,298 @@
+//! Domain schema types: aspects, phrase banks, concepts, entities.
+
+/// How an aspect's linguistic domain is structured (Sec. 2 of the paper).
+#[derive(Debug, Clone)]
+pub enum AspectKind {
+    /// Opinions lie on a linear quality scale; each phrase carries the
+    /// latent quality level (0 = worst, 1 = best) it expresses.
+    Linear {
+        /// `(phrase, quality)` pairs, e.g. `("spotless", 0.95)`.
+        opinions: Vec<(String, f64)>,
+    },
+    /// Opinions fall into unordered categories (e.g. bathroom styles);
+    /// each phrase carries its category index and an inherent positivity.
+    Categorical {
+        /// Category names, e.g. `["old", "standard", "modern", "luxurious"]`.
+        categories: Vec<String>,
+        /// `(phrase, category, positivity)` triples.
+        opinions: Vec<(String, usize, f64)>,
+    },
+}
+
+impl AspectKind {
+    /// True for [`AspectKind::Linear`].
+    pub fn is_linear(&self) -> bool {
+        matches!(self, AspectKind::Linear { .. })
+    }
+
+    /// All opinion phrases in the bank.
+    pub fn phrases(&self) -> Vec<&str> {
+        match self {
+            AspectKind::Linear { opinions } => opinions.iter().map(|(p, _)| p.as_str()).collect(),
+            AspectKind::Categorical { opinions, .. } => {
+                opinions.iter().map(|(p, _, _)| p.as_str()).collect()
+            }
+        }
+    }
+}
+
+/// Direction of a workload query predicate relative to the latent state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryDirection {
+    /// Satisfied when θ ≥ threshold (e.g. "clean rooms").
+    High(f64),
+    /// Satisfied when θ ≤ threshold (e.g. "cheap and basic").
+    Low(f64),
+    /// Satisfied when the entity's dominant category matches.
+    Category(usize),
+}
+
+/// A natural-language query predicate attached to an aspect.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The predicate text as a user would type it.
+    pub text: String,
+    /// Its satisfaction rule against the latent state.
+    pub direction: QueryDirection,
+}
+
+/// One subjective aspect of the domain (becomes a subjective attribute).
+#[derive(Debug, Clone)]
+pub struct AspectSpec {
+    /// Attribute name, e.g. `room_cleanliness`.
+    pub name: String,
+    /// Nouns that reviews use for this aspect ("room", "carpet", …).
+    pub aspect_terms: Vec<String>,
+    /// The opinion phrase bank.
+    pub kind: AspectKind,
+    /// Probability that a review mentions this aspect.
+    pub mention_prob: f64,
+    /// Workload query predicates targeting this aspect.
+    pub queries: Vec<QuerySpec>,
+}
+
+impl AspectSpec {
+    /// Builds a linear aspect.
+    pub fn linear(
+        name: &str,
+        aspect_terms: &[&str],
+        opinions: &[(&str, f64)],
+        mention_prob: f64,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            aspect_terms: aspect_terms.iter().map(|s| s.to_string()).collect(),
+            kind: AspectKind::Linear {
+                opinions: opinions.iter().map(|(p, q)| (p.to_string(), *q)).collect(),
+            },
+            mention_prob,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Builds a categorical aspect.
+    pub fn categorical(
+        name: &str,
+        aspect_terms: &[&str],
+        categories: &[&str],
+        opinions: &[(&str, usize, f64)],
+        mention_prob: f64,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            aspect_terms: aspect_terms.iter().map(|s| s.to_string()).collect(),
+            kind: AspectKind::Categorical {
+                categories: categories.iter().map(|s| s.to_string()).collect(),
+                opinions: opinions
+                    .iter()
+                    .map(|(p, c, s)| (p.to_string(), *c, *s))
+                    .collect(),
+            },
+            mention_prob,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Adds "θ-high" query predicates (threshold 0.65).
+    pub fn with_high_queries(mut self, texts: &[&str]) -> Self {
+        for t in texts {
+            self.queries.push(QuerySpec {
+                text: t.to_string(),
+                direction: QueryDirection::High(0.65),
+            });
+        }
+        self
+    }
+
+    /// Adds category-targeted query predicates.
+    pub fn with_category_query(mut self, text: &str, category: usize) -> Self {
+        self.queries.push(QuerySpec {
+            text: text.to_string(),
+            direction: QueryDirection::Category(category),
+        });
+        self
+    }
+}
+
+/// A requirement for a latent concept to hold for an entity.
+#[derive(Debug, Clone, Copy)]
+pub enum ConceptRequirement {
+    /// θ of the aspect must reach the threshold.
+    MinQuality(usize, f64),
+    /// The entity's dominant category of the aspect must match.
+    Category(usize, usize),
+}
+
+/// A latent concept such as "romantic getaway".
+///
+/// When its requirements hold for an entity, reviews of that entity inject
+/// `mention_phrases` alongside positive mentions of the required aspects —
+/// this is the co-occurrence signal Sec. 3.2 mines.
+#[derive(Debug, Clone)]
+pub struct ConceptSpec {
+    /// Concept name.
+    pub name: String,
+    /// Sentences injected into reviews when the concept holds.
+    pub mention_phrases: Vec<String>,
+    /// Workload predicate texts for the concept.
+    pub queries: Vec<String>,
+    /// Conjunctive requirements over the latent state.
+    pub requires: Vec<ConceptRequirement>,
+    /// Probability a review of a qualifying entity mentions the concept.
+    pub mention_prob: f64,
+    /// Index of the attribute a human labeller would call "closest"
+    /// (the Table 8 gold label).
+    pub gold_aspect: usize,
+}
+
+/// A full domain schema: the subjective aspects plus latent concepts.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// Domain name ("hotel" / "restaurant" / "laptop").
+    pub name: String,
+    /// Subjective aspects, in attribute-index order.
+    pub aspects: Vec<AspectSpec>,
+    /// Latent concepts.
+    pub concepts: Vec<ConceptSpec>,
+    /// Filler sentences by polarity: (positive, neutral, negative).
+    pub filler: (Vec<String>, Vec<String>, Vec<String>),
+}
+
+impl DomainSpec {
+    /// Index of the aspect named `name`.
+    pub fn aspect_index(&self, name: &str) -> Option<usize> {
+        self.aspects.iter().position(|a| a.name == name)
+    }
+}
+
+/// An entity (hotel or restaurant) with latent subjective state and
+/// objective attributes.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Dense id.
+    pub id: usize,
+    /// Display name.
+    pub name: String,
+    /// City (hotels: London/Amsterdam; restaurants: Toronto).
+    pub city: String,
+    /// Price per night (hotels) or typical bill (restaurants).
+    pub price: f64,
+    /// Yelp-style price range 1..=4 (restaurants; hotels derive from price).
+    pub price_range: u8,
+    /// Cuisine (restaurants) or empty (hotels).
+    pub cuisine: String,
+    /// Room capacity (hotels) or seat count (restaurants).
+    pub capacity: u32,
+    /// Latent per-aspect quality θ ∈ [0,1], indexed like `DomainSpec::aspects`.
+    pub quality: Vec<f64>,
+    /// Dominant category per aspect (0 for linear aspects).
+    pub category: Vec<usize>,
+    /// Published star rating in [1, 5] (derived from θ with noise).
+    pub rating: f64,
+    /// "Scraped" per-aspect ratings in [1, 5] — what booking.com exposes;
+    /// used by the attribute-based baseline.
+    pub aspect_ratings: Vec<f64>,
+}
+
+impl Entity {
+    /// True when the entity's latent state satisfies `req`.
+    pub fn meets(&self, req: &ConceptRequirement) -> bool {
+        match *req {
+            ConceptRequirement::MinQuality(aspect, min) => self.quality[aspect] >= min,
+            ConceptRequirement::Category(aspect, cat) => self.category[aspect] == cat,
+        }
+    }
+
+    /// True when every requirement of `concept` holds.
+    pub fn has_concept(&self, concept: &ConceptSpec) -> bool {
+        concept.requires.iter().all(|r| self.meets(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_builder_roundtrip() {
+        let a = AspectSpec::linear(
+            "cleanliness",
+            &["room"],
+            &[("dirty", 0.1), ("clean", 0.8)],
+            0.5,
+        )
+        .with_high_queries(&["clean rooms"]);
+        assert!(a.kind.is_linear());
+        assert_eq!(a.kind.phrases(), vec!["dirty", "clean"]);
+        assert_eq!(a.queries.len(), 1);
+    }
+
+    #[test]
+    fn categorical_builder_roundtrip() {
+        let a = AspectSpec::categorical(
+            "style",
+            &["bathroom"],
+            &["old", "luxurious"],
+            &[("old-fashioned", 0, -0.2), ("luxurious", 1, 0.8)],
+            0.4,
+        )
+        .with_category_query("luxurious bathrooms", 1);
+        assert!(!a.kind.is_linear());
+        match &a.queries[0].direction {
+            QueryDirection::Category(c) => assert_eq!(*c, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entity_concept_requirements() {
+        let e = Entity {
+            id: 0,
+            name: "H".into(),
+            city: "London".into(),
+            price: 100.0,
+            price_range: 2,
+            cuisine: String::new(),
+            capacity: 10,
+            quality: vec![0.9, 0.2],
+            category: vec![0, 3],
+            rating: 4.0,
+            aspect_ratings: vec![4.5, 2.0],
+        };
+        assert!(e.meets(&ConceptRequirement::MinQuality(0, 0.8)));
+        assert!(!e.meets(&ConceptRequirement::MinQuality(1, 0.8)));
+        assert!(e.meets(&ConceptRequirement::Category(1, 3)));
+        let concept = ConceptSpec {
+            name: "romantic".into(),
+            mention_phrases: vec![],
+            queries: vec![],
+            requires: vec![
+                ConceptRequirement::MinQuality(0, 0.8),
+                ConceptRequirement::Category(1, 3),
+            ],
+            mention_prob: 0.3,
+            gold_aspect: 0,
+        };
+        assert!(e.has_concept(&concept));
+    }
+}

@@ -1,0 +1,241 @@
+//! The Table 3 user-survey simulator.
+//!
+//! The paper ran an MTurk study: 30 workers per domain each list 7 search
+//! criteria, which the authors labelled subjective or objective. We cannot
+//! re-run MTurk, so we simulate respondents drawing from per-domain
+//! criterion banks whose subjective/objective composition encodes the
+//! study's finding; the *analysis* code (sampling, counting, percentage) is
+//! the same computation the paper performs over its responses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One survey domain with its criterion bank.
+#[derive(Debug, Clone)]
+pub struct SurveyDomain {
+    /// Domain name as in Table 3.
+    pub name: &'static str,
+    /// `(criterion, is_subjective)` bank.
+    pub criteria: Vec<(&'static str, bool)>,
+}
+
+/// Result row: domain, % subjective, example subjective criteria.
+#[derive(Debug, Clone)]
+pub struct SurveyRow {
+    /// Domain name.
+    pub domain: &'static str,
+    /// Percentage of listed criteria judged subjective.
+    pub pct_subjective: f64,
+    /// A few example subjective criteria that respondents listed.
+    pub examples: Vec<String>,
+}
+
+/// The seven survey domains of Table 3.
+pub fn survey_domains() -> Vec<SurveyDomain> {
+    // Bank compositions are tuned so sampled percentages land near the
+    // paper's: Hotel 69.0, Restaurant 64.3, Vacation 82.6, College 77.4,
+    // Home 68.8, Career 65.8, Car 56.0.
+    vec![
+        SurveyDomain {
+            name: "Hotel",
+            criteria: vec![
+                ("cleanliness", true),
+                ("comfortable beds", true),
+                ("good food", true),
+                ("friendly staff", true),
+                ("quiet rooms", true),
+                ("nice views", true),
+                ("relaxing atmosphere", true),
+                ("good service", true),
+                ("safety feeling", true),
+                ("location", false),
+                ("wifi available", false),
+                ("parking", false),
+                ("pool", false),
+            ],
+        },
+        SurveyDomain {
+            name: "Restaurant",
+            criteria: vec![
+                ("food quality", true),
+                ("ambiance", true),
+                ("variety", true),
+                ("service", true),
+                ("cleanliness", true),
+                ("portion generosity", true),
+                ("romantic setting", true),
+                ("location", false),
+                ("cuisine type", false),
+                ("opening hours", false),
+                ("parking", false),
+            ],
+        },
+        SurveyDomain {
+            name: "Vacation",
+            criteria: vec![
+                ("weather", true),
+                ("safety", true),
+                ("culture", true),
+                ("nightlife", true),
+                ("beauty of scenery", true),
+                ("relaxation", true),
+                ("friendliness of locals", true),
+                ("food scene", true),
+                ("adventure options", true),
+                ("flight duration", false),
+                ("visa requirements", false),
+            ],
+        },
+        SurveyDomain {
+            name: "College",
+            criteria: vec![
+                ("dorm quality", true),
+                ("faculty quality", true),
+                ("diversity", true),
+                ("campus vibe", true),
+                ("social life", true),
+                ("teaching style", true),
+                ("career support", true),
+                ("tuition", false),
+                ("location", false),
+                ("class size", false),
+            ],
+        },
+        SurveyDomain {
+            name: "Home",
+            criteria: vec![
+                ("space feeling", true),
+                ("good schools", true),
+                ("quiet neighborhood", true),
+                ("safety", true),
+                ("charm", true),
+                ("natural light", true),
+                ("neighbors", true),
+                ("price", false),
+                ("bedrooms", false),
+                ("square footage", false),
+                ("commute distance", false),
+            ],
+        },
+        SurveyDomain {
+            name: "Career",
+            criteria: vec![
+                ("work-life balance", true),
+                ("colleagues", true),
+                ("culture", true),
+                ("growth opportunities", true),
+                ("meaningful work", true),
+                ("management quality", true),
+                ("salary", false),
+                ("benefits", false),
+                ("remote policy", false),
+                ("title", false),
+            ],
+        },
+        SurveyDomain {
+            name: "Car",
+            criteria: vec![
+                ("comfortable ride", true),
+                ("safety feeling", true),
+                ("reliability", true),
+                ("styling", true),
+                ("fun to drive", true),
+                ("fuel economy", false),
+                ("price", false),
+                ("cargo space", false),
+                ("warranty", false),
+            ],
+        },
+    ]
+}
+
+/// Simulates the survey: `workers` respondents × `criteria_per_worker`
+/// criteria per domain, then computes the percentage judged subjective.
+pub fn run_survey(workers: usize, criteria_per_worker: usize, seed: u64) -> Vec<SurveyRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    survey_domains()
+        .into_iter()
+        .map(|domain| {
+            let mut subjective = 0usize;
+            let mut total = 0usize;
+            let mut examples: Vec<String> = Vec::new();
+            for _ in 0..workers {
+                // Each worker samples distinct criteria from the bank.
+                let mut bank = domain.criteria.clone();
+                for _ in 0..criteria_per_worker.min(bank.len()) {
+                    let idx = rng.gen_range(0..bank.len());
+                    let (criterion, is_subj) = bank.swap_remove(idx);
+                    total += 1;
+                    if is_subj {
+                        subjective += 1;
+                        if examples.len() < 4 && !examples.iter().any(|e| e == criterion) {
+                            examples.push(criterion.to_string());
+                        }
+                    }
+                }
+            }
+            SurveyRow {
+                domain: domain.name,
+                pct_subjective: 100.0 * subjective as f64 / total.max(1) as f64,
+                examples,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_covers_seven_domains() {
+        let rows = run_survey(30, 7, 42);
+        assert_eq!(rows.len(), 7);
+        let names: Vec<&str> = rows.iter().map(|r| r.domain).collect();
+        assert!(names.contains(&"Hotel"));
+        assert!(names.contains(&"Car"));
+    }
+
+    #[test]
+    fn majorities_are_subjective_in_every_domain() {
+        // The paper's core finding: a significant share of criteria are
+        // subjective in all seven domains (min 56% for Car).
+        for row in run_survey(30, 7, 42) {
+            assert!(
+                row.pct_subjective > 50.0,
+                "{}: {}",
+                row.domain,
+                row.pct_subjective
+            );
+            assert!(row.pct_subjective < 95.0);
+        }
+    }
+
+    #[test]
+    fn vacation_is_most_subjective_car_least() {
+        let rows = run_survey(30, 7, 42);
+        let get = |n: &str| {
+            rows.iter()
+                .find(|r| r.domain == n)
+                .unwrap()
+                .pct_subjective
+        };
+        assert!(get("Vacation") > get("Car"));
+    }
+
+    #[test]
+    fn examples_are_populated() {
+        for row in run_survey(30, 7, 42) {
+            assert!(!row.examples.is_empty(), "{} has no examples", row.domain);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = run_survey(30, 7, 7);
+        let b = run_survey(30, 7, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pct_subjective, y.pct_subjective);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Query-predicate workloads with gold labels and sat rules.
+//!
+//! The paper "collected 190 subjective query predicates for hotels and 185
+//! query predicates for restaurants" (Sec. 5.2.2) and manually labelled
+//! each with its closest subjective attribute (Sec. 5.4.3). We derive the
+//! banks from the domain specs and pad with intensified paraphrases to hit
+//! exactly those counts; the latent sat rule of every predicate gives exact
+//! ground truth for sat(q, e).
+
+use crate::spec::{DomainSpec, Entity, QueryDirection};
+
+/// How a predicate's ground-truth satisfaction is decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SatRule {
+    /// θ of the aspect ≥ threshold.
+    MinQuality(usize, f64),
+    /// θ of the aspect ≤ threshold.
+    MaxQuality(usize, f64),
+    /// Dominant category of the aspect equals the given category.
+    Category(usize, usize),
+    /// All requirements of the indexed concept hold.
+    Concept(usize),
+}
+
+/// One workload query predicate.
+#[derive(Debug, Clone)]
+pub struct WorkloadPredicate {
+    /// The natural-language predicate text.
+    pub text: String,
+    /// The closest subjective attribute (Table 8 gold label).
+    pub gold_aspect: usize,
+    /// Ground-truth satisfaction rule.
+    pub rule: SatRule,
+}
+
+impl WorkloadPredicate {
+    /// Ground-truth sat(q, e) against the latent state.
+    pub fn satisfied_by(&self, entity: &Entity, spec: &DomainSpec) -> bool {
+        match self.rule {
+            SatRule::MinQuality(a, t) => entity.quality[a] >= t,
+            SatRule::MaxQuality(a, t) => entity.quality[a] <= t,
+            SatRule::Category(a, c) => entity.category[a] == c,
+            SatRule::Concept(c) => entity.has_concept(&spec.concepts[c]),
+        }
+    }
+}
+
+/// Builds the predicate bank for `spec`, padded/truncated to `target` items.
+///
+/// The paper's banks have 190 (hotel) and 185 (restaurant) predicates; see
+/// [`hotel_workload`] and [`restaurant_workload`].
+pub fn build_workload(spec: &DomainSpec, target: usize) -> Vec<WorkloadPredicate> {
+    let mut out: Vec<WorkloadPredicate> = Vec::new();
+
+    for (aspect_idx, aspect) in spec.aspects.iter().enumerate() {
+        for q in &aspect.queries {
+            let rule = match q.direction {
+                QueryDirection::High(t) => SatRule::MinQuality(aspect_idx, t),
+                QueryDirection::Low(t) => SatRule::MaxQuality(aspect_idx, t),
+                QueryDirection::Category(c) => SatRule::Category(aspect_idx, c),
+            };
+            out.push(WorkloadPredicate {
+                text: q.text.clone(),
+                gold_aspect: aspect_idx,
+                rule,
+            });
+        }
+    }
+    for (concept_idx, concept) in spec.concepts.iter().enumerate() {
+        for q in &concept.queries {
+            out.push(WorkloadPredicate {
+                text: q.clone(),
+                gold_aspect: concept.gold_aspect,
+                rule: SatRule::Concept(concept_idx),
+            });
+        }
+    }
+
+    // Pad with deterministic paraphrases until the target count is reached.
+    let prefixes = ["really ", "truly ", "definitely ", "genuinely "];
+    let base_len = out.len();
+    let mut round = 0usize;
+    while out.len() < target {
+        let source = &out[out.len() % base_len];
+        let prefix = prefixes[round % prefixes.len()];
+        let text = format!("{prefix}{}", source.text);
+        out.push(WorkloadPredicate {
+            text,
+            gold_aspect: source.gold_aspect,
+            rule: source.rule,
+        });
+        round += 1;
+    }
+    out.truncate(target);
+    out
+}
+
+/// The 190-predicate hotel workload.
+pub fn hotel_workload(spec: &DomainSpec) -> Vec<WorkloadPredicate> {
+    build_workload(spec, 190)
+}
+
+/// The 185-predicate restaurant workload.
+pub fn restaurant_workload(spec: &DomainSpec) -> Vec<WorkloadPredicate> {
+    build_workload(spec, 185)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotel::hotel_spec;
+    use crate::restaurant::restaurant_spec;
+
+    #[test]
+    fn hotel_workload_has_190_predicates() {
+        let spec = hotel_spec();
+        assert_eq!(hotel_workload(&spec).len(), 190);
+    }
+
+    #[test]
+    fn restaurant_workload_has_185_predicates() {
+        let spec = restaurant_spec();
+        assert_eq!(restaurant_workload(&spec).len(), 185);
+    }
+
+    #[test]
+    fn every_aspect_is_covered() {
+        let spec = hotel_spec();
+        let workload = hotel_workload(&spec);
+        for i in 0..spec.aspects.len() {
+            assert!(
+                workload.iter().any(|p| p.gold_aspect == i),
+                "aspect {i} has no predicates"
+            );
+        }
+    }
+
+    #[test]
+    fn texts_are_unique() {
+        let spec = hotel_spec();
+        let workload = hotel_workload(&spec);
+        let mut texts: Vec<&str> = workload.iter().map(|p| p.text.as_str()).collect();
+        let before = texts.len();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), before, "duplicate predicate texts");
+    }
+
+    #[test]
+    fn satisfaction_follows_latent_state() {
+        let spec = hotel_spec();
+        let workload = hotel_workload(&spec);
+        let clean_pred = workload
+            .iter()
+            .find(|p| p.text == "clean rooms")
+            .expect("clean rooms predicate");
+        let mut entity = Entity {
+            id: 0,
+            name: "H".into(),
+            city: "London".into(),
+            price: 100.0,
+            price_range: 1,
+            cuisine: String::new(),
+            capacity: 10,
+            quality: vec![0.9; spec.aspects.len()],
+            category: vec![0; spec.aspects.len()],
+            rating: 4.5,
+            aspect_ratings: vec![4.5; spec.aspects.len()],
+        };
+        assert!(clean_pred.satisfied_by(&entity, &spec));
+        entity.quality[0] = 0.1;
+        assert!(!clean_pred.satisfied_by(&entity, &spec));
+    }
+
+    #[test]
+    fn concept_predicates_use_concept_rules() {
+        let spec = hotel_spec();
+        let workload = hotel_workload(&spec);
+        let romantic = workload
+            .iter()
+            .find(|p| p.text.contains("romantic getaway"))
+            .expect("romantic predicate");
+        assert!(matches!(romantic.rule, SatRule::Concept(_)));
+    }
+}

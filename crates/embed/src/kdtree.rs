@@ -1,0 +1,167 @@
+//! A k-d tree over embedding vectors for exact nearest-neighbour search.
+//!
+//! Appendix B of the paper performs "a full similarity search with a k-d
+//! tree index [5]" when the substitution index misses. Nearest here is by
+//! Euclidean distance; for unit-normalized vectors the Euclidean NN equals
+//! the cosine NN, which is how [`crate::SubstitutionIndex`] uses it.
+
+/// An immutable k-d tree built over `(point, payload)` pairs.
+#[derive(Debug, Clone)]
+pub struct KdTree<T: Clone> {
+    nodes: Vec<Node<T>>,
+    dim: usize,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    point: Vec<f32>,
+    payload: T,
+    left: Option<usize>,
+    right: Option<usize>,
+    axis: usize,
+}
+
+impl<T: Clone> KdTree<T> {
+    /// Builds a tree; all points must share the same dimensionality.
+    ///
+    /// Returns an empty tree for an empty input.
+    pub fn build(items: Vec<(Vec<f32>, T)>) -> Self {
+        let dim = items.first().map(|(p, _)| p.len()).unwrap_or(0);
+        assert!(
+            items.iter().all(|(p, _)| p.len() == dim),
+            "all points must have equal dimensionality"
+        );
+        let mut tree = Self {
+            nodes: Vec::with_capacity(items.len()),
+            dim,
+            root: None,
+        };
+        let mut indexed: Vec<(Vec<f32>, T)> = items;
+        tree.root = tree.build_rec(&mut indexed, 0);
+        tree
+    }
+
+    fn build_rec(&mut self, items: &mut [(Vec<f32>, T)], depth: usize) -> Option<usize> {
+        if items.is_empty() {
+            return None;
+        }
+        let axis = if self.dim == 0 { 0 } else { depth % self.dim };
+        items.sort_by(|a, b| a.0[axis].total_cmp(&b.0[axis]));
+        let mid = items.len() / 2;
+        let (left_items, rest) = items.split_at_mut(mid);
+        let (median, right_items) = rest.split_first_mut().expect("nonempty");
+
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node {
+            point: median.0.clone(),
+            payload: median.1.clone(),
+            left: None,
+            right: None,
+            axis,
+        });
+        let left = self.build_rec(left_items, depth + 1);
+        let right = self.build_rec(right_items, depth + 1);
+        self.nodes[node_idx].left = left;
+        self.nodes[node_idx].right = right;
+        Some(node_idx)
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Exact nearest neighbour of `query` by Euclidean distance.
+    pub fn nearest(&self, query: &[f32]) -> Option<(&T, f32)> {
+        let root = self.root?;
+        let mut best: Option<(usize, f32)> = None;
+        self.nearest_rec(root, query, &mut best);
+        best.map(|(idx, d2)| (&self.nodes[idx].payload, d2.sqrt()))
+    }
+
+    fn nearest_rec(&self, node_idx: usize, query: &[f32], best: &mut Option<(usize, f32)>) {
+        let node = &self.nodes[node_idx];
+        let d2 = sq_dist(&node.point, query);
+        if best.is_none_or(|(_, bd)| d2 < bd) {
+            *best = Some((node_idx, d2));
+        }
+        let diff = query[node.axis] - node.point[node.axis];
+        let (near, far) = if diff < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.nearest_rec(n, query, best);
+        }
+        // Only descend the far side if the splitting plane could hide a
+        // closer point than the current best.
+        if let Some(f) = far {
+            if best.is_none_or(|(_, bd)| diff * diff < bd) {
+                self.nearest_rec(f, query, best);
+            }
+        }
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_on_small_grid() {
+        let pts = vec![
+            (vec![0.0, 0.0], "origin"),
+            (vec![5.0, 5.0], "far"),
+            (vec![1.0, 0.5], "near"),
+        ];
+        let tree = KdTree::build(pts);
+        let (payload, dist) = tree.nearest(&[0.9, 0.4]).unwrap();
+        assert_eq!(*payload, "near");
+        assert!(dist < 0.2);
+    }
+
+    #[test]
+    fn empty_tree_returns_none() {
+        let tree: KdTree<u32> = KdTree::build(vec![]);
+        assert!(tree.nearest(&[1.0]).is_none());
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts: Vec<(Vec<f32>, usize)> = (0..200)
+            .map(|i| ((0..4).map(|_| rng.gen::<f32>()).collect(), i))
+            .collect();
+        let tree = KdTree::build(pts.clone());
+        for _ in 0..50 {
+            let q: Vec<f32> = (0..4).map(|_| rng.gen::<f32>()).collect();
+            let (found, _) = tree.nearest(&q).unwrap();
+            let brute = pts
+                .iter()
+                .min_by(|a, b| sq_dist(&a.0, &q).total_cmp(&sq_dist(&b.0, &q)))
+                .unwrap()
+                .1;
+            assert_eq!(*found, brute);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn mismatched_dims_panic() {
+        let _ = KdTree::build(vec![(vec![1.0], 0), (vec![1.0, 2.0], 1)]);
+    }
+}

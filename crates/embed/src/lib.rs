@@ -1,0 +1,25 @@
+//! Embedding substrate for OpineDB.
+//!
+//! The paper relies on Gensim's word2vec; this crate implements the same
+//! algorithm from scratch:
+//!
+//! * [`Word2Vec`] — skip-gram with negative sampling (SGNS) trained on the
+//!   review corpus;
+//! * [`PhraseEmbedder`] — the IDF-weighted sum representation of Eq. (1)
+//!   with cosine similarity (Eq. 2);
+//! * [`KdTree`] — exact nearest-neighbour search used as the fallback index
+//!   of Appendix B;
+//! * [`SubstitutionIndex`] — the one-word-substitution index of Appendix B
+//!   that avoids the full similarity search for most short queries.
+
+pub mod kdtree;
+pub mod phrase;
+pub mod subst;
+pub mod vector;
+pub mod w2v;
+
+pub use kdtree::KdTree;
+pub use phrase::PhraseEmbedder;
+pub use subst::SubstitutionIndex;
+pub use vector::{add_scaled, cosine, dot, norm, normalize};
+pub use w2v::{Word2Vec, Word2VecConfig};

@@ -1,0 +1,185 @@
+//! IDF-weighted phrase embeddings — Eq. (1) and Eq. (2) of the paper.
+//!
+//! `rep(p) = Σ_{w ∈ p} w2v(w) · idf(w)` and
+//! `similarity(q, p) = cos(rep(q), rep(p))`.
+
+use crate::vector::cosine;
+use crate::w2v::Word2Vec;
+use opine_text::{tokenize, IdfModel, Vocab};
+
+/// Computes phrase representations from a trained [`Word2Vec`] model and an
+/// [`IdfModel`], both over the same vocabulary.
+#[derive(Debug, Clone)]
+pub struct PhraseEmbedder {
+    w2v: Word2Vec,
+    idf: IdfModel,
+}
+
+impl PhraseEmbedder {
+    /// Bundles a word2vec table with IDF statistics.
+    pub fn new(w2v: Word2Vec, idf: IdfModel) -> Self {
+        Self { w2v, idf }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.w2v.dim()
+    }
+
+    /// The underlying word2vec table.
+    pub fn w2v(&self) -> &Word2Vec {
+        &self.w2v
+    }
+
+    /// Eq. (1): the IDF-weighted sum of word vectors of `phrase`.
+    ///
+    /// Words not in `vocab` contribute nothing. An all-unknown phrase yields
+    /// the zero vector (cosine with anything is then 0, i.e. "no match").
+    /// Tokens without a trained vector fall back to their singular form
+    /// when that form *was* trained — queries say "clean rooms" while
+    /// reviews say "clean room", and dropping the noun would destroy the
+    /// disambiguating aspect signal.
+    /// Word vectors are unit-normalized before weighting so that a rare,
+    /// under-trained word (tiny raw norm) still contributes in proportion
+    /// to its IDF — otherwise high-IDF rare words would vanish from the
+    /// sum and stage-1 interpretation could never decline.
+    pub fn rep(&self, phrase: &str, vocab: &Vocab) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.w2v.dim()];
+        for token in tokenize(phrase) {
+            if let Some(id) = self.resolve(&token, vocab) {
+                let weight = self.idf.idf(id) as f32;
+                let mut unit = self.w2v.vector(id).to_vec();
+                crate::vector::normalize(&mut unit);
+                crate::vector::add_scaled(&mut out, &unit, weight);
+            }
+        }
+        out
+    }
+
+    /// Resolves a token to a trained word id, depluralizing when the
+    /// surface form itself was never trained.
+    pub fn resolve(&self, token: &str, vocab: &Vocab) -> Option<opine_text::WordId> {
+        if let Some(id) = vocab.get(token) {
+            if self.w2v.count(id) > 0 {
+                return Some(id);
+            }
+        }
+        for singular in singular_forms(token) {
+            if let Some(id) = vocab.get(&singular) {
+                if self.w2v.count(id) > 0 {
+                    return Some(id);
+                }
+            }
+        }
+        vocab.get(token)
+    }
+
+    /// Eq. (2): cosine similarity between the representations of `q` and `p`.
+    pub fn similarity(&self, q: &str, p: &str, vocab: &Vocab) -> f32 {
+        cosine(&self.rep(q, vocab), &self.rep(p, vocab))
+    }
+
+    /// Similarity against a precomputed representation.
+    pub fn similarity_to_rep(&self, q: &str, rep: &[f32], vocab: &Vocab) -> f32 {
+        cosine(&self.rep(q, vocab), rep)
+    }
+}
+
+/// Candidate singular forms of an English plural, most specific first.
+fn singular_forms(token: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(stem) = token.strip_suffix("ies") {
+        out.push(format!("{stem}y"));
+    }
+    if let Some(stem) = token.strip_suffix("es") {
+        out.push(stem.to_string());
+    }
+    if token.len() > 2 && !token.ends_with("ss") {
+        if let Some(stem) = token.strip_suffix('s') {
+            out.push(stem.to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::w2v::Word2VecConfig;
+    use opine_text::WordId;
+
+    fn build() -> (Vocab, PhraseEmbedder) {
+        let mut vocab = Vocab::new();
+        let sentences = [
+            vec!["room", "very", "clean", "spotless"],
+            vec!["room", "spotless", "clean"],
+            vec!["bathroom", "dirty", "stained"],
+            vec!["bathroom", "stained", "dirty"],
+        ];
+        let interned: Vec<Vec<WordId>> = (0..25)
+            .flat_map(|_| sentences.iter())
+            .map(|s| s.iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let mut idf = IdfModel::new(&vocab);
+        for s in &interned {
+            idf.add_document(s);
+        }
+        let w2v = Word2Vec::train(
+            &interned,
+            vocab.len(),
+            &Word2VecConfig {
+                dim: 16,
+                epochs: 6,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        (vocab, PhraseEmbedder::new(w2v, idf))
+    }
+
+    #[test]
+    fn identical_phrases_have_similarity_one() {
+        let (vocab, pe) = build();
+        assert!((pe.similarity("very clean", "very clean", &vocab) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unknown_phrase_has_zero_rep() {
+        let (vocab, pe) = build();
+        assert!(pe.rep("qwerty asdf", &vocab).iter().all(|&x| x == 0.0));
+        assert_eq!(pe.similarity("qwerty", "clean room", &vocab), 0.0);
+    }
+
+    #[test]
+    fn near_synonyms_beat_antonyms() {
+        let (vocab, pe) = build();
+        let syn = pe.similarity("clean room", "spotless room", &vocab);
+        let ant = pe.similarity("clean room", "stained bathroom", &vocab);
+        assert!(syn > ant, "syn={syn} ant={ant}");
+    }
+
+    #[test]
+    fn plural_query_tokens_resolve_to_trained_singulars() {
+        let (mut vocab, pe) = build();
+        // "rooms" was never trained; "room" was. The plural must inherit
+        // the singular's vector rather than contributing nothing.
+        vocab.intern("rooms");
+        let plural = pe.rep("clean rooms", &vocab);
+        let singular = pe.rep("clean room", &vocab);
+        assert!(
+            cosine(&plural, &singular) > 0.99,
+            "plural rep should match singular rep"
+        );
+    }
+
+    #[test]
+    fn rep_is_additive_in_tokens() {
+        let (vocab, pe) = build();
+        let a = pe.rep("clean", &vocab);
+        let b = pe.rep("room", &vocab);
+        let ab = pe.rep("clean room", &vocab);
+        for i in 0..a.len() {
+            assert!((ab[i] - (a[i] + b[i])).abs() < 1e-5);
+        }
+    }
+}

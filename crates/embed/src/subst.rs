@@ -1,0 +1,225 @@
+//! The word-substitution index of Appendix B.
+//!
+//! For each word appearing in the linguistic domain we precompute the word
+//! closest to it under the IDF-weighted embedding. At query time a short
+//! query phrase is first looked up verbatim in a dictionary of domain
+//! phrases; failing that, each query word is substituted with its
+//! precomputed neighbour and the dictionary is probed again. Only when all
+//! substitutions miss do we fall back to a full k-d tree similarity search.
+
+use crate::kdtree::KdTree;
+use crate::phrase::PhraseEmbedder;
+use crate::vector::normalize;
+use opine_text::{tokenize, Vocab, WordId};
+use std::collections::HashMap;
+
+/// Which path answered a lookup — used by the Appendix B experiment to
+/// report the fraction of full similarity searches avoided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupPath {
+    /// The query phrase itself is a domain phrase.
+    Exact,
+    /// A one-word substitution produced a domain phrase.
+    Substitution,
+    /// Full k-d tree nearest-neighbour search was required.
+    FullSearch,
+}
+
+/// Index over a set of domain phrases supporting fast approximate lookup.
+#[derive(Debug, Clone)]
+pub struct SubstitutionIndex<T: Clone> {
+    dictionary: HashMap<String, T>,
+    nearest_word: HashMap<WordId, WordId>,
+    tree: KdTree<T>,
+}
+
+impl<T: Clone> SubstitutionIndex<T> {
+    /// Builds the index over `(phrase, payload)` pairs.
+    ///
+    /// `embedder`/`vocab` supply the IDF-weighted vectors used both for the
+    /// per-word nearest-neighbour table and for the k-d tree fallback.
+    pub fn build(phrases: &[(String, T)], embedder: &PhraseEmbedder, vocab: &Vocab) -> Self {
+        let mut dictionary = HashMap::with_capacity(phrases.len());
+        let mut domain_words: Vec<WordId> = Vec::new();
+        let mut tree_items = Vec::with_capacity(phrases.len());
+
+        for (phrase, payload) in phrases {
+            let key = canonical_key(phrase, embedder, vocab);
+            dictionary.insert(key, payload.clone());
+            for tok in tokenize(phrase) {
+                if let Some(id) = vocab.get(&tok) {
+                    domain_words.push(id);
+                }
+            }
+            let mut rep = embedder.rep(phrase, vocab);
+            normalize(&mut rep);
+            tree_items.push((rep, payload.clone()));
+        }
+        domain_words.sort_unstable();
+        domain_words.dedup();
+
+        // Precompute, for every domain word, the closest *other* domain word
+        // under the weighted embedding |w2v(w)·idf(w) − w2v(w')·idf(w')|.
+        let weighted: Vec<(WordId, Vec<f32>)> = domain_words
+            .iter()
+            .map(|&w| (w, embedder.rep(vocab.word(w), vocab)))
+            .collect();
+        let mut nearest_word = HashMap::with_capacity(domain_words.len());
+        for (w, wv) in &weighted {
+            let mut best: Option<(WordId, f32)> = None;
+            for (o, ov) in &weighted {
+                if o == w {
+                    continue;
+                }
+                let d: f32 = wv.iter().zip(ov).map(|(a, b)| (a - b) * (a - b)).sum();
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((*o, d));
+                }
+            }
+            if let Some((o, _)) = best {
+                nearest_word.insert(*w, o);
+            }
+        }
+
+        Self {
+            dictionary,
+            nearest_word,
+            tree: KdTree::build(tree_items),
+        }
+    }
+
+    /// Looks up the domain phrase best matching `query`.
+    ///
+    /// Returns the payload and which [`LookupPath`] produced it; `None` only
+    /// when the index is empty.
+    pub fn lookup(
+        &self,
+        query: &str,
+        embedder: &PhraseEmbedder,
+        vocab: &Vocab,
+    ) -> Option<(T, LookupPath)> {
+        // Canonical form: intensifiers dropped, plurals resolved to the
+        // trained singular ("has really clean rooms" → "clean room"), so
+        // paraphrases of a domain phrase are still dictionary hits.
+        let tokens = canonical_tokens(query, embedder, vocab);
+        if let Some(p) = self.dictionary.get(&tokens.join(" ")) {
+            return Some((p.clone(), LookupPath::Exact));
+        }
+        // Try replacing each word with its precomputed nearest neighbour.
+        for (i, tok) in tokens.iter().enumerate() {
+            let Some(id) = vocab.get(tok) else { continue };
+            let Some(&sub) = self.nearest_word.get(&id) else {
+                continue;
+            };
+            let mut candidate = tokens.clone();
+            candidate[i] = vocab.word(sub).to_string();
+            if let Some(p) = self.dictionary.get(&candidate.join(" ")) {
+                return Some((p.clone(), LookupPath::Substitution));
+            }
+        }
+        // Fall back to the exact similarity search.
+        let mut rep = embedder.rep(query, vocab);
+        normalize(&mut rep);
+        self.tree
+            .nearest(&rep)
+            .map(|(p, _)| (p.clone(), LookupPath::FullSearch))
+    }
+}
+
+/// Canonical token sequence: stopwords and intensifiers removed, each
+/// remaining token resolved to its trained (singular) form when possible.
+fn canonical_tokens(phrase: &str, embedder: &PhraseEmbedder, vocab: &Vocab) -> Vec<String> {
+    tokenize(phrase)
+        .iter()
+        .filter(|t| !opine_text::token::is_intensifier(t))
+        .map(|t| {
+            embedder
+                .resolve(t, vocab)
+                .map(|id| vocab.word(id).to_string())
+                .unwrap_or_else(|| t.clone())
+        })
+        .collect()
+}
+
+fn canonical_key(phrase: &str, embedder: &PhraseEmbedder, vocab: &Vocab) -> String {
+    canonical_tokens(phrase, embedder, vocab).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::w2v::{Word2Vec, Word2VecConfig};
+    use opine_text::IdfModel;
+
+    fn build_fixture() -> (Vocab, PhraseEmbedder, SubstitutionIndex<&'static str>) {
+        let mut vocab = Vocab::new();
+        let sentences = [
+            vec!["very", "clean", "room"],
+            vec!["really", "clean", "room"],
+            vec!["very", "dirty", "room"],
+            vec!["really", "dirty", "room"],
+            vec!["spotless", "clean", "room"],
+        ];
+        let interned: Vec<Vec<WordId>> = (0..30)
+            .flat_map(|_| sentences.iter())
+            .map(|s| s.iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let mut idf = IdfModel::new(&vocab);
+        for s in &interned {
+            idf.add_document(s);
+        }
+        let w2v = Word2Vec::train(
+            &interned,
+            vocab.len(),
+            &Word2VecConfig {
+                dim: 16,
+                epochs: 6,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let embedder = PhraseEmbedder::new(w2v, idf);
+        let phrases = vec![
+            ("very clean".to_string(), "cleanliness:very_clean"),
+            ("dirty".to_string(), "cleanliness:dirty"),
+        ];
+        let index = SubstitutionIndex::build(&phrases, &embedder, &vocab);
+        (vocab, embedder, index)
+    }
+
+    #[test]
+    fn exact_hit_uses_dictionary() {
+        let (vocab, embedder, index) = build_fixture();
+        let (payload, path) = index.lookup("very clean", &embedder, &vocab).unwrap();
+        assert_eq!(payload, "cleanliness:very_clean");
+        assert_eq!(path, LookupPath::Exact);
+    }
+
+    #[test]
+    fn intensifier_paraphrase_avoids_full_search() {
+        let (vocab, embedder, index) = build_fixture();
+        // "really clean" and "very clean" share the canonical key "clean"
+        // after intensifier stripping — resolved without the k-d tree.
+        let (payload, path) = index.lookup("really clean", &embedder, &vocab).unwrap();
+        assert_eq!(payload, "cleanliness:very_clean");
+        assert_ne!(
+            path,
+            LookupPath::FullSearch,
+            "paraphrase must not need the full similarity search"
+        );
+    }
+
+    #[test]
+    fn unrelated_query_falls_back_to_tree() {
+        let (vocab, embedder, index) = build_fixture();
+        let (_, path) = index.lookup("spotless room", &embedder, &vocab).unwrap();
+        assert_eq!(path, LookupPath::FullSearch);
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let (vocab, embedder, _) = build_fixture();
+        let empty: SubstitutionIndex<&str> = SubstitutionIndex::build(&[], &embedder, &vocab);
+        assert!(empty.lookup("anything", &embedder, &vocab).is_none());
+    }
+}

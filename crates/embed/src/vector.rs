@@ -1,0 +1,83 @@
+//! Dense vector helpers shared across the crate.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; zero when either vector is all-zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// `a += scale * b`, in place.
+#[inline]
+pub fn add_scaled(a: &mut [f32], b: &[f32], scale: f32) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += scale * y;
+    }
+}
+
+/// Normalizes `a` to unit length in place; leaves the zero vector untouched.
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_vectors_is_minus_one() {
+        assert!((cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_with_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        add_scaled(&mut a, &[2.0, 4.0], 0.5);
+        assert_eq!(a, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn normalize_produces_unit_vector() {
+        let mut a = vec![3.0, 4.0];
+        normalize(&mut a);
+        assert!((norm(&a) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,18 @@
+//! Evaluation harness for the OpineDB experiments (Sec. 5 of the paper).
+//!
+//! * [`workload`] — benchmark query generation: conjunctions of 2/4/7
+//!   subjective predicates plus an objective variant (Sec. 5.2.2);
+//! * [`quality`] — the sat(Q, E) metric with logarithmic rank discounting
+//!   and sat-max normalization (Sec. 5.2.3); ground truth comes from the
+//!   simulator's latent state instead of human labelling;
+//! * [`baselines`] — the compared systems of Table 5: the GZ12 IR entity
+//!   ranker (with query expansion), ByPrice, ByRating, and the oracle
+//!   k-attribute ranker modelling booking.com/yelp power users.
+
+pub mod baselines;
+pub mod quality;
+pub mod workload;
+
+pub use baselines::{IrBaseline, KAttributeOracle, rank_by_price, rank_by_rating};
+pub use quality::{sat_max, sat_score, workload_quality};
+pub use workload::{generate_queries, EvalQuery, ObjectiveFilter};

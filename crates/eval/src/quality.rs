@@ -1,0 +1,167 @@
+//! The sat(Q, E) quality metric (Sec. 5.2.3 of the paper).
+//!
+//! `sat(Q, E) = Σ_j (Σ_i sat(q_i, e_j)) / log2(j + 1)` over the top-k
+//! result, normalized by the best achievable score `sat-max(Q)`. Ground
+//! truth sat(q, e) is exact here: it comes from the simulator's latent
+//! entity state rather than the paper's manual labelling.
+
+use crate::workload::EvalQuery;
+use opine_corpus::Corpus;
+
+/// Number of predicates of `query` satisfied by `entity` (ground truth).
+pub fn sat_count(query: &EvalQuery, entity: usize, corpus: &Corpus) -> usize {
+    query
+        .predicates
+        .iter()
+        .filter(|p| p.satisfied_by(&corpus.entities[entity], &corpus.spec))
+        .count()
+}
+
+/// The DCG-style sat score of a ranked entity list, truncated at `k`.
+pub fn sat_score(query: &EvalQuery, ranked: &[usize], corpus: &Corpus, k: usize) -> f64 {
+    ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(j, &e)| sat_count(query, e, corpus) as f64 / ((j as f64 + 2.0).log2()))
+        .sum()
+}
+
+/// The maximum achievable sat score for `query`: entities passing the
+/// objective filter, greedily ordered by per-entity satisfied count (which
+/// is optimal for a monotone rank discount).
+pub fn sat_max(query: &EvalQuery, corpus: &Corpus, k: usize) -> f64 {
+    let mut counts: Vec<usize> = corpus
+        .entities
+        .iter()
+        .filter(|e| query.filter.accepts(e))
+        .map(|e| {
+            query
+                .predicates
+                .iter()
+                .filter(|p| p.satisfied_by(e, &corpus.spec))
+                .count()
+        })
+        .collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    counts
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(j, &c)| c as f64 / ((j as f64 + 2.0).log2()))
+        .sum()
+}
+
+/// Average normalized quality of a ranker over a query set: the Table 5 /
+/// Table 7 "NDCG\@10" number.
+///
+/// `rank` maps a query to its ranked entity ids (already filter-restricted
+/// or not — entities failing the filter simply contribute no sat).
+pub fn workload_quality<F>(
+    queries: &[EvalQuery],
+    corpus: &Corpus,
+    k: usize,
+    mut rank: F,
+) -> f64
+where
+    F: FnMut(&EvalQuery) -> Vec<usize>,
+{
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for q in queries {
+        let max = sat_max(q, corpus, k);
+        if max <= 0.0 {
+            continue;
+        }
+        let ranked = rank(q);
+        total += sat_score(q, &ranked, corpus, k) / max;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_queries, ObjectiveFilter};
+    use opine_corpus::hotel::hotel_spec;
+    use opine_corpus::workload::hotel_workload;
+    use opine_corpus::{Corpus, CorpusConfig};
+
+    fn setup() -> (Corpus, Vec<EvalQuery>) {
+        let corpus = Corpus::generate(
+            hotel_spec(),
+            &CorpusConfig {
+                num_entities: 20,
+                mean_reviews: 4,
+                seed: 13,
+            },
+        );
+        let bank = hotel_workload(&corpus.spec);
+        let queries = generate_queries(&bank, 10, 3, ObjectiveFilter::None, 17);
+        (corpus, queries)
+    }
+
+    #[test]
+    fn oracle_ranking_achieves_quality_one() {
+        let (corpus, queries) = setup();
+        let q = workload_quality(&queries, &corpus, 10, |query| {
+            // Oracle: rank by true sat count.
+            let mut ids: Vec<usize> = (0..corpus.entities.len()).collect();
+            ids.sort_by_key(|&e| std::cmp::Reverse(sat_count(query, e, &corpus)));
+            ids
+        });
+        assert!((q - 1.0).abs() < 1e-9, "oracle quality {q}");
+    }
+
+    #[test]
+    fn reversed_oracle_is_worse() {
+        let (corpus, queries) = setup();
+        let oracle = workload_quality(&queries, &corpus, 10, |query| {
+            let mut ids: Vec<usize> = (0..corpus.entities.len()).collect();
+            ids.sort_by_key(|&e| std::cmp::Reverse(sat_count(query, e, &corpus)));
+            ids
+        });
+        let anti = workload_quality(&queries, &corpus, 10, |query| {
+            let mut ids: Vec<usize> = (0..corpus.entities.len()).collect();
+            ids.sort_by_key(|&e| sat_count(query, e, &corpus));
+            ids
+        });
+        assert!(anti < oracle);
+    }
+
+    #[test]
+    fn sat_score_discounts_by_rank() {
+        let (corpus, queries) = setup();
+        let q = &queries[0];
+        // An entity satisfying everything at rank 1 vs rank 10.
+        let best = (0..corpus.entities.len())
+            .max_by_key(|&e| sat_count(q, e, &corpus))
+            .unwrap();
+        let zeros: Vec<usize> = (0..corpus.entities.len())
+            .filter(|&e| sat_count(q, e, &corpus) == 0)
+            .collect();
+        if zeros.len() >= 9 {
+            let mut front = vec![best];
+            front.extend(&zeros[..9]);
+            let mut back: Vec<usize> = zeros[..9].to_vec();
+            back.push(best);
+            assert!(
+                sat_score(q, &front, &corpus, 10) > sat_score(q, &back, &corpus, 10)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_result_scores_zero() {
+        let (corpus, queries) = setup();
+        assert_eq!(sat_score(&queries[0], &[], &corpus, 10), 0.0);
+    }
+}

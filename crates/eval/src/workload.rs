@@ -1,0 +1,161 @@
+//! Benchmark query generation (Sec. 5.2.2 of the paper).
+
+use opine_corpus::spec::Entity;
+use opine_corpus::workload::WorkloadPredicate;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The objective variants added to every query set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectiveFilter {
+    /// Hotels: in London and under $300/night.
+    LondonUnder300,
+    /// Hotels: in Amsterdam.
+    Amsterdam,
+    /// Restaurants: price range `$`.
+    LowPrice,
+    /// Restaurants: Japanese cuisine.
+    Japanese,
+    /// No objective condition.
+    None,
+}
+
+impl ObjectiveFilter {
+    /// Whether `entity` passes the filter.
+    pub fn accepts(&self, entity: &Entity) -> bool {
+        match self {
+            ObjectiveFilter::LondonUnder300 => entity.city == "London" && entity.price < 300.0,
+            ObjectiveFilter::Amsterdam => entity.city == "Amsterdam",
+            ObjectiveFilter::LowPrice => entity.price_range == 1,
+            ObjectiveFilter::Japanese => entity.cuisine == "Japanese",
+            ObjectiveFilter::None => true,
+        }
+    }
+
+    /// The Subjective SQL condition string for the filter, if any.
+    pub fn sql_condition(&self) -> Option<String> {
+        match self {
+            ObjectiveFilter::LondonUnder300 => {
+                Some("city = 'London' and price_pn < 300".to_string())
+            }
+            ObjectiveFilter::Amsterdam => Some("city = 'Amsterdam'".to_string()),
+            ObjectiveFilter::LowPrice => Some("price_range = 1".to_string()),
+            ObjectiveFilter::Japanese => Some("cuisine = 'Japanese'".to_string()),
+            ObjectiveFilter::None => None,
+        }
+    }
+
+    /// Display name matching the paper's column headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObjectiveFilter::LondonUnder300 => "London ∧ <300",
+            ObjectiveFilter::Amsterdam => "Amsterdam",
+            ObjectiveFilter::LowPrice => "Low Price",
+            ObjectiveFilter::Japanese => "JP Cuisine",
+            ObjectiveFilter::None => "All",
+        }
+    }
+}
+
+/// One benchmark query: a conjunction of subjective predicates plus an
+/// objective filter.
+#[derive(Debug, Clone)]
+pub struct EvalQuery {
+    /// The subjective conjuncts.
+    pub predicates: Vec<WorkloadPredicate>,
+    /// The objective variant.
+    pub filter: ObjectiveFilter,
+}
+
+impl EvalQuery {
+    /// Renders the query as Subjective SQL over `table`.
+    pub fn to_sql(&self, table: &str, limit: usize) -> String {
+        let mut conditions: Vec<String> = Vec::new();
+        if let Some(obj) = self.filter.sql_condition() {
+            conditions.push(obj);
+        }
+        for p in &self.predicates {
+            conditions.push(format!("\"{}\"", p.text));
+        }
+        format!(
+            "select * from {table} where {} limit {limit}",
+            conditions.join(" and ")
+        )
+    }
+}
+
+/// Generates `n` queries of `conjuncts` predicates each by uniform
+/// sampling without replacement from the workload bank (Sec. 5.2.2: easy =
+/// 2, medium = 4, hard = 7 conjuncts; 100 queries per set).
+pub fn generate_queries(
+    bank: &[WorkloadPredicate],
+    n: usize,
+    conjuncts: usize,
+    filter: ObjectiveFilter,
+    seed: u64,
+) -> Vec<EvalQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..bank.len()).collect();
+    (0..n)
+        .map(|_| {
+            indices.shuffle(&mut rng);
+            EvalQuery {
+                predicates: indices
+                    .iter()
+                    .take(conjuncts.min(bank.len()))
+                    .map(|&i| bank[i].clone())
+                    .collect(),
+                filter,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opine_corpus::hotel::hotel_spec;
+    use opine_corpus::workload::hotel_workload;
+
+    #[test]
+    fn generates_requested_shape() {
+        let spec = hotel_spec();
+        let bank = hotel_workload(&spec);
+        let queries = generate_queries(&bank, 100, 7, ObjectiveFilter::Amsterdam, 3);
+        assert_eq!(queries.len(), 100);
+        for q in &queries {
+            assert_eq!(q.predicates.len(), 7);
+            // No duplicate predicates within one query.
+            let mut texts: Vec<&str> = q.predicates.iter().map(|p| p.text.as_str()).collect();
+            texts.sort_unstable();
+            texts.dedup();
+            assert_eq!(texts.len(), 7);
+        }
+    }
+
+    #[test]
+    fn sql_rendering_includes_all_conditions() {
+        let spec = hotel_spec();
+        let bank = hotel_workload(&spec);
+        let q = &generate_queries(&bank, 1, 2, ObjectiveFilter::LondonUnder300, 5)[0];
+        let sql = q.to_sql("hotels", 10);
+        assert!(sql.contains("city = 'London'"));
+        assert!(sql.contains("price_pn < 300"));
+        assert!(sql.contains("limit 10"));
+        assert_eq!(sql.matches('"').count(), 4, "two quoted predicates");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let spec = hotel_spec();
+        let bank = hotel_workload(&spec);
+        let a = generate_queries(&bank, 5, 4, ObjectiveFilter::None, 11);
+        let b = generate_queries(&bank, 5, 4, ObjectiveFilter::None, 11);
+        for (x, y) in a.iter().zip(&b) {
+            let tx: Vec<&str> = x.predicates.iter().map(|p| p.text.as_str()).collect();
+            let ty: Vec<&str> = y.predicates.iter().map(|p| p.text.as_str()).collect();
+            assert_eq!(tx, ty);
+        }
+    }
+}

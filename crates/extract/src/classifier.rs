@@ -1,0 +1,160 @@
+//! The attribute classifier (Sec. 4.2): maps an extracted
+//! `(aspect, opinion)` pair onto one of the subjective attributes.
+//!
+//! Features are the IDF-weighted phrase embedding of the concatenated pair;
+//! the model is one-vs-rest logistic regression trained on the
+//! seed-expanded records. The paper reports 86.63% (hotel) and 88.29%
+//! (restaurant) accuracy with 5 000 weak records.
+
+use opine_embed::PhraseEmbedder;
+use opine_ml::{LogRegConfig, MulticlassLogReg};
+use opine_text::Vocab;
+
+/// Classifies phrases into attribute indices.
+#[derive(Debug, Clone)]
+pub struct AttributeClassifier {
+    model: MulticlassLogReg,
+    num_classes: usize,
+}
+
+impl AttributeClassifier {
+    /// Trains from `(phrase, attribute)` records.
+    pub fn train(
+        records: &[(String, usize)],
+        num_classes: usize,
+        embedder: &PhraseEmbedder,
+        vocab: &Vocab,
+        config: &LogRegConfig,
+    ) -> Self {
+        let data: Vec<(Vec<f64>, usize)> = records
+            .iter()
+            .map(|(phrase, attr)| (embed(phrase, embedder, vocab), *attr))
+            .collect();
+        Self {
+            model: MulticlassLogReg::train(&data, num_classes, config),
+            num_classes,
+        }
+    }
+
+    /// The predicted attribute index for `phrase`.
+    pub fn classify(&self, phrase: &str, embedder: &PhraseEmbedder, vocab: &Vocab) -> usize {
+        self.model.predict(&embed(phrase, embedder, vocab))
+    }
+
+    /// Accuracy on labelled `(phrase, attribute)` pairs.
+    pub fn accuracy(
+        &self,
+        records: &[(String, usize)],
+        embedder: &PhraseEmbedder,
+        vocab: &Vocab,
+    ) -> f64 {
+        if records.is_empty() {
+            return 0.0;
+        }
+        let correct = records
+            .iter()
+            .filter(|(p, a)| self.classify(p, embedder, vocab) == *a)
+            .count();
+        correct as f64 / records.len() as f64
+    }
+
+    /// Number of attribute classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+/// Classifier features: the unit-normalized embedding of the aspect head
+/// word concatenated with that of the full phrase.
+///
+/// Records are "aspect opinion" concatenations, so the first token is the
+/// aspect head. Giving it its own (normalized) block matters because
+/// aspect words like "room" are frequent and IDF-weighting would otherwise
+/// let shared opinion vocabulary ("clean", "average") drown out the signal
+/// that separates `room_cleanliness` from `bathroom_cleanliness`.
+fn embed(phrase: &str, embedder: &PhraseEmbedder, vocab: &Vocab) -> Vec<f64> {
+    let head = phrase.split_whitespace().next().unwrap_or("");
+    let mut head_rep = embedder.rep(head, vocab);
+    opine_embed::normalize(&mut head_rep);
+    let mut full_rep = embedder.rep(phrase, vocab);
+    opine_embed::normalize(&mut full_rep);
+    head_rep
+        .into_iter()
+        .chain(full_rep)
+        .map(|x| x as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opine_embed::{Word2Vec, Word2VecConfig};
+    use opine_text::{IdfModel, WordId};
+
+    /// Builds an embedder where cleanliness words and staff words occupy
+    /// different regions of the space.
+    fn fixture() -> (Vocab, PhraseEmbedder) {
+        let mut vocab = Vocab::new();
+        let sentences = [
+            vec!["room", "clean", "spotless"],
+            vec!["carpet", "dirty", "stained"],
+            vec!["room", "spotless", "clean"],
+            vec!["staff", "friendly", "kind"],
+            vec!["staff", "rude", "unfriendly"],
+            vec!["receptionist", "kind", "friendly"],
+        ];
+        let interned: Vec<Vec<WordId>> = (0..40)
+            .flat_map(|_| sentences.iter())
+            .map(|s| s.iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let mut idf = IdfModel::new(&vocab);
+        for s in &interned {
+            idf.add_document(s);
+        }
+        let w2v = Word2Vec::train(
+            &interned,
+            vocab.len(),
+            &Word2VecConfig {
+                dim: 16,
+                epochs: 10,
+                seed: 21,
+                ..Default::default()
+            },
+        );
+        (vocab, PhraseEmbedder::new(w2v, idf))
+    }
+
+    #[test]
+    fn separates_two_attributes() {
+        let (vocab, embedder) = fixture();
+        let records = vec![
+            ("room clean".to_string(), 0usize),
+            ("carpet dirty".to_string(), 0),
+            ("room spotless".to_string(), 0),
+            ("carpet stained".to_string(), 0),
+            ("staff friendly".to_string(), 1),
+            ("staff rude".to_string(), 1),
+            ("receptionist kind".to_string(), 1),
+            ("staff unfriendly".to_string(), 1),
+        ];
+        let clf = AttributeClassifier::train(
+            &records,
+            2,
+            &embedder,
+            &vocab,
+            &LogRegConfig::default(),
+        );
+        assert!(clf.accuracy(&records, &embedder, &vocab) > 0.9);
+        // Held-out combinations.
+        assert_eq!(clf.classify("room stained", &embedder, &vocab), 0);
+        assert_eq!(clf.classify("receptionist rude", &embedder, &vocab), 1);
+    }
+
+    #[test]
+    fn empty_training_does_not_panic() {
+        let (vocab, embedder) = fixture();
+        let clf = AttributeClassifier::train(&[], 3, &embedder, &vocab, &LogRegConfig::default());
+        assert_eq!(clf.num_classes(), 3);
+        let _ = clf.classify("anything", &embedder, &vocab);
+    }
+}

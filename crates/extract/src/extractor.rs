@@ -1,0 +1,204 @@
+//! The tagging stage of the extractor (Fig. 6 of the paper) and the
+//! end-to-end extract() that combines tagging with pairing.
+
+use crate::features::{token_features, EmbeddingClusters};
+use crate::pairing::pair_rule_based;
+use opine_corpus::absa::{tags, AbsaSentence};
+use opine_ml::metrics::{span_f1, SpanScore};
+use opine_ml::{SequenceTagger, TaggerConfig};
+
+/// An extracted (aspect term, opinion term) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedPair {
+    /// The opinion target, e.g. "room".
+    pub aspect: String,
+    /// The opinion about it, e.g. "very clean".
+    pub opinion: String,
+}
+
+/// The opinion extractor: a BIO tagger plus rule-based pairing.
+#[derive(Debug, Clone)]
+pub struct Extractor {
+    tagger: SequenceTagger,
+    clusters: Option<EmbeddingClusters>,
+}
+
+impl Extractor {
+    /// Trains the tagger on labelled sentences.
+    ///
+    /// With `clusters = Some(_)` the model uses pre-trained embedding
+    /// features (our BERT stand-in); with `None` it is the lexical-only
+    /// SOTA baseline of Table 6.
+    pub fn train(
+        sentences: &[AbsaSentence],
+        clusters: Option<EmbeddingClusters>,
+        config: &TaggerConfig,
+    ) -> Self {
+        let data: Vec<(Vec<Vec<String>>, Vec<usize>)> = sentences
+            .iter()
+            .map(|s| (featurize(&s.tokens, clusters.as_ref()), s.tags.clone()))
+            .collect();
+        let tagger = SequenceTagger::train(&data, tags::COUNT, config);
+        Self { tagger, clusters }
+    }
+
+    /// Predicts BIO tags for a tokenized sentence.
+    pub fn tag(&self, tokens: &[String]) -> Vec<usize> {
+        self.tagger
+            .predict(&featurize(tokens, self.clusters.as_ref()))
+    }
+
+    /// Extracts (aspect, opinion) pairs from a tokenized sentence:
+    /// tagging followed by rule-based pairing.
+    pub fn extract(&self, tokens: &[String]) -> Vec<ExtractedPair> {
+        let predicted = self.tag(tokens);
+        let sentence = AbsaSentence {
+            tokens: tokens.to_vec(),
+            tags: predicted,
+        };
+        let aspects = sentence.aspect_spans();
+        let opinions = sentence.opinion_spans();
+        pair_rule_based(&aspects, &opinions)
+            .into_iter()
+            .map(|(a, o)| ExtractedPair {
+                aspect: tokens[a.0..a.1].join(" "),
+                opinion: tokens[o.0..o.1].join(" "),
+            })
+            .collect()
+    }
+
+    /// Span-exact F1 on a test set, returned as (aspect F1, opinion F1) —
+    /// the Table 6 metric averages the two.
+    pub fn evaluate(&self, test: &[AbsaSentence]) -> (SpanScore, SpanScore) {
+        let mut gold_aspect = Vec::with_capacity(test.len());
+        let mut gold_opinion = Vec::with_capacity(test.len());
+        let mut pred_aspect = Vec::with_capacity(test.len());
+        let mut pred_opinion = Vec::with_capacity(test.len());
+        for s in test {
+            gold_aspect.push(s.aspect_spans());
+            gold_opinion.push(s.opinion_spans());
+            let predicted = AbsaSentence {
+                tokens: s.tokens.clone(),
+                tags: self.tag(&s.tokens),
+            };
+            pred_aspect.push(predicted.aspect_spans());
+            pred_opinion.push(predicted.opinion_spans());
+        }
+        (
+            span_f1(&gold_aspect, &pred_aspect),
+            span_f1(&gold_opinion, &pred_opinion),
+        )
+    }
+
+    /// Combined F1 (mean of aspect and opinion F1), the Table 6 number.
+    pub fn combined_f1(&self, test: &[AbsaSentence]) -> f64 {
+        let (a, o) = self.evaluate(test);
+        (a.f1 + o.f1) / 2.0
+    }
+}
+
+fn featurize(tokens: &[String], clusters: Option<&EmbeddingClusters>) -> Vec<Vec<String>> {
+    (0..tokens.len())
+        .map(|i| token_features(tokens, i, clusters))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opine_corpus::absa::{absa_datasets, tags};
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn learns_simple_tagging() {
+        // Tiny hand-built training set with clear lexical signal.
+        let data = vec![
+            AbsaSentence {
+                tokens: toks(&["the", "room", "was", "clean"]),
+                tags: vec![tags::O, tags::B_AS, tags::O, tags::B_OP],
+            },
+            AbsaSentence {
+                tokens: toks(&["the", "bed", "was", "soft"]),
+                tags: vec![tags::O, tags::B_AS, tags::O, tags::B_OP],
+            },
+            AbsaSentence {
+                tokens: toks(&["dirty", "room"]),
+                tags: vec![tags::B_OP, tags::B_AS],
+            },
+            AbsaSentence {
+                tokens: toks(&["soft", "bed"]),
+                tags: vec![tags::B_OP, tags::B_AS],
+            },
+        ];
+        let ex = Extractor::train(&data, None, &TaggerConfig::default());
+        assert_eq!(
+            ex.tag(&toks(&["the", "room", "was", "soft"])),
+            vec![tags::O, tags::B_AS, tags::O, tags::B_OP]
+        );
+    }
+
+    #[test]
+    fn extract_produces_pairs() {
+        let data = vec![
+            AbsaSentence {
+                tokens: toks(&["the", "room", "was", "clean"]),
+                tags: vec![tags::O, tags::B_AS, tags::O, tags::B_OP],
+            },
+            AbsaSentence {
+                tokens: toks(&["the", "staff", "was", "rude"]),
+                tags: vec![tags::O, tags::B_AS, tags::O, tags::B_OP],
+            },
+        ];
+        let ex = Extractor::train(&data, None, &TaggerConfig::default());
+        let pairs = ex.extract(&toks(&["the", "room", "was", "clean"]));
+        assert_eq!(
+            pairs,
+            vec![ExtractedPair {
+                aspect: "room".into(),
+                opinion: "clean".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn trained_extractor_beats_chance_on_synthetic_absa() {
+        let ds = &absa_datasets(31)[3]; // the small hotel dataset
+        let train: Vec<AbsaSentence> = ds.train.iter().take(300).cloned().collect();
+        let test: Vec<AbsaSentence> = ds.test.iter().take(80).cloned().collect();
+        let ex = Extractor::train(&train, None, &TaggerConfig { epochs: 4, seed: 1 });
+        let f1 = ex.combined_f1(&test);
+        assert!(f1 > 0.5, "combined F1 too low: {f1}");
+    }
+
+    #[test]
+    fn empty_sentence_extracts_nothing() {
+        let data = vec![AbsaSentence {
+            tokens: toks(&["room", "clean"]),
+            tags: vec![tags::B_AS, tags::B_OP],
+        }];
+        let ex = Extractor::train(&data, None, &TaggerConfig::default());
+        assert!(ex.extract(&[]).is_empty());
+    }
+
+    #[test]
+    fn multiword_spans_are_joined() {
+        let data = vec![
+            AbsaSentence {
+                tokens: toks(&["battery", "life", "was", "very", "short"]),
+                tags: vec![tags::B_AS, tags::I_AS, tags::O, tags::B_OP, tags::I_OP],
+            },
+            AbsaSentence {
+                tokens: toks(&["battery", "life", "was", "very", "long"]),
+                tags: vec![tags::B_AS, tags::I_AS, tags::O, tags::B_OP, tags::I_OP],
+            },
+        ];
+        let ex = Extractor::train(&data, None, &TaggerConfig::default());
+        let pairs = ex.extract(&toks(&["battery", "life", "was", "very", "short"]));
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].aspect, "battery life");
+        assert_eq!(pairs[0].opinion, "very short");
+    }
+}

@@ -1,0 +1,189 @@
+//! Token features for the tagging model.
+//!
+//! Lexical features (word identity, affixes, neighbours) are what the
+//! prior-SOTA baselines of Table 6 use. [`EmbeddingClusters`] adds features
+//! derived from a word2vec model trained on the *unlabeled* review corpus —
+//! our stand-in for BERT's pre-training: words unseen in the labelled
+//! training data still share a cluster id with their distributional
+//! neighbours, letting the tagger generalize.
+
+use opine_embed::Word2Vec;
+use opine_ml::{KMeans, KMeansConfig};
+use opine_text::Vocab;
+use std::collections::HashMap;
+
+/// Word → embedding-cluster-id map built from a pre-trained word2vec model.
+#[derive(Debug, Clone)]
+pub struct EmbeddingClusters {
+    assignments: HashMap<String, usize>,
+}
+
+impl EmbeddingClusters {
+    /// Clusters every trained word vector into `k` groups.
+    pub fn build(w2v: &Word2Vec, vocab: &Vocab, k: usize, seed: u64) -> Self {
+        let mut words = Vec::new();
+        let mut points = Vec::new();
+        for (id, word) in vocab.iter() {
+            if w2v.count(id) > 0 {
+                words.push(word.to_string());
+                points.push(w2v.vector(id).to_vec());
+            }
+        }
+        let km = KMeans::fit(
+            &points,
+            &KMeansConfig {
+                k,
+                max_iters: 30,
+                seed,
+            },
+        );
+        let assignments = words
+            .into_iter()
+            .zip(km.assignments().iter().copied())
+            .collect();
+        Self { assignments }
+    }
+
+    /// The cluster id of `word`, if it was in the pre-training vocabulary.
+    pub fn cluster_of(&self, word: &str) -> Option<usize> {
+        self.assignments.get(word).copied()
+    }
+
+    /// Number of clustered words.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True when no word was clustered.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+/// Features for token `i` of `tokens`.
+///
+/// Pass `Some(clusters)` for the pre-trained model, `None` for the
+/// lexical-only SOTA baseline.
+pub fn token_features(
+    tokens: &[String],
+    i: usize,
+    clusters: Option<&EmbeddingClusters>,
+) -> Vec<String> {
+    let word = &tokens[i];
+    let mut feats = Vec::with_capacity(12);
+    feats.push(format!("w={word}"));
+    if word.len() >= 3 {
+        feats.push(format!("suf2={}", &word[word.len() - 2..]));
+        feats.push(format!("pre2={}", &word[..2]));
+    }
+    if word.len() >= 4 {
+        feats.push(format!("suf3={}", &word[word.len() - 3..]));
+    }
+    feats.push(format!("prev={}", if i == 0 { "<s>" } else { &tokens[i - 1] }));
+    feats.push(format!(
+        "next={}",
+        if i + 1 == tokens.len() { "</s>" } else { &tokens[i + 1] }
+    ));
+    if i == 0 {
+        feats.push("first".to_string());
+    }
+    if let Some(clusters) = clusters {
+        if let Some(c) = clusters.cluster_of(word) {
+            feats.push(format!("cl={c}"));
+        }
+        if i > 0 {
+            if let Some(c) = clusters.cluster_of(&tokens[i - 1]) {
+                feats.push(format!("pcl={c}"));
+            }
+        }
+        if i + 1 < tokens.len() {
+            if let Some(c) = clusters.cluster_of(&tokens[i + 1]) {
+                feats.push(format!("ncl={c}"));
+            }
+        }
+    }
+    feats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opine_embed::Word2VecConfig;
+    use opine_text::WordId;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn lexical_features_include_word_and_context() {
+        let t = toks(&["the", "room", "clean"]);
+        let f = token_features(&t, 1, None);
+        assert!(f.contains(&"w=room".to_string()));
+        assert!(f.contains(&"prev=the".to_string()));
+        assert!(f.contains(&"next=clean".to_string()));
+    }
+
+    #[test]
+    fn boundary_tokens_get_sentinels() {
+        let t = toks(&["room"]);
+        let f = token_features(&t, 0, None);
+        assert!(f.contains(&"prev=<s>".to_string()));
+        assert!(f.contains(&"next=</s>".to_string()));
+        assert!(f.contains(&"first".to_string()));
+    }
+
+    #[test]
+    fn short_words_skip_affix_features() {
+        let t = toks(&["a"]);
+        let f = token_features(&t, 0, None);
+        assert!(!f.iter().any(|x| x.starts_with("suf")));
+    }
+
+    #[test]
+    fn clusters_group_distributional_neighbours() {
+        let mut vocab = Vocab::new();
+        let sentences = [
+            vec!["room", "clean", "nice"],
+            vec!["room", "spotless", "nice"],
+            vec!["street", "noisy", "bad"],
+            vec!["street", "loud", "bad"],
+        ];
+        let interned: Vec<Vec<WordId>> = (0..40)
+            .flat_map(|_| sentences.iter())
+            .map(|s| s.iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let w2v = Word2Vec::train(
+            &interned,
+            vocab.len(),
+            &Word2VecConfig {
+                dim: 16,
+                epochs: 10,
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        let clusters = EmbeddingClusters::build(&w2v, &vocab, 3, 8);
+        assert!(!clusters.is_empty());
+        // Every trained word must be assigned somewhere.
+        for w in ["room", "clean", "noisy"] {
+            assert!(clusters.cluster_of(w).is_some(), "{w} unassigned");
+        }
+        assert_eq!(clusters.cluster_of("zzz"), None);
+    }
+
+    #[test]
+    fn cluster_features_appear_only_with_clusters() {
+        let mut vocab = Vocab::new();
+        let interned: Vec<Vec<WordId>> = (0..30)
+            .map(|_| vec![vocab.intern("room"), vocab.intern("clean")])
+            .collect();
+        let w2v = Word2Vec::train(&interned, vocab.len(), &Word2VecConfig::default());
+        let clusters = EmbeddingClusters::build(&w2v, &vocab, 2, 1);
+        let t = toks(&["room", "clean"]);
+        let with = token_features(&t, 0, Some(&clusters));
+        let without = token_features(&t, 0, None);
+        assert!(with.iter().any(|f| f.starts_with("cl=")));
+        assert!(!without.iter().any(|f| f.starts_with("cl=")));
+    }
+}

@@ -1,0 +1,26 @@
+//! Opinion extraction for OpineDB (Sec. 4.1–4.2 of the paper).
+//!
+//! The pipeline has four parts:
+//!
+//! * [`features`] — per-token features for the sequence tagger, including
+//!   the *embedding-cluster* features that model BERT-style transfer from
+//!   the unlabeled review corpus;
+//! * [`extractor`] — the tagging stage (aspect/opinion BIO tagging) plus
+//!   span extraction;
+//! * [`pairing`] — the pairing stage: rule-based nearest-span linking and
+//!   the supervised logistic-regression pairing model of Appendix C;
+//! * [`seeds`] / [`classifier`] — weak supervision via seed expansion and
+//!   the attribute classifier that maps extracted pairs onto subjective
+//!   attributes (Sec. 4.2).
+
+pub mod classifier;
+pub mod extractor;
+pub mod features;
+pub mod pairing;
+pub mod seeds;
+
+pub use classifier::AttributeClassifier;
+pub use extractor::{ExtractedPair, Extractor};
+pub use features::{token_features, EmbeddingClusters};
+pub use pairing::{pair_rule_based, PairingModel};
+pub use seeds::{expand_seeds, SeedSet};

@@ -1,0 +1,164 @@
+//! The pairing stage: linking tagged aspect and opinion spans.
+//!
+//! Appendix C of the paper compares an unsupervised rule-based method
+//! (greedy nearest linking, approximating parse-tree distance) with a
+//! supervised sentence-pair classifier (BERT fine-tuned to 83.87%; here a
+//! logistic regression over span geometry features).
+
+use opine_corpus::pairing::PairingExample;
+use opine_ml::{LogRegConfig, LogisticRegression};
+
+/// Greedy rule-based pairing: each opinion span links to the nearest
+/// aspect span by token distance (ties prefer the preceding aspect, since
+/// English reviews usually put the target first: "the room was clean").
+pub fn pair_rule_based(
+    aspects: &[(usize, usize)],
+    opinions: &[(usize, usize)],
+) -> Vec<((usize, usize), (usize, usize))> {
+    let mut pairs = Vec::new();
+    for &op in opinions {
+        let best = aspects.iter().min_by_key(|&&asp| {
+            let d = span_distance(asp, op);
+            // Prefer aspects before the opinion on ties.
+            (d, if asp.0 < op.0 { 0 } else { 1 })
+        });
+        if let Some(&asp) = best {
+            pairs.push((asp, op));
+        }
+    }
+    pairs
+}
+
+/// Token distance between two non-overlapping spans (0 when adjacent).
+fn span_distance(a: (usize, usize), b: (usize, usize)) -> usize {
+    if a.1 <= b.0 {
+        b.0 - a.1
+    } else { a.0.saturating_sub(b.1) }
+}
+
+/// The supervised pairing model of Appendix C.
+#[derive(Debug, Clone)]
+pub struct PairingModel {
+    model: LogisticRegression,
+}
+
+impl PairingModel {
+    /// Trains on labelled [`PairingExample`]s.
+    pub fn train(examples: &[PairingExample], config: &LogRegConfig) -> Self {
+        let data: Vec<(Vec<f64>, bool)> = examples
+            .iter()
+            .map(|e| (Self::features(e), e.label))
+            .collect();
+        Self {
+            model: LogisticRegression::train(&data, config),
+        }
+    }
+
+    /// Probability that the example's (aspect, opinion) pair is correct.
+    pub fn predict_proba(&self, example: &PairingExample) -> f64 {
+        self.model.predict_proba(&Self::features(example))
+    }
+
+    /// Hard decision at 0.5.
+    pub fn predict(&self, example: &PairingExample) -> bool {
+        self.predict_proba(example) >= 0.5
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn accuracy(&self, examples: &[PairingExample]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|e| self.predict(e) == e.label)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+
+    /// Span-geometry features: distance, order, connective interveners.
+    fn features(e: &PairingExample) -> Vec<f64> {
+        let dist = span_distance(e.aspect_span, e.opinion_span) as f64;
+        let aspect_first = if e.aspect_span.0 < e.opinion_span.0 { 1.0 } else { 0.0 };
+        let (lo, hi) = if e.aspect_span.1 <= e.opinion_span.0 {
+            (e.aspect_span.1, e.opinion_span.0)
+        } else {
+            (e.opinion_span.1.min(e.tokens.len()), e.aspect_span.0)
+        };
+        let between = &e.tokens[lo.min(e.tokens.len())..hi.min(e.tokens.len())];
+        let connectives = between
+            .iter()
+            .filter(|t| matches!(t.as_str(), "but" | "and" | "while" | "although"))
+            .count() as f64;
+        let copulas = between
+            .iter()
+            .filter(|t| matches!(t.as_str(), "was" | "is" | "were" | "are" | "seemed"))
+            .count() as f64;
+        vec![dist, dist * dist, aspect_first, connectives, copulas]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opine_corpus::hotel::hotel_spec;
+    use opine_corpus::pairing::pairing_dataset;
+
+    #[test]
+    fn rule_pairs_nearest_aspect() {
+        // "the room was clean but the staff was rude"
+        //   aspects: room(1,2) staff(6,7); opinions: clean(3,4) rude(8,9)
+        let aspects = vec![(1, 2), (6, 7)];
+        let opinions = vec![(3, 4), (8, 9)];
+        let pairs = pair_rule_based(&aspects, &opinions);
+        assert_eq!(pairs, vec![((1, 2), (3, 4)), ((6, 7), (8, 9))]);
+    }
+
+    #[test]
+    fn rule_handles_opinion_before_aspect() {
+        // "clean room": opinion(0,1) aspect(1,2)
+        let pairs = pair_rule_based(&[(1, 2)], &[(0, 1)]);
+        assert_eq!(pairs, vec![((1, 2), (0, 1))]);
+    }
+
+    #[test]
+    fn rule_with_no_aspects_yields_nothing() {
+        assert!(pair_rule_based(&[], &[(0, 1)]).is_empty());
+        assert!(pair_rule_based(&[(0, 1)], &[]).is_empty());
+    }
+
+    #[test]
+    fn supervised_model_reaches_papers_ballpark() {
+        // The paper reports 83.87% accuracy with 1 000 train / 1 000 test.
+        let spec = hotel_spec();
+        let train = pairing_dataset(&spec, 1000, 41);
+        let test = pairing_dataset(&spec, 1000, 43);
+        let model = PairingModel::train(&train, &LogRegConfig::default());
+        let acc = model.accuracy(&test);
+        assert!(acc > 0.8, "pairing accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn rule_based_is_competitive_on_generated_pairs() {
+        // Sanity for the paper's claim that rules achieve comparable
+        // performance: on the generated data the rule decision (nearest
+        // aspect) should agree with the label most of the time.
+        let spec = hotel_spec();
+        let data = pairing_dataset(&spec, 500, 47);
+        let mut correct = 0;
+        for e in &data {
+            let nearest_is_this_pair = {
+                // Rule: the opinion links to the nearest aspect; the example
+                // is "correct" if its aspect is that nearest one. In the
+                // generator's geometry a matched pair is separated only by
+                // the copula ("was"), i.e. a gap of at most one token.
+                span_distance(e.aspect_span, e.opinion_span) <= 1
+            };
+            if nearest_is_this_pair == e.label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.9, "rule heuristic accuracy {acc}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Embedding-based query expansion.
+//!
+//! The paper strengthens the GZ12 IR baseline with query expansion
+//! (Sec. 5.3): each query term is augmented with its nearest embedding
+//! neighbours so that "clean" also retrieves reviews saying "spotless".
+
+use opine_embed::Word2Vec;
+use opine_text::{tokenize, Vocab, WordId};
+
+/// Expands a free-text query into interned terms plus up to
+/// `expansions_per_term` embedding neighbours per original term.
+///
+/// Only neighbours with cosine ≥ `min_similarity` are added; original terms
+/// always come first and duplicates are removed.
+pub fn expand_query(
+    query: &str,
+    w2v: &Word2Vec,
+    vocab: &Vocab,
+    expansions_per_term: usize,
+    min_similarity: f32,
+) -> Vec<WordId> {
+    let mut terms: Vec<WordId> = tokenize(query)
+        .iter()
+        .filter_map(|t| vocab.get(t))
+        .collect();
+    let originals = terms.clone();
+    for term in originals {
+        for (neighbour, sim) in w2v.most_similar(term, expansions_per_term, vocab) {
+            if sim >= min_similarity && !terms.contains(&neighbour) {
+                terms.push(neighbour);
+            }
+        }
+    }
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opine_embed::Word2VecConfig;
+
+    #[test]
+    fn expansion_adds_similar_terms() {
+        let mut vocab = Vocab::new();
+        let sentences = [
+            vec!["room", "clean", "fresh"],
+            vec!["room", "spotless", "fresh"],
+            vec!["room", "clean", "bright"],
+            vec!["room", "spotless", "bright"],
+        ];
+        let interned: Vec<Vec<WordId>> = (0..30)
+            .flat_map(|_| sentences.iter())
+            .map(|s| s.iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let w2v = Word2Vec::train(
+            &interned,
+            vocab.len(),
+            &Word2VecConfig {
+                dim: 16,
+                epochs: 8,
+                seed: 13,
+                ..Default::default()
+            },
+        );
+        let expanded = expand_query("clean", &w2v, &vocab, 2, 0.1);
+        assert!(expanded.len() > 1, "should add at least one neighbour");
+        assert_eq!(expanded[0], vocab.get("clean").unwrap());
+    }
+
+    #[test]
+    fn unknown_words_expand_to_nothing() {
+        let vocab = Vocab::new();
+        let w2v = Word2Vec::train(&[], 0, &Word2VecConfig::default());
+        assert!(expand_query("zebra", &w2v, &vocab, 3, 0.3).is_empty());
+    }
+
+    #[test]
+    fn no_duplicates_in_expansion() {
+        let mut vocab = Vocab::new();
+        let sentences = [vec!["clean", "spotless"], vec!["spotless", "clean"]];
+        let interned: Vec<Vec<WordId>> = (0..20)
+            .flat_map(|_| sentences.iter())
+            .map(|s| s.iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let w2v = Word2Vec::train(&interned, vocab.len(), &Word2VecConfig::default());
+        let expanded = expand_query("clean spotless", &w2v, &vocab, 3, -1.0);
+        let mut dedup = expanded.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), expanded.len());
+    }
+}

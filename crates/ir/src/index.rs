@@ -1,0 +1,305 @@
+//! Inverted index with Okapi BM25 ranking.
+
+use opine_text::{tokenize, Vocab, WordId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Identifier of an indexed document (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// BM25 free parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`).
+    pub k1: f64,
+    /// Length normalization strength (`b`).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A scored retrieval result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// The matching document.
+    pub doc: DocId,
+    /// Its BM25 score (≥ 0).
+    pub score: f64,
+}
+
+/// An in-memory inverted index over tokenized documents.
+///
+/// Documents are added once; the index maintains postings with term
+/// frequencies, document lengths, and document frequencies for BM25.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<WordId, Vec<(DocId, u32)>>,
+    doc_lengths: Vec<u32>,
+    total_length: u64,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a document, interning its tokens into `vocab`.
+    ///
+    /// Returns the new document's id.
+    pub fn add_document(&mut self, text: &str, vocab: &mut Vocab) -> DocId {
+        let tokens = tokenize(text);
+        let doc = DocId(self.doc_lengths.len() as u32);
+        let mut tf: HashMap<WordId, u32> = HashMap::new();
+        for t in &tokens {
+            *tf.entry(vocab.intern(t)).or_insert(0) += 1;
+        }
+        for (word, count) in tf {
+            self.postings.entry(word).or_default().push((doc, count));
+        }
+        self.doc_lengths.push(tokens.len() as u32);
+        self.total_length += tokens.len() as u64;
+        doc
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lengths.len()
+    }
+
+    /// Number of documents containing `word`.
+    pub fn doc_freq(&self, word: WordId) -> usize {
+        self.postings.get(&word).map_or(0, Vec::len)
+    }
+
+    /// Length (token count) of `doc`.
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_lengths[doc.index()]
+    }
+
+    /// BM25 score of `doc` for the (tokenized, interned) query terms.
+    pub fn bm25(&self, doc: DocId, query_terms: &[WordId], params: &Bm25Params) -> f64 {
+        let avg_len = self.avg_doc_len();
+        query_terms
+            .iter()
+            .map(|&term| self.bm25_term(doc, term, avg_len, params))
+            .sum()
+    }
+
+    fn bm25_term(&self, doc: DocId, term: WordId, avg_len: f64, params: &Bm25Params) -> f64 {
+        let Some(postings) = self.postings.get(&term) else {
+            return 0.0;
+        };
+        let Some(&(_, tf)) = postings.iter().find(|(d, _)| *d == doc) else {
+            return 0.0;
+        };
+        let idf = self.idf(postings.len());
+        let tf = tf as f64;
+        let len_norm = 1.0 - params.b + params.b * self.doc_len(doc) as f64 / avg_len;
+        idf * tf * (params.k1 + 1.0) / (tf + params.k1 * len_norm)
+    }
+
+    /// Top-`k` documents by BM25 for a free-text query.
+    ///
+    /// Only documents containing at least one query term are scored, so the
+    /// result may be shorter than `k`. Ties break by ascending doc id for
+    /// determinism.
+    pub fn search(&self, query: &str, k: usize, vocab: &Vocab, params: &Bm25Params) -> Vec<SearchHit> {
+        let terms: Vec<WordId> = tokenize(query)
+            .iter()
+            .filter_map(|t| vocab.get(t))
+            .collect();
+        self.search_terms(&terms, k, params)
+    }
+
+    /// Top-`k` documents for pre-interned query terms.
+    pub fn search_terms(&self, terms: &[WordId], k: usize, params: &Bm25Params) -> Vec<SearchHit> {
+        if k == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        let avg_len = self.avg_doc_len();
+        // Accumulate scores document-at-a-time over candidate postings.
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for &term in terms {
+            let Some(postings) = self.postings.get(&term) else {
+                continue;
+            };
+            let idf = self.idf(postings.len());
+            for &(doc, tf) in postings {
+                let tf = tf as f64;
+                let len_norm =
+                    1.0 - params.b + params.b * self.doc_len(doc) as f64 / avg_len;
+                let s = idf * tf * (params.k1 + 1.0) / (tf + params.k1 * len_norm);
+                *scores.entry(doc).or_insert(0.0) += s;
+            }
+        }
+
+        // Keep the k best via a min-heap of (Reverse score, doc).
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for (doc, score) in scores {
+            heap.push(HeapEntry { score, doc });
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut hits: Vec<SearchHit> = heap
+            .into_iter()
+            .map(|e| SearchHit {
+                doc: e.doc,
+                score: e.score,
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.0.cmp(&b.doc.0)));
+        hits
+    }
+
+    fn avg_doc_len(&self) -> f64 {
+        if self.doc_lengths.is_empty() {
+            return 1.0;
+        }
+        (self.total_length as f64 / self.doc_lengths.len() as f64).max(1.0)
+    }
+
+    /// Non-negative BM25 idf: `ln(1 + (N - df + 0.5)/(df + 0.5))`.
+    fn idf(&self, df: usize) -> f64 {
+        let n = self.num_docs() as f64;
+        let df = df as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+}
+
+/// Min-heap entry ordered by score ascending (so `pop` evicts the worst).
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    score: f64,
+    doc: DocId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse score so the heap's max is the *worst* candidate; break
+        // ties by doc id descending so the smallest id survives eviction.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then(self.doc.0.cmp(&other.doc.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> (Vocab, InvertedIndex) {
+        let mut vocab = Vocab::new();
+        let mut index = InvertedIndex::new();
+        for text in [
+            "the room was very clean and the bed was soft",    // 0
+            "dirty room with stained carpet",                  // 1
+            "clean clean clean everything spotless",           // 2
+            "the breakfast was great and the staff friendly",  // 3
+        ] {
+            index.add_document(text, &mut vocab);
+        }
+        (vocab, index)
+    }
+
+    #[test]
+    fn search_ranks_higher_tf_first() {
+        let (vocab, index) = build();
+        let hits = index.search("clean", 10, &vocab, &Bm25Params::default());
+        assert_eq!(hits[0].doc, DocId(2), "doc 2 repeats 'clean' three times");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn scores_are_nonnegative_and_sorted() {
+        let (vocab, index) = build();
+        let hits = index.search("clean room carpet", 10, &vocab, &Bm25Params::default());
+        assert!(hits.iter().all(|h| h.score >= 0.0));
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn unmatched_query_returns_empty() {
+        let (vocab, index) = build();
+        assert!(index
+            .search("zebra", 5, &vocab, &Bm25Params::default())
+            .is_empty());
+        assert!(index
+            .search("", 5, &vocab, &Bm25Params::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let (vocab, index) = build();
+        let hits = index.search("room clean", 1, &vocab, &Bm25Params::default());
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn bm25_matches_search_scoring() {
+        let (vocab, index) = build();
+        let terms: Vec<WordId> = ["clean", "room"]
+            .iter()
+            .filter_map(|t| vocab.get(*t))
+            .collect();
+        let hits = index.search_terms(&terms, 10, &Bm25Params::default());
+        for hit in hits {
+            let direct = index.bm25(hit.doc, &terms, &Bm25Params::default());
+            assert!((direct - hit.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn doc_freq_counts_documents() {
+        let (vocab, index) = build();
+        assert_eq!(index.doc_freq(vocab.get("clean").unwrap()), 2);
+        assert_eq!(index.doc_freq(vocab.get("breakfast").unwrap()), 1);
+        assert_eq!(index.num_docs(), 4);
+    }
+
+    #[test]
+    fn rare_terms_outscore_common_terms() {
+        let mut vocab = Vocab::new();
+        let mut index = InvertedIndex::new();
+        // "common" in every doc, "rare" in one.
+        for i in 0..10 {
+            let text = if i == 0 {
+                "common rare".to_string()
+            } else {
+                "common filler".to_string()
+            };
+            index.add_document(&text, &mut vocab);
+        }
+        let rare_hits = index.search("rare", 1, &vocab, &Bm25Params::default());
+        let common_hits = index.search("common", 1, &vocab, &Bm25Params::default());
+        assert!(rare_hits[0].score > common_hits[0].score);
+    }
+}

@@ -1,0 +1,264 @@
+//! K-means clustering with k-means++ initialization.
+//!
+//! Used by OpineDB to suggest markers for *categorical* linguistic domains:
+//! "OpineDB performs k-means clustering on the linguistic domain.
+//! Afterwards, OpineDB suggests a set of markers by selecting the linguistic
+//! variations that correspond to the centroid of each cluster" (Sec. 4.2.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Clustering hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            max_iters: 50,
+            seed: 23,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: Vec<Vec<f32>>,
+    assignments: Vec<usize>,
+}
+
+impl KMeans {
+    /// Clusters `points` into at most `config.k` groups.
+    ///
+    /// If there are fewer points than `k`, every point becomes its own
+    /// cluster. Returns an empty result for no points.
+    pub fn fit(points: &[Vec<f32>], config: &KMeansConfig) -> Self {
+        if points.is_empty() {
+            return Self {
+                centroids: Vec::new(),
+                assignments: Vec::new(),
+            };
+        }
+        let k = config.k.min(points.len()).max(1);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut centroids = kmeanspp_init(points, k, &mut rng);
+        let mut assignments = vec![0usize; points.len()];
+
+        for _ in 0..config.max_iters {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = nearest_centroid(p, &centroids);
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids as cluster means.
+            let dim = points[0].len();
+            let mut sums = vec![vec![0.0f32; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (i, p) in points.iter().enumerate() {
+                counts[assignments[i]] += 1;
+                for (s, x) in sums[assignments[i]].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    *c = sum.iter().map(|s| s / *count as f32).collect();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        Self {
+            centroids,
+            assignments,
+        }
+    }
+
+    /// Cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f32>] {
+        &self.centroids
+    }
+
+    /// Cluster index assigned to each input point, in input order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Number of clusters actually produced.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Index of the input point closest to each centroid — the "linguistic
+    /// variation that corresponds to the centroid" used as a marker.
+    pub fn medoid_indices(&self, points: &[Vec<f32>]) -> Vec<usize> {
+        self.centroids
+            .iter()
+            .map(|c| {
+                points
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| sq_dist(a, c).total_cmp(&sq_dist(b, c)))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+fn kmeanspp_init(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        // Sample proportional to squared distance from nearest centroid.
+        let dists: Vec<f32> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .collect();
+        let total: f32 = dists.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[0].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f32>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, d) in dists.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+fn nearest_centroid(p: &[f32], centroids: &[Vec<f32>]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| sq_dist(p, a).total_cmp(&sq_dist(p, b)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let j = i as f32 * 0.01;
+            pts.push(vec![0.0 + j, 0.0]);
+            pts.push(vec![10.0 + j, 0.0]);
+            pts.push(vec![0.0 + j, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let pts = three_blobs();
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(km.k(), 3);
+        // Points 0,3,6,... (first blob) must share a cluster.
+        let first = km.assignments()[0];
+        for i in (0..30).step_by(3) {
+            assert_eq!(km.assignments()[i], first);
+        }
+        // And differ from the second blob's cluster.
+        assert_ne!(km.assignments()[0], km.assignments()[1]);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let km = KMeans::fit(&[], &KMeansConfig::default());
+        assert_eq!(km.k(), 0);
+        assert!(km.assignments().is_empty());
+    }
+
+    #[test]
+    fn medoids_are_members_of_their_cluster() {
+        let pts = three_blobs();
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        for (cluster, &medoid) in km.medoid_indices(&pts).iter().enumerate() {
+            assert_eq!(km.assignments()[medoid], cluster);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts = three_blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            ..Default::default()
+        };
+        let a = KMeans::fit(&pts, &cfg);
+        let b = KMeans::fit(&pts, &cfg);
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let pts = vec![vec![1.0, 1.0]; 5];
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert!(km.k() >= 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Machine-learning substrate for OpineDB, implemented from scratch.
+//!
+//! * [`LogisticRegression`] — binary logistic regression trained with SGD;
+//!   the paper uses its probability output directly as a fuzzy membership
+//!   function (Sec. 3.3) and as the supervised pairing model (Appendix C).
+//! * [`MulticlassLogReg`] — one-vs-rest wrapper used by the attribute
+//!   classifier (Sec. 4.2).
+//! * [`KMeans`] — k-means++ clustering used to suggest categorical markers
+//!   (Sec. 4.2.1).
+//! * [`tagger`] — an averaged structured perceptron with Viterbi decoding;
+//!   OpineDB's stand-in for the BERT+BiLSTM+CRF tagging model (Sec. 4.1).
+//! * [`metrics`] — span F1, accuracy, and NDCG used throughout Sec. 5.
+
+pub mod kmeans;
+pub mod logreg;
+pub mod metrics;
+pub mod tagger;
+
+pub use kmeans::{KMeans, KMeansConfig};
+pub use logreg::{LogRegConfig, LogisticRegression, MulticlassLogReg};
+pub use metrics::{accuracy, dcg_at_k, span_f1, SpanScore};
+pub use tagger::{SequenceTagger, TaggerConfig};

@@ -1,0 +1,140 @@
+//! Evaluation metrics: span-exact F1, accuracy, and discounted gain.
+
+use std::collections::HashSet;
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanScore {
+    /// Fraction of predicted spans that are correct.
+    pub precision: f64,
+    /// Fraction of gold spans that were predicted.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Exact-match span F1, as used for the extractor evaluation (Sec. 5.4.1):
+/// "an aspect/opinion term is considered correctly extracted only when the
+/// extracted term matches exactly with the ground truth term".
+///
+/// Spans are `(start, end)` token ranges, end exclusive. Inputs are
+/// per-sentence span sets; sentences are aligned by position.
+pub fn span_f1(gold: &[Vec<(usize, usize)>], predicted: &[Vec<(usize, usize)>]) -> SpanScore {
+    assert_eq!(gold.len(), predicted.len(), "sentence counts must match");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fneg = 0usize;
+    for (g, p) in gold.iter().zip(predicted) {
+        let gset: HashSet<_> = g.iter().collect();
+        let pset: HashSet<_> = p.iter().collect();
+        tp += gset.intersection(&pset).count();
+        fp += pset.difference(&gset).count();
+        fneg += gset.difference(&pset).count();
+    }
+    let precision = safe_div(tp as f64, (tp + fp) as f64);
+    let recall = safe_div(tp as f64, (tp + fneg) as f64);
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    SpanScore {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Classification accuracy over `(predicted, gold)` pairs.
+pub fn accuracy<T: PartialEq>(pairs: &[(T, T)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let correct = pairs.iter().filter(|(p, g)| p == g).count();
+    correct as f64 / pairs.len() as f64
+}
+
+/// Discounted cumulative gain at `k`: `Σ_j gain[j] / log2(j + 2)`.
+///
+/// `gains[j]` is the gain of the item at rank `j` (0-based), matching the
+/// paper's `1/log2(j+1)` for 1-based ranks in the sat(Q,E) metric.
+pub fn dcg_at_k(gains: &[f64], k: usize) -> f64 {
+    gains
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(j, g)| g / ((j as f64 + 2.0).log2()))
+        .sum()
+}
+
+fn safe_div(n: f64, d: f64) -> f64 {
+    if d == 0.0 {
+        0.0
+    } else {
+        n / d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let gold = vec![vec![(0, 2), (3, 4)]];
+        let s = span_f1(&gold, &gold);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_counts_as_miss() {
+        let gold = vec![vec![(0, 2)]];
+        let pred = vec![vec![(0, 3)]];
+        let s = span_f1(&gold, &pred);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn half_right_prediction() {
+        let gold = vec![vec![(0, 1), (2, 3)]];
+        let pred = vec![vec![(0, 1)]];
+        let s = span_f1(&gold, &pred);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+        assert!((s.f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_everything_is_zero() {
+        let s = span_f1(&[vec![]], &[vec![]]);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let pairs = vec![(1, 1), (2, 3), (4, 4), (5, 5)];
+        assert_eq!(accuracy(&pairs), 0.75);
+        let empty: Vec<(u8, u8)> = vec![];
+        assert_eq!(accuracy(&empty), 0.0);
+    }
+
+    #[test]
+    fn dcg_discounts_by_rank() {
+        // gain 1 at rank 0 → 1/log2(2) = 1; at rank 1 → 1/log2(3).
+        let d = dcg_at_k(&[1.0, 1.0], 2);
+        assert!((d - (1.0 + 1.0 / 3f64.log2())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dcg_truncates_at_k() {
+        assert_eq!(dcg_at_k(&[1.0, 1.0, 1.0], 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentence counts")]
+    fn mismatched_sentence_counts_panic() {
+        let _ = span_f1(&[vec![]], &[]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Lexicon expansion by label propagation over an embedding k-NN graph.
+//!
+//! Grows the seed lexicon with corpus-specific vocabulary (à la Hamilton et
+//! al., "Inducing domain-specific sentiment lexicons", cited as [21] in the
+//! paper): each unlabeled word receives the similarity-weighted average
+//! polarity of its nearest labeled neighbours in embedding space.
+
+use crate::lexicon::Lexicon;
+use opine_embed::{cosine, Word2Vec};
+use opine_text::Vocab;
+
+/// Expands `seed` with words from `vocab` using embedding neighbourhoods.
+///
+/// A word gets a propagated score when its top-`k` labeled neighbours have
+/// average |similarity| ≥ `min_similarity`; scores are similarity-weighted
+/// means damped by 0.8 per hop (single hop here), so propagated entries are
+/// never more extreme than their sources.
+pub fn expand_lexicon(
+    seed: &Lexicon,
+    w2v: &Word2Vec,
+    vocab: &Vocab,
+    k: usize,
+    min_similarity: f32,
+) -> Lexicon {
+    let mut expanded = seed.clone();
+
+    // Collect labeled word vectors once.
+    let labeled: Vec<(&str, f64, &[f32])> = vocab
+        .iter()
+        .filter_map(|(id, word)| seed.score(word).map(|s| (word, s, w2v.vector(id))))
+        .collect();
+    if labeled.is_empty() {
+        return expanded;
+    }
+
+    for (id, word) in vocab.iter() {
+        if seed.score(word).is_some() || w2v.count(id) == 0 {
+            continue;
+        }
+        let wv = w2v.vector(id);
+        let mut sims: Vec<(f64, f32)> = labeled
+            .iter()
+            .map(|(_, score, lv)| (*score, cosine(wv, lv)))
+            .collect();
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1));
+        sims.truncate(k);
+        let close: Vec<&(f64, f32)> = sims.iter().filter(|(_, s)| *s >= min_similarity).collect();
+        if close.is_empty() {
+            continue;
+        }
+        let weight_sum: f64 = close.iter().map(|(_, s)| *s as f64).sum();
+        if weight_sum <= 0.0 {
+            continue;
+        }
+        let score: f64 =
+            close.iter().map(|(p, s)| p * *s as f64).sum::<f64>() / weight_sum * 0.8;
+        if score.abs() >= 0.05 {
+            expanded.insert(word, score);
+        }
+    }
+    expanded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opine_embed::{Word2Vec, Word2VecConfig};
+    use opine_text::WordId;
+
+    #[test]
+    fn propagates_to_distributionally_similar_words() {
+        let mut vocab = Vocab::new();
+        // "sparkling" shares contexts with "clean"/"spotless" (labeled),
+        // "grubby" shares contexts with "dirty"/"filthy" (labeled).
+        let sentences = [
+            vec!["room", "clean", "lovely"],
+            vec!["room", "spotless", "lovely"],
+            vec!["room", "sparkling", "lovely"],
+            vec!["carpet", "dirty", "sadly"],
+            vec!["carpet", "filthy", "sadly"],
+            vec!["carpet", "grubby", "sadly"],
+        ];
+        let interned: Vec<Vec<WordId>> = (0..40)
+            .flat_map(|_| sentences.iter())
+            .map(|s| s.iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let w2v = Word2Vec::train(
+            &interned,
+            vocab.len(),
+            &Word2VecConfig {
+                dim: 16,
+                epochs: 10,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let expanded = expand_lexicon(&Lexicon::seed(), &w2v, &vocab, 3, 0.2);
+        let sparkling = expanded.score("sparkling");
+        let grubby = expanded.score("grubby");
+        if let (Some(s), Some(g)) = (sparkling, grubby) {
+            assert!(s > g, "sparkling ({s}) should be more positive than grubby ({g})");
+        }
+        // At minimum the seed must be preserved.
+        assert_eq!(expanded.score("clean"), Lexicon::seed().score("clean"));
+    }
+
+    #[test]
+    fn empty_seed_is_returned_unchanged() {
+        let mut vocab = Vocab::new();
+        vocab.intern("word");
+        let w2v = Word2Vec::train(&[], vocab.len(), &Word2VecConfig::default());
+        let out = expand_lexicon(&Lexicon::new(), &w2v, &vocab, 5, 0.3);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn expansion_never_shrinks_lexicon() {
+        let mut vocab = Vocab::new();
+        vocab.intern("clean");
+        let w2v = Word2Vec::train(&[], vocab.len(), &Word2VecConfig::default());
+        let seed = Lexicon::seed();
+        let out = expand_lexicon(&seed, &w2v, &vocab, 5, 0.3);
+        assert!(out.len() >= seed.len());
+    }
+}

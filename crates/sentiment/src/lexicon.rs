@@ -1,0 +1,190 @@
+//! A seed polarity lexicon for review text.
+
+use std::collections::HashMap;
+
+/// Word → polarity in `[-1, 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct Lexicon {
+    scores: HashMap<String, f64>,
+}
+
+impl Lexicon {
+    /// An empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in review-domain seed lexicon.
+    pub fn seed() -> Self {
+        let mut lex = Self::new();
+        for (word, score) in SEED_ENTRIES {
+            lex.insert(word, *score);
+        }
+        lex
+    }
+
+    /// Inserts or overwrites a word's polarity (clamped to `[-1, 1]`).
+    pub fn insert(&mut self, word: &str, score: f64) {
+        self.scores.insert(word.to_string(), score.clamp(-1.0, 1.0));
+    }
+
+    /// Polarity of `word`, if known.
+    pub fn score(&self, word: &str) -> Option<f64> {
+        self.scores.get(word).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when the lexicon has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Iterates over `(word, score)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.scores.iter().map(|(w, &s)| (w.as_str(), s))
+    }
+}
+
+/// Seed entries covering hotel and restaurant review vocabulary.
+static SEED_ENTRIES: &[(&str, f64)] = &[
+    // strongly positive
+    ("spotless", 0.95),
+    ("immaculate", 0.95),
+    ("exceptional", 0.95),
+    ("outstanding", 0.9),
+    ("luxurious", 0.85),
+    ("amazing", 0.9),
+    ("wonderful", 0.85),
+    ("excellent", 0.9),
+    ("fantastic", 0.9),
+    ("delicious", 0.85),
+    ("perfect", 0.9),
+    ("superb", 0.9),
+    ("gorgeous", 0.85),
+    ("heavenly", 0.85),
+    ("delightful", 0.8),
+    ("romantic", 0.7),
+    ("charming", 0.7),
+    // positive
+    ("great", 0.7),
+    ("good", 0.6),
+    ("clean", 0.65),
+    ("tidy", 0.6),
+    ("comfortable", 0.65),
+    ("comfy", 0.6),
+    ("friendly", 0.65),
+    ("helpful", 0.65),
+    ("kind", 0.6),
+    ("tasty", 0.65),
+    ("fresh", 0.6),
+    ("quiet", 0.6),
+    ("peaceful", 0.65),
+    ("cozy", 0.6),
+    ("spacious", 0.6),
+    ("modern", 0.5),
+    ("soft", 0.45),
+    ("nice", 0.55),
+    ("lively", 0.5),
+    ("lovely", 0.65),
+    ("attentive", 0.6),
+    ("generous", 0.6),
+    ("convenient", 0.55),
+    ("fast", 0.4),
+    ("cheap", 0.3),
+    ("affordable", 0.45),
+    ("warm", 0.4),
+    ("polite", 0.55),
+    ("courteous", 0.6),
+    ("pleasant", 0.6),
+    ("relaxing", 0.65),
+    // neutral-ish
+    ("average", 0.0),
+    ("ok", 0.05),
+    ("okay", 0.05),
+    ("standard", 0.05),
+    ("adequate", 0.1),
+    ("decent", 0.2),
+    ("fine", 0.2),
+    ("firm", 0.1),
+    ("basic", -0.05),
+    // negative
+    ("dirty", -0.7),
+    ("stained", -0.6),
+    ("dusty", -0.5),
+    ("grimy", -0.7),
+    ("noisy", -0.6),
+    ("loud", -0.5),
+    ("annoying", -0.6),
+    ("rude", -0.7),
+    ("unfriendly", -0.65),
+    ("slow", -0.45),
+    ("cold", -0.35),
+    ("stale", -0.55),
+    ("bland", -0.5),
+    ("cramped", -0.5),
+    ("worn", -0.4),
+    ("worn-out", -0.5),
+    ("old", -0.2),
+    ("dated", -0.35),
+    ("tired", -0.35),
+    ("expensive", -0.3),
+    ("overpriced", -0.55),
+    ("uncomfortable", -0.6),
+    ("hard", -0.3),
+    ("lumpy", -0.5),
+    ("small", -0.25),
+    ("tiny", -0.35),
+    ("bad", -0.6),
+    ("poor", -0.6),
+    ("mediocre", -0.4),
+    ("disappointing", -0.65),
+    // strongly negative
+    ("filthy", -0.95),
+    ("disgusting", -0.9),
+    ("terrible", -0.9),
+    ("horrible", -0.9),
+    ("awful", -0.85),
+    ("dreadful", -0.85),
+    ("unbearable", -0.8),
+    ("broken", -0.6),
+    ("moldy", -0.8),
+    ("smelly", -0.7),
+    ("infested", -0.95),
+    ("atrocious", -0.9),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_has_expected_polarity_signs() {
+        let lex = Lexicon::seed();
+        assert!(lex.score("spotless").unwrap() > 0.8);
+        assert!(lex.score("filthy").unwrap() < -0.8);
+        assert!(lex.score("average").unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn insert_clamps_to_unit_interval() {
+        let mut lex = Lexicon::new();
+        lex.insert("sublime", 3.0);
+        assert_eq!(lex.score("sublime"), Some(1.0));
+        lex.insert("cursed", -3.0);
+        assert_eq!(lex.score("cursed"), Some(-1.0));
+    }
+
+    #[test]
+    fn unknown_word_is_none() {
+        assert_eq!(Lexicon::seed().score("zamboni"), None);
+    }
+
+    #[test]
+    fn seed_is_reasonably_sized() {
+        assert!(Lexicon::seed().len() >= 90);
+    }
+}

@@ -1,0 +1,21 @@
+//! Sentiment analysis substrate for OpineDB.
+//!
+//! The paper uses NLTK's sentiment analyzer for three things: ranking
+//! reviews in the co-occurrence interpretation method (`senti(d)` in
+//! Eq. (3)), sorting phrases to generate linearly-ordered markers
+//! (Sec. 4.2.1), and the per-marker average-sentiment features of marker
+//! summaries. This crate provides an equivalent lexicon-based analyzer:
+//!
+//! * [`Lexicon`] — seed polarity lexicon for review vocabulary;
+//! * [`SentimentAnalyzer`] — phrase/document scorer with negation flips and
+//!   intensifier boosts, returning scores in `[-1, 1]`;
+//! * [`expand`] — label propagation over an embedding k-NN graph to grow
+//!   the lexicon from the review corpus (Hamilton et al.-style induction).
+
+pub mod expand;
+pub mod lexicon;
+pub mod scorer;
+
+pub use expand::expand_lexicon;
+pub use lexicon::Lexicon;
+pub use scorer::SentimentAnalyzer;

@@ -1,0 +1,167 @@
+//! The Subjective SQL abstract syntax tree.
+
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+}
+
+/// A column reference, optionally qualified with a table alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Optional table name or alias (`h` in `h.price`).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// A WHERE-clause expression.
+///
+/// Objective sub-expressions evaluate to 0/1; subjective ones to a degree
+/// of truth in `[0, 1]`; `And`/`Or`/`Not` combine them under the chosen
+/// fuzzy algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Comparison between a column and a literal (or two columns).
+    Compare {
+        /// Left operand.
+        lhs: Operand,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// A natural-language subjective predicate: `"has really clean rooms"`.
+    Subjective(String),
+    /// A direct marker condition: `h.comfort .= "firm"`.
+    MarkerMatch {
+        /// The subjective attribute reference.
+        attribute: ColumnRef,
+        /// The marker or free phrase.
+        phrase: String,
+    },
+    /// Fuzzy conjunction (⊗).
+    And(Box<Expr>, Box<Expr>),
+    /// Fuzzy disjunction (⊕).
+    Or(Box<Expr>, Box<Expr>),
+    /// Fuzzy negation (1 − x).
+    Not(Box<Expr>),
+}
+
+/// A comparison operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Value),
+}
+
+/// ORDER BY direction and column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    /// Column to order by.
+    pub column: ColumnRef,
+    /// Ascending when true.
+    pub ascending: bool,
+}
+
+/// A join clause: `JOIN table [alias] ON left = right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table name.
+    pub table: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+    /// Left side of the equi-join condition.
+    pub left: ColumnRef,
+    /// Right side of the equi-join condition.
+    pub right: ColumnRef,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Projected columns; empty means `*`.
+    pub columns: Vec<ColumnRef>,
+    /// Base table.
+    pub from: String,
+    /// Optional alias for the base table.
+    pub alias: Option<String>,
+    /// Equi-joins, applied left to right.
+    pub joins: Vec<Join>,
+    /// Optional WHERE expression.
+    pub where_clause: Option<Expr>,
+    /// Optional ORDER BY (defaults to fuzzy score descending).
+    pub order_by: Option<OrderBy>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+impl Expr {
+    /// True when the expression contains any subjective construct.
+    pub fn has_subjective(&self) -> bool {
+        match self {
+            Expr::Subjective(_) | Expr::MarkerMatch { .. } => true,
+            Expr::Compare { .. } => false,
+            Expr::And(a, b) | Expr::Or(a, b) => a.has_subjective() || b.has_subjective(),
+            Expr::Not(e) => e.has_subjective(),
+        }
+    }
+
+    /// Collects the texts of all natural-language predicates.
+    pub fn subjective_predicates(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_subjective(&mut out);
+        out
+    }
+
+    fn collect_subjective<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Subjective(s) => out.push(s),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_subjective(out);
+                b.collect_subjective(out);
+            }
+            Expr::Not(e) => e.collect_subjective(out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subjective_detection() {
+        let objective = Expr::Compare {
+            lhs: Operand::Column(ColumnRef {
+                table: None,
+                column: "price".into(),
+            }),
+            op: CmpOp::Lt,
+            rhs: Operand::Literal(Value::Int(150)),
+        };
+        assert!(!objective.has_subjective());
+        let mixed = Expr::And(
+            Box::new(objective),
+            Box::new(Expr::Subjective("clean rooms".into())),
+        );
+        assert!(mixed.has_subjective());
+        assert_eq!(mixed.subjective_predicates(), vec!["clean rooms"]);
+    }
+}

@@ -1,0 +1,95 @@
+//! The table catalog.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use crate::StoreError;
+use std::collections::BTreeMap;
+
+/// A collection of named tables.
+///
+/// The catalog itself is single-writer; wrap it in
+/// `parking_lot::RwLock` (re-exported patterns in `opine-core`) for
+/// concurrent readers during query processing.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table; errors if the name exists.
+    pub fn create_table(&mut self, schema: Schema) -> Result<(), StoreError> {
+        let name = schema.name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(StoreError::DuplicateTable(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Inserts a row into the named table.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), StoreError> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Shared access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::UnknownTable(name.to_string()))
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    #[test]
+    fn create_insert_query() {
+        let mut c = Catalog::new();
+        c.create_table(Schema::new(
+            "t",
+            vec![Column::new("id", ColumnType::Int)],
+            0,
+        ))
+        .unwrap();
+        c.insert("t", vec![Value::Int(1)]).unwrap();
+        assert_eq!(c.table("t").unwrap().len(), 1);
+        assert_eq!(c.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        let s = Schema::new("t", vec![Column::new("id", ColumnType::Int)], 0);
+        c.create_table(s.clone()).unwrap();
+        assert!(matches!(
+            c.create_table(s),
+            Err(StoreError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let c = Catalog::new();
+        assert!(matches!(c.table("nope"), Err(StoreError::UnknownTable(_))));
+    }
+}

@@ -1,0 +1,599 @@
+//! The executor: evaluates a [`Select`] against a [`Catalog`].
+//!
+//! Every row receives a fuzzy score in `[0, 1]`: objective comparisons
+//! contribute 0 or 1 (as in Sec. 3.1 of the paper, "an objective predicate
+//! will simply be interpreted as 0 or 1"), subjective constructs ask a
+//! [`SubjectiveScorer`] for a degree of truth, and the WHERE expression
+//! combines them with the configured [`FuzzyAlgebra`]. The result is ranked
+//! by score descending (unless an explicit ORDER BY overrides it).
+
+use crate::ast::{CmpOp, ColumnRef, Expr, Operand, Select};
+use crate::catalog::Catalog;
+use crate::value::Value;
+use crate::StoreError;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// The two t-norm variants the paper discusses (Sec. 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FuzzyAlgebra {
+    /// The multiplication variant OpineDB uses: `x⊗y = xy`,
+    /// `x⊕y = 1−(1−x)(1−y)`, `¬x = 1−x`.
+    #[default]
+    Product,
+    /// The classic Gödel variant: `x⊗y = min`, `x⊕y = max`, `¬x = 1−x`.
+    Godel,
+}
+
+impl FuzzyAlgebra {
+    /// Fuzzy AND.
+    #[inline]
+    pub fn and(&self, x: f64, y: f64) -> f64 {
+        match self {
+            FuzzyAlgebra::Product => x * y,
+            FuzzyAlgebra::Godel => x.min(y),
+        }
+    }
+
+    /// Fuzzy OR.
+    #[inline]
+    pub fn or(&self, x: f64, y: f64) -> f64 {
+        match self {
+            FuzzyAlgebra::Product => 1.0 - (1.0 - x) * (1.0 - y),
+            FuzzyAlgebra::Godel => x.max(y),
+        }
+    }
+
+    /// Fuzzy NOT.
+    #[inline]
+    pub fn not(&self, x: f64) -> f64 {
+        1.0 - x
+    }
+}
+
+/// Supplies degrees of truth for subjective constructs.
+///
+/// The key passed in is the value of the scanned row's primary key for the
+/// *base* table of the query — in OpineDB that is the entity identifier.
+pub trait SubjectiveScorer {
+    /// Degree of truth of a natural-language predicate for the entity.
+    fn degree_predicate(&self, predicate: &str, key: &Value) -> Result<f64, StoreError>;
+
+    /// Degree of truth of `attribute .= "phrase"` for the entity.
+    fn degree_match(
+        &self,
+        attribute: &ColumnRef,
+        phrase: &str,
+        key: &Value,
+    ) -> Result<f64, StoreError>;
+}
+
+/// A scorer that rejects all subjective constructs — for purely objective
+/// queries.
+pub struct ObjectiveOnly;
+
+impl SubjectiveScorer for ObjectiveOnly {
+    fn degree_predicate(&self, predicate: &str, _key: &Value) -> Result<f64, StoreError> {
+        Err(StoreError::NoScorer(predicate.to_string()))
+    }
+
+    fn degree_match(
+        &self,
+        attribute: &ColumnRef,
+        phrase: &str,
+        _key: &Value,
+    ) -> Result<f64, StoreError> {
+        Err(StoreError::NoScorer(format!(
+            "{}.= \"{phrase}\"",
+            attribute.column
+        )))
+    }
+}
+
+/// A ranked query result.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Output column names (qualified where ambiguous).
+    pub columns: Vec<String>,
+    /// Rows with their fuzzy scores, ordered as returned.
+    pub rows: Vec<(Vec<Value>, f64)>,
+}
+
+impl ResultSet {
+    /// The key/score pairs in rank order for the given column index.
+    pub fn column_values(&self, idx: usize) -> Vec<&Value> {
+        self.rows.iter().map(|(r, _)| &r[idx]).collect()
+    }
+}
+
+/// Column resolution over the (possibly joined) row layout.
+struct Layout {
+    /// `(table_or_alias, column_name)` per output slot.
+    slots: Vec<(String, String)>,
+    /// Index of the base table's key column in the combined row.
+    base_key_slot: usize,
+}
+
+impl Layout {
+    fn resolve(&self, r: &ColumnRef) -> Result<usize, StoreError> {
+        let matches: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, (tbl, col))| {
+                col == &r.column && r.table.as_ref().is_none_or(|t| t == tbl)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            0 => Err(StoreError::UnknownColumn(format!(
+                "{}{}",
+                r.table.as_deref().map(|t| format!("{t}.")).unwrap_or_default(),
+                r.column
+            ))),
+            1 => Ok(matches[0]),
+            _ => Err(StoreError::Execution(format!(
+                "ambiguous column {}",
+                r.column
+            ))),
+        }
+    }
+}
+
+/// Executes `query` against `catalog` using `scorer` for subjective parts.
+pub fn execute(
+    query: &Select,
+    catalog: &Catalog,
+    scorer: &dyn SubjectiveScorer,
+) -> Result<ResultSet, StoreError> {
+    let base = catalog.table(&query.from)?;
+    let base_name = query.alias.clone().unwrap_or_else(|| query.from.clone());
+
+    // Build the combined layout and materialize joined rows.
+    let mut layout = Layout {
+        slots: base
+            .schema()
+            .columns
+            .iter()
+            .map(|c| (base_name.clone(), c.name.clone()))
+            .collect(),
+        base_key_slot: base.schema().key,
+    };
+    let mut rows: Vec<Vec<Value>> = base.rows().to_vec();
+
+    for join in &query.joins {
+        let right = catalog.table(&join.table)?;
+        let right_name = join.alias.clone().unwrap_or_else(|| join.table.clone());
+        let left_slot = layout.resolve(&join.left).or_else(|_| {
+            // The ON condition may list the joined table's column first.
+            layout.resolve(&join.right)
+        })?;
+        // Which side refers to the already-built layout decides probe/build.
+        let (probe_ref, build_ref) = if layout.resolve(&join.left).is_ok() {
+            (&join.left, &join.right)
+        } else {
+            (&join.right, &join.left)
+        };
+        let probe_slot = layout.resolve(probe_ref)?;
+        let build_col = right
+            .schema()
+            .column_index(&build_ref.column)
+            .ok_or_else(|| StoreError::UnknownColumn(build_ref.column.clone()))?;
+        let _ = left_slot;
+
+        // Hash join: build side = joined table.
+        let mut hash: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
+        for row in right.rows() {
+            hash.entry(row[build_col].to_string()).or_default().push(row);
+        }
+        let mut joined = Vec::new();
+        for row in &rows {
+            if let Some(matches) = hash.get(&row[probe_slot].to_string()) {
+                for m in matches {
+                    let mut combined = row.clone();
+                    combined.extend((*m).clone());
+                    joined.push(combined);
+                }
+            }
+        }
+        rows = joined;
+        layout.slots.extend(
+            right
+                .schema()
+                .columns
+                .iter()
+                .map(|c| (right_name.clone(), c.name.clone())),
+        );
+    }
+
+    // Score every row.
+    let mut scored: Vec<(Vec<Value>, f64)> = Vec::with_capacity(rows.len());
+    let algebra = FuzzyAlgebra::Product;
+    for row in rows {
+        let key = row[layout.base_key_slot].clone();
+        let score = match &query.where_clause {
+            None => 1.0,
+            Some(expr) => eval(expr, &row, &layout, &key, scorer, algebra)?,
+        };
+        if score > 0.0 {
+            scored.push((row, score));
+        }
+    }
+
+    // Order: explicit ORDER BY, else score descending.
+    match &query.order_by {
+        Some(ob) => {
+            let slot = layout.resolve(&ob.column)?;
+            scored.sort_by(|a, b| {
+                let ord = a.0[slot]
+                    .compare(&b.0[slot])
+                    .unwrap_or(Ordering::Equal);
+                if ob.ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        None => scored.sort_by(|a, b| b.1.total_cmp(&a.1)),
+    }
+    if let Some(limit) = query.limit {
+        scored.truncate(limit);
+    }
+
+    // Projection.
+    let (columns, rows) = if query.columns.is_empty() {
+        (
+            layout
+                .slots
+                .iter()
+                .map(|(t, c)| format!("{t}.{c}"))
+                .collect(),
+            scored,
+        )
+    } else {
+        let indices: Vec<usize> = query
+            .columns
+            .iter()
+            .map(|c| layout.resolve(c))
+            .collect::<Result<_, _>>()?;
+        let names = query
+            .columns
+            .iter()
+            .map(|c| c.column.clone())
+            .collect::<Vec<_>>();
+        let projected = scored
+            .into_iter()
+            .map(|(row, s)| (indices.iter().map(|&i| row[i].clone()).collect(), s))
+            .collect();
+        (names, projected)
+    };
+
+    Ok(ResultSet { columns, rows })
+}
+
+/// Executes `query` with the given fuzzy algebra (ablation hook).
+pub fn execute_with_algebra(
+    query: &Select,
+    catalog: &Catalog,
+    scorer: &dyn SubjectiveScorer,
+    algebra: FuzzyAlgebra,
+) -> Result<ResultSet, StoreError> {
+    // Same as `execute` but threading the algebra; implemented by scoring
+    // directly here to avoid code drift.
+    let mut q = query.clone();
+    // Reuse the main path when the default algebra is requested.
+    if algebra == FuzzyAlgebra::Product {
+        return execute(query, catalog, scorer);
+    }
+    // For the Gödel variant, wrap the scorer evaluation via a custom path:
+    // simplest correct approach is to re-run scoring with the other algebra.
+    let base = catalog.table(&q.from)?;
+    let base_name = q.alias.clone().unwrap_or_else(|| q.from.clone());
+    if !q.joins.is_empty() {
+        return Err(StoreError::Execution(
+            "execute_with_algebra does not support joins".into(),
+        ));
+    }
+    let layout = Layout {
+        slots: base
+            .schema()
+            .columns
+            .iter()
+            .map(|c| (base_name.clone(), c.name.clone()))
+            .collect(),
+        base_key_slot: base.schema().key,
+    };
+    let mut scored: Vec<(Vec<Value>, f64)> = Vec::new();
+    for row in base.rows() {
+        let key = row[layout.base_key_slot].clone();
+        let score = match &q.where_clause {
+            None => 1.0,
+            Some(expr) => eval(expr, row, &layout, &key, scorer, algebra)?,
+        };
+        if score > 0.0 {
+            scored.push((row.clone(), score));
+        }
+    }
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if let Some(limit) = q.limit.take() {
+        scored.truncate(limit);
+    }
+    Ok(ResultSet {
+        columns: layout
+            .slots
+            .iter()
+            .map(|(t, c)| format!("{t}.{c}"))
+            .collect(),
+        rows: scored,
+    })
+}
+
+fn eval(
+    expr: &Expr,
+    row: &[Value],
+    layout: &Layout,
+    key: &Value,
+    scorer: &dyn SubjectiveScorer,
+    algebra: FuzzyAlgebra,
+) -> Result<f64, StoreError> {
+    match expr {
+        Expr::Compare { lhs, op, rhs } => {
+            let l = operand_value(lhs, row, layout)?;
+            let r = operand_value(rhs, row, layout)?;
+            let ord = l.compare(&r);
+            let truth = match (op, ord) {
+                (_, None) => false,
+                (CmpOp::Lt, Some(o)) => o == Ordering::Less,
+                (CmpOp::Le, Some(o)) => o != Ordering::Greater,
+                (CmpOp::Gt, Some(o)) => o == Ordering::Greater,
+                (CmpOp::Ge, Some(o)) => o != Ordering::Less,
+                (CmpOp::Eq, Some(o)) => o == Ordering::Equal,
+                (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
+            };
+            Ok(if truth { 1.0 } else { 0.0 })
+        }
+        Expr::Subjective(p) => scorer.degree_predicate(p, key),
+        Expr::MarkerMatch { attribute, phrase } => scorer.degree_match(attribute, phrase, key),
+        Expr::And(a, b) => {
+            let x = eval(a, row, layout, key, scorer, algebra)?;
+            // 0 annihilates under both t-norms; skip the (possibly
+            // expensive subjective) right side for filtered-out rows.
+            if x == 0.0 {
+                return Ok(0.0);
+            }
+            let y = eval(b, row, layout, key, scorer, algebra)?;
+            Ok(algebra.and(x, y))
+        }
+        Expr::Or(a, b) => {
+            let x = eval(a, row, layout, key, scorer, algebra)?;
+            let y = eval(b, row, layout, key, scorer, algebra)?;
+            Ok(algebra.or(x, y))
+        }
+        Expr::Not(e) => {
+            let x = eval(e, row, layout, key, scorer, algebra)?;
+            Ok(algebra.not(x))
+        }
+    }
+}
+
+fn operand_value(op: &Operand, row: &[Value], layout: &Layout) -> Result<Value, StoreError> {
+    match op {
+        Operand::Literal(v) => Ok(v.clone()),
+        Operand::Column(c) => Ok(row[layout.resolve(c)?].clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn hotel_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(Schema::new(
+            "hotels",
+            vec![
+                Column::new("hotelname", ColumnType::Text),
+                Column::new("city", ColumnType::Text),
+                Column::new("price_pn", ColumnType::Float),
+                Column::new("street", ColumnType::Text),
+            ],
+            0,
+        ))
+        .unwrap();
+        for (name, city, price, street) in [
+            ("Grand", "London", 120.0, "baker"),
+            ("Plaza", "London", 300.0, "oxford"),
+            ("Canal", "Amsterdam", 90.0, "herengracht"),
+        ] {
+            c.insert(
+                "hotels",
+                vec![
+                    Value::text(name),
+                    Value::text(city),
+                    Value::Float(price),
+                    Value::text(street),
+                ],
+            )
+            .unwrap();
+        }
+        c
+    }
+
+    /// Scorer with canned degrees for tests.
+    struct Canned;
+    impl SubjectiveScorer for Canned {
+        fn degree_predicate(&self, predicate: &str, key: &Value) -> Result<f64, StoreError> {
+            // "clean rooms": Grand 0.9, Plaza 0.5, Canal 0.2
+            let v = match (predicate, key.as_str().unwrap_or("")) {
+                ("clean rooms", "Grand") => 0.9,
+                ("clean rooms", "Plaza") => 0.5,
+                ("clean rooms", "Canal") => 0.2,
+                _ => 0.1,
+            };
+            Ok(v)
+        }
+        fn degree_match(
+            &self,
+            _attribute: &ColumnRef,
+            phrase: &str,
+            key: &Value,
+        ) -> Result<f64, StoreError> {
+            Ok(match (phrase, key.as_str().unwrap_or("")) {
+                ("firm", "Plaza") => 0.8,
+                _ => 0.3,
+            })
+        }
+    }
+
+    #[test]
+    fn objective_filter_works() {
+        let cat = hotel_catalog();
+        let q = parse_select("select * from hotels where price_pn < 150").unwrap();
+        let r = execute(&q, &cat, &ObjectiveOnly).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        for (row, score) in &r.rows {
+            assert!(row[2].as_f64().unwrap() < 150.0);
+            assert_eq!(*score, 1.0);
+        }
+    }
+
+    #[test]
+    fn subjective_predicate_ranks_rows() {
+        let cat = hotel_catalog();
+        let q = parse_select("select * from hotels where \"clean rooms\"").unwrap();
+        let r = execute(&q, &cat, &Canned).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0].0[0], Value::text("Grand"));
+        assert!((r.rows[0].1 - 0.9).abs() < 1e-9);
+        assert!(r.rows[0].1 > r.rows[1].1 && r.rows[1].1 > r.rows[2].1);
+    }
+
+    #[test]
+    fn mixed_query_multiplies_degrees() {
+        let cat = hotel_catalog();
+        let q = parse_select(
+            "select * from hotels where price_pn < 150 and \"clean rooms\"",
+        )
+        .unwrap();
+        let r = execute(&q, &cat, &Canned).unwrap();
+        // Plaza (300/night) excluded by the objective 0; Grand 0.9, Canal 0.2.
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].0[0], Value::text("Grand"));
+        assert!((r.rows[0].1 - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marker_match_uses_scorer() {
+        let cat = hotel_catalog();
+        let q = parse_select("select * from hotels h where h.comfort .= \"firm\"").unwrap();
+        let r = execute(&q, &cat, &Canned).unwrap();
+        assert_eq!(r.rows[0].0[0], Value::text("Plaza"));
+    }
+
+    #[test]
+    fn missing_scorer_is_an_error() {
+        let cat = hotel_catalog();
+        let q = parse_select("select * from hotels where \"clean rooms\"").unwrap();
+        assert!(matches!(
+            execute(&q, &cat, &ObjectiveOnly),
+            Err(StoreError::NoScorer(_))
+        ));
+    }
+
+    #[test]
+    fn projection_selects_columns() {
+        let cat = hotel_catalog();
+        let q = parse_select("select hotelname from hotels where price_pn < 150").unwrap();
+        let r = execute(&q, &cat, &ObjectiveOnly).unwrap();
+        assert_eq!(r.columns, vec!["hotelname"]);
+        assert_eq!(r.rows[0].0.len(), 1);
+    }
+
+    #[test]
+    fn order_by_overrides_score_order() {
+        let cat = hotel_catalog();
+        let q = parse_select("select * from hotels order by price_pn asc").unwrap();
+        let r = execute(&q, &cat, &ObjectiveOnly).unwrap();
+        assert_eq!(r.rows[0].0[0], Value::text("Canal"));
+        assert_eq!(r.rows[2].0[0], Value::text("Plaza"));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let cat = hotel_catalog();
+        let q = parse_select("select * from hotels limit 1").unwrap();
+        let r = execute(&q, &cat, &ObjectiveOnly).unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn join_combines_tables() {
+        let mut cat = hotel_catalog();
+        cat.create_table(Schema::new(
+            "cafes",
+            vec![
+                Column::new("cafename", ColumnType::Text),
+                Column::new("street", ColumnType::Text),
+            ],
+            0,
+        ))
+        .unwrap();
+        cat.insert("cafes", vec![Value::text("Beans"), Value::text("baker")])
+            .unwrap();
+        cat.insert("cafes", vec![Value::text("Brew"), Value::text("canal")])
+            .unwrap();
+        let q = parse_select(
+            "select * from hotels h join cafes c on h.street = c.street",
+        )
+        .unwrap();
+        let r = execute(&q, &cat, &ObjectiveOnly).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].0[0], Value::text("Grand"));
+        assert_eq!(r.rows[0].0[4], Value::text("Beans"));
+    }
+
+    #[test]
+    fn fuzzy_algebra_laws() {
+        for alg in [FuzzyAlgebra::Product, FuzzyAlgebra::Godel] {
+            // identity / annihilator
+            assert_eq!(alg.and(1.0, 0.7), 0.7);
+            assert_eq!(alg.and(0.0, 0.7), 0.0);
+            assert_eq!(alg.or(0.0, 0.7), 0.7);
+            assert_eq!(alg.or(1.0, 0.7), 1.0);
+            // De Morgan: ¬(x ⊗ y) = ¬x ⊕ ¬y
+            let (x, y) = (0.3, 0.6);
+            let lhs = alg.not(alg.and(x, y));
+            let rhs = alg.or(alg.not(x), alg.not(y));
+            assert!((lhs - rhs).abs() < 1e-12, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn godel_variant_uses_min() {
+        let cat = hotel_catalog();
+        let q = parse_select("select * from hotels where \"clean rooms\" and \"clean rooms\"")
+            .unwrap();
+        let product = execute(&cat_query(&q), &cat, &Canned).unwrap();
+        let godel = execute_with_algebra(&q, &cat, &Canned, FuzzyAlgebra::Godel).unwrap();
+        // product: 0.81 for Grand; Gödel: 0.9.
+        assert!((product.rows[0].1 - 0.81).abs() < 1e-9);
+        assert!((godel.rows[0].1 - 0.9).abs() < 1e-9);
+    }
+
+    fn cat_query(q: &Select) -> Select {
+        q.clone()
+    }
+
+    #[test]
+    fn unknown_column_is_reported() {
+        let cat = hotel_catalog();
+        let q = parse_select("select * from hotels where nosuch > 5").unwrap();
+        assert!(matches!(
+            execute(&q, &cat, &ObjectiveOnly),
+            Err(StoreError::UnknownColumn(_))
+        ));
+    }
+}

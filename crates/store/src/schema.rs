@@ -1,0 +1,117 @@
+//! Table schemas.
+
+use crate::value::Value;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl ColumnType {
+    /// True when `value` is NULL or matches this type (ints are accepted
+    /// into float columns, as in most SQL engines).
+    pub fn accepts(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Text, Value::Text(_))
+                | (ColumnType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column name (lowercase by convention).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// New column definition.
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        Self {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+/// A table schema: name, columns, and the primary-key column index.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+    /// Index of the key column.
+    pub key: usize,
+}
+
+impl Schema {
+    /// New schema; panics if `key` is out of range.
+    pub fn new(name: &str, columns: Vec<Column>, key: usize) -> Self {
+        assert!(key < columns.len(), "key column out of range");
+        Self {
+            name: name.to_string(),
+            columns,
+            key,
+        }
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_acceptance() {
+        assert!(ColumnType::Int.accepts(&Value::Int(1)));
+        assert!(ColumnType::Float.accepts(&Value::Int(1)));
+        assert!(ColumnType::Float.accepts(&Value::Float(1.0)));
+        assert!(!ColumnType::Int.accepts(&Value::Float(1.0)));
+        assert!(ColumnType::Text.accepts(&Value::Null));
+        assert!(!ColumnType::Bool.accepts(&Value::text("x")));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = Schema::new(
+            "t",
+            vec![Column::new("a", ColumnType::Int), Column::new("b", ColumnType::Text)],
+            0,
+        );
+        assert_eq!(s.column_index("b"), Some(1));
+        assert_eq!(s.column_index("z"), None);
+        assert_eq!(s.column_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "key column out of range")]
+    fn bad_key_panics() {
+        let _ = Schema::new("t", vec![Column::new("a", ColumnType::Int)], 3);
+    }
+}

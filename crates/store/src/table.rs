@@ -1,0 +1,139 @@
+//! Row storage with key lookup.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::StoreError;
+use std::collections::HashMap;
+
+/// An in-memory table: schema + rows + a key index.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+    key_index: HashMap<String, usize>,
+}
+
+impl Table {
+    /// Empty table with `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+            key_index: HashMap::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Inserts a row after checking arity and column types.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(), StoreError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(StoreError::SchemaMismatch(format!(
+                "{}: expected {} values, got {}",
+                self.schema.name,
+                self.schema.columns.len(),
+                row.len()
+            )));
+        }
+        for (col, v) in self.schema.columns.iter().zip(&row) {
+            if !col.ty.accepts(v) {
+                return Err(StoreError::SchemaMismatch(format!(
+                    "{}.{}: value {v:?} does not match {:?}",
+                    self.schema.name, col.name, col.ty
+                )));
+            }
+        }
+        let key = row[self.schema.key].to_string();
+        self.key_index.insert(key, self.rows.len());
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Row with the given key value, if present.
+    pub fn get_by_key(&self, key: &Value) -> Option<&Vec<Value>> {
+        self.key_index
+            .get(&key.to_string())
+            .map(|&i| &self.rows[i])
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn table() -> Table {
+        Table::new(Schema::new(
+            "hotels",
+            vec![
+                Column::new("name", ColumnType::Text),
+                Column::new("price", ColumnType::Float),
+            ],
+            0,
+        ))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = table();
+        t.insert(vec![Value::text("Grand"), Value::Float(120.0)]).unwrap();
+        assert_eq!(t.len(), 1);
+        let row = t.get_by_key(&Value::text("Grand")).unwrap();
+        assert_eq!(row[1], Value::Float(120.0));
+        assert!(t.get_by_key(&Value::text("Missing")).is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = table();
+        let err = t.insert(vec![Value::text("x")]).unwrap_err();
+        assert!(matches!(err, StoreError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::Int(1), Value::Float(2.0)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut t = table();
+        t.insert(vec![Value::text("A"), Value::Int(99)]).unwrap();
+        assert_eq!(t.rows()[0][1], Value::Int(99));
+    }
+
+    #[test]
+    fn duplicate_key_replaces_index_entry() {
+        let mut t = table();
+        t.insert(vec![Value::text("A"), Value::Float(1.0)]).unwrap();
+        t.insert(vec![Value::text("A"), Value::Float(2.0)]).unwrap();
+        // Last write wins for key lookup; both rows remain in scan order.
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.get_by_key(&Value::text("A")).unwrap()[1],
+            Value::Float(2.0)
+        );
+    }
+}

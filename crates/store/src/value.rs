@@ -1,0 +1,113 @@
+//! Runtime values.
+
+use std::cmp::Ordering;
+
+/// A dynamically-typed cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+
+    /// Numeric view (ints widen to float); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-style comparison: numbers compare numerically across Int/Float,
+    /// text lexicographically, bools as false < true. `None` when the
+    /// types are incomparable or either side is NULL.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                Some(a.total_cmp(&b))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x:.2}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparison_crosses_types() {
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).compare(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn text_compares_lexicographically() {
+        assert_eq!(
+            Value::text("a").compare(&Value::text("b")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_is_incomparable() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+    }
+
+    #[test]
+    fn mixed_text_number_is_incomparable() {
+        assert_eq!(Value::text("1").compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::text("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,119 @@
+//! Document-frequency statistics and inverse document frequency.
+//!
+//! Used for the IDF-weighted phrase representation of Eq. (1) of the paper
+//! and by the BM25 ranking function in `opine-ir`.
+
+use crate::vocab::{Vocab, WordId};
+use std::collections::HashSet;
+
+/// Document-frequency model over an interned corpus.
+#[derive(Debug, Clone, Default)]
+pub struct IdfModel {
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+}
+
+impl IdfModel {
+    /// Creates an empty model sized for `vocab`.
+    pub fn new(vocab: &Vocab) -> Self {
+        Self {
+            doc_freq: vec![0; vocab.len()],
+            num_docs: 0,
+        }
+    }
+
+    /// Records one document given its interned tokens.
+    ///
+    /// Each distinct word counts once per document.
+    pub fn add_document(&mut self, tokens: &[WordId]) {
+        self.num_docs += 1;
+        let distinct: HashSet<WordId> = tokens.iter().copied().collect();
+        for id in distinct {
+            if id.index() >= self.doc_freq.len() {
+                self.doc_freq.resize(id.index() + 1, 0);
+            }
+            self.doc_freq[id.index()] += 1;
+        }
+    }
+
+    /// Number of documents containing `id`.
+    pub fn doc_freq(&self, id: WordId) -> u32 {
+        self.doc_freq.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Total number of documents recorded.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Smoothed inverse document frequency: `ln(1 + N / (1 + df))`.
+    ///
+    /// Monotonically decreasing in `df`; never negative; words unseen in the
+    /// corpus receive the maximum weight, which matches the paper's intuition
+    /// that rarer phrases like "very-clean" outweigh common ones like "clean".
+    pub fn idf(&self, id: WordId) -> f64 {
+        let df = self.doc_freq(id) as f64;
+        (1.0 + self.num_docs as f64 / (1.0 + df)).ln()
+    }
+
+    /// BM25-style IDF: `ln(1 + (N - df + 0.5) / (df + 0.5))`.
+    pub fn bm25_idf(&self, id: WordId) -> f64 {
+        let df = self.doc_freq(id) as f64;
+        let n = self.num_docs as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vocab, IdfModel) {
+        let mut v = Vocab::new();
+        let mut m = IdfModel::new(&v);
+        let docs = [
+            vec!["clean", "room"],
+            vec!["clean", "bed"],
+            vec!["dirty", "room", "room"],
+        ];
+        for doc in docs {
+            let toks: Vec<WordId> = doc.iter().map(|w| v.intern(w)).collect();
+            m.add_document(&toks);
+        }
+        (v, m)
+    }
+
+    #[test]
+    fn doc_freq_counts_distinct_per_doc() {
+        let (v, m) = setup();
+        // "room" appears twice in one doc but df counts documents.
+        assert_eq!(m.doc_freq(v.get("room").unwrap()), 2);
+        assert_eq!(m.doc_freq(v.get("clean").unwrap()), 2);
+        assert_eq!(m.doc_freq(v.get("dirty").unwrap()), 1);
+        assert_eq!(m.num_docs(), 3);
+    }
+
+    #[test]
+    fn idf_decreases_with_frequency() {
+        let (v, m) = setup();
+        let rare = m.idf(v.get("dirty").unwrap());
+        let common = m.idf(v.get("room").unwrap());
+        assert!(rare > common, "rare {rare} should exceed common {common}");
+    }
+
+    #[test]
+    fn idf_positive_for_unseen_word() {
+        let (mut v, m) = setup();
+        let unseen = v.intern("zzz");
+        assert!(m.idf(unseen) > 0.0);
+        assert_eq!(m.doc_freq(unseen), 0);
+    }
+
+    #[test]
+    fn bm25_idf_nonnegative() {
+        let (v, m) = setup();
+        for (id, _) in v.iter() {
+            assert!(m.bm25_idf(id) >= 0.0);
+        }
+    }
+}

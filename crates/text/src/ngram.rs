@@ -1,0 +1,44 @@
+//! N-gram extraction over token sequences.
+
+/// Returns all contiguous `n`-grams of `tokens`, each joined with a space.
+///
+/// Returns an empty vector when `n == 0` or `n > tokens.len()`.
+pub fn ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    tokens.windows(n).map(|w| w.join(" ")).collect()
+}
+
+/// Convenience: all bigrams of `tokens`.
+pub fn bigrams(tokens: &[String]) -> Vec<String> {
+    ngrams(tokens, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unigrams_are_identity() {
+        let t = toks(&["a", "b"]);
+        assert_eq!(ngrams(&t, 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn bigrams_join_with_space() {
+        let t = toks(&["very", "clean", "room"]);
+        assert_eq!(bigrams(&t), vec!["very clean", "clean room"]);
+    }
+
+    #[test]
+    fn oversized_n_is_empty() {
+        let t = toks(&["a"]);
+        assert!(ngrams(&t, 2).is_empty());
+        assert!(ngrams(&t, 0).is_empty());
+    }
+}

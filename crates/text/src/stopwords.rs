@@ -1,0 +1,47 @@
+//! A compact English stopword list tuned for review text.
+
+/// Words filtered by [`crate::tokenize`] unless they are negations or
+/// intensifiers. The list intentionally excludes opinion-bearing adverbs.
+static STOPWORDS: &[&str] = &[
+    "a", "an", "the", "and", "or", "but", "if", "then", "than", "that", "this", "these", "those",
+    "is", "are", "was", "were", "be", "been", "being", "am", "it", "its", "it's", "i", "we", "you",
+    "he", "she", "they", "them", "my", "our", "your", "his", "her", "their", "of", "in", "on",
+    "at", "to", "from", "by", "with", "for", "as", "into", "about", "out", "up", "down", "over",
+    "under", "again", "there", "here", "when", "where", "why", "how", "all", "any", "both", "each",
+    "few", "more", "most", "other", "some", "such", "only", "own", "same", "can", "will", "just",
+    "do", "does", "did", "doing", "would", "should", "could", "have", "has", "had", "having",
+    "what", "which", "who", "whom", "because", "while", "during", "before", "after", "through",
+    "also", "me", "us", "him", "no", "not", "never", "nothing", "very", "really", "extremely",
+    "quite", "pretty", "too", "so", "s", "t", "got", "get",
+];
+
+/// Returns true if `token` (already lowercased) is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.contains(&token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "was", "and", "of"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["clean", "room", "dirty", "bathroom", "luxurious"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn negations_are_listed_but_reinjected_by_tokenizer() {
+        // `not` is in the stopword list, but tokenize() keeps it.
+        assert!(is_stopword("not"));
+        assert!(crate::tokenize("not clean").contains(&"not".to_string()));
+    }
+}

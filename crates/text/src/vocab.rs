@@ -1,0 +1,117 @@
+//! String interning: maps words to dense `u32` ids.
+
+use std::collections::HashMap;
+
+/// Identifier of an interned word. Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WordId(pub u32);
+
+impl WordId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only interning table for words.
+///
+/// Interning the whole corpus once lets the rest of the system (embeddings,
+/// inverted index, linguistic domains) operate on `u32` ids instead of
+/// allocating strings.
+#[derive(Debug, Default, Clone)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, WordId>,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `word`, returning its id (existing or new).
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = WordId(self.words.len() as u32);
+        self.words.push(word.to_string());
+        self.index.insert(word.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-interned word.
+    pub fn get(&self, word: &str) -> Option<WordId> {
+        self.index.get(word).copied()
+    }
+
+    /// Returns the string for `id`. Panics on an id from another vocab.
+    pub fn word(&self, id: WordId) -> &str {
+        &self.words[id.index()]
+    }
+
+    /// Number of distinct interned words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no word has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Interns every token of an already-tokenized sentence.
+    pub fn intern_all(&mut self, tokens: &[String]) -> Vec<WordId> {
+        tokens.iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Iterates over `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (WordId(i as u32), w.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("clean");
+        let b = v.intern("clean");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocab::new();
+        assert_eq!(v.intern("a"), WordId(0));
+        assert_eq!(v.intern("b"), WordId(1));
+        assert_eq!(v.intern("c"), WordId(2));
+    }
+
+    #[test]
+    fn roundtrip_word_lookup() {
+        let mut v = Vocab::new();
+        let id = v.intern("spotless");
+        assert_eq!(v.word(id), "spotless");
+        assert_eq!(v.get("spotless"), Some(id));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut v = Vocab::new();
+        v.intern("x");
+        v.intern("y");
+        let collected: Vec<_> = v.iter().map(|(id, w)| (id.0, w.to_string())).collect();
+        assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Experiential search (Sec. 1.1): the three-stage interpreter at work.
+//!
+//! Shows a predicate answered directly from the schema (word2vec), one
+//! answered through review co-occurrence ("romantic getaway"), and one
+//! that falls back to raw text retrieval ("good for motorcyclists").
+//!
+//! ```sh
+//! cargo run --release --example experiential_search
+//! ```
+
+use opinedb::core::{build, BuildConfig, Interpretation};
+use opinedb::corpus::hotel::hotel_spec;
+use opinedb::corpus::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(
+        hotel_spec(),
+        &CorpusConfig {
+            num_entities: 60,
+            mean_reviews: 24,
+            seed: 11,
+        },
+    );
+    let db = build(&corpus, &BuildConfig::default());
+
+    for predicate in [
+        "has really clean rooms",  // stage 1: word2vec over the schema
+        "is a romantic getaway",   // stage 2: review co-occurrence
+        "good for motorcyclists",  // stage 3: text-retrieval fallback
+    ] {
+        let interp = db.interpret(predicate);
+        let stage = match &interp {
+            Interpretation::Direct { attribute, similarity } => format!(
+                "stage 1 (word2vec): attribute `{}`, similarity {similarity:.2}",
+                db.attributes[*attribute]
+            ),
+            Interpretation::CoOccur { terms, conjunctive } => {
+                let rendered: Vec<String> = terms
+                    .iter()
+                    .map(|&(a, m)| {
+                        format!(
+                            "{}.\"{}\"",
+                            db.attributes[a],
+                            db.marker_set(a).markers[m].phrase
+                        )
+                    })
+                    .collect();
+                format!(
+                    "stage 2 (co-occurrence): {}",
+                    rendered.join(if *conjunctive { " ⊗ " } else { " ⊕ " })
+                )
+            }
+            Interpretation::TextFallback => "stage 3 (text retrieval fallback)".to_string(),
+        };
+        println!("{predicate:?}\n  -> {stage}");
+
+        let sql = format!("select * from hotels where \"{predicate}\" limit 3");
+        let out = db.query(&sql).expect("valid query");
+        for (row, score) in &out.result.rows {
+            println!("     {:<10} score {score:.3}", row[0].to_string());
+        }
+        println!();
+    }
+}

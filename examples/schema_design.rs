@@ -1,0 +1,96 @@
+//! The schema designer's workflow (Sec. 4): tag a review sentence
+//! (Fig. 6), expand seeds into a weakly-supervised training set, train the
+//! attribute classifier, and inspect auto-discovered markers.
+//!
+//! ```sh
+//! cargo run --release --example schema_design
+//! ```
+
+use opinedb::corpus::absa::absa_datasets;
+use opinedb::corpus::hotel::hotel_spec;
+use opinedb::corpus::{Corpus, CorpusConfig};
+use opinedb::embed::{PhraseEmbedder, Word2Vec, Word2VecConfig};
+use opinedb::extract::seeds::seeds_from_spec;
+use opinedb::extract::{expand_seeds, AttributeClassifier, Extractor};
+use opinedb::ml::{LogRegConfig, TaggerConfig};
+use opinedb::text::{split_sentences, tokenize, tokenize_keep_stops, IdfModel, Vocab};
+
+fn main() {
+    // --- Fig. 6: tagging and pairing on a labelled hotel dataset ---
+    let dataset = absa_datasets(99)
+        .into_iter()
+        .find(|d| d.name == "Booking.com Hotel")
+        .expect("hotel dataset");
+    let extractor = Extractor::train(&dataset.train, None, &TaggerConfig::default());
+    let sentence = "the bed was too soft and the bathroom a bit small";
+    let tokens = tokenize_keep_stops(sentence);
+    println!("sentence: {sentence}");
+    println!("extracted pairs (tagging + rule-based pairing):");
+    for pair in extractor.extract(&tokens) {
+        println!("  ({:?}, {:?})", pair.aspect, pair.opinion);
+    }
+
+    // --- Sec. 4.2: seed expansion and the attribute classifier ---
+    let corpus = Corpus::generate(
+        hotel_spec(),
+        &CorpusConfig {
+            num_entities: 40,
+            mean_reviews: 20,
+            seed: 3,
+        },
+    );
+    let mut vocab = Vocab::new();
+    let mut sentences = Vec::new();
+    let mut idf = IdfModel::new(&vocab);
+    for review in &corpus.reviews {
+        let mut doc = Vec::new();
+        for s in split_sentences(&review.text) {
+            let ids = vocab.intern_all(&tokenize(s));
+            doc.extend(ids.iter().copied());
+            sentences.push(ids);
+        }
+        idf.add_document(&doc);
+    }
+    let w2v = Word2Vec::train(&sentences, vocab.len(), &Word2VecConfig::default());
+    let embedder = PhraseEmbedder::new(w2v.clone(), idf);
+
+    let seeds = seeds_from_spec(&corpus.spec, 0.6);
+    let total_seeds: usize = seeds
+        .iter()
+        .map(|s| s.aspect_terms.len() + s.opinion_terms.len())
+        .sum();
+    let records = expand_seeds(&seeds, &w2v, &vocab, 3, 0.35, 5000);
+    println!(
+        "\n{} attributes, {} designer seeds expanded into {} weak training records",
+        corpus.spec.aspects.len(),
+        total_seeds,
+        records.len()
+    );
+    let classifier = AttributeClassifier::train(
+        &records,
+        corpus.spec.aspects.len(),
+        &embedder,
+        &vocab,
+        &LogRegConfig {
+            epochs: 20,
+            ..Default::default()
+        },
+    );
+    for phrase in ["room very clean", "staff not so friendly", "wifi very slow"] {
+        let attr = classifier.classify(phrase, &embedder, &vocab);
+        println!("  {phrase:?} -> {}", corpus.spec.aspects[attr].name);
+    }
+
+    // --- Sec. 4.2.1: auto-discovered markers ---
+    let db = opinedb::core::build(&corpus, &opinedb::core::BuildConfig::default());
+    println!("\nauto-discovered markers:");
+    for attr in [0usize, 1] {
+        let markers: Vec<&str> = db
+            .marker_set(attr)
+            .markers
+            .iter()
+            .map(|m| m.phrase.as_str())
+            .collect();
+        println!("  {}: [{}]", db.attributes[attr], markers.join(", "));
+    }
+}

@@ -1,0 +1,32 @@
+//! # OpineDB
+//!
+//! A Rust reproduction of **"Subjective Databases"** (Li et al., VLDB 2019):
+//! a database system that models *subjective* attributes — room cleanliness,
+//! ambience, bed comfort — as first-class schema elements backed by phrases
+//! mined from reviews, and answers SQL queries whose `WHERE` clauses contain
+//! natural-language predicates such as `"has really clean rooms"`.
+//!
+//! This facade crate re-exports the workspace's crates:
+//!
+//! * [`core`] — the OpineDB engine: linguistic domains, marker summaries,
+//!   fuzzy logic, the three-stage predicate interpreter, membership
+//!   functions, and the end-to-end query engine.
+//! * [`store`] — the in-memory relational engine and Subjective SQL dialect.
+//! * [`extract`] — opinion extraction (tagging + pairing) and attribute
+//!   classification.
+//! * [`corpus`] — synthetic review corpora with latent ground truth.
+//! * [`eval`] — the sat(Q,E) quality metric, workloads, and baselines.
+//! * [`text`], [`embed`], [`sentiment`], [`ir`], [`ml`] — substrates.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use opine_core as core;
+pub use opine_corpus as corpus;
+pub use opine_embed as embed;
+pub use opine_eval as eval;
+pub use opine_extract as extract;
+pub use opine_ir as ir;
+pub use opine_ml as ml;
+pub use opine_sentiment as sentiment;
+pub use opine_store as store;
+pub use opine_text as text;

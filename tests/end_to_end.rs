@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: corpus → build → Subjective SQL.
+
+use opinedb::core::{build, BuildConfig, Interpretation};
+use opinedb::corpus::hotel::hotel_spec;
+use opinedb::corpus::restaurant::restaurant_spec;
+use opinedb::corpus::{Corpus, CorpusConfig};
+use opinedb::embed::Word2VecConfig;
+
+fn fast_config() -> BuildConfig {
+    BuildConfig {
+        w2v: Word2VecConfig {
+            dim: 24,
+            epochs: 2,
+            ..Default::default()
+        },
+        membership_tuples: 400,
+        ..Default::default()
+    }
+}
+
+fn hotel_db() -> (Corpus, opinedb::core::OpineDb) {
+    let corpus = Corpus::generate(
+        hotel_spec(),
+        &CorpusConfig {
+            num_entities: 24,
+            mean_reviews: 16,
+            seed: 31,
+        },
+    );
+    let db = build(&corpus, &fast_config());
+    (corpus, db)
+}
+
+#[test]
+fn hotel_pipeline_answers_the_running_example() {
+    let (_, db) = hotel_db();
+    let out = db
+        .query(
+            "select * from hotels where price_pn < 400 and \
+             \"has really clean rooms\" and \"is a romantic getaway\" limit 10",
+        )
+        .expect("query runs");
+    assert!(!out.result.rows.is_empty());
+    assert_eq!(out.interpretations.len(), 2);
+    // Scores are sorted descending and within [0, 1].
+    for w in out.result.rows.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+    for (_, s) in &out.result.rows {
+        assert!((0.0..=1.0).contains(s));
+    }
+}
+
+#[test]
+fn restaurant_pipeline_works_end_to_end() {
+    let corpus = Corpus::generate(
+        restaurant_spec(),
+        &CorpusConfig {
+            num_entities: 20,
+            mean_reviews: 12,
+            seed: 33,
+        },
+    );
+    let db = build(&corpus, &fast_config());
+    let out = db
+        .query("select * from restaurants where cuisine = 'Japanese' and \"delicious food\" limit 5")
+        .expect("query runs");
+    for (row, _) in &out.result.rows {
+        assert_eq!(row[3].to_string(), "Japanese");
+    }
+}
+
+#[test]
+fn ranking_tracks_latent_ground_truth() {
+    let (corpus, db) = hotel_db();
+    let out = db
+        .query("select * from hotels where \"friendly staff\" limit 24")
+        .unwrap();
+    let staff_idx = opinedb::corpus::hotel::aspect::STAFF;
+    let n = out.result.rows.len();
+    assert!(n >= 12, "most entities should score > 0");
+    let theta_of = |rows: &[(Vec<opinedb::store::Value>, f64)]| -> f64 {
+        rows.iter()
+            .map(|(r, _)| {
+                let id = db.entity_id(r[0].as_str().unwrap()).unwrap();
+                corpus.entities[id].quality[staff_idx]
+            })
+            .sum::<f64>()
+            / rows.len() as f64
+    };
+    let top = theta_of(&out.result.rows[..n / 3]);
+    let bottom = theta_of(&out.result.rows[n - n / 3..]);
+    assert!(top > bottom, "top θ {top} vs bottom θ {bottom}");
+}
+
+#[test]
+fn fallback_predicate_still_returns_results() {
+    let (_, db) = hotel_db();
+    // A phrase with no corpus vocabulary at all must reach stage 3.
+    assert_eq!(
+        db.interpret("zorbing kayak paddock"),
+        Interpretation::TextFallback
+    );
+    // A rare concept like "good for motorcyclists" may interpret directly
+    // (its words legitimately embed near amenity vocabulary) or fall back;
+    // either way the query must run and produce bounded degrees.
+    let out = db
+        .query("select * from hotels where \"good for motorcyclists\" limit 5")
+        .unwrap();
+    for (_, s) in &out.result.rows {
+        assert!((0.0..=1.0).contains(s));
+    }
+    // The text-retrieval degree itself is always available and bounded.
+    for e in 0..db.num_entities() {
+        let d = db.text_degree(e, "good for motorcyclists");
+        assert!((0.0..=1.0).contains(&d));
+    }
+}
+
+#[test]
+fn review_qualified_summaries_change_degrees() {
+    let (_, db) = hotel_db();
+    let full = db.summaries_with_review_filter(|_| true);
+    let recent = db.summaries_with_review_filter(|m| m.year > 2014);
+    let mut changed = 0;
+    for e in 0..db.num_entities() {
+        let a = db.attribute_degree_with_summaries(&full, e, 0, "very clean");
+        let b = db.attribute_degree_with_summaries(&recent, e, 0, "very clean");
+        if (a - b).abs() > 1e-6 {
+            changed += 1;
+        }
+    }
+    assert!(changed > 0, "filtering reviews must change some degrees");
+}
+
+#[test]
+fn marker_match_and_predicate_agree_on_direction() {
+    let (corpus, db) = hotel_db();
+    // h.room_cleanliness .= "very clean" should rank the cleanest hotel
+    // above the dirtiest.
+    let best = corpus
+        .entities
+        .iter()
+        .max_by(|a, b| a.quality[0].total_cmp(&b.quality[0]))
+        .unwrap()
+        .id;
+    let worst = corpus
+        .entities
+        .iter()
+        .min_by(|a, b| a.quality[0].total_cmp(&b.quality[0]))
+        .unwrap()
+        .id;
+    let d_best = db.attribute_degree(best, 0, "very clean");
+    let d_worst = db.attribute_degree(worst, 0, "very clean");
+    if corpus.entities[best].quality[0] - corpus.entities[worst].quality[0] > 0.5 {
+        assert!(
+            d_best > d_worst,
+            "clean hotel {d_best} vs dirty hotel {d_worst}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests over core invariants (proptest).
+
+use opinedb::core::topk::{full_scan_topk, threshold_topk};
+use opinedb::store::parser::parse_select;
+use opinedb::store::FuzzyAlgebra;
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser never panics, whatever the input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_select(&input);
+    }
+
+    /// Valid skeleton queries with arbitrary predicate text round-trip.
+    #[test]
+    fn quoted_predicates_roundtrip(pred in "[a-z ]{1,40}") {
+        let sql = format!("select * from t where \"{pred}\"");
+        let q = parse_select(&sql).unwrap();
+        let w = q.where_clause.unwrap();
+        prop_assert_eq!(w.subjective_predicates(), vec![pred.as_str()]);
+    }
+
+    /// T-norm laws hold for both algebras on arbitrary degrees.
+    #[test]
+    fn tnorm_laws(x in 0.0f64..=1.0, y in 0.0f64..=1.0, z in 0.0f64..=1.0) {
+        for alg in [FuzzyAlgebra::Product, FuzzyAlgebra::Godel] {
+            // Commutativity.
+            prop_assert!((alg.and(x, y) - alg.and(y, x)).abs() < 1e-12);
+            prop_assert!((alg.or(x, y) - alg.or(y, x)).abs() < 1e-12);
+            // Boundary conditions.
+            prop_assert!((alg.and(x, 1.0) - x).abs() < 1e-12);
+            prop_assert!(alg.and(x, 0.0).abs() < 1e-12);
+            prop_assert!((alg.or(x, 0.0) - x).abs() < 1e-12);
+            // Monotonicity in the first argument.
+            if x <= z {
+                prop_assert!(alg.and(x, y) <= alg.and(z, y) + 1e-12);
+                prop_assert!(alg.or(x, y) <= alg.or(z, y) + 1e-12);
+            }
+            // Range.
+            prop_assert!((0.0..=1.0).contains(&alg.and(x, y)));
+            prop_assert!((0.0..=1.0).contains(&alg.or(x, y)));
+            // De Morgan.
+            let lhs = alg.not(alg.and(x, y));
+            let rhs = alg.or(alg.not(x), alg.not(y));
+            prop_assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+
+    /// Fagin's TA returns exactly the full-scan top-k scores.
+    #[test]
+    fn threshold_algorithm_equals_full_scan(
+        degrees in prop::collection::vec(
+            (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0), 1..40),
+        k in 1usize..8,
+    ) {
+        let mut lists: Vec<Vec<(usize, f64)>> = (0..3)
+            .map(|dim| {
+                let mut l: Vec<(usize, f64)> = degrees
+                    .iter()
+                    .enumerate()
+                    .map(|(e, d)| (e, [d.0, d.1, d.2][dim]))
+                    .collect();
+                l.sort_by(|a, b| b.1.total_cmp(&a.1));
+                l
+            })
+            .collect();
+        let ta = threshold_topk(&lists, k);
+        let fs = full_scan_topk(&lists, k);
+        prop_assert_eq!(ta.len(), fs.len());
+        for (a, b) in ta.iter().zip(&fs) {
+            prop_assert!((a.1 - b.1).abs() < 1e-12);
+        }
+        // Result is sorted descending.
+        for w in ta.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        lists.clear();
+    }
+
+    /// BM25 search scores are non-negative and sorted.
+    #[test]
+    fn bm25_scores_sane(docs in prop::collection::vec("[a-c ]{1,30}", 1..12),
+                        query in "[a-c ]{1,10}") {
+        let mut vocab = opinedb::text::Vocab::new();
+        let mut index = opinedb::ir::InvertedIndex::new();
+        for d in &docs {
+            index.add_document(d, &mut vocab);
+        }
+        let hits = index.search(&query, 10, &vocab, &opinedb::ir::Bm25Params::default());
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for h in &hits {
+            prop_assert!(h.score >= 0.0);
+        }
+    }
+
+    /// Tokenization never produces empty tokens and always lowercases.
+    #[test]
+    fn tokenizer_invariants(text in ".{0,120}") {
+        for tok in opinedb::text::tokenize_keep_stops(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    /// Sentiment scores are always within [-1, 1].
+    #[test]
+    fn sentiment_bounded(text in ".{0,120}") {
+        let s = opinedb::sentiment::SentimentAnalyzer::new();
+        let v = s.score(&text);
+        prop_assert!((-1.0..=1.0).contains(&v));
+    }
+}

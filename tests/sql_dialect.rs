@@ -1,0 +1,141 @@
+//! Integration tests for the Subjective SQL dialect through the full stack.
+
+use opinedb::core::{build, BuildConfig};
+use opinedb::corpus::hotel::hotel_spec;
+use opinedb::corpus::{Corpus, CorpusConfig};
+use opinedb::embed::Word2VecConfig;
+use opinedb::store::FuzzyAlgebra;
+
+fn db() -> opinedb::core::OpineDb {
+    let corpus = Corpus::generate(
+        hotel_spec(),
+        &CorpusConfig {
+            num_entities: 18,
+            mean_reviews: 12,
+            seed: 41,
+        },
+    );
+    build(
+        &corpus,
+        &BuildConfig {
+            w2v: Word2VecConfig {
+                dim: 24,
+                epochs: 2,
+                ..Default::default()
+            },
+            membership_tuples: 300,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn disjunction_scores_at_least_each_disjunct() {
+    let db = db();
+    let and_out = db
+        .query("select * from hotels where \"clean rooms\" and \"friendly staff\" limit 18")
+        .unwrap();
+    let or_out = db
+        .query("select * from hotels where \"clean rooms\" or \"friendly staff\" limit 18")
+        .unwrap();
+    // Product t-norm: or-score >= and-score for the same entity.
+    for (row, and_score) in &and_out.result.rows {
+        let key = row[0].as_str().unwrap();
+        if let Some((_, or_score)) = or_out
+            .result
+            .rows
+            .iter()
+            .find(|(r, _)| r[0].as_str() == Some(key))
+        {
+            assert!(
+                or_score >= and_score,
+                "{key}: or={or_score} and={and_score}"
+            );
+        }
+    }
+}
+
+#[test]
+fn negation_inverts_ranking() {
+    let db = db();
+    let pos = db
+        .query("select * from hotels where \"quiet room\" limit 18")
+        .unwrap();
+    let neg = db
+        .query("select * from hotels where not \"quiet room\" limit 18")
+        .unwrap();
+    let top_pos = pos.result.rows[0].0[0].as_str().unwrap().to_string();
+    let top_neg = neg.result.rows[0].0[0].as_str().unwrap().to_string();
+    assert_ne!(top_pos, top_neg, "negation should change the winner");
+    // Scores complement: score_neg(e) = 1 - score_pos(e).
+    for (row, s) in &pos.result.rows {
+        let key = row[0].as_str().unwrap();
+        if let Some((_, ns)) = neg
+            .result
+            .rows
+            .iter()
+            .find(|(r, _)| r[0].as_str() == Some(key))
+        {
+            assert!((ns + s - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn projection_and_order_by_work_with_subjective_where() {
+    let db = db();
+    let out = db
+        .query(
+            "select hotelname, price_pn from hotels where \"clean rooms\" \
+             order by price_pn asc limit 6",
+        )
+        .unwrap();
+    assert_eq!(out.result.columns, vec!["hotelname", "price_pn"]);
+    for w in out.result.rows.windows(2) {
+        assert!(w[0].0[1].as_f64().unwrap() <= w[1].0[1].as_f64().unwrap());
+    }
+}
+
+#[test]
+fn godel_algebra_scores_with_min() {
+    let db = db();
+    let product = db
+        .query("select * from hotels where \"clean rooms\" and \"clean rooms\" limit 18")
+        .unwrap();
+    let godel = db
+        .query_with_algebra(
+            "select * from hotels where \"clean rooms\" and \"clean rooms\" limit 18",
+            FuzzyAlgebra::Godel,
+        )
+        .unwrap();
+    // x⊗x = x² under product but x under Gödel, so Gödel scores dominate.
+    let g_top = godel.result.rows[0].1;
+    let p_top = product.result.rows[0].1;
+    assert!(g_top >= p_top);
+}
+
+#[test]
+fn explicit_marker_conditions_execute() {
+    let db = db();
+    let out = db
+        .query(
+            "select * from hotels h where h.service .= \"exceptional\" \
+             and h.bathroom_style .= \"luxurious\" limit 5",
+        )
+        .unwrap();
+    assert!(!out.result.rows.is_empty());
+    for (_, s) in &out.result.rows {
+        assert!((0.0..=1.0).contains(s));
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let db = db();
+    assert!(db.query("select * from missing_table").is_err());
+    assert!(db.query("select nosuch from hotels").is_err());
+    assert!(db.query("garbage !!").is_err());
+    assert!(db
+        .query("select * from hotels h where h.not_an_attribute .= \"x\"")
+        .is_err());
+}
