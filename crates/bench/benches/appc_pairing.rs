@@ -35,8 +35,14 @@ fn bench(c: &mut Criterion) {
     let sup_acc = model.accuracy(&test);
 
     println!("1000 train / 1000 test sentence-phrase pairs (hotel reviews):");
-    println!("  rule-based (parse-distance heuristic): {:.2}%", rule_acc * 100.0);
-    println!("  supervised classifier:                 {:.2}%", sup_acc * 100.0);
+    println!(
+        "  rule-based (parse-distance heuristic): {:.2}%",
+        rule_acc * 100.0
+    );
+    println!(
+        "  supervised classifier:                 {:.2}%",
+        sup_acc * 100.0
+    );
     println!(
         "-> the paper reports 83.87% for its supervised (BERT) model and notes the \
          rule-based method achieves comparable performance"

@@ -25,8 +25,8 @@ fn stats_row(corpus: &Corpus, filter: ObjectiveFilter, senti: &SentimentAnalyzer
         .map(|r| r.text.split_whitespace().count())
         .sum::<usize>() as f64
         / reviews.len().max(1) as f64;
-    let avg_polarity = reviews.iter().map(|r| senti.score(&r.text)).sum::<f64>()
-        / reviews.len().max(1) as f64;
+    let avg_polarity =
+        reviews.iter().map(|r| senti.score(&r.text)).sum::<f64>() / reviews.len().max(1) as f64;
     println!(
         "{:<16} {:>9} {:>9} {:>11.2} {:>13.2}",
         filter.label(),

@@ -5,7 +5,7 @@
 //! DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use opine_bench::{build_db, hotel_corpus, opine_rank, restaurant_corpus, banner};
+use opine_bench::{banner, build_db, hotel_corpus, opine_rank, restaurant_corpus};
 use opine_core::OpineDb;
 use opine_corpus::workload::{hotel_workload, restaurant_workload};
 use opine_corpus::Corpus;
@@ -42,19 +42,44 @@ fn run_domain(corpus: &Corpus, db: &OpineDb, filters: [ObjectiveFilter; 2], bank
             sets.push((
                 f,
                 conjuncts,
-                generate_queries(&bank, QUERIES_PER_SET, conjuncts, f, 1000 + conjuncts as u64),
+                generate_queries(
+                    &bank,
+                    QUERIES_PER_SET,
+                    conjuncts,
+                    f,
+                    1000 + conjuncts as u64,
+                ),
             ));
         }
     }
 
     let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
-    let methods: Vec<(&str, Box<dyn Fn(&EvalQuery) -> Vec<usize>>)> = vec![
-        ("GZ12 (IR-based)", Box::new(|q: &EvalQuery| ir.rank(q, corpus))),
-        ("ByPrice", Box::new(|q: &EvalQuery| rank_by_price(q, corpus))),
-        ("ByRating", Box::new(|q: &EvalQuery| rank_by_rating(q, corpus))),
-        ("1-Attribute", Box::new(|q: &EvalQuery| one_attr.rank(q, corpus, TOP_K))),
-        ("2-Attribute", Box::new(|q: &EvalQuery| two_attr.rank(q, corpus, TOP_K))),
-        ("OpineDB", Box::new(|q: &EvalQuery| opine_rank(db, q, TOP_K))),
+    type RankFn<'a> = Box<dyn Fn(&EvalQuery) -> Vec<usize> + 'a>;
+    let methods: Vec<(&str, RankFn)> = vec![
+        (
+            "GZ12 (IR-based)",
+            Box::new(|q: &EvalQuery| ir.rank(q, corpus)),
+        ),
+        (
+            "ByPrice",
+            Box::new(|q: &EvalQuery| rank_by_price(q, corpus)),
+        ),
+        (
+            "ByRating",
+            Box::new(|q: &EvalQuery| rank_by_rating(q, corpus)),
+        ),
+        (
+            "1-Attribute",
+            Box::new(|q: &EvalQuery| one_attr.rank(q, corpus, TOP_K)),
+        ),
+        (
+            "2-Attribute",
+            Box::new(|q: &EvalQuery| two_attr.rank(q, corpus, TOP_K)),
+        ),
+        (
+            "OpineDB",
+            Box::new(|q: &EvalQuery| opine_rank(db, q, TOP_K)),
+        ),
     ];
     for (name, rank) in &methods {
         let scores: Vec<f64> = sets

@@ -78,7 +78,10 @@ fn bench(c: &mut Criterion) {
 
     // Sec. 4.2: attribute classifier accuracy from seed expansion.
     println!("\nAttribute classifier (weak supervision via seed expansion):");
-    for (corpus, vocab, w2v) in [(&hotels, &h_vocab, &h_w2v), (&restaurants, &r_vocab, &r_w2v)] {
+    for (corpus, vocab, w2v) in [
+        (&hotels, &h_vocab, &h_w2v),
+        (&restaurants, &r_vocab, &r_w2v),
+    ] {
         let mut idf = IdfModel::new(vocab);
         for review in &corpus.reviews {
             let toks: Vec<_> = tokenize(&review.text)

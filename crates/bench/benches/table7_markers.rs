@@ -119,8 +119,12 @@ fn bench(c: &mut Criterion) {
     small_cfg.markers_per_attribute = 4;
     let small_db = opine_core::build(&hotels, &small_cfg);
     let queries = generate_queries(&h_bank, QUERIES, 4, ObjectiveFilter::LondonUnder300, 7);
-    let q4 = workload_quality(&queries, &hotels, TOP_K, |q| opine_rank(&small_db, q, TOP_K));
-    let q10 = workload_quality(&queries, &hotels, TOP_K, |q| opine_rank(&hotel_db, q, TOP_K));
+    let q4 = workload_quality(&queries, &hotels, TOP_K, |q| {
+        opine_rank(&small_db, q, TOP_K)
+    });
+    let q10 = workload_quality(&queries, &hotels, TOP_K, |q| {
+        opine_rank(&hotel_db, q, TOP_K)
+    });
     println!("marker-count ablation (London medium): k=4 NDCG {q4:.2} vs k=10 NDCG {q10:.2}");
 
     // Ablation: Fagin's Threshold Algorithm vs full scan for fuzzy top-k.

@@ -70,7 +70,10 @@ fn bench(c: &mut Criterion) {
         ("Restaurant queries", &rest_db, &r_bank),
     ] {
         let (w, co, comb) = accuracies(db, bank, 0.8);
-        println!("{label:<22} {:>5} {w:>7.2} {co:>9.2} {comb:>13.2}", bank.len());
+        println!(
+            "{label:<22} {:>5} {w:>7.2} {co:>9.2} {comb:>13.2}",
+            bank.len()
+        );
     }
 
     println!("\nθ1 fallback-threshold sweep (hotel queries, combined accuracy):");

@@ -254,7 +254,14 @@ pub fn build(corpus: &Corpus, config: &BuildConfig) -> OpineDb {
     // ---- 7. Membership functions (Sec. 3.3) ----
     // Labelled (summary, phrase, y) tuples; labels come from the latent
     // ground truth of the simulator (the paper used human labels).
-    let workload = build_workload(&corpus.spec, if corpus.spec.name == "hotel" { 190 } else { 185 });
+    let workload = build_workload(
+        &corpus.spec,
+        if corpus.spec.name == "hotel" {
+            190
+        } else {
+            185
+        },
+    );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xbeef);
     let mut marker_tuples = Vec::with_capacity(config.membership_tuples);
     let mut scan_tuples = Vec::with_capacity(config.membership_tuples);
@@ -279,7 +286,9 @@ pub fn build(corpus: &Corpus, config: &BuildConfig) -> OpineDb {
             .iter()
             .map(|occ| {
                 (
-                    opinion_domains[attr].variations()[occ.variation].rep.as_slice(),
+                    opinion_domains[attr].variations()[occ.variation]
+                        .rep
+                        .as_slice(),
                     occ.sentiment,
                 )
             })

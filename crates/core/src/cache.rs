@@ -1,0 +1,216 @@
+//! A small bounded, thread-safe memo used on the query hot path.
+//!
+//! The interpreter memo and the prepared-phrase memo both need the same
+//! thing: a string-keyed map that never grows past a fixed capacity, can
+//! be shared across query threads, and reports hit/miss counts so benches
+//! can verify cache behaviour instead of guessing.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hit/miss counters of a [`BoundedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when the cache was never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, thread-safe, string-keyed memo with FIFO eviction.
+///
+/// FIFO (rather than LRU) keeps the lock critical section to two hash
+/// operations; predicate working sets are small and recur, so recency
+/// tracking buys nothing measurable on this path.
+#[derive(Debug)]
+pub struct BoundedCache<V> {
+    capacity: usize,
+    inner: Mutex<Inner<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner<V> {
+    map: HashMap<String, V>,
+    order: VecDeque<String>,
+}
+
+impl<V> Default for Inner<V> {
+    fn default() -> Self {
+        Inner {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+impl<V: Clone> BoundedCache<V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedCache {
+            capacity: capacity.max(1),
+            inner: Mutex::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, counting the outcome.
+    pub fn get(&self, key: &str) -> Option<V> {
+        let hit = self.inner.lock().map.get(key).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Inserts `key → value`, evicting the oldest entry at capacity.
+    /// Racing inserts of the same key keep the latest value.
+    pub fn insert(&self, key: &str, value: V) {
+        let mut inner = self.inner.lock();
+        if inner.map.insert(key.to_string(), value).is_none() {
+            inner.order.push_back(key.to_string());
+            while inner.order.len() > self.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Returns the cached value, computing and caching it on miss.
+    ///
+    /// `compute` runs outside the lock; concurrent misses may compute
+    /// twice but the cache stays consistent.
+    pub fn get_or_insert_with(&self, key: &str, compute: impl FnOnce() -> V) -> V {
+        if let Some(hit) = self.get(key) {
+            return hit;
+        }
+        let value = compute();
+        self.insert(key, value.clone());
+        value
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = BoundedCache::new(8);
+        assert_eq!(cache.get("a"), None);
+        cache.insert("a", 1);
+        assert_eq!(cache.get("a"), Some(1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = BoundedCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("c", 3);
+        assert_eq!(cache.get("a"), None, "oldest entry must be evicted");
+        assert_eq!(cache.get("b"), Some(2));
+        assert_eq!(cache.get("c"), Some(3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order_entries() {
+        let cache = BoundedCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("a", 10);
+        cache.insert("b", 2);
+        assert_eq!(cache.get("a"), Some(10));
+        assert_eq!(cache.get("b"), Some(2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn get_or_insert_with_computes_once_per_key() {
+        let cache = BoundedCache::new(4);
+        let mut calls = 0;
+        let v = cache.get_or_insert_with("k", || {
+            calls += 1;
+            7
+        });
+        assert_eq!(v, 7);
+        let v = cache.get_or_insert_with("k", || {
+            calls += 1;
+            8
+        });
+        assert_eq!(v, 7);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = BoundedCache::new(4);
+        cache.insert("a", 1);
+        let _ = cache.get("a");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = std::sync::Arc::new(BoundedCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("k{}", (t * 31 + i) % 80);
+                        cache.get_or_insert_with(&key, || i);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64);
+    }
+}

@@ -12,6 +12,7 @@
 //! 3. **text retrieval** — give up on the schema and fall back to BM25
 //!    over concatenated entity documents with a sigmoid link.
 
+use crate::cache::{BoundedCache, CacheStats};
 use crate::domain::LinguisticDomain;
 use crate::summary::MarkerSet;
 use opine_embed::PhraseEmbedder;
@@ -33,6 +34,11 @@ pub struct InterpreterConfig {
     /// Fraction of relevant top-k reviews that must mention *all* chosen
     /// attributes for the interpretation to become conjunctive (⊗).
     pub conjunction_threshold: f64,
+    /// Capacity of the predicate → interpretation memo. The three-stage
+    /// cascade (word2vec scan → BM25 retrieval + co-occurrence scoring →
+    /// text fallback) is by far the most expensive per-predicate step, so
+    /// distinct predicates are interpreted once and replayed from here.
+    pub cache_capacity: usize,
 }
 
 impl Default for InterpreterConfig {
@@ -47,6 +53,7 @@ impl Default for InterpreterConfig {
             top_k_reviews: 40,
             top_n_attributes: 2,
             conjunction_threshold: 0.6,
+            cache_capacity: 1024,
         }
     }
 }
@@ -79,7 +86,7 @@ pub enum Interpretation {
 pub type ReviewDigest = Vec<Vec<(usize, usize)>>;
 
 /// The subjective query interpreter.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Interpreter {
     config: InterpreterConfig,
     domains: Vec<LinguisticDomain>,
@@ -89,6 +96,26 @@ pub struct Interpreter {
     review_digest: ReviewDigest,
     /// Number of reviews containing at least one extraction of attribute A.
     attr_review_df: Vec<u32>,
+    /// Bounded predicate → interpretation memo (see
+    /// [`InterpreterConfig::cache_capacity`]).
+    cache: BoundedCache<Interpretation>,
+}
+
+impl Clone for Interpreter {
+    fn clone(&self) -> Self {
+        Interpreter {
+            config: self.config.clone(),
+            domains: self.domains.clone(),
+            marker_sets: self.marker_sets.clone(),
+            review_index: self.review_index.clone(),
+            review_sentiments: self.review_sentiments.clone(),
+            review_digest: self.review_digest.clone(),
+            attr_review_df: self.attr_review_df.clone(),
+            // The memo is per-instance state, not model state: a clone
+            // starts cold with fresh counters.
+            cache: BoundedCache::new(self.config.cache_capacity),
+        }
+    }
 }
 
 impl Interpreter {
@@ -114,6 +141,7 @@ impl Interpreter {
                 }
             }
         }
+        let cache = BoundedCache::new(config.cache_capacity);
         Self {
             config,
             domains,
@@ -122,6 +150,7 @@ impl Interpreter {
             review_sentiments,
             review_digest,
             attr_review_df,
+            cache,
         }
     }
 
@@ -154,6 +183,29 @@ impl Interpreter {
             return cooccur;
         }
         Interpretation::TextFallback
+    }
+
+    /// Interprets `predicate`, replaying from the bounded memo when the
+    /// predicate has been interpreted before. Thread-safe; the cascade
+    /// runs outside the cache lock.
+    pub fn interpret_cached(
+        &self,
+        predicate: &str,
+        embedder: &PhraseEmbedder,
+        vocab: &Vocab,
+    ) -> Interpretation {
+        self.cache
+            .get_or_insert_with(predicate, || self.interpret(predicate, embedder, vocab))
+    }
+
+    /// Hit/miss counters of the interpretation memo.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops all memoized interpretations (counters survive).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     /// Stage 1 only (for the Table 8 ablation).
@@ -222,13 +274,18 @@ impl Interpreter {
         let mut attr_scores: Vec<(usize, f64)> = (0..num_attrs)
             .filter(|&a| freq[a] > 0)
             .map(|a| {
-                let idf = (n_reviews / (1.0 + self.attr_review_df[a] as f64)).ln().max(0.0);
+                let idf = (n_reviews / (1.0 + self.attr_review_df[a] as f64))
+                    .ln()
+                    .max(0.0);
                 (a, freq[a] as f64 * idf)
             })
             .collect();
         attr_scores.sort_by(|a, b| b.1.total_cmp(&a.1));
         attr_scores.truncate(self.config.top_n_attributes);
-        if attr_scores.first().is_none_or(|(_, s)| *s < self.config.theta2) {
+        if attr_scores
+            .first()
+            .is_none_or(|(_, s)| *s < self.config.theta2)
+        {
             return None;
         }
 
@@ -295,11 +352,7 @@ mod tests {
         for _ in 0..20 {
             for t in &review_texts {
                 let toks = opine_text::tokenize(t);
-                interned.push(
-                    toks.iter()
-                        .map(|w| vocab.intern(w))
-                        .collect::<Vec<_>>(),
-                );
+                interned.push(toks.iter().map(|w| vocab.intern(w)).collect::<Vec<_>>());
             }
         }
         for t in &review_texts {
@@ -335,9 +388,7 @@ mod tests {
             MarkerSet::discover("service", &service_domain, SummaryKind::Linear, 2, 1);
 
         // Digest: review 0,1 mention cleanliness; 2,3,4 service; 5 cleanliness.
-        let ex_marker = |set: &MarkerSet, phrase: &str| {
-            set.marker_index(phrase).unwrap_or(0)
-        };
+        let ex_marker = |set: &MarkerSet, phrase: &str| set.marker_index(phrase).unwrap_or(0);
         let digest: ReviewDigest = vec![
             vec![(0, ex_marker(&clean_set, "very clean"))],
             vec![(0, ex_marker(&clean_set, "spotless"))],
@@ -366,7 +417,10 @@ mod tests {
     fn word2vec_stage_handles_direct_predicates() {
         let (vocab, embedder, interp) = fixture();
         match interp.interpret("very clean room", &embedder, &vocab) {
-            Interpretation::Direct { attribute, similarity } => {
+            Interpretation::Direct {
+                attribute,
+                similarity,
+            } => {
                 assert_eq!(attribute, 0);
                 assert!(similarity >= 0.5);
             }
@@ -407,7 +461,11 @@ mod tests {
         let direct = interp
             .word2vec_stage("very clean room", &embedder, &vocab)
             .expect("direct predicate must interpret");
-        let Interpretation::Direct { similarity: s_direct, .. } = direct else {
+        let Interpretation::Direct {
+            similarity: s_direct,
+            ..
+        } = direct
+        else {
             panic!("expected Direct");
         };
         let concept_sim = match interp.word2vec_stage("romantic getaway", &embedder, &vocab) {

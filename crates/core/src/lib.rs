@@ -21,15 +21,18 @@
 //!   the paper cites as the standard technique \[15\]).
 
 pub mod builder;
+pub mod cache;
 pub mod db;
 pub mod domain;
 pub mod interpret;
 pub mod membership;
+pub mod par;
 pub mod summary;
 pub mod topk;
 
 pub use builder::{build, BuildConfig, ExtractionMode};
-pub use db::{OpineDb, QueryOutput};
+pub use cache::{BoundedCache, CacheStats};
+pub use db::{DegreeColumn, OpineDb, PreparedPhrase, QueryOutput};
 pub use domain::LinguisticDomain;
 pub use interpret::{Interpretation, Interpreter, InterpreterConfig};
 pub use membership::MembershipModel;

@@ -173,7 +173,12 @@ mod tests {
         );
         let embedder = PhraseEmbedder::new(w2v, idf);
         let mut domain = LinguisticDomain::new();
-        for (p, s) in [("clean", 0.7), ("spotless", 0.9), ("dirty", -0.7), ("filthy", -0.9)] {
+        for (p, s) in [
+            ("clean", 0.7),
+            ("spotless", 0.9),
+            ("dirty", -0.7),
+            ("filthy", -0.9),
+        ] {
             domain.observe(p, s, &embedder, &vocab);
         }
         let set = MarkerSet::discover("room_cleanliness", &domain, SummaryKind::Linear, 4, 1);

@@ -1,0 +1,96 @@
+//! Chunked fork-join over entity ids.
+//!
+//! The query hot path scores every entity independently, which is
+//! embarrassingly parallel. `rayon` cannot be vendored in this offline
+//! build environment, so this module provides the one primitive the
+//! engine needs — `par_map`, an indexed map over `0..n` executed on
+//! `std::thread::scope` with contiguous chunks per worker — with the same
+//! determinism guarantee (output order is by index, whatever the thread
+//! interleaving).
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Inputs smaller than this run serially: thread spawn overhead (~tens of
+/// microseconds) dwarfs per-entity membership scoring below this size.
+pub const PAR_THRESHOLD: usize = 512;
+
+/// Maps `f` over `0..n`, in parallel when `n` is large enough.
+///
+/// Equivalent to `(0..n).map(f).collect()` including output order. `f`
+/// runs once per index; chunks are contiguous so per-thread memory access
+/// stays sequential over entity-indexed columns.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = available_workers();
+    if workers <= 1 || n < PAR_THRESHOLD {
+        return (0..n).map(f).collect();
+    }
+    let workers = workers.min(n);
+    let chunk = n.div_ceil(workers);
+    let mut out = Vec::with_capacity(n);
+    thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    (lo..hi).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("par_map worker panicked"));
+        }
+    });
+    out
+}
+
+/// Worker count: the machine's logical CPUs, overridable (e.g. for CI or
+/// benchmarking the serial path) with `OPINE_THREADS`.
+pub fn available_workers() -> usize {
+    if let Ok(v) = std::env::var("OPINE_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_serial_map_above_threshold() {
+        let n = PAR_THRESHOLD * 3 + 17;
+        let expected: Vec<usize> = (0..n).map(|i| i * 2 + 1).collect();
+        assert_eq!(par_map(n, |i| i * 2 + 1), expected);
+    }
+
+    #[test]
+    fn small_inputs_run_serially_and_in_order() {
+        assert_eq!(par_map(5, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let n = PAR_THRESHOLD * 2;
+        let counter = AtomicUsize::new(0);
+        let out = par_map(n, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+        assert_eq!(out.len(), n);
+        assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+}

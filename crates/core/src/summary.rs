@@ -90,8 +90,7 @@ impl MarkerSet {
                         .collect()
                 }
                 SummaryKind::Categorical => {
-                    let points: Vec<Vec<f32>> =
-                        variations.iter().map(|v| v.rep.clone()).collect();
+                    let points: Vec<Vec<f32>> = variations.iter().map(|v| v.rep.clone()).collect();
                     let km = KMeans::fit(
                         &points,
                         &KMeansConfig {

@@ -1,85 +1,213 @@
 //! Fagin's Threshold Algorithm for fuzzy top-k (the classic technique the
 //! paper cites as [15] for efficient evaluation of fuzzy selections).
 //!
-//! Given one sorted `(entity, degree)` list per predicate and the product
-//! t-norm as the combiner, TA scans the lists in parallel, random-accessing
-//! each newly seen entity's remaining degrees, and stops as soon as the
-//! k-th best combined score is at least the threshold — the product of the
-//! current scan positions' degrees.
+//! Given one degree column per predicate and the product t-norm as the
+//! combiner, TA scans the per-predicate *sorted orders* in parallel,
+//! random-accessing each newly seen entity's remaining degrees, and stops
+//! as soon as the k-th best combined score beats the threshold — the
+//! product of the degrees at the current scan positions.
+//!
+//! The hot entry point is [`threshold_topk_dense`]: degrees live in
+//! entity-id-indexed `Vec<f64>` columns (O(1) random access, no hashing),
+//! seen-tracking is a `Vec<bool>` bitmap, and the current top-k is a
+//! fixed-size binary min-heap instead of a re-sorted vector. The original
+//! sorted-pair-list API ([`threshold_topk`]) densifies its input and
+//! delegates, so callers holding `(entity, degree)` lists keep working.
+//!
+//! Ranking is a total order: combined degree descending, entity id
+//! ascending on ties. Both the TA and the full-scan reference break ties
+//! identically, which the property tests assert exactly.
 
-use std::collections::{HashMap, HashSet};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
-/// Top-k entities by product-combined degree across `lists`.
+/// A ranked candidate; the `Ord` impl is the ranking total order
+/// (higher degree first, smaller entity id on ties).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    score: f64,
+    entity: usize,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Greater = ranks earlier; defined via `rank_cmp` (where Less =
+        // ranks earlier) so there is exactly one ranking rule to edit.
+        rank_cmp(&(self.entity, self.score), &(other.entity, other.score)).reverse()
+    }
+}
+
+/// The ranking comparator shared by every entry point: combined degree
+/// descending, entity id ascending on ties.
+#[inline]
+pub fn rank_cmp(a: &(usize, f64), b: &(usize, f64)) -> Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
+/// Top-k entities by product-combined degree over dense columns.
+///
+/// * `columns[p][e]` — degree of entity `e` under predicate `p`; all
+///   columns must have the same length (one slot per entity).
+/// * `sorted[p]` — entity ids in descending-degree order for predicate
+///   `p` (ties in any order); this is TA's sorted-access sequence.
+///
+/// Returns `(entity, combined degree)` in ranking order; fewer than `k`
+/// results when there are fewer entities.
+pub fn threshold_topk_dense<C, S>(columns: &[C], sorted: &[S], k: usize) -> Vec<(usize, f64)>
+where
+    C: AsRef<[f64]>,
+    S: AsRef<[u32]>,
+{
+    assert_eq!(
+        columns.len(),
+        sorted.len(),
+        "one sorted order per degree column"
+    );
+    if columns.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let columns: Vec<&[f64]> = columns.iter().map(AsRef::as_ref).collect();
+    let sorted: Vec<&[u32]> = sorted.iter().map(AsRef::as_ref).collect();
+    let num_entities = columns[0].len();
+    let mut seen = vec![false; num_entities];
+    // Min-heap of the current top-k: the root is the candidate that would
+    // be evicted first (lowest score, then largest entity id).
+    let mut best: BinaryHeap<Reverse<Candidate>> = BinaryHeap::with_capacity(k + 1);
+
+    let depth_max = sorted.iter().map(|s| s.len()).max().unwrap_or(0);
+    for depth in 0..depth_max {
+        for order in &sorted {
+            let Some(&entity) = order.get(depth) else {
+                continue;
+            };
+            let entity = entity as usize;
+            if seen[entity] {
+                continue;
+            }
+            seen[entity] = true;
+            let score: f64 = columns.iter().map(|c| c[entity]).product();
+            let candidate = Candidate { score, entity };
+            if best.len() < k {
+                best.push(Reverse(candidate));
+            } else if candidate > best.peek().expect("non-empty heap").0 {
+                best.pop();
+                best.push(Reverse(candidate));
+            }
+        }
+
+        // Threshold: product of the degrees at the current scan depth.
+        // Any unseen entity sits deeper in every sorted order, so its
+        // combined degree is bounded by this product.
+        let threshold: f64 = sorted
+            .iter()
+            .zip(&columns)
+            .map(|(order, column)| order.get(depth).map(|&e| column[e as usize]).unwrap_or(0.0))
+            .product();
+        // Strict inequality: at equality an unseen entity could still tie
+        // the k-th candidate and win the entity-id tiebreak.
+        if best.len() >= k && best.peek().expect("non-empty heap").0.score > threshold {
+            break;
+        }
+    }
+
+    let mut out: Vec<(usize, f64)> = best
+        .into_iter()
+        .map(|Reverse(c)| (c.entity, c.score))
+        .collect();
+    out.sort_by(rank_cmp);
+    out
+}
+
+/// Top-k entities by product-combined degree across sorted
+/// `(entity, degree)` lists (the pre-densification API).
 ///
 /// Every list must cover the same entity set and be sorted by degree
-/// descending. Returns `(entity, combined degree)` sorted descending;
-/// fewer than `k` results when the entity set is smaller.
+/// descending. Internally the lists are densified once — entity-indexed
+/// columns plus sorted-order vectors — and ranked by
+/// [`threshold_topk_dense`]; no per-depth hashing, re-sorting, or
+/// `HashSet` tracking happens anymore.
 pub fn threshold_topk(lists: &[Vec<(usize, f64)>], k: usize) -> Vec<(usize, f64)> {
     if lists.is_empty() || k == 0 {
         return Vec::new();
     }
-    // Random-access maps per list.
-    let access: Vec<HashMap<usize, f64>> = lists
-        .iter()
-        .map(|l| l.iter().copied().collect())
-        .collect();
-    let depth_max = lists.iter().map(Vec::len).max().unwrap_or(0);
-
-    let mut seen: HashSet<usize> = HashSet::new();
-    let mut best: Vec<(usize, f64)> = Vec::new();
-
-    for depth in 0..depth_max {
-        // Sorted access: one entry per list at this depth.
-        for list in lists {
-            let Some(&(entity, _)) = list.get(depth) else {
-                continue;
-            };
-            if !seen.insert(entity) {
-                continue;
-            }
-            let combined: f64 = access
-                .iter()
-                .map(|m| m.get(&entity).copied().unwrap_or(0.0))
-                .product();
-            best.push((entity, combined));
-        }
-        best.sort_by(|a, b| b.1.total_cmp(&a.1));
-        best.truncate(k.max(1));
-
-        // Threshold: product of degrees at the current scan depth.
-        let threshold: f64 = lists
-            .iter()
-            .map(|l| l.get(depth).map(|&(_, d)| d).unwrap_or(0.0))
-            .product();
-        if best.len() >= k && best[k - 1].1 >= threshold {
-            break;
-        }
-    }
-    best
+    let (columns, sorted) = densify(lists);
+    threshold_topk_dense(&columns, &sorted, k)
 }
 
-/// Reference implementation: full scan over all entities.
+/// Converts sorted `(entity, degree)` lists into dense degree columns and
+/// sorted-order vectors (entity ids must be dense, as produced by
+/// [`crate::OpineDb`]).
+pub fn densify(lists: &[Vec<(usize, f64)>]) -> (Vec<Vec<f64>>, Vec<Vec<u32>>) {
+    let num_entities = lists
+        .iter()
+        .flat_map(|l| l.iter().map(|&(e, _)| e + 1))
+        .max()
+        .unwrap_or(0);
+    let mut columns = Vec::with_capacity(lists.len());
+    let mut sorted = Vec::with_capacity(lists.len());
+    for list in lists {
+        let mut column = vec![0.0f64; num_entities];
+        let mut order = Vec::with_capacity(list.len());
+        for &(entity, degree) in list {
+            column[entity] = degree;
+            order.push(entity as u32);
+        }
+        columns.push(column);
+        sorted.push(order);
+    }
+    (columns, sorted)
+}
+
+/// Reference implementation over dense columns: combine every entity,
+/// sort, truncate.
+pub fn full_scan_topk_dense<C: AsRef<[f64]>>(columns: &[C], k: usize) -> Vec<(usize, f64)> {
+    if columns.is_empty() {
+        return Vec::new();
+    }
+    let columns: Vec<&[f64]> = columns.iter().map(AsRef::as_ref).collect();
+    let num_entities = columns[0].len();
+    let mut combined: Vec<(usize, f64)> = (0..num_entities)
+        .map(|e| (e, columns.iter().map(|c| c[e]).product()))
+        .collect();
+    combined.sort_by(rank_cmp);
+    combined.truncate(k);
+    combined
+}
+
+/// Reference implementation: full scan over all entities (list API).
+///
+/// Only entities that appear in at least one input list are candidates
+/// — an id gap in a sparse id space is not an entity, so (unlike the
+/// dense-column API, where every column slot is an entity) no
+/// zero-score results are fabricated for ids absent from every list.
+/// This matches [`threshold_topk`], which can only surface entities via
+/// sorted access.
 pub fn full_scan_topk(lists: &[Vec<(usize, f64)>], k: usize) -> Vec<(usize, f64)> {
     if lists.is_empty() {
         return Vec::new();
     }
-    let access: Vec<HashMap<usize, f64>> = lists
+    let (columns, sorted) = densify(lists);
+    let mut present = vec![false; columns[0].len()];
+    for order in &sorted {
+        for &entity in order {
+            present[entity as usize] = true;
+        }
+    }
+    let mut combined: Vec<(usize, f64)> = present
         .iter()
-        .map(|l| l.iter().copied().collect())
+        .enumerate()
+        .filter(|&(_, &p)| p)
+        .map(|(e, _)| (e, columns.iter().map(|c| c[e]).product()))
         .collect();
-    let mut combined: Vec<(usize, f64)> = lists[0]
-        .iter()
-        .map(|&(e, _)| {
-            (
-                e,
-                access
-                    .iter()
-                    .map(|m| m.get(&e).copied().unwrap_or(0.0))
-                    .product(),
-            )
-        })
-        .collect();
-    combined.sort_by(|a, b| b.1.total_cmp(&a.1));
+    combined.sort_by(rank_cmp);
     combined.truncate(k);
     combined
 }
@@ -112,28 +240,64 @@ mod tests {
         for _ in 0..20 {
             let n = 50;
             let lists: Vec<Vec<(usize, f64)>> = (0..3)
+                .map(|_| sorted_list(&(0..n).map(|e| (e, rng.gen::<f64>())).collect::<Vec<_>>()))
+                .collect();
+            let ta = threshold_topk(&lists, 5);
+            let fs = full_scan_topk(&lists, 5);
+            assert_eq!(ta, fs, "TA must equal the reference exactly");
+        }
+    }
+
+    #[test]
+    fn matches_full_scan_with_heavy_ties() {
+        // Quantized degrees force score ties; ranking must still agree
+        // exactly because both sides tiebreak on entity id.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let n = 30;
+            let lists: Vec<Vec<(usize, f64)>> = (0..2)
                 .map(|_| {
                     sorted_list(
                         &(0..n)
-                            .map(|e| (e, rng.gen::<f64>()))
+                            .map(|e| (e, f64::from(rng.gen_range(0..4u32)) / 4.0))
                             .collect::<Vec<_>>(),
                     )
                 })
                 .collect();
-            let ta = threshold_topk(&lists, 5);
-            let fs = full_scan_topk(&lists, 5);
-            let ta_scores: Vec<f64> = ta.iter().map(|&(_, s)| s).collect();
-            let fs_scores: Vec<f64> = fs.iter().map(|&(_, s)| s).collect();
-            for (a, b) in ta_scores.iter().zip(&fs_scores) {
-                assert!((a - b).abs() < 1e-12);
+            for k in [1, 3, 7, 30] {
+                let ta = threshold_topk(&lists, k);
+                let fs = full_scan_topk(&lists, k);
+                assert_eq!(ta, fs, "k={k}");
             }
         }
     }
 
     #[test]
+    fn dense_entry_point_equals_list_entry_point() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200;
+        let lists: Vec<Vec<(usize, f64)>> = (0..3)
+            .map(|_| sorted_list(&(0..n).map(|e| (e, rng.gen::<f64>())).collect::<Vec<_>>()))
+            .collect();
+        let (columns, sorted) = densify(&lists);
+        assert_eq!(
+            threshold_topk(&lists, 10),
+            threshold_topk_dense(&columns, &sorted, 10),
+        );
+        assert_eq!(
+            full_scan_topk(&lists, 10),
+            full_scan_topk_dense(&columns, 10),
+        );
+    }
+
+    #[test]
     fn early_termination_happens() {
         // One dominant entity: TA should stop after ~1 depth.
-        let l1 = sorted_list(&(0..1000).map(|e| (e, if e == 0 { 1.0 } else { 0.001 })).collect::<Vec<_>>());
+        let l1 = sorted_list(
+            &(0..1000)
+                .map(|e| (e, if e == 0 { 1.0 } else { 0.001 }))
+                .collect::<Vec<_>>(),
+        );
         let l2 = l1.clone();
         let top = threshold_topk(&[l1, l2], 1);
         assert_eq!(top[0].0, 0);
@@ -145,6 +309,7 @@ mod tests {
         assert!(threshold_topk(&[], 3).is_empty());
         let l = sorted_list(&[(0, 0.5)]);
         assert!(threshold_topk(&[l], 0).is_empty());
+        assert!(threshold_topk_dense::<Vec<f64>, Vec<u32>>(&[], &[], 3).is_empty());
     }
 
     #[test]
@@ -152,5 +317,25 @@ mod tests {
         let l = sorted_list(&[(0, 0.5), (1, 0.4)]);
         let top = threshold_topk(&[l], 10);
         assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn sparse_entity_ids_are_not_fabricated() {
+        // Entity ids 0..5 absent from every list: neither entry point may
+        // invent them as zero-score results.
+        let lists = vec![sorted_list(&[(5, 0.9), (7, 0.2)])];
+        let fs = full_scan_topk(&lists, 4);
+        let ta = threshold_topk(&lists, 4);
+        assert_eq!(fs, vec![(5, 0.9), (7, 0.2)]);
+        assert_eq!(ta, fs);
+    }
+
+    #[test]
+    fn all_zero_degrees_rank_by_entity_id() {
+        let lists = vec![sorted_list(&[(2, 0.0), (0, 0.0), (1, 0.0)])];
+        let ta = threshold_topk(&lists, 2);
+        let fs = full_scan_topk(&lists, 2);
+        assert_eq!(ta, fs);
+        assert_eq!(ta, vec![(0, 0.0), (1, 0.0)]);
     }
 }

@@ -254,7 +254,14 @@ pub fn absa_datasets(seed: u64) -> Vec<AbsaDataset> {
 fn generate_dataset(spec: &DomainSpec, cfg: &DatasetConfig) -> AbsaDataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let train = (0..cfg.train)
-        .map(|_| generate_sentence(spec, cfg.train_bank_fraction, cfg.multi_aspect_prob, &mut rng))
+        .map(|_| {
+            generate_sentence(
+                spec,
+                cfg.train_bank_fraction,
+                cfg.multi_aspect_prob,
+                &mut rng,
+            )
+        })
         .collect();
     let test = (0..cfg.test)
         .map(|_| generate_sentence(spec, 1.0, cfg.multi_aspect_prob, &mut rng))
@@ -277,12 +284,20 @@ fn generate_sentence(
     let mut tokens: Vec<String> = Vec::new();
     let mut tag_ids: Vec<usize> = Vec::new();
 
-    let num_aspects = if rng.gen_bool(multi_aspect_prob) { 2 } else { 1 };
+    let num_aspects = if rng.gen_bool(multi_aspect_prob) {
+        2
+    } else {
+        1
+    };
     let connectors = ["but", "and", "while"];
 
     for i in 0..num_aspects {
         if i > 0 {
-            push_plain(&mut tokens, &mut tag_ids, connectors[rng.gen_range(0..3)]);
+            push_plain(
+                &mut tokens,
+                &mut tag_ids,
+                connectors[rng.gen_range(0..3usize)],
+            );
         }
         let aspect_idx = rng.gen_range(0..spec.aspects.len());
         let aspect = &spec.aspects[aspect_idx];
@@ -295,25 +310,61 @@ fn generate_sentence(
                 // intensifier breaks "first word after the copula is an
                 // opinion" position heuristics.
                 push_plain(&mut tokens, &mut tag_ids, "the");
-                push_term(&mut tokens, &mut tag_ids, aspect_term, tags::B_AS, tags::I_AS);
+                push_term(
+                    &mut tokens,
+                    &mut tag_ids,
+                    aspect_term,
+                    tags::B_AS,
+                    tags::I_AS,
+                );
                 push_plain(&mut tokens, &mut tag_ids, "was");
                 if rng.gen_bool(0.35) {
                     let adv = ["really", "honestly", "overall", "frankly"];
-                    push_plain(&mut tokens, &mut tag_ids, adv[rng.gen_range(0..4)]);
+                    push_plain(&mut tokens, &mut tag_ids, adv[rng.gen_range(0..4usize)]);
                 }
-                push_term(&mut tokens, &mut tag_ids, &opinion_term, tags::B_OP, tags::I_OP);
+                push_term(
+                    &mut tokens,
+                    &mut tag_ids,
+                    &opinion_term,
+                    tags::B_OP,
+                    tags::I_OP,
+                );
             }
             1 => {
                 // "{op} {asp}"
-                push_term(&mut tokens, &mut tag_ids, &opinion_term, tags::B_OP, tags::I_OP);
-                push_term(&mut tokens, &mut tag_ids, aspect_term, tags::B_AS, tags::I_AS);
+                push_term(
+                    &mut tokens,
+                    &mut tag_ids,
+                    &opinion_term,
+                    tags::B_OP,
+                    tags::I_OP,
+                );
+                push_term(
+                    &mut tokens,
+                    &mut tag_ids,
+                    aspect_term,
+                    tags::B_AS,
+                    tags::I_AS,
+                );
             }
             _ => {
                 // "{asp} a bit {op} honestly"
-                push_term(&mut tokens, &mut tag_ids, aspect_term, tags::B_AS, tags::I_AS);
+                push_term(
+                    &mut tokens,
+                    &mut tag_ids,
+                    aspect_term,
+                    tags::B_AS,
+                    tags::I_AS,
+                );
                 push_plain(&mut tokens, &mut tag_ids, "a");
                 push_plain(&mut tokens, &mut tag_ids, "bit");
-                push_term(&mut tokens, &mut tag_ids, &opinion_term, tags::B_OP, tags::I_OP);
+                push_term(
+                    &mut tokens,
+                    &mut tag_ids,
+                    &opinion_term,
+                    tags::B_OP,
+                    tags::I_OP,
+                );
                 if rng.gen_bool(0.4) {
                     push_plain(&mut tokens, &mut tag_ids, "honestly");
                 }
@@ -398,8 +449,7 @@ mod tests {
     #[test]
     fn datasets_match_paper_sizes() {
         let ds = absa_datasets(7);
-        let sizes: Vec<(usize, usize)> =
-            ds.iter().map(|d| (d.train.len(), d.test.len())).collect();
+        let sizes: Vec<(usize, usize)> = ds.iter().map(|d| (d.train.len(), d.test.len())).collect();
         assert_eq!(
             sizes,
             vec![(3041, 800), (3045, 800), (1315, 685), (800, 112)]
@@ -437,7 +487,13 @@ mod tests {
     #[test]
     fn spans_extract_correctly() {
         let s = AbsaSentence {
-            tokens: vec!["the".into(), "battery".into(), "life".into(), "was".into(), "short".into()],
+            tokens: vec![
+                "the".into(),
+                "battery".into(),
+                "life".into(),
+                "was".into(),
+                "short".into(),
+            ],
             tags: vec![tags::O, tags::B_AS, tags::I_AS, tags::O, tags::B_OP],
         };
         assert_eq!(s.aspect_spans(), vec![(1, 3)]);

@@ -117,7 +117,9 @@ impl Corpus {
 
     /// Reviews of one entity, in id order.
     pub fn reviews_of(&self, entity_id: usize) -> impl Iterator<Item = &Review> {
-        self.reviews.iter().filter(move |r| r.entity_id == entity_id)
+        self.reviews
+            .iter()
+            .filter(move |r| r.entity_id == entity_id)
     }
 
     /// Number of reviews written by each reviewer id.
@@ -204,11 +206,7 @@ fn generate_entity(id: usize, spec: &DomainSpec, is_hotel: bool, rng: &mut StdRn
 
     Entity {
         id,
-        name: format!(
-            "{} {}",
-            if is_hotel { "Hotel" } else { "Restaurant" },
-            id
-        ),
+        name: format!("{} {}", if is_hotel { "Hotel" } else { "Restaurant" }, id),
         city,
         price,
         price_range,
@@ -265,8 +263,7 @@ fn generate_review(
     // co-occurrence signal.
     for concept in &spec.concepts {
         if entity.has_concept(concept) && rng.gen_bool(concept.mention_prob) {
-            let phrase = &concept.mention_phrases
-                [rng.gen_range(0..concept.mention_phrases.len())];
+            let phrase = &concept.mention_phrases[rng.gen_range(0..concept.mention_phrases.len())];
             sentences.push(phrase.clone());
             for req in &concept.requires {
                 if rng.gen_bool(0.7) {
@@ -301,7 +298,7 @@ fn generate_review(
         id,
         entity_id: entity.id,
         reviewer_id,
-        year: 2005 + rng.gen_range(0..15),
+        year: 2005 + rng.gen_range(0..15u32),
         helpful_votes: (rng.gen::<f64>().powi(3) * 25.0) as u32,
         text,
         gold,
@@ -338,8 +335,10 @@ pub(crate) fn render_aspect_sentence(
             } else {
                 opinions[rng.gen_range(0..opinions.len())].1
             };
-            let candidates: Vec<&(String, usize, f64)> =
-                opinions.iter().filter(|(_, c, _)| *c == target_cat).collect();
+            let candidates: Vec<&(String, usize, f64)> = opinions
+                .iter()
+                .filter(|(_, c, _)| *c == target_cat)
+                .collect();
             candidates[rng.gen_range(0..candidates.len())].0.clone()
         }
     };
@@ -365,12 +364,12 @@ pub(crate) fn render_aspect_sentence(
 /// between the two closest so banks do not collapse to one phrase).
 fn nearest_linear(opinions: &[(String, f64)], target: f64, rng: &mut StdRng) -> String {
     let mut sorted: Vec<&(String, f64)> = opinions.iter().collect();
-    sorted.sort_by(|a, b| {
-        (a.1 - target)
-            .abs()
-            .total_cmp(&(b.1 - target).abs())
-    });
-    let pick = if sorted.len() > 1 && rng.gen_bool(0.3) { 1 } else { 0 };
+    sorted.sort_by(|a, b| (a.1 - target).abs().total_cmp(&(b.1 - target).abs()));
+    let pick = if sorted.len() > 1 && rng.gen_bool(0.3) {
+        1
+    } else {
+        0
+    };
     sorted[pick].0.clone()
 }
 

@@ -500,7 +500,10 @@ pub fn hotel_spec() -> DomainSpec {
                 "perfect for our anniversary".into(),
                 "made our anniversary special".into(),
             ],
-            queries: vec!["for our anniversary".into(), "anniversary celebration".into()],
+            queries: vec![
+                "for our anniversary".into(),
+                "anniversary celebration".into(),
+            ],
             requires: vec![
                 ConceptRequirement::MinQuality(aspect::SERVICE, 0.75),
                 ConceptRequirement::MinQuality(aspect::STAFF, 0.7),
@@ -515,7 +518,10 @@ pub fn hotel_spec() -> DomainSpec {
                 "great with our kids".into(),
                 "the children loved it".into(),
             ],
-            queries: vec!["kid friendly hotel".into(), "good for families with children".into()],
+            queries: vec![
+                "kid friendly hotel".into(),
+                "good for families with children".into(),
+            ],
             requires: vec![
                 ConceptRequirement::MinQuality(aspect::STAFF, 0.7),
                 ConceptRequirement::MinQuality(aspect::AMENITIES, 0.6),
@@ -595,7 +601,10 @@ mod tests {
         assert_eq!(spec.aspects[aspect::CLEANLINESS].name, "room_cleanliness");
         assert_eq!(spec.aspects[aspect::BATHROOM_STYLE].name, "bathroom_style");
         assert_eq!(spec.aspects[aspect::QUIETNESS].name, "room_quietness");
-        assert_eq!(spec.aspects[aspect::BATHROOM_CLEAN].name, "bathroom_cleanliness");
+        assert_eq!(
+            spec.aspects[aspect::BATHROOM_CLEAN].name,
+            "bathroom_cleanliness"
+        );
     }
 
     #[test]
@@ -630,14 +639,12 @@ mod tests {
                         assert!(a < spec.aspects.len());
                         assert!((0.0..=1.0).contains(&t));
                     }
-                    ConceptRequirement::Category(a, cat) => {
-                        match &spec.aspects[a].kind {
-                            crate::spec::AspectKind::Categorical { categories, .. } => {
-                                assert!(cat < categories.len());
-                            }
-                            _ => panic!("category requirement on linear aspect"),
+                    ConceptRequirement::Category(a, cat) => match &spec.aspects[a].kind {
+                        crate::spec::AspectKind::Categorical { categories, .. } => {
+                            assert!(cat < categories.len());
                         }
-                    }
+                        _ => panic!("category requirement on linear aspect"),
+                    },
                 }
             }
         }

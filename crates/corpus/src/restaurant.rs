@@ -349,7 +349,10 @@ pub fn restaurant_spec() -> DomainSpec {
                 "felt like a private dinner".into(),
                 "an intimate quiet corner".into(),
             ],
-            queries: vec!["private dinner vibe".into(), "a discreet intimate dinner".into()],
+            queries: vec![
+                "private dinner vibe".into(),
+                "a discreet intimate dinner".into(),
+            ],
             requires: vec![
                 ConceptRequirement::Category(aspect::VIBE, super::restaurant::vibe::ROMANTIC),
                 ConceptRequirement::MinQuality(aspect::NOISE, 0.65),
@@ -421,7 +424,11 @@ mod tests {
     #[test]
     fn has_eleven_aspects() {
         let spec = restaurant_spec();
-        assert_eq!(spec.aspects.len(), 11, "paper reports 11 restaurant attributes");
+        assert_eq!(
+            spec.aspects.len(),
+            11,
+            "paper reports 11 restaurant attributes"
+        );
     }
 
     #[test]

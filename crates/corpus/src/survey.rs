@@ -214,12 +214,7 @@ mod tests {
     #[test]
     fn vacation_is_most_subjective_car_least() {
         let rows = run_survey(30, 7, 42);
-        let get = |n: &str| {
-            rows.iter()
-                .find(|r| r.domain == n)
-                .unwrap()
-                .pct_subjective
-        };
+        let get = |n: &str| rows.iter().find(|r| r.domain == n).unwrap().pct_subjective;
         assert!(get("Vacation") > get("Car"));
     }
 

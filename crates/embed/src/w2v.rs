@@ -89,8 +89,8 @@ impl Word2Vec {
             };
         }
 
-        let total_pairs: usize = sentences.iter().map(|s| s.len()).sum::<usize>().max(1)
-            * config.epochs;
+        let total_pairs: usize =
+            sentences.iter().map(|s| s.len()).sum::<usize>().max(1) * config.epochs;
         let mut seen = 0usize;
 
         for _epoch in 0..config.epochs {
@@ -104,6 +104,7 @@ impl Word2Vec {
                     let lr = (config.learning_rate * (1.0 - progress)).max(1e-4);
                     let lo = pos.saturating_sub(config.window);
                     let hi = (pos + config.window + 1).min(sentence.len());
+                    #[allow(clippy::needless_range_loop)]
                     for ctx_pos in lo..hi {
                         if ctx_pos == pos {
                             continue;

@@ -26,7 +26,11 @@ pub fn rank_by_price(query: &EvalQuery, corpus: &Corpus) -> Vec<usize> {
         .filter(|e| query.filter.accepts(e))
         .map(|e| e.id)
         .collect();
-    ids.sort_by(|&a, &b| corpus.entities[a].price.total_cmp(&corpus.entities[b].price));
+    ids.sort_by(|&a, &b| {
+        corpus.entities[a]
+            .price
+            .total_cmp(&corpus.entities[b].price)
+    });
     ids
 }
 
@@ -186,11 +190,9 @@ impl IrBaseline {
                 self.min_similarity,
             );
             for (id, score) in scores.iter_mut() {
-                *score += self.index.bm25(
-                    opine_ir::DocId(*id as u32),
-                    &terms,
-                    &Bm25Params::default(),
-                );
+                *score +=
+                    self.index
+                        .bm25(opine_ir::DocId(*id as u32), &terms, &Bm25Params::default());
             }
         }
         scores.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -253,12 +255,10 @@ mod tests {
         let (corpus, queries) = setup();
         let one = KAttributeOracle::new(&corpus, 1);
         let two = KAttributeOracle::new(&corpus, 2);
-        let q1 = crate::quality::workload_quality(&queries, &corpus, 10, |q| {
-            one.rank(q, &corpus, 10)
-        });
-        let q2 = crate::quality::workload_quality(&queries, &corpus, 10, |q| {
-            two.rank(q, &corpus, 10)
-        });
+        let q1 =
+            crate::quality::workload_quality(&queries, &corpus, 10, |q| one.rank(q, &corpus, 10));
+        let q2 =
+            crate::quality::workload_quality(&queries, &corpus, 10, |q| two.rank(q, &corpus, 10));
         assert!(q2 >= q1, "2-attr {q2} should be >= 1-attr {q1}");
     }
 
@@ -266,12 +266,9 @@ mod tests {
     fn ir_baseline_beats_price_sort() {
         let (corpus, queries) = setup();
         let ir = IrBaseline::build(&corpus, 7);
-        let q_ir = crate::quality::workload_quality(&queries, &corpus, 10, |q| {
-            ir.rank(q, &corpus)
-        });
-        let q_price = crate::quality::workload_quality(&queries, &corpus, 10, |q| {
-            rank_by_price(q, &corpus)
-        });
+        let q_ir = crate::quality::workload_quality(&queries, &corpus, 10, |q| ir.rank(q, &corpus));
+        let q_price =
+            crate::quality::workload_quality(&queries, &corpus, 10, |q| rank_by_price(q, &corpus));
         assert!(
             q_ir > q_price,
             "IR ({q_ir}) should beat ByPrice ({q_price})"

@@ -13,6 +13,6 @@ pub mod baselines;
 pub mod quality;
 pub mod workload;
 
-pub use baselines::{IrBaseline, KAttributeOracle, rank_by_price, rank_by_rating};
+pub use baselines::{rank_by_price, rank_by_rating, IrBaseline, KAttributeOracle};
 pub use quality::{sat_max, sat_score, workload_quality};
 pub use workload::{generate_queries, EvalQuery, ObjectiveFilter};

@@ -57,12 +57,7 @@ pub fn sat_max(query: &EvalQuery, corpus: &Corpus, k: usize) -> f64 {
 ///
 /// `rank` maps a query to its ranked entity ids (already filter-restricted
 /// or not — entities failing the filter simply contribute no sat).
-pub fn workload_quality<F>(
-    queries: &[EvalQuery],
-    corpus: &Corpus,
-    k: usize,
-    mut rank: F,
-) -> f64
+pub fn workload_quality<F>(queries: &[EvalQuery], corpus: &Corpus, k: usize, mut rank: F) -> f64
 where
     F: FnMut(&EvalQuery) -> Vec<usize>,
 {
@@ -153,9 +148,7 @@ mod tests {
             front.extend(&zeros[..9]);
             let mut back: Vec<usize> = zeros[..9].to_vec();
             back.push(best);
-            assert!(
-                sat_score(q, &front, &corpus, 10) > sat_score(q, &back, &corpus, 10)
-            );
+            assert!(sat_score(q, &front, &corpus, 10) > sat_score(q, &back, &corpus, 10));
         }
     }
 

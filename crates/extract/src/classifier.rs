@@ -137,13 +137,8 @@ mod tests {
             ("receptionist kind".to_string(), 1),
             ("staff unfriendly".to_string(), 1),
         ];
-        let clf = AttributeClassifier::train(
-            &records,
-            2,
-            &embedder,
-            &vocab,
-            &LogRegConfig::default(),
-        );
+        let clf =
+            AttributeClassifier::train(&records, 2, &embedder, &vocab, &LogRegConfig::default());
         assert!(clf.accuracy(&records, &embedder, &vocab) > 0.9);
         // Held-out combinations.
         assert_eq!(clf.classify("room stained", &embedder, &vocab), 0);

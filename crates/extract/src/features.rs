@@ -79,10 +79,17 @@ pub fn token_features(
     if word.len() >= 4 {
         feats.push(format!("suf3={}", &word[word.len() - 3..]));
     }
-    feats.push(format!("prev={}", if i == 0 { "<s>" } else { &tokens[i - 1] }));
+    feats.push(format!(
+        "prev={}",
+        if i == 0 { "<s>" } else { &tokens[i - 1] }
+    ));
     feats.push(format!(
         "next={}",
-        if i + 1 == tokens.len() { "</s>" } else { &tokens[i + 1] }
+        if i + 1 == tokens.len() {
+            "</s>"
+        } else {
+            &tokens[i + 1]
+        }
     ));
     if i == 0 {
         feats.push("first".to_string());

@@ -33,7 +33,9 @@ pub fn pair_rule_based(
 fn span_distance(a: (usize, usize), b: (usize, usize)) -> usize {
     if a.1 <= b.0 {
         b.0 - a.1
-    } else { a.0.saturating_sub(b.1) }
+    } else {
+        a.0.saturating_sub(b.1)
+    }
 }
 
 /// The supervised pairing model of Appendix C.
@@ -79,7 +81,11 @@ impl PairingModel {
     /// Span-geometry features: distance, order, connective interveners.
     fn features(e: &PairingExample) -> Vec<f64> {
         let dist = span_distance(e.aspect_span, e.opinion_span) as f64;
-        let aspect_first = if e.aspect_span.0 < e.opinion_span.0 { 1.0 } else { 0.0 };
+        let aspect_first = if e.aspect_span.0 < e.opinion_span.0 {
+            1.0
+        } else {
+            0.0
+        };
         let (lo, hi) = if e.aspect_span.1 <= e.opinion_span.0 {
             (e.aspect_span.1, e.opinion_span.0)
         } else {

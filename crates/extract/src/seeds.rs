@@ -60,8 +60,20 @@ pub fn expand_seeds(
 ) -> Vec<(String, usize)> {
     let mut records = Vec::new();
     for seed in seeds {
-        let aspects = expand_terms(&seed.aspect_terms, w2v, vocab, neighbours_per_term, min_similarity);
-        let opinions = expand_terms(&seed.opinion_terms, w2v, vocab, neighbours_per_term, min_similarity);
+        let aspects = expand_terms(
+            &seed.aspect_terms,
+            w2v,
+            vocab,
+            neighbours_per_term,
+            min_similarity,
+        );
+        let opinions = expand_terms(
+            &seed.opinion_terms,
+            w2v,
+            vocab,
+            neighbours_per_term,
+            min_similarity,
+        );
         for a in &aspects {
             for p in &opinions {
                 records.push((format!("{a} {p}"), seed.attribute));
@@ -154,8 +166,7 @@ mod tests {
         assert!(records.len() <= 500);
         assert!(!records.is_empty());
         // Every attribute index must be represented under the cap.
-        let attrs: std::collections::HashSet<usize> =
-            records.iter().map(|(_, a)| *a).collect();
+        let attrs: std::collections::HashSet<usize> = records.iter().map(|(_, a)| *a).collect();
         assert_eq!(attrs.len(), spec.aspects.len());
         // Records look like "aspect opinion".
         assert!(records[0].0.contains(' '));

@@ -118,7 +118,13 @@ impl InvertedIndex {
     /// Only documents containing at least one query term are scored, so the
     /// result may be shorter than `k`. Ties break by ascending doc id for
     /// determinism.
-    pub fn search(&self, query: &str, k: usize, vocab: &Vocab, params: &Bm25Params) -> Vec<SearchHit> {
+    pub fn search(
+        &self,
+        query: &str,
+        k: usize,
+        vocab: &Vocab,
+        params: &Bm25Params,
+    ) -> Vec<SearchHit> {
         let terms: Vec<WordId> = tokenize(query)
             .iter()
             .filter_map(|t| vocab.get(t))
@@ -141,8 +147,7 @@ impl InvertedIndex {
             let idf = self.idf(postings.len());
             for &(doc, tf) in postings {
                 let tf = tf as f64;
-                let len_norm =
-                    1.0 - params.b + params.b * self.doc_len(doc) as f64 / avg_len;
+                let len_norm = 1.0 - params.b + params.b * self.doc_len(doc) as f64 / avg_len;
                 let s = idf * tf * (params.k1 + 1.0) / (tf + params.k1 * len_norm);
                 *scores.entry(doc).or_insert(0.0) += s;
             }
@@ -219,10 +224,10 @@ mod tests {
         let mut vocab = Vocab::new();
         let mut index = InvertedIndex::new();
         for text in [
-            "the room was very clean and the bed was soft",    // 0
-            "dirty room with stained carpet",                  // 1
-            "clean clean clean everything spotless",           // 2
-            "the breakfast was great and the staff friendly",  // 3
+            "the room was very clean and the bed was soft",   // 0
+            "dirty room with stained carpet",                 // 1
+            "clean clean clean everything spotless",          // 2
+            "the breakfast was great and the staff friendly", // 3
         ] {
             index.add_document(text, &mut vocab);
         }
@@ -268,7 +273,7 @@ mod tests {
         let (vocab, index) = build();
         let terms: Vec<WordId> = ["clean", "room"]
             .iter()
-            .filter_map(|t| vocab.get(*t))
+            .filter_map(|t| vocab.get(t))
             .collect();
         let hits = index.search_terms(&terms, 10, &Bm25Params::default());
         for hit in hits {

@@ -101,10 +101,7 @@ impl LogisticRegression {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .iter()
-            .filter(|(x, y)| self.predict(x) == *y)
-            .count();
+        let correct = data.iter().filter(|(x, y)| self.predict(x) == *y).count();
         correct as f64 / data.len() as f64
     }
 }
@@ -120,10 +117,8 @@ impl MulticlassLogReg {
     pub fn train(data: &[(Vec<f64>, usize)], num_classes: usize, config: &LogRegConfig) -> Self {
         let models = (0..num_classes)
             .map(|class| {
-                let binary: Vec<(Vec<f64>, bool)> = data
-                    .iter()
-                    .map(|(x, y)| (x.clone(), *y == class))
-                    .collect();
+                let binary: Vec<(Vec<f64>, bool)> =
+                    data.iter().map(|(x, y)| (x.clone(), *y == class)).collect();
                 LogisticRegression::train(&binary, config)
             })
             .collect();

@@ -97,8 +97,14 @@ impl SequenceTagger {
                 let predicted = model.viterbi(&feat_ids);
                 if &predicted != gold {
                     model.update(
-                        &feat_ids, gold, &predicted, step, &mut w_totals, &mut w_stamps,
-                        &mut t_totals, &mut t_stamps,
+                        &feat_ids,
+                        gold,
+                        &predicted,
+                        step,
+                        &mut w_totals,
+                        &mut w_stamps,
+                        &mut t_totals,
+                        &mut t_stamps,
                     );
                 }
                 step += 1;
@@ -163,8 +169,8 @@ impl SequenceTagger {
         let mut score = vec![f64::NEG_INFINITY; n * t];
         let mut back = vec![0usize; n * t];
 
-        for tag in 0..t {
-            score[tag] = self.trans(start, tag) + self.emission(&feat_ids[0], tag);
+        for (tag, slot) in score.iter_mut().enumerate().take(t) {
+            *slot = self.trans(start, tag) + self.emission(&feat_ids[0], tag);
         }
         for pos in 1..n {
             for tag in 0..t {

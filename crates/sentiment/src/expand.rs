@@ -52,8 +52,7 @@ pub fn expand_lexicon(
         if weight_sum <= 0.0 {
             continue;
         }
-        let score: f64 =
-            close.iter().map(|(p, s)| p * *s as f64).sum::<f64>() / weight_sum * 0.8;
+        let score: f64 = close.iter().map(|(p, s)| p * *s as f64).sum::<f64>() / weight_sum * 0.8;
         if score.abs() >= 0.05 {
             expanded.insert(word, score);
         }
@@ -98,7 +97,10 @@ mod tests {
         let sparkling = expanded.score("sparkling");
         let grubby = expanded.score("grubby");
         if let (Some(s), Some(g)) = (sparkling, grubby) {
-            assert!(s > g, "sparkling ({s}) should be more positive than grubby ({g})");
+            assert!(
+                s > g,
+                "sparkling ({s}) should be more positive than grubby ({g})"
+            );
         }
         // At minimum the seed must be preserved.
         assert_eq!(expanded.score("clean"), Lexicon::seed().score("clean"));

@@ -129,6 +129,39 @@ impl Expr {
         out
     }
 
+    /// True when every leaf is a subjective construct — no objective
+    /// comparison anywhere. Such expressions evaluate the subjective
+    /// degrees for *every* row, so batch warm-up always pays off; a mixed
+    /// expression may short-circuit on its objective filters, where eager
+    /// whole-column scoring would be wasted work.
+    pub fn is_purely_subjective(&self) -> bool {
+        match self {
+            Expr::Subjective(_) | Expr::MarkerMatch { .. } => true,
+            Expr::Compare { .. } => false,
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.is_purely_subjective() && b.is_purely_subjective()
+            }
+            Expr::Not(e) => e.is_purely_subjective(),
+        }
+    }
+
+    /// When the expression is exactly a conjunction of natural-language
+    /// predicates (`"a" and "b" and …`, including a single predicate),
+    /// returns them in left-to-right order. Any objective comparison,
+    /// marker match, `or`, or `not` makes this `None` — those shapes need
+    /// general row-at-a-time evaluation.
+    pub fn as_subjective_conjunction(&self) -> Option<Vec<&str>> {
+        match self {
+            Expr::Subjective(s) => Some(vec![s.as_str()]),
+            Expr::And(a, b) => {
+                let mut preds = a.as_subjective_conjunction()?;
+                preds.extend(b.as_subjective_conjunction()?);
+                Some(preds)
+            }
+            _ => None,
+        }
+    }
+
     fn collect_subjective<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             Expr::Subjective(s) => out.push(s),

@@ -66,6 +66,28 @@ pub trait SubjectiveScorer {
         phrase: &str,
         key: &Value,
     ) -> Result<f64, StoreError>;
+
+    /// Batch warm-up hook called once per query with every
+    /// natural-language predicate in the WHERE clause, before the
+    /// executor's row loop. Scorers that can evaluate a predicate over
+    /// all entities at once (OpineDB scores them in parallel entity
+    /// chunks) implement this so the subsequent per-row
+    /// [`Self::degree_predicate`] calls become cache reads. The default
+    /// does nothing.
+    fn prepare_predicates(&self, _predicates: &[&str]) {}
+
+    /// Optional index-assisted ranking for a WHERE clause that is exactly
+    /// a conjunction of natural-language predicates: the top `k`
+    /// `(key, combined degree)` pairs under the product t-norm, ranked by
+    /// degree descending with a deterministic tiebreak. Returning `None`
+    /// (the default) falls back to scoring every row.
+    fn rank_subjective_conjunction(
+        &self,
+        _predicates: &[&str],
+        _k: usize,
+    ) -> Option<Vec<(Value, f64)>> {
+        None
+    }
 }
 
 /// A scorer that rejects all subjective constructs — for purely objective
@@ -120,15 +142,16 @@ impl Layout {
             .slots
             .iter()
             .enumerate()
-            .filter(|(_, (tbl, col))| {
-                col == &r.column && r.table.as_ref().is_none_or(|t| t == tbl)
-            })
+            .filter(|(_, (tbl, col))| col == &r.column && r.table.as_ref().is_none_or(|t| t == tbl))
             .map(|(i, _)| i)
             .collect();
         match matches.len() {
             0 => Err(StoreError::UnknownColumn(format!(
                 "{}{}",
-                r.table.as_deref().map(|t| format!("{t}.")).unwrap_or_default(),
+                r.table
+                    .as_deref()
+                    .map(|t| format!("{t}."))
+                    .unwrap_or_default(),
                 r.column
             ))),
             1 => Ok(matches[0]),
@@ -159,6 +182,39 @@ pub fn execute(
             .collect(),
         base_key_slot: base.schema().key,
     };
+
+    // Index-assisted fast path: a WHERE clause that is purely a
+    // conjunction of subjective predicates (the paper's core ranking
+    // query) can be answered by the scorer's threshold-algorithm top-k
+    // over its degree columns, skipping the full scoring scan. ORDER BY
+    // asks for a different order and joins change the row set, so both
+    // disable it; scorers without an index return `None` and fall
+    // through.
+    if query.joins.is_empty() && query.order_by.is_none() {
+        if let Some(predicates) = query
+            .where_clause
+            .as_ref()
+            .and_then(Expr::as_subjective_conjunction)
+        {
+            let k = query.limit.unwrap_or(usize::MAX).min(base.len());
+            if let Some(ranked) = scorer.rank_subjective_conjunction(&predicates, k) {
+                // The table's own key index resolves the ≤ k ranked keys
+                // directly — no per-query scan over the base rows.
+                let mut scored: Vec<(Vec<Value>, f64)> = Vec::with_capacity(ranked.len());
+                for (key, score) in ranked {
+                    if score <= 0.0 {
+                        continue;
+                    }
+                    let row = base.get_by_key(&key).ok_or_else(|| {
+                        StoreError::Execution(format!("ranked key {key} not in base table"))
+                    })?;
+                    scored.push((row.clone(), score));
+                }
+                return finish(query, &layout, scored);
+            }
+        }
+    }
+
     let mut rows: Vec<Vec<Value>> = base.rows().to_vec();
 
     for join in &query.joins {
@@ -184,7 +240,9 @@ pub fn execute(
         // Hash join: build side = joined table.
         let mut hash: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
         for row in right.rows() {
-            hash.entry(row[build_col].to_string()).or_default().push(row);
+            hash.entry(row[build_col].to_string())
+                .or_default()
+                .push(row);
         }
         let mut joined = Vec::new();
         for row in &rows {
@@ -206,6 +264,21 @@ pub fn execute(
         );
     }
 
+    // Batch warm-up — only for purely subjective WHERE clauses (e.g.
+    // `"a" or "b"`, which the TA conjunction path can't take): every row
+    // will need every predicate's degree, so scoring all entities at
+    // once in parallel is always profitable. Mixed clauses keep lazy
+    // per-row scoring so a selective objective filter short-circuits the
+    // subjective work exactly as before.
+    if let Some(expr) = &query.where_clause {
+        if expr.is_purely_subjective() {
+            let predicates = expr.subjective_predicates();
+            if !predicates.is_empty() {
+                scorer.prepare_predicates(&predicates);
+            }
+        }
+    }
+
     // Score every row.
     let mut scored: Vec<(Vec<Value>, f64)> = Vec::with_capacity(rows.len());
     let algebra = FuzzyAlgebra::Product;
@@ -220,14 +293,22 @@ pub fn execute(
         }
     }
 
-    // Order: explicit ORDER BY, else score descending.
+    finish(query, &layout, scored)
+}
+
+/// Shared result assembly: ordering, limit, projection.
+fn finish(
+    query: &Select,
+    layout: &Layout,
+    mut scored: Vec<(Vec<Value>, f64)>,
+) -> Result<ResultSet, StoreError> {
+    // Order: explicit ORDER BY, else score descending (stable, so equal
+    // scores keep base-row / rank order).
     match &query.order_by {
         Some(ob) => {
             let slot = layout.resolve(&ob.column)?;
             scored.sort_by(|a, b| {
-                let ord = a.0[slot]
-                    .compare(&b.0[slot])
-                    .unwrap_or(Ordering::Equal);
+                let ord = a.0[slot].compare(&b.0[slot]).unwrap_or(Ordering::Equal);
                 if ob.ascending {
                     ord
                 } else {
@@ -474,10 +555,8 @@ mod tests {
     #[test]
     fn mixed_query_multiplies_degrees() {
         let cat = hotel_catalog();
-        let q = parse_select(
-            "select * from hotels where price_pn < 150 and \"clean rooms\"",
-        )
-        .unwrap();
+        let q =
+            parse_select("select * from hotels where price_pn < 150 and \"clean rooms\"").unwrap();
         let r = execute(&q, &cat, &Canned).unwrap();
         // Plaza (300/night) excluded by the objective 0; Grand 0.9, Canal 0.2.
         assert_eq!(r.rows.len(), 2);
@@ -545,10 +624,7 @@ mod tests {
             .unwrap();
         cat.insert("cafes", vec![Value::text("Brew"), Value::text("canal")])
             .unwrap();
-        let q = parse_select(
-            "select * from hotels h join cafes c on h.street = c.street",
-        )
-        .unwrap();
+        let q = parse_select("select * from hotels h join cafes c on h.street = c.street").unwrap();
         let r = execute(&q, &cat, &ObjectiveOnly).unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0].0[0], Value::text("Grand"));
@@ -574,8 +650,8 @@ mod tests {
     #[test]
     fn godel_variant_uses_min() {
         let cat = hotel_catalog();
-        let q = parse_select("select * from hotels where \"clean rooms\" and \"clean rooms\"")
-            .unwrap();
+        let q =
+            parse_select("select * from hotels where \"clean rooms\" and \"clean rooms\"").unwrap();
         let product = execute(&cat_query(&q), &cat, &Canned).unwrap();
         let godel = execute_with_algebra(&q, &cat, &Canned, FuzzyAlgebra::Godel).unwrap();
         // product: 0.81 for Grand; Gödel: 0.9.

@@ -411,9 +411,7 @@ impl Parser {
                             Some(Token::Eq) => CmpOp::Eq,
                             Some(Token::Ne) => CmpOp::Ne,
                             other => {
-                                return Err(
-                                    self.err(&format!("expected comparison, got {other:?}"))
-                                )
+                                return Err(self.err(&format!("expected comparison, got {other:?}")))
                             }
                         };
                         let rhs = self.parse_operand()?;

@@ -101,7 +101,10 @@ mod tests {
     fn column_lookup() {
         let s = Schema::new(
             "t",
-            vec![Column::new("a", ColumnType::Int), Column::new("b", ColumnType::Text)],
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Text),
+            ],
             0,
         );
         assert_eq!(s.column_index("b"), Some(1));

@@ -59,9 +59,7 @@ impl Table {
 
     /// Row with the given key value, if present.
     pub fn get_by_key(&self, key: &Value) -> Option<&Vec<Value>> {
-        self.key_index
-            .get(&key.to_string())
-            .map(|&i| &self.rows[i])
+        self.key_index.get(&key.to_string()).map(|&i| &self.rows[i])
     }
 
     /// Number of rows.
@@ -94,7 +92,8 @@ mod tests {
     #[test]
     fn insert_and_lookup() {
         let mut t = table();
-        t.insert(vec![Value::text("Grand"), Value::Float(120.0)]).unwrap();
+        t.insert(vec![Value::text("Grand"), Value::Float(120.0)])
+            .unwrap();
         assert_eq!(t.len(), 1);
         let row = t.get_by_key(&Value::text("Grand")).unwrap();
         assert_eq!(row[1], Value::Float(120.0));

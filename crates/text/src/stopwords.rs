@@ -3,16 +3,123 @@
 /// Words filtered by [`crate::tokenize`] unless they are negations or
 /// intensifiers. The list intentionally excludes opinion-bearing adverbs.
 static STOPWORDS: &[&str] = &[
-    "a", "an", "the", "and", "or", "but", "if", "then", "than", "that", "this", "these", "those",
-    "is", "are", "was", "were", "be", "been", "being", "am", "it", "its", "it's", "i", "we", "you",
-    "he", "she", "they", "them", "my", "our", "your", "his", "her", "their", "of", "in", "on",
-    "at", "to", "from", "by", "with", "for", "as", "into", "about", "out", "up", "down", "over",
-    "under", "again", "there", "here", "when", "where", "why", "how", "all", "any", "both", "each",
-    "few", "more", "most", "other", "some", "such", "only", "own", "same", "can", "will", "just",
-    "do", "does", "did", "doing", "would", "should", "could", "have", "has", "had", "having",
-    "what", "which", "who", "whom", "because", "while", "during", "before", "after", "through",
-    "also", "me", "us", "him", "no", "not", "never", "nothing", "very", "really", "extremely",
-    "quite", "pretty", "too", "so", "s", "t", "got", "get",
+    "a",
+    "an",
+    "the",
+    "and",
+    "or",
+    "but",
+    "if",
+    "then",
+    "than",
+    "that",
+    "this",
+    "these",
+    "those",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "am",
+    "it",
+    "its",
+    "it's",
+    "i",
+    "we",
+    "you",
+    "he",
+    "she",
+    "they",
+    "them",
+    "my",
+    "our",
+    "your",
+    "his",
+    "her",
+    "their",
+    "of",
+    "in",
+    "on",
+    "at",
+    "to",
+    "from",
+    "by",
+    "with",
+    "for",
+    "as",
+    "into",
+    "about",
+    "out",
+    "up",
+    "down",
+    "over",
+    "under",
+    "again",
+    "there",
+    "here",
+    "when",
+    "where",
+    "why",
+    "how",
+    "all",
+    "any",
+    "both",
+    "each",
+    "few",
+    "more",
+    "most",
+    "other",
+    "some",
+    "such",
+    "only",
+    "own",
+    "same",
+    "can",
+    "will",
+    "just",
+    "do",
+    "does",
+    "did",
+    "doing",
+    "would",
+    "should",
+    "could",
+    "have",
+    "has",
+    "had",
+    "having",
+    "what",
+    "which",
+    "who",
+    "whom",
+    "because",
+    "while",
+    "during",
+    "before",
+    "after",
+    "through",
+    "also",
+    "me",
+    "us",
+    "him",
+    "no",
+    "not",
+    "never",
+    "nothing",
+    "very",
+    "really",
+    "extremely",
+    "quite",
+    "pretty",
+    "too",
+    "so",
+    "s",
+    "t",
+    "got",
+    "get",
 ];
 
 /// Returns true if `token` (already lowercased) is a stopword.

@@ -68,9 +68,24 @@ pub fn is_negation(token: &str) -> bool {
 pub fn is_intensifier(token: &str) -> bool {
     matches!(
         token,
-        "very" | "really" | "extremely" | "super" | "quite" | "pretty" | "too" | "so"
-            | "incredibly" | "spotlessly" | "somewhat" | "slightly" | "truly" | "definitely"
-            | "genuinely" | "meticulously" | "absolutely" | "fairly"
+        "very"
+            | "really"
+            | "extremely"
+            | "super"
+            | "quite"
+            | "pretty"
+            | "too"
+            | "so"
+            | "incredibly"
+            | "spotlessly"
+            | "somewhat"
+            | "slightly"
+            | "truly"
+            | "definitely"
+            | "genuinely"
+            | "meticulously"
+            | "absolutely"
+            | "fairly"
     )
 }
 

@@ -24,13 +24,16 @@ fn main() {
     let db = build(&corpus, &BuildConfig::default());
 
     for predicate in [
-        "has really clean rooms",  // stage 1: word2vec over the schema
-        "is a romantic getaway",   // stage 2: review co-occurrence
-        "good for motorcyclists",  // stage 3: text-retrieval fallback
+        "has really clean rooms", // stage 1: word2vec over the schema
+        "is a romantic getaway",  // stage 2: review co-occurrence
+        "good for motorcyclists", // stage 3: text-retrieval fallback
     ] {
         let interp = db.interpret(predicate);
         let stage = match &interp {
-            Interpretation::Direct { attribute, similarity } => format!(
+            Interpretation::Direct {
+                attribute,
+                similarity,
+            } => format!(
                 "stage 1 (word2vec): attribute `{}`, similarity {similarity:.2}",
                 db.attributes[*attribute]
             ),

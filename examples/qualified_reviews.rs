@@ -36,13 +36,15 @@ fn main() {
     );
 
     let full = db.summaries_with_review_filter(|_| true);
-    let qualified = db.summaries_with_review_filter(|m| {
-        counts.get(&m.reviewer_id).copied().unwrap_or(0) >= 10
-    });
+    let qualified =
+        db.summaries_with_review_filter(|m| counts.get(&m.reviewer_id).copied().unwrap_or(0) >= 10);
     let recent = db.summaries_with_review_filter(|m| m.year > 2010);
 
     println!("\nroom-cleanliness degree for \"very clean\" under each review filter:");
-    println!("{:<10} {:>10} {:>12} {:>12} {:>8}", "hotel", "all", "prolific", "after 2010", "reviews");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>8}",
+        "hotel", "all", "prolific", "after 2010", "reviews"
+    );
     for e in 0..8 {
         let d_all = db.attribute_degree_with_summaries(&full, e, 0, "very clean");
         let d_q = db.attribute_degree_with_summaries(&qualified, e, 0, "very clean");

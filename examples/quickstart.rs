@@ -54,6 +54,10 @@ fn main() {
     }
     println!("\ntop-5 answers (hotel, price, fuzzy score):");
     for (row, score) in &out.result.rows {
-        println!("  {:<10} {:>8}   {score:.3}", row[0].to_string(), row[2].to_string());
+        println!(
+            "  {:<10} {:>8}   {score:.3}",
+            row[0].to_string(),
+            row[2].to_string()
+        );
     }
 }

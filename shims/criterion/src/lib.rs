@@ -1,0 +1,303 @@
+//! Offline shim for the subset of `criterion` this workspace's benches
+//! use: `Criterion`, `benchmark_group`/`bench_function`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: a wall-clock warmup sizes the per-sample iteration
+//! count, then `sample_size` timed samples are collected and summarized as
+//! mean ± standard deviation per iteration. Statistical machinery
+//! (outlier classification, HTML reports) is intentionally absent — the
+//! numbers print to stdout, which is what the repo's bench harness
+//! consumes.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line conventions, mirroring upstream criterion:
+    /// the first free argument filters benchmark names by substring
+    /// (`cargo bench -- <filter>`), and without the `--bench` flag that
+    /// `cargo bench` passes (so under `cargo test --benches`, which
+    /// passes nothing, or an explicit `--test`) benchmarks run in smoke
+    /// mode — one unmeasured iteration each.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.test_mode = !args.iter().any(|a| a == "--bench") || args.iter().any(|a| a == "--test");
+        self.filter = args.into_iter().find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, name, f);
+        self
+    }
+
+    /// Opens a named group; the group name prefixes its benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Sets the target measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        run_bench(self.criterion, &full, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (reporting is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Times the routine passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `iters` times and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(c: &Criterion, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &c.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Smoke mode (`cargo test --benches`): one unmeasured iteration.
+    if c.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name}: ok (test mode, 1 iteration)");
+        return;
+    }
+
+    // Warmup: find an iteration count whose sample takes ≥ ~1/10 of the
+    // measurement budget, doubling from 1.
+    let mut iters: u64 = 1;
+    let warmup_deadline = Instant::now() + c.warmup;
+    let per_sample = c.measurement.as_secs_f64() / c.sample_size as f64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let t = b.elapsed.as_secs_f64();
+        if t >= per_sample || Instant::now() >= warmup_deadline {
+            if t > 0.0 && t < per_sample {
+                let scale = (per_sample / t).min(1024.0);
+                iters = ((iters as f64 * scale).ceil() as u64).max(1);
+            }
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    // Measurement: `sample_size` samples of `iters` iterations each.
+    let mut samples = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+        / (samples.len() - 1).max(1) as f64;
+    println!(
+        "{name:<50} time: [{} ± {}]  ({} samples × {iters} iters)",
+        fmt_time(mean),
+        fmt_time(var.sqrt()),
+        samples.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets with a
+/// default-configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warmup: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+            filter: None,
+            test_mode: false,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_sample_size_is_scoped() {
+        let mut c = Criterion {
+            sample_size: 4,
+            warmup: Duration::from_millis(1),
+            measurement: Duration::from_millis(4),
+            filter: None,
+            test_mode: false,
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+            g.finish();
+        }
+        assert_eq!(c.sample_size, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_measuring() {
+        let mut c = Criterion {
+            sample_size: 50,
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            filter: None,
+            test_mode: true,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke_once", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1, "test mode must run the routine exactly once");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            warmup: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+            filter: Some("nomatch".into()),
+            test_mode: false,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,432 @@
+//! Offline shim for the subset of `proptest` this workspace's property
+//! tests use: the `proptest!` macro with `pattern in strategy` arguments,
+//! `prop_assert!`/`prop_assert_eq!`, regex-string strategies, numeric
+//! range strategies, tuple strategies, `prop::collection::vec`, and
+//! `prop::sample::select`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case index and seed instead of a minimized input), and the regex
+//! strategy supports the subset `atom{m,n}` where `atom` is `.`, a
+//! character class `[...]` (with ranges), or a literal character.
+//! Case count defaults to 64 and follows `PROPTEST_CASES`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A failed property-test case (carried as an `Err` out of the body).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Number of cases each property runs (env `PROPTEST_CASES`, default 64).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Base seed for the deterministic case stream (env `PROPTEST_SEED`).
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5eed_cafe_f00d_1234)
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+// ---- numeric ranges ----
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---- tuples ----
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+// ---- regex-subset string strategy ----
+
+/// One parsed regex atom with its repetition bounds.
+enum RegexPiece {
+    /// `.` — any printable character from a mixed pool.
+    Any { min: usize, max: usize },
+    /// `[...]` — one of an explicit character set.
+    Class {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    },
+}
+
+/// Pool the `.` atom draws from: ASCII printables plus a few multi-byte
+/// code points so string-handling code meets non-ASCII input.
+const ANY_POOL: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L',
+    'Z', '0', '1', '2', '5', '9', ' ', ' ', '\t', '.', ',', ';', ':', '!', '?', '"', '\'', '(',
+    ')', '<', '>', '=', '+', '-', '*', '/', '%', '_', '#', '@', 'é', 'ß', 'λ', '中', '🦀',
+];
+
+fn parse_regex(pattern: &str) -> Vec<RegexPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let set: Option<Vec<char>> = match chars[i] {
+            '.' => {
+                i += 1;
+                None
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                Some(set)
+            }
+            c => {
+                i += 1;
+                Some(vec![c])
+            }
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .expect("unclosed {} quantifier in test regex");
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let m = body.trim().parse().expect("bad quantifier");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(match set {
+            None => RegexPiece::Any { min, max },
+            Some(chars) => RegexPiece::Class { chars, min, max },
+        });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for piece in parse_regex(self) {
+            let (pool, min, max): (&[char], usize, usize) = match &piece {
+                RegexPiece::Any { min, max } => (ANY_POOL, *min, *max),
+                RegexPiece::Class { chars, min, max } => (chars, *min, *max),
+            };
+            let count = rng.gen_range(min..=max);
+            for _ in 0..count {
+                if !pool.is_empty() {
+                    out.push(pool[rng.gen_range(0..pool.len())]);
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---- collections and sampling ----
+
+/// Size bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub min: usize,
+    /// Inclusive upper bound.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy modules mirroring `proptest::collection` / `proptest::sample`.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy over `element` with `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirrors `proptest::sample`.
+pub mod sample {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy choosing one of a fixed set of values.
+    pub struct Select<T>(Vec<T>);
+
+    /// Chooses uniformly among `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy, TestCaseError};
+
+    /// Mirrors upstream's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `PROPTEST_CASES` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::case_count();
+                let base = $crate::base_seed();
+                for case in 0..cases {
+                    let seed = base
+                        .wrapping_add(case as u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let mut __proptest_rng =
+                        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng);)*
+                    let result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = result {
+                        panic!(
+                            "property {} failed at case {case}/{cases} (seed {seed}): {e}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) so the harness can report case and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {lhs:?}\n right: {rhs:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_class_and_quantifier() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c ]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_dot_produces_varied_lengths() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let lens: Vec<usize> = (0..100)
+            .map(|_| Strategy::generate(&".{0,20}", &mut rng).chars().count())
+            .collect();
+        assert!(lens.contains(&0));
+        assert!(lens.iter().all(|&l| l <= 20));
+        assert!(lens.iter().max() > lens.iter().min());
+    }
+
+    proptest! {
+        /// The macro wires patterns, tuples, collections, and selects.
+        #[test]
+        fn macro_end_to_end(
+            x in 0.0f64..=1.0,
+            k in 1usize..8,
+            mut v in prop::collection::vec((0i32..10, -1.0f32..=1.0), 1..5),
+            word in prop::sample::select(vec!["a", "b"]),
+        ) {
+            prop_assert!((0.0..=1.0).contains(&x));
+            prop_assert!((1..8).contains(&k));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            v.reverse();
+            for (i, f) in v {
+                prop_assert!((0..10).contains(&i));
+                prop_assert!((-1.0..=1.0).contains(&f));
+            }
+            prop_assert!(word == "a" || word == "b");
+            prop_assert_eq!(word.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_reports_case_and_seed() {
+        proptest! {
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

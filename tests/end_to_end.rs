@@ -18,12 +18,29 @@ fn fast_config() -> BuildConfig {
     }
 }
 
+/// Corpus scale for the generated-corpus tests: CI-fast defaults, with
+/// env overrides (`OPINE_TEST_ENTITIES`, `OPINE_TEST_REVIEWS`) for
+/// larger local soak runs.
+fn test_scale(default_entities: usize, default_reviews: usize) -> (usize, usize) {
+    let env_usize = |key: &str, default: usize| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    (
+        env_usize("OPINE_TEST_ENTITIES", default_entities),
+        env_usize("OPINE_TEST_REVIEWS", default_reviews),
+    )
+}
+
 fn hotel_db() -> (Corpus, opinedb::core::OpineDb) {
+    let (num_entities, mean_reviews) = test_scale(24, 16);
     let corpus = Corpus::generate(
         hotel_spec(),
         &CorpusConfig {
-            num_entities: 24,
-            mean_reviews: 16,
+            num_entities,
+            mean_reviews,
             seed: 31,
         },
     );
@@ -53,17 +70,20 @@ fn hotel_pipeline_answers_the_running_example() {
 
 #[test]
 fn restaurant_pipeline_works_end_to_end() {
+    let (num_entities, mean_reviews) = test_scale(20, 12);
     let corpus = Corpus::generate(
         restaurant_spec(),
         &CorpusConfig {
-            num_entities: 20,
-            mean_reviews: 12,
+            num_entities,
+            mean_reviews,
             seed: 33,
         },
     );
     let db = build(&corpus, &fast_config());
     let out = db
-        .query("select * from restaurants where cuisine = 'Japanese' and \"delicious food\" limit 5")
+        .query(
+            "select * from restaurants where cuisine = 'Japanese' and \"delicious food\" limit 5",
+        )
         .expect("query runs");
     for (row, _) in &out.result.rows {
         assert_eq!(row[3].to_string(), "Japanese");

@@ -47,14 +47,15 @@ proptest! {
         }
     }
 
-    /// Fagin's TA returns exactly the full-scan top-k scores.
+    /// Fagin's TA returns exactly the full-scan top-k — entities, scores,
+    /// and order (the ranking total order is deterministic).
     #[test]
     fn threshold_algorithm_equals_full_scan(
         degrees in prop::collection::vec(
             (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0), 1..40),
         k in 1usize..8,
     ) {
-        let mut lists: Vec<Vec<(usize, f64)>> = (0..3)
+        let lists: Vec<Vec<(usize, f64)>> = (0..3)
             .map(|dim| {
                 let mut l: Vec<(usize, f64)> = degrees
                     .iter()
@@ -67,15 +68,55 @@ proptest! {
             .collect();
         let ta = threshold_topk(&lists, k);
         let fs = full_scan_topk(&lists, k);
-        prop_assert_eq!(ta.len(), fs.len());
-        for (a, b) in ta.iter().zip(&fs) {
-            prop_assert!((a.1 - b.1).abs() < 1e-12);
-        }
+        prop_assert_eq!(&ta, &fs);
         // Result is sorted descending.
         for w in ta.windows(2) {
             prop_assert!(w[0].1 >= w[1].1);
         }
-        lists.clear();
+    }
+
+    /// The list-based and densified TA entry points both reproduce the
+    /// naive full-scan product-combine sort *exactly*, ties included:
+    /// degrees are quantized to force score collisions, and every entry
+    /// point must break them the same way (entity id ascending).
+    #[test]
+    fn ta_entry_points_agree_with_naive_under_ties(
+        degrees in prop::collection::vec((0u32..5, 0u32..5, 0u32..5), 1..60),
+        k in 1usize..10,
+    ) {
+        use opinedb::core::topk::{densify, full_scan_topk_dense, threshold_topk_dense};
+        let lists: Vec<Vec<(usize, f64)>> = (0..3)
+            .map(|dim| {
+                let mut l: Vec<(usize, f64)> = degrees
+                    .iter()
+                    .enumerate()
+                    .map(|(e, d)| (e, f64::from([d.0, d.1, d.2][dim]) / 4.0))
+                    .collect();
+                l.sort_by(|a, b| b.1.total_cmp(&a.1));
+                l
+            })
+            .collect();
+        // Naive reference: combine every entity, sort by (score desc,
+        // entity asc), truncate.
+        let mut naive: Vec<(usize, f64)> = (0..degrees.len())
+            .map(|e| {
+                let product: f64 = lists
+                    .iter()
+                    .map(|l| l.iter().find(|&&(le, _)| le == e).unwrap().1)
+                    .product();
+                (e, product)
+            })
+            .collect();
+        naive.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        naive.truncate(k);
+
+        let legacy = threshold_topk(&lists, k);
+        let (columns, sorted) = densify(&lists);
+        let dense = threshold_topk_dense(&columns, &sorted, k);
+        let dense_scan = full_scan_topk_dense(&columns, k);
+        prop_assert_eq!(&legacy, &naive);
+        prop_assert_eq!(&dense, &naive);
+        prop_assert_eq!(&dense_scan, &naive);
     }
 
     /// BM25 search scores are non-negative and sorted.
