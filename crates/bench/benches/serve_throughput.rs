@@ -1,0 +1,305 @@
+//! **PR 2 serving bench** — drives the `opine-server` subsystem over
+//! loopback TCP with concurrent keep-alive clients and measures:
+//!
+//! 1. *Correctness*: every HTTP response body is byte-identical to the
+//!    library-path serialization (`render_query_body` straight against
+//!    the shared `OpineDb`).
+//! 2. *Warm throughput*: N client threads issuing the paper's running
+//!    example against the result cache (req/s).
+//! 3. *Pipelined throughput*: the same with HTTP pipelining, which
+//!    amortizes per-request round-trips.
+//! 4. *Cold / uncached latency*: the result cache disabled, so every
+//!    request executes the full query path.
+//!
+//! The measured numbers are written to `BENCH_pr2.json` at the workspace
+//! root, including the worker count (ROADMAP multi-core validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opine_bench::banner;
+use opine_core::{build, BuildConfig, OpineDb};
+use opine_corpus::hotel::hotel_spec;
+use opine_corpus::{Corpus, CorpusConfig};
+use opine_embed::Word2VecConfig;
+use opine_server::{render_query_body, HttpClient, OpineServer, ServerConfig};
+use opine_store::parse_select;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DB_ENTITIES: usize = 512;
+const CLIENTS: usize = 4;
+const MEASURE_WINDOW: Duration = Duration::from_millis(1500);
+
+const RUNNING_EXAMPLE: &str =
+    "select * from hotels where price_pn < 150 and \"clean rooms\" limit 10";
+const PURE_SUBJECTIVE: &str =
+    "select * from hotels where \"clean rooms\" and \"friendly staff\" limit 10";
+const PROJECTED: &str =
+    "select hotelname, price_pn from hotels where price_pn < 200 order by price_pn asc limit 10";
+
+fn serving_db(entities: usize) -> Arc<OpineDb> {
+    let corpus = Corpus::generate(
+        hotel_spec(),
+        &CorpusConfig {
+            num_entities: entities,
+            mean_reviews: 6,
+            seed: 11,
+        },
+    );
+    Arc::new(build(
+        &corpus,
+        &BuildConfig {
+            w2v: Word2VecConfig {
+                dim: 32,
+                epochs: 1,
+                ..Default::default()
+            },
+            membership_tuples: 600,
+            ..Default::default()
+        },
+    ))
+}
+
+fn query_body(sql: &str) -> String {
+    format!("{{\"sql\": {}}}", opine_server::json::escaped(sql))
+}
+
+/// One request, transparently reconnecting when the server closes the
+/// connection at its keep-alive budget.
+fn request_with_retry(
+    client: &mut HttpClient,
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> opine_server::ClientResponse {
+    loop {
+        match client.request(method, path, body) {
+            Ok(resp) => return resp,
+            Err(_) => *client = HttpClient::connect(addr).expect("reconnect"),
+        }
+    }
+}
+
+/// Asserts the wire bytes equal the library-path serialization.
+fn assert_byte_identical(db: &OpineDb, client: &mut HttpClient, sql: &str) {
+    let resp = client.post("/query", &query_body(sql)).expect("request");
+    assert_eq!(resp.status, 200, "{sql}: {}", resp.body);
+    let select = parse_select(sql).expect("valid SQL");
+    let reference = render_query_body(db, &select).expect("library path");
+    assert_eq!(
+        resp.body, reference,
+        "{sql}: served bytes must equal library-path execution"
+    );
+}
+
+/// Total requests served by `clients` keep-alive connections hammering
+/// `sql` for `window`. Every response is checked for 200 + expected body.
+fn drive(addr: std::net::SocketAddr, clients: usize, sql: &str, window: Duration) -> u64 {
+    let body = query_body(sql);
+    let deadline = Instant::now() + window;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let body = body.clone();
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut served = 0u64;
+                    while Instant::now() < deadline {
+                        // The server closes connections at its keep-alive
+                        // budget; reconnect and retry like a real client.
+                        match client.post("/query", &body) {
+                            Ok(resp) => {
+                                assert_eq!(resp.status, 200);
+                                served += 1;
+                            }
+                            Err(_) => client = HttpClient::connect(addr).expect("reconnect"),
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+/// Like [`drive`] but pipelining `depth` requests per round-trip.
+fn drive_pipelined(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    sql: &str,
+    depth: usize,
+    window: Duration,
+) -> u64 {
+    let body = query_body(sql);
+    let deadline = Instant::now() + window;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let body = body.clone();
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut served = 0u64;
+                    while Instant::now() < deadline {
+                        match client.pipeline("POST", "/query", &body, depth) {
+                            Ok(responses) => {
+                                assert!(responses.iter().all(|r| r.status == 200));
+                                served += responses.len() as u64;
+                            }
+                            Err(_) => client = HttpClient::connect(addr).expect("reconnect"),
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    banner("PR 2: opine-server — concurrent loopback serving throughput");
+    let measuring = std::env::args().any(|a| a == "--bench");
+
+    let db = serving_db(if measuring { DB_ENTITIES } else { 32 });
+    let server = OpineServer::bind(
+        "127.0.0.1:0",
+        db.clone(),
+        ServerConfig {
+            workers: CLIENTS,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+    let workers = server.workers();
+
+    // ---- correctness first: wire bytes == library path, all shapes ----
+    let mut checker = HttpClient::connect(addr).expect("connect");
+    for sql in [RUNNING_EXAMPLE, PURE_SUBJECTIVE, PROJECTED] {
+        assert_byte_identical(&db, &mut checker, sql);
+    }
+    println!("correctness: 3 query shapes byte-identical to library-path execution");
+
+    if !measuring {
+        println!("smoke mode: correctness checks only, no timings recorded");
+        let mut group = c.benchmark_group("serve_throughput");
+        group.bench_function("warm_query_http", |b| {
+            b.iter(|| {
+                black_box(
+                    checker
+                        .post("/query", &query_body(RUNNING_EXAMPLE))
+                        .unwrap(),
+                )
+            })
+        });
+        group.finish();
+        return;
+    }
+
+    // ---- warm throughput: result cache hot, N concurrent clients ----
+    let warmup = drive(addr, CLIENTS, RUNNING_EXAMPLE, Duration::from_millis(300));
+    assert!(warmup > 0);
+    let warm_served = drive(addr, CLIENTS, RUNNING_EXAMPLE, MEASURE_WINDOW);
+    let warm_rps = warm_served as f64 / MEASURE_WINDOW.as_secs_f64();
+
+    let piped_served = drive_pipelined(addr, CLIENTS, RUNNING_EXAMPLE, 32, MEASURE_WINDOW);
+    let piped_rps = piped_served as f64 / MEASURE_WINDOW.as_secs_f64();
+
+    // ---- warm single-client latency ----
+    let body = query_body(RUNNING_EXAMPLE);
+    let iters = 500;
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(request_with_retry(
+            &mut checker,
+            addr,
+            "POST",
+            "/query",
+            Some(&body),
+        ));
+    }
+    let warm_latency_us = start.elapsed().as_secs_f64() / iters as f64 * 1e6;
+
+    // ---- uncached serving: every request runs the full query path ----
+    let uncached = OpineServer::bind(
+        "127.0.0.1:0",
+        db.clone(),
+        ServerConfig {
+            workers: CLIENTS,
+            result_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .expect("bind uncached server");
+    // Prime the *engine* caches so this measures execution + serialization,
+    // not one-time interpretation.
+    let _ = drive(
+        uncached.local_addr(),
+        1,
+        RUNNING_EXAMPLE,
+        Duration::from_millis(200),
+    );
+    let uncached_served = drive(
+        uncached.local_addr(),
+        CLIENTS,
+        RUNNING_EXAMPLE,
+        MEASURE_WINDOW,
+    );
+    let uncached_rps = uncached_served as f64 / MEASURE_WINDOW.as_secs_f64();
+    uncached.shutdown();
+
+    println!(
+        "serving {DB_ENTITIES}-entity db, {workers} workers, {CLIENTS} clients:\n\
+         \x20 warm (result cache)    {warm_rps:>10.0} req/s\n\
+         \x20 warm pipelined (×32)   {piped_rps:>10.0} req/s\n\
+         \x20 uncached execution     {uncached_rps:>10.0} req/s\n\
+         \x20 warm latency           {warm_latency_us:>10.1} µs/req (single client)",
+    );
+    assert!(
+        warm_rps >= 1000.0,
+        "acceptance: warm serving must exceed 1k req/s, got {warm_rps:.0}"
+    );
+
+    // ---- record for the PR ----
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"config\": {{\n    \"db_entities\": {DB_ENTITIES},\n    \"workers\": {workers},\n    \"clients\": {CLIENTS},\n    \"pipeline_depth\": 32,\n    \"measure_window_secs\": {:.3}\n  }},\n  \"requests_per_second\": {{\n    \"warm_result_cache\": {warm_rps:.1},\n    \"warm_pipelined\": {piped_rps:.1},\n    \"uncached_execution\": {uncached_rps:.1}\n  }},\n  \"latency\": {{\n    \"warm_single_client_us\": {warm_latency_us:.1}\n  }}\n}}\n",
+        MEASURE_WINDOW.as_secs_f64()
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    std::fs::write(out, &json).expect("write BENCH_pr2.json");
+    println!("wrote {out}");
+
+    // ---- criterion samples ----
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    group.bench_function("warm_query_http", |b| {
+        b.iter(|| {
+            black_box(request_with_retry(
+                &mut checker,
+                addr,
+                "POST",
+                "/query",
+                Some(&body),
+            ))
+        })
+    });
+    group.bench_function("stats_endpoint", |b| {
+        b.iter(|| {
+            black_box(request_with_retry(
+                &mut checker,
+                addr,
+                "GET",
+                "/stats",
+                None,
+            ))
+        })
+    });
+    group.finish();
+
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

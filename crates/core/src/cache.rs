@@ -5,7 +5,7 @@
 //! be shared across query threads, and reports hit/miss counts so benches
 //! can verify cache behaviour instead of guessing.
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -32,13 +32,15 @@ impl CacheStats {
 
 /// A bounded, thread-safe, string-keyed memo with FIFO eviction.
 ///
-/// FIFO (rather than LRU) keeps the lock critical section to two hash
-/// operations; predicate working sets are small and recur, so recency
-/// tracking buys nothing measurable on this path.
+/// FIFO (rather than LRU) means lookups never mutate the map, so the
+/// warm path — every concurrent reader of a hot entry, including the
+/// serving layer's result cache — takes only a read lock and scales
+/// with threads; predicate working sets are small and recur, so
+/// recency tracking buys nothing measurable here.
 #[derive(Debug)]
 pub struct BoundedCache<V> {
     capacity: usize,
-    inner: Mutex<Inner<V>>,
+    inner: RwLock<Inner<V>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -63,15 +65,15 @@ impl<V: Clone> BoundedCache<V> {
     pub fn new(capacity: usize) -> Self {
         BoundedCache {
             capacity: capacity.max(1),
-            inner: Mutex::default(),
+            inner: RwLock::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// Looks up `key`, counting the outcome.
+    /// Looks up `key`, counting the outcome. Readers share the lock.
     pub fn get(&self, key: &str) -> Option<V> {
-        let hit = self.inner.lock().map.get(key).cloned();
+        let hit = self.inner.read().map.get(key).cloned();
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -82,7 +84,7 @@ impl<V: Clone> BoundedCache<V> {
     /// Inserts `key → value`, evicting the oldest entry at capacity.
     /// Racing inserts of the same key keep the latest value.
     pub fn insert(&self, key: &str, value: V) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         if inner.map.insert(key.to_string(), value).is_none() {
             inner.order.push_back(key.to_string());
             while inner.order.len() > self.capacity {
@@ -108,7 +110,7 @@ impl<V: Clone> BoundedCache<V> {
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.inner.read().map.len()
     }
 
     /// True when nothing is cached.
@@ -118,7 +120,7 @@ impl<V: Clone> BoundedCache<V> {
 
     /// Drops all entries (counters are preserved).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         inner.map.clear();
         inner.order.clear();
     }

@@ -17,7 +17,10 @@ use opine_ir::{Bm25Params, InvertedIndex};
 use opine_sentiment::SentimentAnalyzer;
 use opine_store::ast::ColumnRef;
 use opine_store::exec::{execute_with_algebra, SubjectiveScorer};
-use opine_store::{execute, parse_select, Catalog, FuzzyAlgebra, ResultSet, StoreError, Value};
+use opine_store::{
+    execute_lazy, parse_select, Catalog, FuzzyAlgebra, ResultSet, ScoredRows, Select, StoreError,
+    Value,
+};
 use opine_text::{Vocab, WordId};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -79,6 +82,33 @@ pub struct QueryOutput {
     pub result: ResultSet,
     /// `(predicate, interpretation)` for every natural-language predicate.
     pub interpretations: Vec<(String, Interpretation)>,
+}
+
+/// [`QueryOutput`]'s borrowing twin: the ranked rows reference the
+/// catalog's storage instead of cloning every `Vec<Value>`, so a serving
+/// layer can serialize the answer with zero per-row allocation.
+#[derive(Debug)]
+pub struct QueryRef<'a> {
+    /// The ranked result, borrowing winning rows from the catalog.
+    pub result: ScoredRows<'a>,
+    /// `(predicate, interpretation)` for every natural-language predicate.
+    pub interpretations: Vec<(String, Interpretation)>,
+}
+
+/// A point-in-time snapshot of every query-path cache, for the serving
+/// layer's `/stats` endpoint and for benches.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheReport {
+    /// Interpretation memo hits/misses.
+    pub interpretations: CacheStats,
+    /// Prepared-phrase memo hits/misses.
+    pub phrases: CacheStats,
+    /// `(entity, predicate)` point-degree memo hits/misses.
+    pub points: CacheStats,
+    /// Degree-column cache hits/misses.
+    pub columns: CacheStats,
+    /// Number of dense degree columns currently cached.
+    pub cached_columns: usize,
 }
 
 /// A query phrase prepared for membership scoring: its normalized
@@ -349,6 +379,19 @@ impl OpineDb {
         self.column_cache.len()
     }
 
+    /// Snapshot of every query-path cache (interpretations, phrases,
+    /// point degrees, degree columns) — the `/stats` payload's engine
+    /// section.
+    pub fn cache_report(&self) -> CacheReport {
+        CacheReport {
+            interpretations: self.interpreter.cache_stats(),
+            phrases: self.phrase_cache.stats(),
+            points: self.point_cache.stats(),
+            columns: self.column_cache.stats(),
+            cached_columns: self.column_cache.len(),
+        }
+    }
+
     /// The marker-feature membership function.
     pub fn membership_markers(&self) -> &MembershipModel {
         &self.membership_markers
@@ -383,7 +426,24 @@ impl OpineDb {
     /// Executes a Subjective SQL query (the paper's running example shape:
     /// `select * from hotels where price_pn < 150 and "clean rooms"`).
     pub fn query(&self, sql: &str) -> Result<QueryOutput, OpineError> {
+        let q = self.query_ref(sql)?;
+        Ok(QueryOutput {
+            result: q.result.into_result_set(),
+            interpretations: q.interpretations,
+        })
+    }
+
+    /// [`Self::query`] without materialization: the returned rows borrow
+    /// the catalog, so serializing an answer clones nothing per row.
+    pub fn query_ref(&self, sql: &str) -> Result<QueryRef<'_>, OpineError> {
         let select = parse_select(sql).map_err(|e| OpineError::Parse(e.to_string()))?;
+        self.query_select_ref(&select)
+    }
+
+    /// Executes an already-parsed statement through the borrowing path —
+    /// the parse-once/execute-many entry the serving layer's prepared
+    /// queries use.
+    pub fn query_select_ref(&self, select: &Select) -> Result<QueryRef<'_>, OpineError> {
         let interpretations = select
             .where_clause
             .as_ref()
@@ -394,8 +454,8 @@ impl OpineDb {
                     .collect()
             })
             .unwrap_or_default();
-        let result = execute(&select, &self.catalog, self)?;
-        Ok(QueryOutput {
+        let result = execute_lazy(select, &self.catalog, self)?;
+        Ok(QueryRef {
             result,
             interpretations,
         })
@@ -765,6 +825,18 @@ impl SubjectiveScorer for OpineDb {
 fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
+
+/// Concurrency audit: the serving layer shares one `OpineDb` behind an
+/// `Arc` across request threads, so every interior cache (the bounded
+/// memos, the `OnceLock` sorted orders, the ablation flags) must be
+/// thread-safe. Failing this assertion is a compile error, not a runtime
+/// surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<OpineDb>();
+    assert_send_sync::<DegreeColumn>();
+    assert_send_sync::<CacheReport>();
+};
 
 #[cfg(test)]
 mod tests {

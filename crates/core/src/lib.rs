@@ -32,7 +32,9 @@ pub mod topk;
 
 pub use builder::{build, BuildConfig, ExtractionMode};
 pub use cache::{BoundedCache, CacheStats};
-pub use db::{DegreeColumn, OpineDb, PreparedPhrase, QueryOutput};
+pub use db::{
+    CacheReport, DegreeColumn, OpineDb, OpineError, PreparedPhrase, QueryOutput, QueryRef,
+};
 pub use domain::LinguisticDomain;
 pub use interpret::{Interpretation, Interpreter, InterpreterConfig};
 pub use membership::MembershipModel;

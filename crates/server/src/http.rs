@@ -1,0 +1,445 @@
+//! A hand-rolled, dependency-free HTTP/1.1 codec.
+//!
+//! The build environment has no crates.io access, so — consistent with
+//! the workspace's `shims/` approach — the serving layer speaks the
+//! minimal subset of HTTP/1.1 it needs over `std::net`: request-line +
+//! headers + `Content-Length` bodies on the way in, fixed-length
+//! responses on the way out, with keep-alive (and therefore pipelining:
+//! the reader simply pulls the next request off the same buffered
+//! stream). Chunked encoding, trailers, and 100-continue are out of
+//! scope and rejected explicitly.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request line, defending the parser against unbounded input.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Cap on the total header block.
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+/// Default cap on request bodies (overridable via `ServerConfig`).
+pub const DEFAULT_MAX_BODY: usize = 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Syntactically invalid request (maps to 400).
+    BadRequest(String),
+    /// Declared body exceeds the configured cap (maps to 413).
+    PayloadTooLarge(usize),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::PayloadTooLarge(n) => write!(f, "payload too large: {n} bytes"),
+            HttpError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/query`.
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or a 400-class error.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::BadRequest("body is not valid UTF-8".into()))
+    }
+}
+
+/// Reads one line terminated by `\n`, capped at `max` bytes.
+///
+/// Uses `read_until` through a `Take` so the newline scan runs in bulk
+/// over the `BufReader`'s buffer instead of byte-at-a-time, while still
+/// never consuming past the current line — which matters for pipelined
+/// requests sharing the stream — and never buffering more than the cap.
+fn read_line(reader: &mut impl BufRead, max: usize) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    // +2 leaves room for the "\r\n" of a maximally long line.
+    let mut limited = io::Read::take(&mut *reader, (max + 2) as u64);
+    loop {
+        match limited.read_until(b'\n', &mut buf) {
+            // Ok(0) is EOF or an exhausted cap; a trailing '\n' is a
+            // complete line; anything else keeps reading until one of
+            // those (read_until always makes progress).
+            Ok(0) => break,
+            Ok(_) if buf.last() == Some(&b'\n') => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        if buf.len() > max {
+            return Err(HttpError::BadRequest(format!("line exceeds {max} bytes")));
+        }
+        let line = String::from_utf8(buf)
+            .map_err(|_| HttpError::BadRequest("non-UTF-8 header data".into()))?;
+        return Ok(Some(line));
+    }
+    if buf.is_empty() {
+        return Ok(None); // clean EOF at a request boundary
+    }
+    if buf.len() > max {
+        return Err(HttpError::BadRequest(format!("line exceeds {max} bytes")));
+    }
+    Err(HttpError::BadRequest("truncated request".into()))
+}
+
+/// Reads and parses one request off `reader`.
+///
+/// Returns [`HttpError::Closed`] when the peer hung up cleanly before
+/// sending anything — the normal end of a keep-alive session.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    // Request line. Tolerate leading blank lines (RFC 9112 §2.2).
+    let line = loop {
+        match read_line(reader, MAX_REQUEST_LINE)? {
+            None => return Err(HttpError::Closed),
+            Some(l) if l.is_empty() => continue,
+            Some(l) => break l,
+        }
+    };
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_ascii_uppercase(), p.to_string(), v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {line:?}"
+            )))
+        }
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v => return Err(HttpError::BadRequest(format!("unsupported version {v:?}"))),
+    };
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "bad request target {path:?}"
+        )));
+    }
+
+    // Header block.
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line = match read_line(reader, MAX_REQUEST_LINE)? {
+            None => return Err(HttpError::BadRequest("truncated header block".into())),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::BadRequest(format!(
+                "header block exceeds {MAX_HEADER_BYTES} bytes"
+            )));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("header without ':': {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    if find("transfer-encoding").is_some() {
+        return Err(HttpError::BadRequest(
+            "transfer-encoding is not supported; send Content-Length".into(),
+        ));
+    }
+
+    // Body. Conflicting duplicate Content-Length headers are a
+    // keep-alive desync / request-smuggling vector (RFC 9112 §6.3):
+    // reject them outright.
+    let mut lengths = headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str());
+    let body = match lengths.next() {
+        None => Vec::new(),
+        Some(v) => {
+            if lengths.any(|other| other != v) {
+                return Err(HttpError::BadRequest(
+                    "conflicting content-length headers".into(),
+                ));
+            }
+            // RFC 9110: 1*DIGIT only. Rust's usize::from_str would also
+            // accept "+5", which intermediaries may reject or reinterpret
+            // — another smuggling desync, so be strict.
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::BadRequest(format!("bad content-length {v:?}")));
+            }
+            let len: usize = v
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?;
+            if len > max_body {
+                return Err(HttpError::PayloadTooLarge(len));
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    HttpError::BadRequest("body shorter than content-length".into())
+                } else {
+                    HttpError::Io(e)
+                }
+            })?;
+            body
+        }
+    };
+
+    // Keep-alive: HTTP/1.1 defaults open, 1.0 defaults closed.
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one fixed-length response. `extra_headers` lets handlers attach
+/// metadata (e.g. `X-Opine-Cache`) without growing the signature later.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        status_reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    if !keep_alive {
+        w.write_all(b"connection: close\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor};
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes())), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 14\r\n\r\n{\"sql\":\"sel\"}\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body_str().unwrap(), "{\"sql\":\"sel\"}\n");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x\r\n\r\n",                           // missing version
+            "GET /x HTTP/2\r\n\r\n",                    // unsupported version
+            "GET /x HTTP/1.1 extra\r\n\r\n",            // trailing token
+            "GET nopath HTTP/1.1\r\n\r\n",              // target missing '/'
+            "GET /x HTTP/1.1\r\nno_colon_here\r\n\r\n", // bad header
+            "GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",   // space in header name
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::BadRequest(_))),
+                "{raw:?} must be a BadRequest"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_payload_too_large() {
+        let raw = "POST /query HTTP/1.1\r\ncontent-length: 9999\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::PayloadTooLarge(9999))));
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert!(matches!(parse(&raw), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn bad_content_length_and_truncated_body_are_rejected() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ncontent-length: abc\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // RFC 9110 requires 1*DIGIT: a sign is a smuggling desync risk.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ncontent-length: +5\r\n\r\nhello"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        // Request-smuggling vector: two Content-Length headers that
+        // disagree must be refused, not resolved by position.
+        let raw = "POST / HTTP/1.1\r\ncontent-length: 0\r\ncontent-length: 3\r\n\r\nabc";
+        assert!(matches!(parse(raw), Err(HttpError::BadRequest(_))));
+        // Agreeing duplicates are tolerated (RFC 9112 §6.3).
+        let raw = "POST / HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 3\r\n\r\nabc";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.body, b"abc");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_off_one_stream() {
+        let raw = "POST /query HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc\
+                   GET /stats HTTP/1.1\r\n\r\n\
+                   GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let mut reader = BufReader::new(Cursor::new(raw.as_bytes()));
+        let first = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(
+            (first.method.as_str(), first.path.as_str()),
+            ("POST", "/query")
+        );
+        assert_eq!(first.body, b"abc");
+        let second = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(second.path, "/stats");
+        assert!(second.keep_alive);
+        let third = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(third.path, "/healthz");
+        assert!(!third.keep_alive, "connection: close must be honored");
+        assert!(matches!(
+            read_request(&mut reader, 1024),
+            Err(HttpError::Closed)
+        ));
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keep_alive() {
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_writer_emits_wire_format() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "application/json",
+            b"{}",
+            true,
+            &[("x-opine-cache", "hit")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("x-opine-cache: hit\r\n"));
+        assert!(!text.contains("connection: close"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "application/json", b"{}", false, &[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+    }
+}

@@ -1,0 +1,49 @@
+//! **opine-server** — the concurrent query-serving subsystem.
+//!
+//! The paper's premise is that subjective queries (`"clean rooms"`)
+//! are served *interactively* over a hotel-scale catalog; this crate is
+//! the layer that accepts those queries from outside the process. It is
+//! a dependency-free, thread-pooled HTTP/1.1 + JSON service over
+//! `std::net::TcpListener` (the build environment has no crates.io
+//! access, so the codec is hand-rolled, consistent with `shims/`):
+//!
+//! * [`http`] — minimal HTTP/1.1 request/response codec with keep-alive,
+//!   pipelining, and hard input limits;
+//! * [`json`] — escaping writer + recursive-descent parser for the small
+//!   request bodies the API takes;
+//! * [`pool`] — the accept pool: N workers blocked in `accept()` on a
+//!   shared listener;
+//! * [`prepared`] — named parse-once/execute-many statements;
+//! * [`metrics`] — lock-free per-endpoint counters and log₂ latency
+//!   histograms;
+//! * [`service`] — the router and handlers: `POST /query`,
+//!   `POST /prepare`, `POST /execute`, `GET /stats`, `GET /healthz`,
+//!   plus a bounded query-result cache keyed on normalized SQL
+//!   (reusing `opine_core::cache::BoundedCache`);
+//! * [`client`] — a tiny blocking client for tests and benches.
+//!
+//! ```no_run
+//! use opine_server::{OpineServer, ServerConfig};
+//! use std::sync::Arc;
+//! # let db: Arc<opine_core::OpineDb> = unimplemented!();
+//! let server = OpineServer::bind("127.0.0.1:0", db, ServerConfig::default()).unwrap();
+//! println!("serving on {}", server.url());
+//! // POST {"sql": "select * from hotels where price_pn < 150 and \"clean rooms\" limit 5"}
+//! // to {server.url()}/query
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod prepared;
+pub mod service;
+
+pub use client::{ClientResponse, HttpClient};
+pub use http::{Request, DEFAULT_MAX_BODY};
+pub use json::JsonValue;
+pub use metrics::{Endpoint, EndpointSnapshot, HistogramSnapshot, LatencyHistogram, Metrics};
+pub use pool::AcceptPool;
+pub use prepared::{PrepareError, PreparedQuery, PreparedRegistry};
+pub use service::{render_query_body, OpineServer, ServerConfig};

@@ -1,0 +1,298 @@
+//! Per-endpoint request counters and latency histograms.
+//!
+//! Everything is a relaxed atomic: the request hot path does one
+//! `fetch_add` per counter and never takes a lock, so metrics cannot
+//! become the serialization point of a thread-pooled server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Histogram buckets: bucket `i` counts latencies in `[2^i, 2^(i+1))`
+/// microseconds; the last bucket absorbs everything ≥ 2^(N-1) µs (~2.1 s).
+pub const NUM_BUCKETS: usize = 22;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+/// An owned snapshot of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of observations, µs.
+    pub sum_us: u64,
+    /// Largest observation, µs.
+    pub max_us: u64,
+    /// Per-bucket counts; bucket `i` covers `[2^i, 2^(i+1))` µs.
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn bucket_index(us: u64) -> usize {
+        // 0 µs and 1 µs land in bucket 0 (`ilog2` needs a non-zero arg).
+        (us.max(1).ilog2() as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, us: u64) {
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `p`-quantile (`0 < p ≤ 1`) in µs: the
+    /// upper edge of the bucket containing that rank, clamped by the
+    /// observed maximum. Bucket-resolution (factor-of-two) accuracy.
+    pub fn quantile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (1u64 << (i + 1)).min(self.max_us.max(1));
+            }
+        }
+        self.max_us
+    }
+}
+
+/// The endpoints the router distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /query`
+    Query,
+    /// `POST /prepare`
+    Prepare,
+    /// `POST /execute`
+    Execute,
+    /// `GET /stats`
+    Stats,
+    /// `GET /healthz`
+    Health,
+    /// Anything else (404s, bad methods).
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, in `/stats` rendering order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Query,
+        Endpoint::Prepare,
+        Endpoint::Execute,
+        Endpoint::Stats,
+        Endpoint::Health,
+        Endpoint::Other,
+    ];
+
+    /// Stable name used as the `/stats` JSON key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Endpoint::Query => "query",
+            Endpoint::Prepare => "prepare",
+            Endpoint::Execute => "execute",
+            Endpoint::Stats => "stats",
+            Endpoint::Health => "healthz",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Endpoint::Query => 0,
+            Endpoint::Prepare => 1,
+            Endpoint::Execute => 2,
+            Endpoint::Stats => 3,
+            Endpoint::Health => 4,
+            Endpoint::Other => 5,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// Owned snapshot of one endpoint's counters.
+#[derive(Debug, Clone)]
+pub struct EndpointSnapshot {
+    /// Endpoint identity.
+    pub endpoint: Endpoint,
+    /// Requests handled (including errors).
+    pub requests: u64,
+    /// Non-2xx responses.
+    pub errors: u64,
+    /// Latency distribution.
+    pub latency: HistogramSnapshot,
+}
+
+/// The server's metrics registry.
+#[derive(Debug)]
+pub struct Metrics {
+    per_endpoint: [EndpointMetrics; 6],
+    connections: AtomicU64,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            per_endpoint: Default::default(),
+            connections: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Records one handled request.
+    pub fn record(&self, endpoint: Endpoint, ok: bool, latency_us: u64) {
+        let m = &self.per_endpoint[endpoint.index()];
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            m.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        m.latency.record(latency_us);
+    }
+
+    /// Records one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total accepted connections.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Snapshots every endpoint.
+    pub fn snapshot(&self) -> Vec<EndpointSnapshot> {
+        Endpoint::ALL
+            .iter()
+            .map(|&endpoint| {
+                let m = &self.per_endpoint[endpoint.index()];
+                EndpointSnapshot {
+                    endpoint,
+                    requests: m.requests.load(Ordering::Relaxed),
+                    errors: m.errors.load(Ordering::Relaxed),
+                    latency: m.latency.snapshot(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_in_microseconds() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for us in [10, 20, 40, 80, 5000] {
+            h.record(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_us, 5150);
+        assert_eq!(s.max_us, 5000);
+        assert!((s.mean_us() - 1030.0).abs() < 1e-9);
+        // p50 is the 3rd observation (40 µs), bucket [32, 64) → upper edge 64.
+        assert_eq!(s.quantile_us(0.5), 64);
+        // p100 is clamped by the observed max.
+        assert_eq!(s.quantile_us(1.0), 5000);
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                sum_us: 0,
+                max_us: 0,
+                buckets: [0; NUM_BUCKETS]
+            }
+            .quantile_us(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn metrics_record_per_endpoint() {
+        let m = Metrics::default();
+        m.record(Endpoint::Query, true, 100);
+        m.record(Endpoint::Query, false, 200);
+        m.record(Endpoint::Stats, true, 10);
+        let snap = m.snapshot();
+        let query = snap.iter().find(|s| s.endpoint == Endpoint::Query).unwrap();
+        assert_eq!((query.requests, query.errors), (2, 1));
+        let stats = snap.iter().find(|s| s.endpoint == Endpoint::Stats).unwrap();
+        assert_eq!((stats.requests, stats.errors), (1, 0));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let m = std::sync::Arc::new(Metrics::default());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        m.record(Endpoint::Query, i % 7 != 0, i);
+                    }
+                });
+            }
+        });
+        let query = &m.snapshot()[0];
+        assert_eq!(query.requests, 2000);
+        assert_eq!(query.latency.count, 2000);
+    }
+}

@@ -1,0 +1,158 @@
+//! A fixed-size accept pool over a shared `TcpListener`.
+//!
+//! Each worker owns a `try_clone` of the listener and blocks in
+//! `accept()` — the kernel load-balances incoming connections across the
+//! blocked workers, so there is no user-space dispatch queue to contend
+//! on. Shutdown flips an atomic flag and then opens one loopback
+//! connection per worker to pop each of them out of `accept()`.
+
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A pool of accept-loop worker threads.
+#[derive(Debug)]
+pub struct AcceptPool {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+    /// A clone of the shared listener, kept for shutdown: flipping it
+    /// nonblocking (the clones share one file description) keeps any
+    /// worker that re-enters `accept()` from blocking again.
+    listener: TcpListener,
+}
+
+impl AcceptPool {
+    /// Spawns `workers` threads accepting from `listener`, handing each
+    /// connection to `handler`.
+    pub fn spawn<H>(listener: TcpListener, workers: usize, handler: H) -> io::Result<AcceptPool>
+    where
+        H: Fn(TcpStream) + Send + Sync + 'static,
+    {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handler = Arc::new(handler);
+        let workers = workers.max(1);
+        let mut handles = Vec::with_capacity(workers);
+        for id in 0..workers {
+            let listener = listener.try_clone()?;
+            let stop = stop.clone();
+            let handler = handler.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("opine-serve-{id}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if stop.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                handler(stream);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(_) => {
+                                // Transient accept failure (EMFILE, reset
+                                // mid-handshake): back off briefly rather
+                                // than spinning.
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                        }
+                    }
+                })?;
+            handles.push(handle);
+        }
+        Ok(AcceptPool {
+            addr,
+            stop,
+            handles,
+            listener,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Stops accepting, wakes every blocked worker, and joins them.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Workers that loop (or error out of accept) must not block
+        // again: the clones share one file description, so flipping this
+        // handle nonblocking covers them all.
+        let _ = self.listener.set_nonblocking(true);
+        // One wake-up connection per already-blocked worker: each blocked
+        // accept() pops exactly one, sees the stop flag, and exits.
+        // Wildcard binds (0.0.0.0 / ::) are not connectable on every
+        // platform, so wake via loopback on the bound port; retry a few
+        // times rather than leaving join() to hang on a transient
+        // connect failure.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match self.addr {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        for _ in 0..self.handles.len() {
+            for attempt in 0..3 {
+                match TcpStream::connect_timeout(&wake, Duration::from_millis(250)) {
+                    Ok(_) => break,
+                    Err(_) if attempt < 2 => std::thread::sleep(Duration::from_millis(10)),
+                    Err(_) => {}
+                }
+            }
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AcceptPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_serves_connections_and_shuts_down() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let served = Arc::new(AtomicUsize::new(0));
+        let served_in_handler = served.clone();
+        let mut pool = AcceptPool::spawn(listener, 3, move |mut stream| {
+            served_in_handler.fetch_add(1, Ordering::SeqCst);
+            let _ = stream.write_all(b"hi");
+        })
+        .unwrap();
+        assert_eq!(pool.workers(), 3);
+
+        for _ in 0..5 {
+            let mut stream = TcpStream::connect(pool.local_addr()).unwrap();
+            let mut buf = Vec::new();
+            stream.read_to_end(&mut buf).unwrap();
+            assert_eq!(buf, b"hi");
+        }
+        assert_eq!(served.load(Ordering::SeqCst), 5);
+
+        pool.shutdown();
+        pool.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,161 @@
+//! Named prepared queries: parse once, execute many.
+//!
+//! A client that issues the same statement shape repeatedly registers it
+//! under a name via `POST /prepare` and then hits `POST /execute` with
+//! just the name — the server re-executes the stored AST without
+//! re-parsing, and the result cache key (the statement's normalized
+//! form) is computed once at prepare time.
+
+use opine_store::{parse_select, Select};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A statement registered with the server.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// Registry name.
+    pub name: String,
+    /// The SQL text as submitted.
+    pub sql: String,
+    /// Canonical form — also the result-cache key.
+    pub normalized: String,
+    /// The parsed statement.
+    pub select: Select,
+}
+
+/// Why a statement could not be prepared.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrepareError {
+    /// Name is empty, too long, or has characters outside `[A-Za-z0-9_-]`.
+    BadName(String),
+    /// The SQL failed to parse.
+    Parse(String),
+    /// The registry is at capacity and the name is new.
+    Full(usize),
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::BadName(n) => write!(
+                f,
+                "bad statement name {n:?}: use 1-64 chars of [A-Za-z0-9_-]"
+            ),
+            PrepareError::Parse(m) => write!(f, "{m}"),
+            PrepareError::Full(cap) => write!(f, "prepared-statement registry full ({cap})"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// A bounded name → statement registry. Re-preparing an existing name
+/// replaces it (the common iterate-on-a-query flow).
+#[derive(Debug)]
+pub struct PreparedRegistry {
+    capacity: usize,
+    inner: RwLock<HashMap<String, Arc<PreparedQuery>>>,
+}
+
+impl PreparedRegistry {
+    /// A registry holding at most `capacity` statements.
+    pub fn new(capacity: usize) -> Self {
+        PreparedRegistry {
+            capacity: capacity.max(1),
+            inner: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Parses `sql` and registers it under `name`.
+    pub fn prepare(&self, name: &str, sql: &str) -> Result<Arc<PreparedQuery>, PrepareError> {
+        if name.is_empty()
+            || name.len() > 64
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(PrepareError::BadName(name.to_string()));
+        }
+        let select = parse_select(sql).map_err(|e| PrepareError::Parse(e.to_string()))?;
+        let prepared = Arc::new(PreparedQuery {
+            name: name.to_string(),
+            sql: sql.to_string(),
+            normalized: select.normalized(),
+            select,
+        });
+        let mut inner = self.inner.write();
+        if inner.len() >= self.capacity && !inner.contains_key(name) {
+            return Err(PrepareError::Full(self.capacity));
+        }
+        inner.insert(name.to_string(), prepared.clone());
+        Ok(prepared)
+    }
+
+    /// Looks up a statement by name.
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedQuery>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Number of registered statements.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_get_replace() {
+        let reg = PreparedRegistry::new(8);
+        let p = reg
+            .prepare("cheap", "select * from hotels where price_pn < 150 limit 5")
+            .unwrap();
+        assert_eq!(
+            p.normalized,
+            "select * from hotels where price_pn < 150 limit 5"
+        );
+        assert_eq!(reg.get("cheap").unwrap().name, "cheap");
+        assert!(reg.get("missing").is_none());
+        // Replacement keeps the count stable.
+        reg.prepare("cheap", "select * from hotels limit 1")
+            .unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("cheap").unwrap().select.limit, Some(1));
+    }
+
+    #[test]
+    fn rejects_bad_names_and_bad_sql() {
+        let reg = PreparedRegistry::new(8);
+        for bad in ["", "has space", "semi;colon", &"x".repeat(65)] {
+            assert!(matches!(
+                reg.prepare(bad, "select * from t"),
+                Err(PrepareError::BadName(_))
+            ));
+        }
+        assert!(matches!(
+            reg.prepare("ok", "not sql"),
+            Err(PrepareError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_is_enforced_but_replacement_allowed() {
+        let reg = PreparedRegistry::new(2);
+        reg.prepare("a", "select * from t").unwrap();
+        reg.prepare("b", "select * from t").unwrap();
+        assert!(matches!(
+            reg.prepare("c", "select * from t"),
+            Err(PrepareError::Full(2))
+        ));
+        // Replacing an existing name still works at capacity.
+        reg.prepare("a", "select * from t limit 1").unwrap();
+    }
+}

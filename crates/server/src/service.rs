@@ -1,0 +1,588 @@
+//! The query service: router, handlers, result cache, server lifecycle.
+//!
+//! ```text
+//! POST /query    {"sql": "select …"}          → ranked rows as JSON
+//! POST /prepare  {"name": "n", "sql": "…"}    → parse-once registration
+//! POST /execute  {"name": "n"}                → run a prepared statement
+//! GET  /stats                                 → caches, latencies, counters
+//! GET  /healthz                               → liveness probe
+//! ```
+//!
+//! Every worker thread shares one [`OpineDb`] behind an `Arc`; the
+//! engine's interior caches are `Sync` (statically asserted in
+//! `opine-core`), so queries from different connections warm the same
+//! interpretation memo and degree columns. On top of that sits a bounded
+//! query-*result* cache keyed on the statement's normalized SQL: two
+//! textual variants of the same statement share one rendered response
+//! body, and a warm hit costs a hash lookup plus a socket write.
+
+use crate::http::{self, HttpError, Request, DEFAULT_MAX_BODY};
+use crate::json::{self, JsonValue};
+use crate::metrics::{Endpoint, Metrics};
+use crate::pool::AcceptPool;
+use crate::prepared::PreparedRegistry;
+use opine_core::cache::BoundedCache;
+use opine_core::{OpineDb, OpineError};
+use opine_store::{parse_select, Select, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`OpineServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Accept-loop worker threads.
+    pub workers: usize,
+    /// Request-body cap in bytes (maps to 413 beyond it).
+    pub max_body: usize,
+    /// Result-cache entries (0 disables the cache).
+    pub result_cache_capacity: usize,
+    /// Prepared-statement registry capacity.
+    pub prepared_capacity: usize,
+    /// Keep-alive budget: requests served per connection before closing.
+    pub max_requests_per_conn: usize,
+    /// Socket read timeout — bounds how long an idle keep-alive
+    /// connection can pin a worker.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            // Blocking I/O: more workers than cores still helps, because a
+            // worker stalled on a slow client isn't burning a core.
+            workers: (opine_core::par::available_workers() * 2).clamp(2, 16),
+            max_body: DEFAULT_MAX_BODY,
+            result_cache_capacity: 1024,
+            prepared_capacity: 256,
+            max_requests_per_conn: 10_000,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Shared per-server state.
+struct ServerState {
+    db: Arc<OpineDb>,
+    metrics: Metrics,
+    prepared: PreparedRegistry,
+    /// normalized SQL → rendered response body.
+    results: BoundedCache<Arc<String>>,
+    config: ServerConfig,
+    workers: usize,
+    /// Set during shutdown so keep-alive loops stop taking requests.
+    stopping: AtomicBool,
+    /// Live connections by id — shutdown closes these sockets so workers
+    /// blocked reading an idle keep-alive connection unblock immediately
+    /// instead of running out their read timeout.
+    live: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+/// Deregisters a connection from [`ServerState::live`] on scope exit.
+struct ConnGuard<'a> {
+    state: &'a ServerState,
+    id: u64,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.state.live.lock().remove(&self.id);
+    }
+}
+
+/// The serving subsystem: a thread-pooled HTTP/1.1 + JSON query service
+/// over a shared [`OpineDb`].
+pub struct OpineServer {
+    pool: AcceptPool,
+    state: Arc<ServerState>,
+}
+
+impl OpineServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `db` with `config.workers` threads.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        db: Arc<OpineDb>,
+        config: ServerConfig,
+    ) -> io::Result<OpineServer> {
+        let listener = TcpListener::bind(addr)?;
+        let workers = config.workers.max(1);
+        let state = Arc::new(ServerState {
+            db,
+            metrics: Metrics::default(),
+            prepared: PreparedRegistry::new(config.prepared_capacity),
+            results: BoundedCache::new(config.result_cache_capacity.max(1)),
+            config,
+            workers,
+            stopping: AtomicBool::new(false),
+            live: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let conn_state = state.clone();
+        let pool = AcceptPool::spawn(listener, workers, move |stream| {
+            handle_connection(stream, &conn_state);
+        })?;
+        Ok(OpineServer { pool, state })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.pool.local_addr()
+    }
+
+    /// `http://host:port` for the bound address.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.local_addr())
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The shared database handle.
+    ///
+    /// Anything that changes query *results* through this handle — the
+    /// ablation toggles `set_use_markers` / `set_degree_cache` — must be
+    /// followed by [`Self::clear_result_cache`], or previously-served
+    /// statements keep replaying their pre-toggle response bodies.
+    pub fn db(&self) -> &Arc<OpineDb> {
+        &self.state.db
+    }
+
+    /// Hit/miss counters of the query-result cache.
+    pub fn result_cache_stats(&self) -> opine_core::CacheStats {
+        self.state.results.stats()
+    }
+
+    /// Drops every cached response body (pair with result-changing
+    /// operations on [`Self::db`]).
+    pub fn clear_result_cache(&self) {
+        self.state.results.clear();
+    }
+
+    /// Stops accepting, closes live connections, and joins the workers.
+    /// Also runs on `Drop`.
+    pub fn shutdown(self) {
+        // Drop runs the actual teardown.
+    }
+}
+
+impl Drop for OpineServer {
+    fn drop(&mut self) {
+        // Flag first so keep-alive loops stop taking new requests, then
+        // shut down the *read* side of every live socket: workers blocked
+        // reading an idle keep-alive connection see EOF at once instead
+        // of waiting out the read timeout, while a response already being
+        // written for an in-flight request still reaches the client.
+        self.state.stopping.store(true, Ordering::SeqCst);
+        for stream in self.state.live.lock().values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        self.pool.shutdown();
+    }
+}
+
+/// One routed response.
+struct Routed {
+    endpoint: Endpoint,
+    status: u16,
+    body: Arc<String>,
+    /// `X-Opine-Cache` value for `/query`-family responses.
+    cache: Option<&'static str>,
+}
+
+impl Routed {
+    fn new(endpoint: Endpoint, status: u16, body: String) -> Routed {
+        Routed {
+            endpoint,
+            status,
+            body: Arc::new(body),
+            cache: None,
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":{}}}", json::escaped(message))
+}
+
+/// Serves one connection: a keep-alive loop of read → route → respond.
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    state.metrics.record_connection();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(state.config.read_timeout);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // Register for shutdown draining (the guard deregisters on exit).
+    // Register before the stopping check so a concurrent shutdown either
+    // sees this connection in `live` or is seen by the check below.
+    let id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let Ok(shutdown_handle) = stream.try_clone() else {
+        return;
+    };
+    state.live.lock().insert(id, shutdown_handle);
+    let _guard = ConnGuard { state, id };
+    if state.stopping.load(Ordering::SeqCst) {
+        return;
+    }
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    let budget = state.config.max_requests_per_conn.max(1);
+    for served in 0..budget {
+        if state.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        match http::read_request(&mut reader, state.config.max_body) {
+            Ok(req) => {
+                let started = Instant::now();
+                let routed = route(state, &req);
+                state.metrics.record(
+                    routed.endpoint,
+                    routed.status == 200,
+                    started.elapsed().as_micros() as u64,
+                );
+                let mut extra: Vec<(&str, &str)> = Vec::new();
+                if let Some(cache) = routed.cache {
+                    extra.push(("x-opine-cache", cache));
+                }
+                // On the last budgeted request, advertise the close so
+                // well-behaved clients reconnect instead of hitting a
+                // broken pipe.
+                let keep_alive = req.keep_alive && served + 1 < budget;
+                if http::write_response(
+                    &mut writer,
+                    routed.status,
+                    "application/json",
+                    routed.body.as_bytes(),
+                    keep_alive,
+                    &extra,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::BadRequest(m)) => {
+                state.metrics.record(Endpoint::Other, false, 0);
+                let _ = http::write_response(
+                    &mut writer,
+                    400,
+                    "application/json",
+                    error_body(&format!("bad request: {m}")).as_bytes(),
+                    false,
+                    &[],
+                );
+                return;
+            }
+            Err(HttpError::PayloadTooLarge(n)) => {
+                state.metrics.record(Endpoint::Other, false, 0);
+                let _ = http::write_response(
+                    &mut writer,
+                    413,
+                    "application/json",
+                    error_body(&format!(
+                        "body of {n} bytes exceeds the {}-byte limit",
+                        state.config.max_body
+                    ))
+                    .as_bytes(),
+                    false,
+                    &[],
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn route(state: &ServerState, req: &Request) -> Routed {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => handle_query(state, req),
+        ("POST", "/prepare") => handle_prepare(state, req),
+        ("POST", "/execute") => handle_execute(state, req),
+        ("GET", "/stats") => Routed::new(Endpoint::Stats, 200, render_stats(state)),
+        ("GET", "/healthz") => Routed::new(
+            Endpoint::Health,
+            200,
+            format!("{{\"ok\":true,\"entities\":{}}}", state.db.num_entities()),
+        ),
+        (_, "/query" | "/prepare" | "/execute" | "/stats" | "/healthz") => Routed::new(
+            Endpoint::Other,
+            405,
+            error_body(&format!(
+                "method {} not allowed on {}",
+                req.method, req.path
+            )),
+        ),
+        _ => Routed::new(
+            Endpoint::Other,
+            404,
+            error_body(&format!("no such endpoint {}", req.path)),
+        ),
+    }
+}
+
+/// Parses the request body as a JSON object, mapping failures to 400s.
+fn parse_body(endpoint: Endpoint, req: &Request) -> Result<JsonValue, Routed> {
+    let text = req
+        .body_str()
+        .map_err(|e| Routed::new(endpoint, 400, error_body(&e.to_string())))?;
+    json::parse(text).map_err(|e| Routed::new(endpoint, 400, error_body(&e.to_string())))
+}
+
+/// A required string field of the body object.
+fn string_field<'b>(
+    endpoint: Endpoint,
+    body: &'b JsonValue,
+    field: &str,
+) -> Result<&'b str, Routed> {
+    body.get(field).and_then(JsonValue::as_str).ok_or_else(|| {
+        Routed::new(
+            endpoint,
+            400,
+            error_body(&format!(
+                "body must be a JSON object with a string {field:?} field"
+            )),
+        )
+    })
+}
+
+fn handle_query(state: &ServerState, req: &Request) -> Routed {
+    let body = match parse_body(Endpoint::Query, req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let sql = match string_field(Endpoint::Query, &body, "sql") {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let select = match parse_select(sql) {
+        Ok(s) => s,
+        Err(e) => return Routed::new(Endpoint::Query, 400, error_body(&e.to_string())),
+    };
+    run_select(state, Endpoint::Query, &select, &select.normalized())
+}
+
+fn handle_prepare(state: &ServerState, req: &Request) -> Routed {
+    let body = match parse_body(Endpoint::Prepare, req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let (name, sql) = match (
+        string_field(Endpoint::Prepare, &body, "name"),
+        string_field(Endpoint::Prepare, &body, "sql"),
+    ) {
+        (Ok(n), Ok(s)) => (n, s),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    match state.prepared.prepare(name, sql) {
+        Ok(p) => Routed::new(
+            Endpoint::Prepare,
+            200,
+            format!(
+                "{{\"prepared\":{},\"normalized\":{}}}",
+                json::escaped(&p.name),
+                json::escaped(&p.normalized)
+            ),
+        ),
+        Err(e) => Routed::new(Endpoint::Prepare, 400, error_body(&e.to_string())),
+    }
+}
+
+fn handle_execute(state: &ServerState, req: &Request) -> Routed {
+    let body = match parse_body(Endpoint::Execute, req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let name = match string_field(Endpoint::Execute, &body, "name") {
+        Ok(n) => n,
+        Err(r) => return r,
+    };
+    let Some(prepared) = state.prepared.get(name) else {
+        return Routed::new(
+            Endpoint::Execute,
+            404,
+            error_body(&format!("no prepared statement named {name:?}")),
+        );
+    };
+    run_select(
+        state,
+        Endpoint::Execute,
+        &prepared.select,
+        &prepared.normalized,
+    )
+}
+
+/// Executes a parsed statement through the result cache.
+fn run_select(state: &ServerState, endpoint: Endpoint, select: &Select, key: &str) -> Routed {
+    let caching = state.config.result_cache_capacity > 0;
+    if caching {
+        if let Some(hit) = state.results.get(key) {
+            return Routed {
+                endpoint,
+                status: 200,
+                body: hit,
+                cache: Some("hit"),
+            };
+        }
+    }
+    match render_query_body(&state.db, select) {
+        Ok(body) => {
+            let body = Arc::new(body);
+            if caching {
+                state.results.insert(key, body.clone());
+            }
+            Routed {
+                endpoint,
+                status: 200,
+                body,
+                cache: Some(if caching { "miss" } else { "off" }),
+            }
+        }
+        Err(e) => Routed::new(endpoint, 400, error_body(&e.to_string())),
+    }
+}
+
+/// Appends one cell value as JSON.
+fn push_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => json::push_f64(out, *x),
+        Value::Text(s) => json::escape_into(out, s),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Renders a statement's answer as the `/query` response body.
+///
+/// Public because it *is* the library-path reference serialization: the
+/// throughput bench asserts the bytes a client reads off the socket are
+/// identical to what this produces directly against the engine. Rows are
+/// streamed out of the executor's borrowing path ([`OpineDb::
+/// query_select_ref`]) — no row `Vec<Value>` is cloned along the way.
+pub fn render_query_body(db: &OpineDb, select: &Select) -> Result<String, OpineError> {
+    let q = db.query_select_ref(select)?;
+    let mut out = String::with_capacity(256 + 64 * q.result.len());
+    out.push_str("{\"columns\":[");
+    for (i, col) in q.result.columns().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(&mut out, col);
+    }
+    out.push_str("],\"row_count\":");
+    out.push_str(&q.result.len().to_string());
+    out.push_str(",\"rows\":[");
+    for i in 0..q.result.len() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"values\":[");
+        for (j, value) in q.result.values(i).enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_value(&mut out, value);
+        }
+        out.push_str("],\"score\":");
+        json::push_f64(&mut out, q.result.score(i));
+        out.push('}');
+    }
+    out.push_str("],\"interpretations\":[");
+    for (i, (predicate, interp)) in q.interpretations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"predicate\":");
+        json::escape_into(&mut out, predicate);
+        out.push_str(",\"interpretation\":");
+        json::escape_into(&mut out, &format!("{interp:?}"));
+        out.push('}');
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+fn push_cache_stats(out: &mut String, stats: opine_core::CacheStats) {
+    out.push_str(&format!(
+        "{{\"hits\":{},\"misses\":{},\"hit_rate\":",
+        stats.hits, stats.misses
+    ));
+    json::push_f64(out, stats.hit_rate());
+    out.push('}');
+}
+
+/// Renders the `/stats` payload: engine cache counters, the result
+/// cache, prepared statements, and per-endpoint latency histograms.
+fn render_stats(state: &ServerState) -> String {
+    let report = state.db.cache_report();
+    let mut out = String::with_capacity(2048);
+
+    out.push_str("{\"server\":{\"workers\":");
+    out.push_str(&state.workers.to_string());
+    out.push_str(",\"uptime_seconds\":");
+    json::push_f64(&mut out, state.metrics.uptime_seconds());
+    out.push_str(",\"connections\":");
+    out.push_str(&state.metrics.connections().to_string());
+    out.push_str(",\"entities\":");
+    out.push_str(&state.db.num_entities().to_string());
+    out.push_str(",\"entity_table\":");
+    json::escape_into(&mut out, state.db.entity_table());
+    out.push_str("},\"engine_caches\":{\"interpretations\":");
+    push_cache_stats(&mut out, report.interpretations);
+    out.push_str(",\"phrases\":");
+    push_cache_stats(&mut out, report.phrases);
+    out.push_str(",\"points\":");
+    push_cache_stats(&mut out, report.points);
+    out.push_str(",\"degree_columns\":");
+    push_cache_stats(&mut out, report.columns);
+    out.push_str(",\"cached_degree_columns\":");
+    out.push_str(&report.cached_columns.to_string());
+    out.push_str("},\"result_cache\":{\"enabled\":");
+    out.push_str(if state.config.result_cache_capacity > 0 {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(",\"entries\":");
+    out.push_str(&state.results.len().to_string());
+    out.push_str(",\"capacity\":");
+    out.push_str(&state.config.result_cache_capacity.to_string());
+    out.push_str(",\"stats\":");
+    push_cache_stats(&mut out, state.results.stats());
+    out.push_str("},\"prepared\":{\"count\":");
+    out.push_str(&state.prepared.len().to_string());
+    out.push_str("},\"endpoints\":{");
+    for (i, snap) in state.metrics.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"requests\":{},\"errors\":{},\"latency_us\":{{\"count\":{},\"mean\":",
+            snap.endpoint.name(),
+            snap.requests,
+            snap.errors,
+            snap.latency.count
+        ));
+        json::push_f64(&mut out, snap.latency.mean_us());
+        out.push_str(&format!(
+            ",\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}}}",
+            snap.latency.max_us,
+            snap.latency.quantile_us(0.50),
+            snap.latency.quantile_us(0.95),
+            snap.latency.quantile_us(0.99)
+        ));
+    }
+    out.push_str("}}");
+    out
+}

@@ -1,0 +1,348 @@
+//! End-to-end serving tests: a real corpus-built `OpineDb` behind
+//! `OpineServer` on an ephemeral loopback port, driven over actual TCP.
+
+use opine_core::{build, BuildConfig, OpineDb};
+use opine_corpus::hotel::hotel_spec;
+use opine_corpus::{Corpus, CorpusConfig};
+use opine_embed::Word2VecConfig;
+use opine_server::{render_query_body, HttpClient, OpineServer, ServerConfig};
+use opine_store::parse_select;
+use std::sync::Arc;
+
+fn small_db() -> Arc<OpineDb> {
+    let corpus = Corpus::generate(
+        hotel_spec(),
+        &CorpusConfig {
+            num_entities: 16,
+            mean_reviews: 12,
+            seed: 23,
+        },
+    );
+    Arc::new(build(
+        &corpus,
+        &BuildConfig {
+            w2v: Word2VecConfig {
+                dim: 24,
+                epochs: 2,
+                ..Default::default()
+            },
+            membership_tuples: 400,
+            ..Default::default()
+        },
+    ))
+}
+
+fn serve(db: Arc<OpineDb>) -> OpineServer {
+    OpineServer::bind(
+        "127.0.0.1:0",
+        db,
+        ServerConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+const RUNNING_EXAMPLE: &str =
+    "select * from hotels where price_pn < 150 and \"clean rooms\" limit 5";
+
+fn query_body(sql: &str) -> String {
+    format!("{{\"sql\": {}}}", opine_server::json::escaped(sql))
+}
+
+#[test]
+fn query_endpoint_answers_the_running_example() {
+    let db = small_db();
+    let server = serve(db.clone());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    let resp = client.post("/query", &query_body(RUNNING_EXAMPLE)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header("x-opine-cache"), Some("miss"));
+    assert!(resp.body.contains("\"columns\":[\"hotels.hotelname\""));
+    assert!(resp
+        .body
+        .contains("\"interpretations\":[{\"predicate\":\"clean rooms\""));
+
+    // The wire bytes must be exactly the library-path serialization.
+    let select = parse_select(RUNNING_EXAMPLE).unwrap();
+    let reference = render_query_body(&db, &select).unwrap();
+    assert_eq!(
+        resp.body, reference,
+        "server must be byte-identical to the library path"
+    );
+
+    // Same statement, different formatting → result-cache hit with the
+    // same bytes.
+    let resp2 = client
+        .post(
+            "/query",
+            &query_body("SELECT  *  FROM hotels WHERE (price_pn < 150 AND 'clean rooms') LIMIT 5"),
+        )
+        .unwrap();
+    assert_eq!(resp2.status, 200);
+    assert_eq!(resp2.header("x-opine-cache"), Some("hit"));
+    assert_eq!(resp2.body, reference);
+}
+
+#[test]
+fn prepared_statements_execute_without_reparsing() {
+    let db = small_db();
+    let server = serve(db.clone());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    let resp = client
+        .post(
+            "/prepare",
+            &format!(
+                "{{\"name\": \"cheap-clean\", \"sql\": {}}}",
+                opine_server::json::escaped(RUNNING_EXAMPLE)
+            ),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"prepared\":\"cheap-clean\""));
+
+    let exec = client
+        .post("/execute", "{\"name\": \"cheap-clean\"}")
+        .unwrap();
+    assert_eq!(exec.status, 200, "{}", exec.body);
+    let select = parse_select(RUNNING_EXAMPLE).unwrap();
+    assert_eq!(exec.body, render_query_body(&db, &select).unwrap());
+
+    // Ad-hoc /query of the same statement shares the cache entry the
+    // prepared execution populated.
+    let adhoc = client.post("/query", &query_body(RUNNING_EXAMPLE)).unwrap();
+    assert_eq!(adhoc.header("x-opine-cache"), Some("hit"));
+
+    let missing = client.post("/execute", "{\"name\": \"nope\"}").unwrap();
+    assert_eq!(missing.status, 404);
+}
+
+#[test]
+fn stats_reports_caches_and_latencies() {
+    let db = small_db();
+    let server = serve(db);
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    for _ in 0..3 {
+        assert_eq!(
+            client
+                .post("/query", &query_body(RUNNING_EXAMPLE))
+                .unwrap()
+                .status,
+            200
+        );
+    }
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let v = opine_server::json::parse(&stats.body).expect("stats payload is valid JSON");
+    let workers = v
+        .get("server")
+        .unwrap()
+        .get("workers")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(workers, 4.0);
+    let query_requests = v
+        .get("endpoints")
+        .and_then(|e| e.get("query"))
+        .and_then(|q| q.get("requests"))
+        .and_then(|r| r.as_f64())
+        .unwrap();
+    assert!(query_requests >= 3.0);
+    let cache_hits = v
+        .get("result_cache")
+        .and_then(|c| c.get("stats"))
+        .and_then(|s| s.get("hits"))
+        .and_then(|h| h.as_f64())
+        .unwrap();
+    assert!(
+        cache_hits >= 2.0,
+        "2nd and 3rd queries must hit: {}",
+        stats.body
+    );
+    assert!(v.get("engine_caches").is_some());
+}
+
+#[test]
+fn error_paths_return_json_errors() {
+    let server = serve(small_db());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // Unknown path and wrong method.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/query").unwrap().status, 405);
+    // Non-JSON body, missing field, bad SQL, unknown column.
+    assert_eq!(client.post("/query", "not json").unwrap().status, 400);
+    assert_eq!(client.post("/query", "{\"nosql\": 1}").unwrap().status, 400);
+    assert_eq!(
+        client
+            .post("/query", "{\"sql\": \"select nothing\"}")
+            .unwrap()
+            .status,
+        400
+    );
+    let resp = client
+        .post(
+            "/query",
+            &query_body("select * from hotels where nosuch > 5"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("\"error\""));
+    // The connection survives all of the above (keep-alive).
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = serve(small_db());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let responses = client
+        .pipeline("POST", "/query", &query_body(RUNNING_EXAMPLE), 8)
+        .unwrap();
+    assert_eq!(responses.len(), 8);
+    assert!(responses.iter().all(|r| r.status == 200));
+    // First is the cold miss, the rest replay the cached body.
+    assert_eq!(responses[0].header("x-opine-cache"), Some("miss"));
+    for r in &responses[1..] {
+        assert_eq!(r.header("x-opine-cache"), Some("hit"));
+        assert_eq!(r.body, responses[0].body);
+    }
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let db = small_db();
+    let server = serve(db.clone());
+    let addr = server.local_addr();
+    let select = parse_select(RUNNING_EXAMPLE).unwrap();
+    let reference = render_query_body(&db, &select).unwrap();
+
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let reference = reference.clone();
+            s.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for _ in 0..10 {
+                    let resp = client.post("/query", &query_body(RUNNING_EXAMPLE)).unwrap();
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(resp.body, reference);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn review_text_with_quotes_survives_the_json_layer() {
+    // An entity key with JSON-hostile characters must be escaped on the
+    // way out and parse back to the same text.
+    use opine_store::{Catalog, Column, ColumnType, Schema, Value};
+    let tricky = "Grand \"Hotel\"\nline\ttab \\ slash ☕";
+    let mut catalog = Catalog::new();
+    catalog
+        .create_table(Schema::new(
+            "hotels",
+            vec![
+                Column::new("hotelname", ColumnType::Text),
+                Column::new("price_pn", ColumnType::Float),
+            ],
+            0,
+        ))
+        .unwrap();
+    catalog
+        .insert("hotels", vec![Value::text(tricky), Value::Float(99.0)])
+        .unwrap();
+    let select = parse_select("select * from hotels where price_pn < 100").unwrap();
+    let rows = opine_store::execute_lazy(&select, &catalog, &opine_store::ObjectiveOnly).unwrap();
+    // Render through the same writer the server uses.
+    let mut body = String::from("{\"values\":[");
+    for (j, v) in rows.values(0).enumerate() {
+        if j > 0 {
+            body.push(',');
+        }
+        match v {
+            Value::Text(s) => opine_server::json::escape_into(&mut body, s),
+            other => body.push_str(&other.to_string()),
+        }
+    }
+    body.push_str("]}");
+    let parsed = opine_server::json::parse(&body).expect("escaped body must be valid JSON");
+    match parsed.get("values").unwrap() {
+        opine_server::JsonValue::Array(items) => {
+            assert_eq!(items[0].as_str(), Some(tricky));
+        }
+        other => panic!("expected array, got {other:?}"),
+    }
+}
+
+#[test]
+fn clear_result_cache_invalidates_served_bodies() {
+    let server = serve(small_db());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let body = query_body(RUNNING_EXAMPLE);
+    assert_eq!(
+        client
+            .post("/query", &body)
+            .unwrap()
+            .header("x-opine-cache"),
+        Some("miss")
+    );
+    assert_eq!(
+        client
+            .post("/query", &body)
+            .unwrap()
+            .header("x-opine-cache"),
+        Some("hit")
+    );
+    // After invalidation (e.g. an ablation toggle through server.db()),
+    // the next request re-renders.
+    server.clear_result_cache();
+    assert_eq!(
+        client
+            .post("/query", &body)
+            .unwrap()
+            .header("x-opine-cache"),
+        Some("miss")
+    );
+}
+
+#[test]
+fn shutdown_is_prompt_with_idle_keepalive_connections() {
+    let server = serve(small_db());
+    let addr = server.local_addr();
+    // Two clients mid-keep-alive-session: the server is blocked reading
+    // their next request. Shutdown must drain them, not wait out the
+    // 30 s read timeout.
+    let mut c1 = HttpClient::connect(addr).unwrap();
+    let mut c2 = HttpClient::connect(addr).unwrap();
+    assert_eq!(c1.get("/healthz").unwrap().status, 200);
+    assert_eq!(c2.get("/healthz").unwrap().status, 200);
+    let start = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown blocked {:?} on idle keep-alive connections",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn oversized_body_gets_413_and_huge_results_still_serve() {
+    let server = serve(small_db());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let big = format!(
+        "{{\"sql\": \"{}\"}}",
+        "x".repeat(opine_server::DEFAULT_MAX_BODY)
+    );
+    let resp = client.post("/query", &big);
+    // Either the server answers 413 before closing, or the write fails
+    // against the closed socket — both are acceptable refusals, but with
+    // our max_body the response should arrive.
+    let resp = resp.unwrap();
+    assert_eq!(resp.status, 413);
+}

@@ -175,6 +175,135 @@ impl Expr {
     }
 }
 
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// Escapes quotes and backslashes so two distinct strings never render
+/// identically. The lexer has no escape sequences, so escaped output is
+/// not re-parseable — but a cache key only needs to be injective.
+fn fmt_quoted(s: &str, quote: char, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    use std::fmt::Write;
+    f.write_char(quote)?;
+    for c in s.chars() {
+        if c == quote || c == '\\' {
+            f.write_char('\\')?;
+        }
+        f.write_char(c)?;
+    }
+    f.write_char(quote)
+}
+
+/// Lossless literal rendering for [`Select::normalized`]. `Value`'s
+/// `Display` rounds floats for human output; a cache key must instead
+/// round-trip every distinct literal to a distinct string.
+fn fmt_literal(v: &Value, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Float(x) => write!(f, "{x}"),
+        Value::Text(s) => fmt_quoted(s, '\'', f),
+        Value::Bool(b) => write!(f, "{b}"),
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Column(c) => write!(f, "{c}"),
+            Operand::Literal(v) => fmt_literal(v, f),
+        }
+    }
+}
+
+impl std::fmt::Display for Expr {
+    /// Canonical form: binary operators are always parenthesized, so the
+    /// rendering is unambiguous regardless of the precedence the parser
+    /// applied.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Compare { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Expr::Subjective(p) => fmt_quoted(p, '"', f),
+            Expr::MarkerMatch { attribute, phrase } => {
+                write!(f, "{attribute} .= ")?;
+                fmt_quoted(phrase, '"', f)
+            }
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+            Expr::Not(e) => write!(f, "not ({e})"),
+        }
+    }
+}
+
+impl Select {
+    /// A canonical, whitespace/case-normalized rendering of the statement.
+    ///
+    /// Two textual queries that parse to the same AST normalize to the
+    /// same string, so this is the key the serving layer's result cache
+    /// uses: `SELECT  *  FROM hotels` and `select * from hotels` share an
+    /// entry, while any semantic difference (a literal, a limit, an
+    /// operator) produces a different key.
+    pub fn normalized(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("select ");
+        if self.columns.is_empty() {
+            s.push('*');
+        } else {
+            for (i, c) in self.columns.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{c}");
+            }
+        }
+        let _ = write!(s, " from {}", self.from);
+        if let Some(a) = &self.alias {
+            let _ = write!(s, " {a}");
+        }
+        for j in &self.joins {
+            let _ = write!(s, " join {}", j.table);
+            if let Some(a) = &j.alias {
+                let _ = write!(s, " {a}");
+            }
+            let _ = write!(s, " on {} = {}", j.left, j.right);
+        }
+        if let Some(w) = &self.where_clause {
+            let _ = write!(s, " where {w}");
+        }
+        if let Some(ob) = &self.order_by {
+            let _ = write!(
+                s,
+                " order by {} {}",
+                ob.column,
+                if ob.ascending { "asc" } else { "desc" }
+            );
+        }
+        if let Some(l) = self.limit {
+            let _ = write!(s, " limit {l}");
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +325,56 @@ mod tests {
         );
         assert!(mixed.has_subjective());
         assert_eq!(mixed.subjective_predicates(), vec!["clean rooms"]);
+    }
+
+    #[test]
+    fn normalization_collapses_formatting_variants() {
+        let a = crate::parser::parse_select(
+            "SELECT  *  FROM Hotels WHERE price_pn < 150 AND \"clean rooms\" LIMIT 5",
+        )
+        .unwrap();
+        let b = crate::parser::parse_select(
+            "select * from hotels where (price_pn < 150 and 'clean rooms') limit 5",
+        )
+        .unwrap();
+        assert_eq!(a.normalized(), b.normalized());
+        assert_eq!(
+            a.normalized(),
+            "select * from hotels where (price_pn < 150 and \"clean rooms\") limit 5"
+        );
+    }
+
+    #[test]
+    fn normalization_reparses_to_the_same_ast() {
+        for sql in [
+            "select * from hotels where price_pn < 150 and \"clean rooms\" limit 5",
+            "select hotelname, price_pn from hotels h join cafes c on h.street = c.street",
+            "select * from t where not (a > 1.25 or b != 'x') order by a desc limit 3",
+            "select * from hotels h where h.comfort .= \"firm\"",
+        ] {
+            let q = crate::parser::parse_select(sql).unwrap();
+            let reparsed = crate::parser::parse_select(&q.normalized()).unwrap();
+            assert_eq!(q, reparsed, "normalized form of {sql:?} must round-trip");
+            assert_eq!(q.normalized(), reparsed.normalized());
+        }
+    }
+
+    #[test]
+    fn normalization_keeps_distinct_literals_distinct() {
+        let a = crate::parser::parse_select("select * from t where x < 150.123456").unwrap();
+        let b = crate::parser::parse_select("select * from t where x < 150.123457").unwrap();
+        assert_ne!(a.normalized(), b.normalized());
+    }
+
+    #[test]
+    fn normalization_escapes_embedded_quotes() {
+        // A predicate containing quote characters must not collide with
+        // the rendering of a conjunction of two predicates.
+        let tricky = Expr::Subjective("a\" and \"b".into());
+        let pair = Expr::And(
+            Box::new(Expr::Subjective("a".into())),
+            Box::new(Expr::Subjective("b".into())),
+        );
+        assert_ne!(tricky.to_string(), pair.to_string());
     }
 }

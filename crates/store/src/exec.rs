@@ -128,6 +128,135 @@ impl ResultSet {
     }
 }
 
+/// One result row of the borrowing path: a reference straight into the
+/// base table's storage when possible, owned only when a join had to
+/// materialize a combined row.
+#[derive(Debug)]
+enum RowHandle<'a> {
+    Borrowed(&'a [Value]),
+    Owned(Vec<Value>),
+}
+
+impl RowHandle<'_> {
+    #[inline]
+    fn values(&self) -> &[Value] {
+        match self {
+            RowHandle::Borrowed(r) => r,
+            RowHandle::Owned(r) => r,
+        }
+    }
+}
+
+/// A ranked result that *borrows* matching rows from the catalog instead
+/// of cloning each `Vec<Value>`, with the projection applied lazily at
+/// read time.
+///
+/// This is the id-indexed serving path: a consumer that only needs to
+/// look at (or serialize) the winning rows iterates [`Self::values`]
+/// without a single per-row allocation. [`Self::into_result_set`]
+/// materializes the classic owned [`ResultSet`] for callers that want to
+/// keep the rows beyond the catalog borrow.
+#[derive(Debug)]
+pub struct ScoredRows<'a> {
+    columns: Vec<String>,
+    entries: Vec<(RowHandle<'a>, f64)>,
+    /// Output slots into the full row layout; `None` means all slots.
+    projection: Option<Vec<usize>>,
+}
+
+/// Iterator over one result row's projected values.
+#[derive(Debug, Clone)]
+pub struct ProjectedValues<'r> {
+    row: &'r [Value],
+    projection: Option<&'r [usize]>,
+    pos: usize,
+}
+
+impl<'r> Iterator for ProjectedValues<'r> {
+    type Item = &'r Value;
+
+    fn next(&mut self) -> Option<&'r Value> {
+        let v = match self.projection {
+            Some(idx) => &self.row[*idx.get(self.pos)?],
+            None => self.row.get(self.pos)?,
+        };
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let total = match self.projection {
+            Some(idx) => idx.len(),
+            None => self.row.len(),
+        };
+        let rem = total.saturating_sub(self.pos);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ProjectedValues<'_> {}
+
+impl<'a> ScoredRows<'a> {
+    /// Output column names (qualified where ambiguous).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no row matched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The fuzzy score of row `i`.
+    pub fn score(&self, i: usize) -> f64 {
+        self.entries[i].1
+    }
+
+    /// The projected values of row `i`, in output-column order, without
+    /// cloning.
+    pub fn values(&self, i: usize) -> ProjectedValues<'_> {
+        ProjectedValues {
+            row: self.entries[i].0.values(),
+            projection: self.projection.as_deref(),
+            pos: 0,
+        }
+    }
+
+    /// `(values, score)` pairs in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProjectedValues<'_>, f64)> {
+        (0..self.len()).map(|i| (self.values(i), self.score(i)))
+    }
+
+    /// Materializes an owned [`ResultSet`], cloning only the winning
+    /// (post-limit) rows.
+    pub fn into_result_set(self) -> ResultSet {
+        let ScoredRows {
+            columns,
+            entries,
+            projection,
+        } = self;
+        let rows = entries
+            .into_iter()
+            .map(|(handle, score)| {
+                let row = match (&projection, handle) {
+                    (Some(idx), handle) => {
+                        idx.iter().map(|&i| handle.values()[i].clone()).collect()
+                    }
+                    (None, RowHandle::Owned(row)) => row,
+                    (None, RowHandle::Borrowed(row)) => row.to_vec(),
+                };
+                (row, score)
+            })
+            .collect();
+        ResultSet { columns, rows }
+    }
+}
+
 /// Column resolution over the (possibly joined) row layout.
 struct Layout {
     /// `(table_or_alias, column_name)` per output slot.
@@ -163,12 +292,24 @@ impl Layout {
     }
 }
 
-/// Executes `query` against `catalog` using `scorer` for subjective parts.
+/// Executes `query` against `catalog` using `scorer` for subjective parts,
+/// materializing an owned [`ResultSet`].
 pub fn execute(
     query: &Select,
     catalog: &Catalog,
     scorer: &dyn SubjectiveScorer,
 ) -> Result<ResultSet, StoreError> {
+    execute_lazy(query, catalog, scorer).map(ScoredRows::into_result_set)
+}
+
+/// [`execute`] without the final materialization: the returned
+/// [`ScoredRows`] borrows winning rows from the catalog, so serving
+/// layers can serialize results with zero per-row clones.
+pub fn execute_lazy<'a>(
+    query: &Select,
+    catalog: &'a Catalog,
+    scorer: &dyn SubjectiveScorer,
+) -> Result<ScoredRows<'a>, StoreError> {
     let base = catalog.table(&query.from)?;
     let base_name = query.alias.clone().unwrap_or_else(|| query.from.clone());
 
@@ -199,8 +340,9 @@ pub fn execute(
             let k = query.limit.unwrap_or(usize::MAX).min(base.len());
             if let Some(ranked) = scorer.rank_subjective_conjunction(&predicates, k) {
                 // The table's own key index resolves the ≤ k ranked keys
-                // directly — no per-query scan over the base rows.
-                let mut scored: Vec<(Vec<Value>, f64)> = Vec::with_capacity(ranked.len());
+                // directly — no per-query scan over the base rows, and no
+                // row clone: the handles borrow table storage.
+                let mut scored: Vec<(RowHandle<'a>, f64)> = Vec::with_capacity(ranked.len());
                 for (key, score) in ranked {
                     if score <= 0.0 {
                         continue;
@@ -208,14 +350,20 @@ pub fn execute(
                     let row = base.get_by_key(&key).ok_or_else(|| {
                         StoreError::Execution(format!("ranked key {key} not in base table"))
                     })?;
-                    scored.push((row.clone(), score));
+                    scored.push((RowHandle::Borrowed(row.as_slice()), score));
                 }
-                return finish(query, &layout, scored);
+                return finish(query, layout, scored);
             }
         }
     }
 
-    let mut rows: Vec<Vec<Value>> = base.rows().to_vec();
+    // Candidate rows: borrowed from the base table; joins below replace
+    // them with owned combined rows.
+    let mut rows: Vec<RowHandle<'a>> = base
+        .rows()
+        .iter()
+        .map(|r| RowHandle::Borrowed(r.as_slice()))
+        .collect();
 
     for join in &query.joins {
         let right = catalog.table(&join.table)?;
@@ -245,12 +393,13 @@ pub fn execute(
                 .push(row);
         }
         let mut joined = Vec::new();
-        for row in &rows {
+        for handle in &rows {
+            let row = handle.values();
             if let Some(matches) = hash.get(&row[probe_slot].to_string()) {
                 for m in matches {
-                    let mut combined = row.clone();
-                    combined.extend((*m).clone());
-                    joined.push(combined);
+                    let mut combined = row.to_vec();
+                    combined.extend_from_slice(m.as_slice());
+                    joined.push(RowHandle::Owned(combined));
                 }
             }
         }
@@ -280,35 +429,42 @@ pub fn execute(
     }
 
     // Score every row.
-    let mut scored: Vec<(Vec<Value>, f64)> = Vec::with_capacity(rows.len());
+    let mut scored: Vec<(RowHandle<'a>, f64)> = Vec::with_capacity(rows.len());
     let algebra = FuzzyAlgebra::Product;
-    for row in rows {
-        let key = row[layout.base_key_slot].clone();
-        let score = match &query.where_clause {
-            None => 1.0,
-            Some(expr) => eval(expr, &row, &layout, &key, scorer, algebra)?,
+    for handle in rows {
+        let score = {
+            let row = handle.values();
+            let key = row[layout.base_key_slot].clone();
+            match &query.where_clause {
+                None => 1.0,
+                Some(expr) => eval(expr, row, &layout, &key, scorer, algebra)?,
+            }
         };
         if score > 0.0 {
-            scored.push((row, score));
+            scored.push((handle, score));
         }
     }
 
-    finish(query, &layout, scored)
+    finish(query, layout, scored)
 }
 
-/// Shared result assembly: ordering, limit, projection.
-fn finish(
+/// Shared result assembly: ordering, limit, projection-slot resolution.
+/// Rows are neither cloned nor projected here — [`ScoredRows`] applies
+/// the projection lazily at read time.
+fn finish<'a>(
     query: &Select,
-    layout: &Layout,
-    mut scored: Vec<(Vec<Value>, f64)>,
-) -> Result<ResultSet, StoreError> {
+    layout: Layout,
+    mut scored: Vec<(RowHandle<'a>, f64)>,
+) -> Result<ScoredRows<'a>, StoreError> {
     // Order: explicit ORDER BY, else score descending (stable, so equal
     // scores keep base-row / rank order).
     match &query.order_by {
         Some(ob) => {
             let slot = layout.resolve(&ob.column)?;
             scored.sort_by(|a, b| {
-                let ord = a.0[slot].compare(&b.0[slot]).unwrap_or(Ordering::Equal);
+                let ord = a.0.values()[slot]
+                    .compare(&b.0.values()[slot])
+                    .unwrap_or(Ordering::Equal);
                 if ob.ascending {
                     ord
                 } else {
@@ -322,15 +478,14 @@ fn finish(
         scored.truncate(limit);
     }
 
-    // Projection.
-    let (columns, rows) = if query.columns.is_empty() {
+    let (columns, projection) = if query.columns.is_empty() {
         (
             layout
                 .slots
                 .iter()
                 .map(|(t, c)| format!("{t}.{c}"))
                 .collect(),
-            scored,
+            None,
         )
     } else {
         let indices: Vec<usize> = query
@@ -343,14 +498,14 @@ fn finish(
             .iter()
             .map(|c| c.column.clone())
             .collect::<Vec<_>>();
-        let projected = scored
-            .into_iter()
-            .map(|(row, s)| (indices.iter().map(|&i| row[i].clone()).collect(), s))
-            .collect();
-        (names, projected)
+        (names, Some(indices))
     };
 
-    Ok(ResultSet { columns, rows })
+    Ok(ScoredRows {
+        columns,
+        entries: scored,
+        projection,
+    })
 }
 
 /// Executes `query` with the given fuzzy algebra (ablation hook).
@@ -661,6 +816,64 @@ mod tests {
 
     fn cat_query(q: &Select) -> Select {
         q.clone()
+    }
+
+    #[test]
+    fn lazy_path_matches_materialized_execution() {
+        let cat = hotel_catalog();
+        for sql in [
+            "select * from hotels where price_pn < 150 and \"clean rooms\"",
+            "select hotelname from hotels where \"clean rooms\" limit 2",
+            "select * from hotels order by price_pn asc",
+        ] {
+            let q = parse_select(sql).unwrap();
+            let lazy = execute_lazy(&q, &cat, &Canned).unwrap();
+            let materialized = execute(&q, &cat, &Canned).unwrap();
+            assert_eq!(lazy.columns(), materialized.columns.as_slice(), "{sql}");
+            assert_eq!(lazy.len(), materialized.rows.len(), "{sql}");
+            for (i, (row, score)) in materialized.rows.iter().enumerate() {
+                assert_eq!(lazy.score(i), *score, "{sql}");
+                let borrowed: Vec<&Value> = lazy.values(i).collect();
+                assert_eq!(borrowed.len(), row.len(), "{sql}");
+                for (a, b) in borrowed.iter().zip(row) {
+                    assert_eq!(**a, *b, "{sql}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_projection_is_applied_at_read_time() {
+        let cat = hotel_catalog();
+        let q = parse_select("select hotelname, city from hotels where price_pn < 150").unwrap();
+        let lazy = execute_lazy(&q, &cat, &ObjectiveOnly).unwrap();
+        assert_eq!(lazy.columns(), ["hotelname", "city"]);
+        let vals: Vec<&Value> = lazy.values(0).collect();
+        assert_eq!(vals.len(), 2);
+        assert_eq!(lazy.values(0).len(), 2, "ExactSizeIterator length");
+        let rs = lazy.into_result_set();
+        assert_eq!(rs.rows[0].0.len(), 2);
+    }
+
+    #[test]
+    fn lazy_join_materializes_combined_rows() {
+        let mut cat = hotel_catalog();
+        cat.create_table(Schema::new(
+            "cafes",
+            vec![
+                Column::new("cafename", ColumnType::Text),
+                Column::new("street", ColumnType::Text),
+            ],
+            0,
+        ))
+        .unwrap();
+        cat.insert("cafes", vec![Value::text("Beans"), Value::text("baker")])
+            .unwrap();
+        let q = parse_select("select * from hotels h join cafes c on h.street = c.street").unwrap();
+        let lazy = execute_lazy(&q, &cat, &ObjectiveOnly).unwrap();
+        assert_eq!(lazy.len(), 1);
+        let vals: Vec<&Value> = lazy.values(0).collect();
+        assert_eq!(*vals[4], Value::text("Beans"));
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub mod value;
 
 pub use ast::{CmpOp, Expr, OrderBy, Select};
 pub use catalog::Catalog;
-pub use exec::{execute, FuzzyAlgebra, ObjectiveOnly, ResultSet, SubjectiveScorer};
+pub use exec::{
+    execute, execute_lazy, FuzzyAlgebra, ObjectiveOnly, ProjectedValues, ResultSet, ScoredRows,
+    SubjectiveScorer,
+};
 pub use parser::{parse_select, ParseError};
 pub use schema::{Column, ColumnType, Schema};
 pub use table::Table;

@@ -1,0 +1,73 @@
+//! Serve a subjective database over HTTP.
+//!
+//! ```sh
+//! cargo run --release --example serve
+//! ```
+//!
+//! Environment knobs:
+//! * `OPINE_PORT` — port to bind (default 7878; `0` picks an ephemeral
+//!   port and prints it).
+//! * `OPINE_ENTITIES` / `OPINE_REVIEWS` — corpus scale (default 64 / 12).
+//! * `OPINE_WORKERS` — worker threads (default: 2× cores, clamped 2–16).
+//!
+//! Then, in another terminal (the paper's running example):
+//!
+//! ```sh
+//! curl -s localhost:7878/query -d '{"sql": "select * from hotels where price_pn < 150 and \"clean rooms\" limit 5"}'
+//! curl -s localhost:7878/stats
+//! ```
+
+use opinedb::core::{build, BuildConfig};
+use opinedb::corpus::hotel::hotel_spec;
+use opinedb::corpus::{Corpus, CorpusConfig};
+use opinedb::server::{OpineServer, ServerConfig};
+use std::sync::Arc;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let num_entities = env_usize("OPINE_ENTITIES", 64);
+    let mean_reviews = env_usize("OPINE_REVIEWS", 12);
+    let port = env_usize("OPINE_PORT", 7878);
+
+    eprintln!("building {num_entities}-hotel corpus ({mean_reviews} reviews/hotel)…");
+    let corpus = Corpus::generate(
+        hotel_spec(),
+        &CorpusConfig {
+            num_entities,
+            mean_reviews,
+            seed: 7,
+        },
+    );
+    let db = Arc::new(build(&corpus, &BuildConfig::default()));
+
+    let mut config = ServerConfig::default();
+    if let Ok(workers) = std::env::var("OPINE_WORKERS") {
+        if let Ok(w) = workers.parse() {
+            config.workers = w;
+        }
+    }
+    let server =
+        OpineServer::bind(format!("127.0.0.1:{port}"), db, config).expect("bind serving port");
+
+    // The smoke script greps this exact prefix for the bound address.
+    println!("opine-server listening on http://{}", server.local_addr());
+    println!("workers: {}", server.workers());
+    println!();
+    println!("try:");
+    println!(
+        "  curl -s {}/query -d '{{\"sql\": \"select * from hotels where price_pn < 150 and \\\"clean rooms\\\" limit 5\"}}'",
+        server.url()
+    );
+    println!("  curl -s {}/stats", server.url());
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -12,6 +12,9 @@
 //!   fuzzy logic, the three-stage predicate interpreter, membership
 //!   functions, and the end-to-end query engine.
 //! * [`store`] — the in-memory relational engine and Subjective SQL dialect.
+//! * [`server`] — the concurrent query-serving subsystem: hand-rolled
+//!   HTTP/1.1 + JSON over `std::net`, prepared queries, a result cache,
+//!   and per-endpoint metrics (`examples/serve.rs`).
 //! * [`extract`] — opinion extraction (tagging + pairing) and attribute
 //!   classification.
 //! * [`corpus`] — synthetic review corpora with latent ground truth.
@@ -28,5 +31,6 @@ pub use opine_extract as extract;
 pub use opine_ir as ir;
 pub use opine_ml as ml;
 pub use opine_sentiment as sentiment;
+pub use opine_server as server;
 pub use opine_store as store;
 pub use opine_text as text;
