@@ -118,6 +118,15 @@ impl<V: Clone> BoundedCache<V> {
         self.len() == 0
     }
 
+    /// Applies `f` to every cached value under the read lock (no
+    /// counter updates) — used for aggregate reporting like the degree
+    /// columns' memory footprint.
+    pub fn for_each_value(&self, mut f: impl FnMut(&V)) {
+        for v in self.inner.read().map.values() {
+            f(v);
+        }
+    }
+
     /// Drops all entries (counters are preserved).
     pub fn clear(&self) {
         let mut inner = self.inner.write();

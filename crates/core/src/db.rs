@@ -11,15 +11,15 @@ use crate::interpret::{Interpretation, Interpreter};
 use crate::membership::{marker_features, scan_features, MembershipModel};
 use crate::par;
 use crate::summary::{MarkerSet, MarkerSummary};
-use crate::topk::threshold_topk_dense;
+use crate::topk::{threshold_topk_dense, threshold_topk_dense_filtered, threshold_topk_rescored};
 use opine_embed::PhraseEmbedder;
 use opine_ir::{Bm25Params, InvertedIndex};
 use opine_sentiment::SentimentAnalyzer;
 use opine_store::ast::ColumnRef;
 use opine_store::exec::{execute_with_algebra, SubjectiveScorer};
 use opine_store::{
-    execute_lazy, parse_select, Catalog, FuzzyAlgebra, ResultSet, ScoredRows, Select, StoreError,
-    Value,
+    execute_lazy, parse_select, Bitmap, Catalog, FuzzyAlgebra, ResultSet, ScoredRows, Select,
+    StoreError, Value,
 };
 use opine_text::{Vocab, WordId};
 use std::collections::HashMap;
@@ -109,6 +109,18 @@ pub struct CacheReport {
     pub columns: CacheStats,
     /// Number of dense degree columns currently cached.
     pub cached_columns: usize,
+    /// Heap bytes held by the cached degree columns.
+    pub column_bytes: usize,
+    /// True when new degree columns are stored quantized (`u16`).
+    pub quantized_columns: bool,
+    /// Queries answered by the threshold-algorithm fast path (pure
+    /// subjective conjunctions and pushdown queries combined).
+    pub ta_queries: u64,
+    /// TA fast-path queries that carried an objective-prefilter
+    /// candidate bitmap (the paper's `price < 150 AND "clean rooms"`
+    /// shape) — the pushdown counter the serving layer's `/stats`
+    /// reports and CI guards.
+    pub pushdown_queries: u64,
 }
 
 /// A query phrase prepared for membership scoring: its normalized
@@ -121,42 +133,121 @@ pub struct PreparedPhrase {
     pub sentiment: f64,
 }
 
-/// The dense degree column of one predicate: `degrees[entity]` is the
-/// degree of truth, and the descending-degree entity order (TA's
-/// sorted-access list) is computed once on demand and reused by every
-/// subsequent top-k over the same predicate.
+/// Quantization scale of the `u16` degree representation.
+const QUANT_SCALE: f64 = u16::MAX as f64;
+
+/// Storage of a degree column: exact `f64` per entity, or ceil-quantized
+/// `u16` (the ROADMAP "degree-column memory" representation — 4x smaller,
+/// with the dequantized value a guaranteed *upper bound* of the exact
+/// degree so the threshold algorithm stays correct).
+#[derive(Debug)]
+enum DegreeData {
+    Exact(Vec<f64>),
+    Quantized(Vec<u16>),
+}
+
+/// The dense degree column of one predicate: one slot per entity, plus
+/// the descending-degree entity order (TA's sorted-access list),
+/// computed once on demand and reused by every subsequent top-k over
+/// the same predicate.
 #[derive(Debug)]
 pub struct DegreeColumn {
-    degrees: Vec<f64>,
+    data: DegreeData,
     sorted: OnceLock<Vec<u32>>,
 }
 
 impl DegreeColumn {
-    fn new(degrees: Vec<f64>) -> Self {
+    fn exact(degrees: Vec<f64>) -> Self {
         DegreeColumn {
-            degrees,
+            data: DegreeData::Exact(degrees),
             sorted: OnceLock::new(),
         }
     }
 
-    /// Degree of truth per entity id.
-    pub fn degrees(&self) -> &[f64] {
-        &self.degrees
+    /// Ceil quantization: the dequantized value never under-estimates
+    /// the exact degree, which is what TA's threshold bound needs.
+    fn quantized(degrees: &[f64]) -> Self {
+        DegreeColumn {
+            data: DegreeData::Quantized(
+                degrees
+                    .iter()
+                    .map(|&d| (d.clamp(0.0, 1.0) * QUANT_SCALE).ceil() as u16)
+                    .collect(),
+            ),
+            sorted: OnceLock::new(),
+        }
     }
 
-    /// Entity ids in descending-degree order (ties by entity id). Sorted
-    /// once per column; repeated queries reuse the order.
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            DegreeData::Exact(v) => v.len(),
+            DegreeData::Quantized(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for the `u16` representation.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self.data, DegreeData::Quantized(_))
+    }
+
+    /// Exact degree of truth per entity id; `None` for quantized
+    /// columns, whose exact degrees must be recomputed point-wise.
+    pub fn degrees(&self) -> Option<&[f64]> {
+        match &self.data {
+            DegreeData::Exact(v) => Some(v),
+            DegreeData::Quantized(_) => None,
+        }
+    }
+
+    /// Upper bound of the entity's degree: the exact value, or the
+    /// dequantized ceil for quantized columns.
+    #[inline]
+    pub fn upper(&self, entity: usize) -> f64 {
+        match &self.data {
+            DegreeData::Exact(v) => v[entity],
+            DegreeData::Quantized(v) => f64::from(v[entity]) / QUANT_SCALE,
+        }
+    }
+
+    /// Heap bytes of the degree storage (the cache-footprint number the
+    /// quantization ablation measures).
+    pub fn memory_bytes(&self) -> usize {
+        match &self.data {
+            DegreeData::Exact(v) => v.len() * std::mem::size_of::<f64>(),
+            DegreeData::Quantized(v) => v.len() * std::mem::size_of::<u16>(),
+        }
+    }
+
+    /// Entity ids in descending-degree order (ties by entity id), by
+    /// [`Self::upper`]. Sorted once per column; repeated queries reuse
+    /// the order.
     pub fn sorted_order(&self) -> &[u32] {
         self.sorted.get_or_init(|| {
-            let mut order: Vec<u32> = (0..self.degrees.len() as u32).collect();
+            let mut order: Vec<u32> = (0..self.len() as u32).collect();
             order.sort_by(|&a, &b| {
-                self.degrees[b as usize]
-                    .total_cmp(&self.degrees[a as usize])
+                self.upper(b as usize)
+                    .total_cmp(&self.upper(a as usize))
                     .then_with(|| a.cmp(&b))
             });
             order
         })
     }
+}
+
+/// Bidirectional entity id ↔ entity-table row position maps.
+///
+/// `row_to_entity` holds `u32::MAX` for rows that are not an entity's
+/// canonical row (only possible with duplicate keys).
+#[derive(Debug)]
+struct EntityRowMaps {
+    entity_to_row: Vec<u32>,
+    row_to_entity: Vec<u32>,
 }
 
 /// An interpretation with its query-side work hoisted out of the
@@ -216,6 +307,21 @@ pub struct OpineDb {
     /// When false, degrees are recomputed on every call (honest timing)
     /// and the batched/TA fast paths are disabled.
     cache_degrees: std::sync::atomic::AtomicBool,
+    /// When true, new degree columns are stored as `u16` (4x smaller);
+    /// query answers stay exact via frontier rescoring.
+    quantize_columns: std::sync::atomic::AtomicBool,
+    /// When false, `rank_subjective_conjunction` refuses candidate
+    /// bitmaps, so mixed queries fall back to row-at-a-time residual
+    /// scoring — the pre-pushdown behaviour, kept as an ablation and as
+    /// the property-test reference path.
+    objective_pushdown: std::sync::atomic::AtomicBool,
+    /// Entity id ↔ base-table row position maps, built once on first
+    /// pushdown (the executor's candidate bitmaps are row-indexed).
+    entity_rows: OnceLock<Option<EntityRowMaps>>,
+    /// TA fast-path rankings served.
+    ta_queries: std::sync::atomic::AtomicU64,
+    /// TA rankings that carried an objective candidate bitmap.
+    pushdown_queries: std::sync::atomic::AtomicU64,
 }
 
 impl OpineDb {
@@ -267,6 +373,11 @@ impl OpineDb {
             phrase_cache: BoundedCache::new(4096),
             use_markers: std::sync::atomic::AtomicBool::new(true),
             cache_degrees: std::sync::atomic::AtomicBool::new(true),
+            quantize_columns: std::sync::atomic::AtomicBool::new(false),
+            objective_pushdown: std::sync::atomic::AtomicBool::new(true),
+            entity_rows: OnceLock::new(),
+            ta_queries: std::sync::atomic::AtomicU64::new(0),
+            pushdown_queries: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -347,6 +458,33 @@ impl OpineDb {
         self.phrase_cache.clear();
     }
 
+    /// Switches degree columns between exact `f64` and quantized `u16`
+    /// storage (the ROADMAP "degree-column memory" ablation; ~4x
+    /// smaller cache footprint, exact answers preserved through
+    /// frontier rescoring). Clears the column cache, whose
+    /// representation the flag controls.
+    pub fn set_quantized_columns(&self, enabled: bool) {
+        self.quantize_columns
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+        self.column_cache.clear();
+    }
+
+    /// Enables/disables the objective-predicate pushdown into the TA
+    /// fast path. Disabled, mixed queries score row-at-a-time over the
+    /// prefiltered candidates — the pre-pushdown behaviour, used as the
+    /// ablation baseline and the property-test reference.
+    pub fn set_objective_pushdown(&self, enabled: bool) {
+        self.objective_pushdown
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// How many TA fast-path rankings carried an objective candidate
+    /// bitmap — the pushdown counter (also in [`Self::cache_report`]).
+    pub fn pushdown_queries(&self) -> u64 {
+        self.pushdown_queries
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Drops only the cached degree columns, leaving the interpretation
     /// and phrase memos warm — used to benchmark column construction in
     /// isolation.
@@ -383,12 +521,21 @@ impl OpineDb {
     /// point degrees, degree columns) — the `/stats` payload's engine
     /// section.
     pub fn cache_report(&self) -> CacheReport {
+        let mut column_bytes = 0usize;
+        self.column_cache
+            .for_each_value(|c| column_bytes += c.memory_bytes());
         CacheReport {
             interpretations: self.interpreter.cache_stats(),
             phrases: self.phrase_cache.stats(),
             points: self.point_cache.stats(),
             columns: self.column_cache.stats(),
             cached_columns: self.column_cache.len(),
+            column_bytes,
+            quantized_columns: self
+                .quantize_columns
+                .load(std::sync::atomic::Ordering::Relaxed),
+            ta_queries: self.ta_queries.load(std::sync::atomic::Ordering::Relaxed),
+            pushdown_queries: self.pushdown_queries(),
         }
     }
 
@@ -491,8 +638,21 @@ impl OpineDb {
     /// rows must not trigger a full column build.
     pub fn degree(&self, entity: usize, predicate: &str) -> f64 {
         if self.caching() {
-            if let Some(column) = self.column_cache.get(predicate) {
-                return column.degrees()[entity];
+            // Quantized columns only hold upper bounds, so with
+            // quantization on (the cache is cleared on every flag flip,
+            // so it then holds *only* quantized columns) the probe
+            // would always be discarded in favour of the exact point
+            // path below — skip it rather than pay a lock round-trip
+            // and log a bogus cache hit per point lookup.
+            let quantized = self
+                .quantize_columns
+                .load(std::sync::atomic::Ordering::Relaxed);
+            if !quantized {
+                if let Some(column) = self.column_cache.get(predicate) {
+                    if let Some(degrees) = column.degrees() {
+                        return degrees[entity];
+                    }
+                }
             }
             // `\u{1}` cannot occur in tokenized predicate text, so the
             // composite key is unambiguous.
@@ -523,7 +683,14 @@ impl OpineDb {
         let degrees = par::par_map(self.num_entities(), |entity| {
             self.degree_prepared(entity, &prepared)
         });
-        let column = Arc::new(DegreeColumn::new(degrees));
+        let quantize = self
+            .quantize_columns
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let column = Arc::new(if quantize {
+            DegreeColumn::quantized(&degrees)
+        } else {
+            DegreeColumn::exact(degrees)
+        });
         if self.caching() {
             self.column_cache.insert(predicate, column.clone());
         }
@@ -538,11 +705,107 @@ impl OpineDb {
     /// descending, entity id ascending on ties), including zero-degree
     /// entities when fewer than `k` score positively.
     pub fn rank_top_k(&self, predicates: &[&str], k: usize) -> Vec<(usize, f64)> {
+        self.rank_top_k_filtered(predicates, k, None)
+    }
+
+    /// [`Self::rank_top_k`] with an optional candidate restriction: only
+    /// entities with `is_candidate(entity)` true are ranked (the
+    /// objective-predicate pushdown). Quantized columns route through
+    /// the rescored TA — sorted access and stopping use the `u16` upper
+    /// bounds, while returned scores are recomputed exactly through the
+    /// (memoized) point path, so the answer is identical to the exact
+    /// column's.
+    pub fn rank_top_k_filtered(
+        &self,
+        predicates: &[&str],
+        k: usize,
+        is_candidate: Option<&(dyn Fn(usize) -> bool + Sync)>,
+    ) -> Vec<(usize, f64)> {
         let columns: Vec<Arc<DegreeColumn>> =
             predicates.iter().map(|p| self.degree_column(p)).collect();
-        let degree_views: Vec<&[f64]> = columns.iter().map(|c| c.degrees()).collect();
         let order_views: Vec<&[u32]> = columns.iter().map(|c| c.sorted_order()).collect();
-        threshold_topk_dense(&degree_views, &order_views, k)
+        if columns.iter().all(|c| !c.is_quantized()) {
+            let degree_views: Vec<&[f64]> = columns
+                .iter()
+                .map(|c| c.degrees().expect("exact column"))
+                .collect();
+            return match is_candidate {
+                None => threshold_topk_dense(&degree_views, &order_views, k),
+                Some(f) => threshold_topk_dense_filtered(&degree_views, &order_views, k, f),
+            };
+        }
+        threshold_topk_rescored(
+            &order_views,
+            self.num_entities(),
+            |p, e| columns[p].upper(e),
+            |e| predicates.iter().map(|p| self.degree(e, p)).product(),
+            |e| is_candidate.is_none_or(|f| f(e)),
+            k,
+        )
+    }
+
+    /// The objective-pushdown ranking: top-k among the candidate rows
+    /// of `bitmap` (the executor's objective prefilter). Picks between
+    /// two physical plans, the classic selection-vs-sorted-access
+    /// optimizer choice:
+    ///
+    /// * **gather** — read every candidate's degrees straight from the
+    ///   dense columns, combine, sort. O(candidates · predicates).
+    /// * **restricted sorted access** — the filtered threshold
+    ///   algorithm, which scans ~`k / selectivity` positions per list.
+    ///
+    /// Gather wins when the candidate set is small
+    /// (`candidates² ≤ k · entities`, equating the two cost models);
+    /// selective filters — the whole point of the pushdown — land
+    /// there, while weak filters keep TA's early termination.
+    fn rank_pushdown(
+        &self,
+        predicates: &[&str],
+        k: usize,
+        bitmap: &Bitmap,
+    ) -> Option<Vec<(usize, f64)>> {
+        // The bitmap indexes base-table rows; degree columns index
+        // entities. Translate through the entity↔row maps (or decline
+        // the pushdown if the catalog and the entity list disagree).
+        let maps = self.entity_row_maps()?;
+        self.pushdown_queries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let columns: Vec<Arc<DegreeColumn>> =
+            predicates.iter().map(|p| self.degree_column(p)).collect();
+        let all_exact = columns.iter().all(|c| !c.is_quantized());
+        let cand_count = bitmap.count_ones();
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        if all_exact
+            && cand_count.saturating_mul(cand_count) <= k.saturating_mul(self.num_entities())
+        {
+            let views: Vec<&[f64]> = columns
+                .iter()
+                .map(|c| c.degrees().expect("exact column"))
+                .collect();
+            let mut scored: Vec<(usize, f64)> = bitmap
+                .iter_ones()
+                .filter_map(|row| {
+                    let entity = *maps.row_to_entity.get(row)?;
+                    (entity != u32::MAX).then_some(entity as usize)
+                })
+                .map(|e| (e, views.iter().map(|c| c[e]).product()))
+                .collect();
+            // Select-then-sort: partition the top k in O(candidates),
+            // order only the winners.
+            if scored.len() > k {
+                scored.select_nth_unstable_by(k - 1, crate::topk::rank_cmp);
+                scored.truncate(k);
+            }
+            scored.sort_by(crate::topk::rank_cmp);
+            return Some(scored);
+        }
+        Some(self.rank_top_k_filtered(
+            predicates,
+            k,
+            Some(&|entity: usize| bitmap.get(maps.entity_to_row[entity] as usize)),
+        ))
     }
 
     #[inline]
@@ -764,14 +1027,56 @@ impl OpineDb {
     pub fn attribute_index(&self, name: &str) -> Option<usize> {
         self.attributes.iter().position(|a| a == name)
     }
+
+    /// Dense entity id for a row-key [`Value`]. Text keys (the normal
+    /// case — entity names) probe the map by `&str`, so the executor's
+    /// per-row scorer calls never allocate a lookup `String`.
+    fn entity_of_value(&self, key: &Value) -> Option<usize> {
+        match key {
+            Value::Text(s) => self.key_to_entity.get(s.as_str()).copied(),
+            other => self.key_to_entity.get(other.to_string().as_str()).copied(),
+        }
+    }
+
+    /// Entity id ↔ base-table row maps, built once: the executor's
+    /// candidate bitmaps index *rows* of the entity table, while degree
+    /// columns index *entities*. `None` when some entity key has no row
+    /// (cannot happen for catalogs built by [`crate::build`], but a
+    /// caller-assembled catalog could), in which case the pushdown is
+    /// declined rather than answered wrongly.
+    fn entity_row_maps(&self) -> Option<&EntityRowMaps> {
+        self.entity_rows
+            .get_or_init(|| {
+                let table = self.catalog.table(&self.entity_table).ok()?;
+                let mut entity_to_row = Vec::with_capacity(self.entity_keys.len());
+                let mut row_to_entity = vec![u32::MAX; table.len()];
+                for (entity, key) in self.entity_keys.iter().enumerate() {
+                    let row = table.row_of_key_str(key)?;
+                    entity_to_row.push(row as u32);
+                    row_to_entity[row] = entity as u32;
+                }
+                // Rows that are no entity's canonical row (duplicate
+                // keys, or extra rows in a caller-assembled catalog)
+                // would be scored by the row-at-a-time path but are
+                // invisible to entity-indexed ranking; the maps must
+                // not exist then, so the pushdown is declined and the
+                // two paths stay result-identical.
+                if row_to_entity.contains(&u32::MAX) {
+                    return None;
+                }
+                Some(EntityRowMaps {
+                    entity_to_row,
+                    row_to_entity,
+                })
+            })
+            .as_ref()
+    }
 }
 
 impl SubjectiveScorer for OpineDb {
     fn degree_predicate(&self, predicate: &str, key: &Value) -> Result<f64, StoreError> {
         let entity = self
-            .key_to_entity
-            .get(&key.to_string())
-            .copied()
+            .entity_of_value(key)
             .ok_or_else(|| StoreError::Execution(format!("unknown entity key {key}")))?;
         Ok(self.degree(entity, predicate))
     }
@@ -783,9 +1088,7 @@ impl SubjectiveScorer for OpineDb {
         key: &Value,
     ) -> Result<f64, StoreError> {
         let entity = self
-            .key_to_entity
-            .get(&key.to_string())
-            .copied()
+            .entity_of_value(key)
             .ok_or_else(|| StoreError::Execution(format!("unknown entity key {key}")))?;
         let attr = self
             .attribute_index(&attribute.column)
@@ -809,12 +1112,27 @@ impl SubjectiveScorer for OpineDb {
         &self,
         predicates: &[&str],
         k: usize,
+        candidates: Option<&Bitmap>,
     ) -> Option<Vec<(Value, f64)>> {
         if !self.caching() {
             return None;
         }
+        let ranked = match candidates {
+            None => self.rank_top_k(predicates, k),
+            Some(bitmap) => {
+                if !self
+                    .objective_pushdown
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                {
+                    return None;
+                }
+                self.rank_pushdown(predicates, k, bitmap)?
+            }
+        };
+        self.ta_queries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Some(
-            self.rank_top_k(predicates, k)
+            ranked
                 .into_iter()
                 .map(|(entity, score)| (Value::text(&self.entity_keys[entity]), score))
                 .collect(),
@@ -1009,15 +1327,15 @@ mod tests {
     fn degree_column_matches_naive_per_entity_path() {
         let (_, db) = db();
         let column = db.degree_column("clean rooms");
-        assert_eq!(column.degrees().len(), db.num_entities());
+        let degrees = column.degrees().expect("exact by default");
+        assert_eq!(degrees.len(), db.num_entities());
         // The naive (cache-disabled) path must produce the same degrees.
         db.set_degree_cache(false);
-        for e in 0..db.num_entities() {
+        for (e, column_degree) in degrees.iter().enumerate() {
             let naive = db.degree(e, "clean rooms");
             assert!(
-                (column.degrees()[e] - naive).abs() < 1e-12,
-                "entity {e}: column {} vs naive {naive}",
-                column.degrees()[e]
+                (column_degree - naive).abs() < 1e-12,
+                "entity {e}: column {column_degree} vs naive {naive}"
             );
         }
         db.set_degree_cache(true);
@@ -1031,7 +1349,7 @@ mod tests {
         assert_eq!(order.len(), db.num_entities());
         for w in order.windows(2) {
             let (a, b) = (w[0] as usize, w[1] as usize);
-            let (da, db_) = (column.degrees()[a], column.degrees()[b]);
+            let (da, db_) = (column.upper(a), column.upper(b));
             assert!(da > db_ || (da == db_ && a < b));
         }
     }
@@ -1043,7 +1361,14 @@ mod tests {
         let ranked = db.rank_top_k(&preds, 5);
         let cols: Vec<_> = preds.iter().map(|p| db.degree_column(p)).collect();
         let mut naive: Vec<(usize, f64)> = (0..db.num_entities())
-            .map(|e| (e, cols.iter().map(|c| c.degrees()[e]).product()))
+            .map(|e| {
+                (
+                    e,
+                    cols.iter()
+                        .map(|c| c.degrees().expect("exact")[e])
+                        .product(),
+                )
+            })
             .collect();
         naive.sort_by(crate::topk::rank_cmp);
         naive.truncate(5);
@@ -1068,31 +1393,89 @@ mod tests {
     }
 
     #[test]
-    fn mixed_queries_score_lazily_and_filter_objectively() {
+    fn mixed_queries_ride_the_pushdown_ta_path() {
         let (_, db) = db();
-        // Not a pure subjective conjunction: goes through the generic
-        // row-at-a-time path. No eager column build may happen (a
-        // selective objective filter would make it wasted work) and the
-        // objective filter must still apply.
-        let out = db
-            .query("select * from hotels where price_pn < 250 and \"clean rooms\" limit 50")
-            .unwrap();
+        let sql = "select * from hotels where price_pn < 250 and \"clean rooms\" limit 50";
+        let before = db.cache_report();
+        assert_eq!(before.pushdown_queries, 0);
+        let out = db.query(sql).unwrap();
+        let after = db.cache_report();
         assert_eq!(
-            db.cached_degree_columns(),
-            0,
-            "mixed queries must not trigger whole-column scoring"
+            after.pushdown_queries,
+            before.pushdown_queries + 1,
+            "the paper's running-example shape must take the pushdown TA path"
         );
+        assert!(after.ta_queries > before.ta_queries);
         for (row, _) in &out.result.rows {
-            assert!(row[2].as_f64().unwrap() < 250.0);
+            assert!(
+                row[2].as_f64().unwrap() < 250.0,
+                "objective filter still applies on the TA path"
+            );
         }
-        // Repeat replays from the point memo and must agree.
-        let again = db
-            .query("select * from hotels where price_pn < 250 and \"clean rooms\" limit 50")
+        // The pushdown answer must equal both ablation baselines
+        // exactly: pushdown disabled (prefilter + row-at-a-time
+        // residue) and caches disabled (fully naive scoring).
+        db.set_objective_pushdown(false);
+        let row_at_a_time = db.query(sql).unwrap();
+        db.set_objective_pushdown(true);
+        db.set_degree_cache(false);
+        let naive = db.query(sql).unwrap();
+        db.set_degree_cache(true);
+        for reference in [&row_at_a_time, &naive] {
+            assert_eq!(out.result.rows.len(), reference.result.rows.len());
+            for (a, b) in out.result.rows.iter().zip(&reference.result.rows) {
+                assert_eq!(a.0[0], b.0[0]);
+                assert!((a.1 - b.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_with_empty_candidate_set_returns_no_rows() {
+        let (_, db) = db();
+        let out = db
+            .query("select * from hotels where price_pn < 0 and \"clean rooms\"")
             .unwrap();
-        assert_eq!(out.result.rows.len(), again.result.rows.len());
-        for (a, b) in out.result.rows.iter().zip(&again.result.rows) {
-            assert_eq!(a.0[0], b.0[0]);
-            assert!((a.1 - b.1).abs() < 1e-12);
+        assert!(out.result.rows.is_empty());
+    }
+
+    #[test]
+    fn quantized_columns_cut_memory_but_not_answers() {
+        let (_, db) = db();
+        let sql = "select * from hotels where price_pn < 250 and \"clean rooms\" limit 50";
+        let exact_out = db.query(sql).unwrap();
+        let exact_pure = db
+            .query("select * from hotels where \"clean rooms\" limit 50")
+            .unwrap();
+        let exact_bytes = db.cache_report().column_bytes;
+        assert!(exact_bytes > 0);
+
+        db.set_quantized_columns(true);
+        let quant_out = db.query(sql).unwrap();
+        let quant_pure = db
+            .query("select * from hotels where \"clean rooms\" limit 50")
+            .unwrap();
+        let report = db.cache_report();
+        assert!(report.quantized_columns);
+        assert!(
+            report.column_bytes * 4 == exact_bytes,
+            "u16 storage must be exactly 4x smaller ({} vs {exact_bytes})",
+            report.column_bytes
+        );
+        db.set_quantized_columns(false);
+
+        for (a, b) in [
+            (&exact_out.result, &quant_out.result),
+            (&exact_pure.result, &quant_pure.result),
+        ] {
+            assert_eq!(a.rows.len(), b.rows.len());
+            for (x, y) in a.rows.iter().zip(&b.rows) {
+                assert_eq!(x.0[0], y.0[0], "same ranking under quantization");
+                assert!(
+                    (x.1 - y.1).abs() < 1e-12,
+                    "scores stay exact via frontier rescoring"
+                );
+            }
         }
     }
 

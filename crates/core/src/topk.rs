@@ -126,6 +126,160 @@ where
     out
 }
 
+/// [`threshold_topk_dense`] with **restricted sorted access**: only
+/// entities for which `is_candidate` returns true are eligible (the
+/// executor's objective-prefilter bitmap, mapped to entity ids).
+///
+/// Each list keeps its own cursor and skips non-candidates, so the
+/// stopping threshold uses the *corrected bound*: the product of the
+/// degrees of the last **candidate** accessed per list. Any unseen
+/// candidate sits deeper than every cursor, so its combined degree is
+/// bounded by that product — the plain at-depth threshold would be
+/// needlessly loose (or, with lockstep depth, scan non-candidates
+/// forever on selective filters).
+///
+/// Returns `(entity, combined degree)` in ranking order; only candidate
+/// entities appear.
+pub fn threshold_topk_dense_filtered<C, S, F>(
+    columns: &[C],
+    sorted: &[S],
+    k: usize,
+    is_candidate: F,
+) -> Vec<(usize, f64)>
+where
+    C: AsRef<[f64]>,
+    S: AsRef<[u32]>,
+    F: Fn(usize) -> bool,
+{
+    assert_eq!(
+        columns.len(),
+        sorted.len(),
+        "one sorted order per degree column"
+    );
+    if columns.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let columns: Vec<&[f64]> = columns.iter().map(AsRef::as_ref).collect();
+    let sorted: Vec<&[u32]> = sorted.iter().map(AsRef::as_ref).collect();
+    let num_entities = columns[0].len();
+    ta_restricted(
+        &sorted,
+        num_entities,
+        |p, e| columns[p][e],
+        |e| columns.iter().map(|c| c[e]).product(),
+        is_candidate,
+        k,
+    )
+}
+
+/// TA over **upper-bound** degree columns with exact rescoring — the
+/// quantized-column path. `sorted[p]` must be ordered by `upper(p, ·)`
+/// descending; `upper(p, e)` must over-approximate entity `e`'s true
+/// degree under predicate `p` (ceil quantization guarantees this);
+/// `exact` returns the exact combined degree and is called once per
+/// entity brought in by sorted access (the top-k *frontier* — rescoring
+/// cost is proportional to how deep TA scans, not to the corpus).
+///
+/// The result is the exact top-k: the heap ranks by exact scores, while
+/// the stopping threshold is the product of upper bounds at the
+/// cursors, which dominates any unseen entity's exact combined degree.
+pub fn threshold_topk_rescored<S, U, E, F>(
+    sorted: &[S],
+    num_entities: usize,
+    upper: U,
+    exact: E,
+    is_candidate: F,
+    k: usize,
+) -> Vec<(usize, f64)>
+where
+    S: AsRef<[u32]>,
+    U: Fn(usize, usize) -> f64,
+    E: FnMut(usize) -> f64,
+    F: Fn(usize) -> bool,
+{
+    if sorted.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let sorted: Vec<&[u32]> = sorted.iter().map(AsRef::as_ref).collect();
+    ta_restricted(&sorted, num_entities, upper, exact, is_candidate, k)
+}
+
+/// The shared TA engine behind the filtered and rescored entry points.
+///
+/// Invariants required of the inputs:
+/// * every sorted order contains **all** entity ids, descending by
+///   `upper(p, ·)` — so when one list runs out of candidates, every
+///   candidate has been seen and the scan can stop;
+/// * `upper(p, e)` ≥ entity `e`'s contribution to `exact(e)` under
+///   predicate `p`, with equality in the unquantized case.
+fn ta_restricted<U, E, F>(
+    sorted: &[&[u32]],
+    num_entities: usize,
+    upper: U,
+    mut exact: E,
+    is_candidate: F,
+    k: usize,
+) -> Vec<(usize, f64)>
+where
+    U: Fn(usize, usize) -> f64,
+    E: FnMut(usize) -> f64,
+    F: Fn(usize) -> bool,
+{
+    let mut seen = vec![false; num_entities];
+    let mut best: BinaryHeap<Reverse<Candidate>> = BinaryHeap::with_capacity(k + 1);
+    let mut cursors = vec![0usize; sorted.len()];
+    // Degree upper bound of the last candidate accessed per list.
+    let mut bounds = vec![0.0f64; sorted.len()];
+
+    'scan: loop {
+        for (p, order) in sorted.iter().enumerate() {
+            let mut cur = cursors[p];
+            while let Some(&e) = order.get(cur) {
+                if is_candidate(e as usize) {
+                    break;
+                }
+                cur += 1;
+            }
+            let Some(&e) = order.get(cur) else {
+                // This list is out of candidates; since it covers every
+                // entity, all candidates have been seen.
+                break 'scan;
+            };
+            cursors[p] = cur + 1;
+            let entity = e as usize;
+            bounds[p] = upper(p, entity);
+            if seen[entity] {
+                continue;
+            }
+            seen[entity] = true;
+            let candidate = Candidate {
+                score: exact(entity),
+                entity,
+            };
+            if best.len() < k {
+                best.push(Reverse(candidate));
+            } else if candidate > best.peek().expect("non-empty heap").0 {
+                best.pop();
+                best.push(Reverse(candidate));
+            }
+        }
+
+        let threshold: f64 = bounds.iter().product();
+        // Strict inequality: at equality an unseen candidate could still
+        // tie the k-th exact score and win the entity-id tiebreak.
+        if best.len() >= k && best.peek().expect("non-empty heap").0.score > threshold {
+            break;
+        }
+    }
+
+    let mut out: Vec<(usize, f64)> = best
+        .into_iter()
+        .map(|Reverse(c)| (c.entity, c.score))
+        .collect();
+    out.sort_by(rank_cmp);
+    out
+}
+
 /// Top-k entities by product-combined degree across sorted
 /// `(entity, degree)` lists (the pre-densification API).
 ///
@@ -328,6 +482,144 @@ mod tests {
         let ta = threshold_topk(&lists, 4);
         assert_eq!(fs, vec![(5, 0.9), (7, 0.2)]);
         assert_eq!(ta, fs);
+    }
+
+    /// Filtered full-scan reference: combine candidate entities only.
+    fn full_scan_filtered<C: AsRef<[f64]>>(
+        columns: &[C],
+        k: usize,
+        is_candidate: impl Fn(usize) -> bool,
+    ) -> Vec<(usize, f64)> {
+        let columns: Vec<&[f64]> = columns.iter().map(AsRef::as_ref).collect();
+        let mut combined: Vec<(usize, f64)> = (0..columns[0].len())
+            .filter(|&e| is_candidate(e))
+            .map(|e| (e, columns.iter().map(|c| c[e]).product()))
+            .collect();
+        combined.sort_by(rank_cmp);
+        combined.truncate(k);
+        combined
+    }
+
+    #[test]
+    fn filtered_ta_matches_filtered_full_scan() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for round in 0..30 {
+            let n = 80;
+            let lists: Vec<Vec<(usize, f64)>> = (0..3)
+                .map(|_| {
+                    sorted_list(
+                        &(0..n)
+                            // Quantize every other round to force ties.
+                            .map(|e| {
+                                let d = if round % 2 == 0 {
+                                    rng.gen::<f64>()
+                                } else {
+                                    f64::from(rng.gen_range(0..5u32)) / 5.0
+                                };
+                                (e, d)
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let (columns, sorted) = densify(&lists);
+            // Selective, mid, and non-selective candidate sets.
+            let masks: Vec<Box<dyn Fn(usize) -> bool>> = vec![
+                Box::new(|e| e % 13 == 0),
+                Box::new(|e| e % 2 == 0),
+                Box::new(|_| true),
+                Box::new(|_| false),
+            ];
+            for mask in &masks {
+                for k in [1, 4, 200] {
+                    let ta = threshold_topk_dense_filtered(&columns, &sorted, k, mask);
+                    let fs = full_scan_filtered(&columns, k, mask);
+                    assert_eq!(ta, fs, "round {round} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_ta_with_all_candidates_equals_unfiltered() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 120;
+        let lists: Vec<Vec<(usize, f64)>> = (0..2)
+            .map(|_| sorted_list(&(0..n).map(|e| (e, rng.gen::<f64>())).collect::<Vec<_>>()))
+            .collect();
+        let (columns, sorted) = densify(&lists);
+        assert_eq!(
+            threshold_topk_dense_filtered(&columns, &sorted, 9, |_| true),
+            threshold_topk_dense(&columns, &sorted, 9),
+        );
+    }
+
+    #[test]
+    fn filtered_ta_early_terminates_on_selective_filters() {
+        // One dominant candidate among many non-candidates: the cursor
+        // skipping must still find it and stop (this is a liveness
+        // check — an at-depth threshold would walk all 10k rows).
+        let n = 10_000;
+        let lists: Vec<Vec<(usize, f64)>> = (0..2)
+            .map(|_| {
+                sorted_list(
+                    &(0..n)
+                        .map(|e| (e, if e == 4242 { 0.95 } else { 0.5 }))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let (columns, sorted) = densify(&lists);
+        let top = threshold_topk_dense_filtered(&columns, &sorted, 1, |e| e == 4242);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, 4242);
+        assert!((top[0].1 - 0.95 * 0.95).abs() < 1e-12);
+    }
+
+    /// Ceil quantization to `u16`, the upper-bound transform the
+    /// rescored TA is built for.
+    fn quantize(d: f64) -> f64 {
+        (d * 65535.0).ceil() / 65535.0
+    }
+
+    #[test]
+    fn rescored_ta_over_quantized_uppers_is_exact() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..20 {
+            let n = 60;
+            let exact_cols: Vec<Vec<f64>> = (0..3)
+                .map(|_| (0..n).map(|_| rng.gen::<f64>()).collect())
+                .collect();
+            // Sorted orders come from the *quantized* views, as they
+            // would from a cached quantized column.
+            let sorted: Vec<Vec<u32>> = exact_cols
+                .iter()
+                .map(|col| {
+                    let mut order: Vec<u32> = (0..n as u32).collect();
+                    order.sort_by(|&a, &b| {
+                        quantize(col[b as usize])
+                            .total_cmp(&quantize(col[a as usize]))
+                            .then_with(|| a.cmp(&b))
+                    });
+                    order
+                })
+                .collect();
+            let mut rescores = 0usize;
+            let ta = threshold_topk_rescored(
+                &sorted,
+                n,
+                |p, e| quantize(exact_cols[p][e]),
+                |e| {
+                    rescores += 1;
+                    exact_cols.iter().map(|c| c[e]).product()
+                },
+                |_| true,
+                5,
+            );
+            let fs = full_scan_topk_dense(&exact_cols, 5);
+            assert_eq!(ta, fs, "rescored TA must return the exact top-k");
+            assert!(rescores <= n, "each entity rescored at most once");
+        }
     }
 
     #[test]

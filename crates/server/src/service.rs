@@ -23,7 +23,7 @@ use crate::pool::AcceptPool;
 use crate::prepared::PreparedRegistry;
 use opine_core::cache::BoundedCache;
 use opine_core::{OpineDb, OpineError};
-use opine_store::{parse_select, Select, Value};
+use opine_store::{parse_select, Select, ValueRef};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
@@ -452,14 +452,16 @@ fn run_select(state: &ServerState, endpoint: Endpoint, select: &Select, key: &st
     }
 }
 
-/// Appends one cell value as JSON.
-fn push_value(out: &mut String, v: &Value) {
+/// Appends one cell value as JSON. Takes the executor's borrowed
+/// [`ValueRef`] view — scalars come straight out of the columnar
+/// storage, text is borrowed, nothing is cloned.
+fn push_value(out: &mut String, v: ValueRef<'_>) {
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::Float(x) => json::push_f64(out, *x),
-        Value::Text(s) => json::escape_into(out, s),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        ValueRef::Null => out.push_str("null"),
+        ValueRef::Int(i) => out.push_str(&i.to_string()),
+        ValueRef::Float(x) => json::push_f64(out, x),
+        ValueRef::Str(s) => json::escape_into(out, s),
+        ValueRef::Bool(b) => out.push_str(if b { "true" } else { "false" }),
     }
 }
 
@@ -548,6 +550,18 @@ fn render_stats(state: &ServerState) -> String {
     push_cache_stats(&mut out, report.columns);
     out.push_str(",\"cached_degree_columns\":");
     out.push_str(&report.cached_columns.to_string());
+    out.push_str(",\"degree_column_bytes\":");
+    out.push_str(&report.column_bytes.to_string());
+    out.push_str(",\"quantized_columns\":");
+    out.push_str(if report.quantized_columns {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(",\"ta_queries\":");
+    out.push_str(&report.ta_queries.to_string());
+    out.push_str(",\"pushdown_queries\":");
+    out.push_str(&report.pushdown_queries.to_string());
     out.push_str("},\"result_cache\":{\"enabled\":");
     out.push_str(if state.config.result_cache_capacity > 0 {
         "true"

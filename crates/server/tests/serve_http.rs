@@ -266,7 +266,7 @@ fn review_text_with_quotes_survives_the_json_layer() {
             body.push(',');
         }
         match v {
-            Value::Text(s) => opine_server::json::escape_into(&mut body, s),
+            opine_store::ValueRef::Str(s) => opine_server::json::escape_into(&mut body, s),
             other => body.push_str(&other.to_string()),
         }
     }

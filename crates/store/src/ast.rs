@@ -19,6 +19,41 @@ pub enum CmpOp {
     Ne,
 }
 
+impl CmpOp {
+    /// Truth of the comparison given the SQL-style ordering of its
+    /// operands; `None` (incomparable / NULL) is always false. This is
+    /// *the* objective-predicate semantics — the row-at-a-time
+    /// executor and the vectorized column comparison both call it, so
+    /// they cannot drift apart.
+    #[inline]
+    pub fn evaluate(&self, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering;
+        match (self, ord) {
+            (_, None) => false,
+            (CmpOp::Lt, Some(o)) => o == Ordering::Less,
+            (CmpOp::Le, Some(o)) => o != Ordering::Greater,
+            (CmpOp::Gt, Some(o)) => o == Ordering::Greater,
+            (CmpOp::Ge, Some(o)) => o != Ordering::Less,
+            (CmpOp::Eq, Some(o)) => o == Ordering::Equal,
+            (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
+        }
+    }
+
+    /// The operator with its operands swapped: `lit op col` ≡
+    /// `col (op.flip()) lit`. Lets the vectorized comparison handle
+    /// literal-first spellings.
+    pub fn flip(&self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+}
+
 /// A column reference, optionally qualified with a table alias.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnRef {
@@ -159,6 +194,26 @@ impl Expr {
                 Some(preds)
             }
             _ => None,
+        }
+    }
+
+    /// Flattens the top-level `AND` tree into its conjuncts, left to
+    /// right. A non-`And` expression is a single conjunct. The planner
+    /// partitions these into the objective prefilter and the subjective
+    /// residue.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::And(a, b) => {
+                a.collect_conjuncts(out);
+                b.collect_conjuncts(out);
+            }
+            other => out.push(other),
         }
     }
 
@@ -364,6 +419,46 @@ mod tests {
         let a = crate::parser::parse_select("select * from t where x < 150.123456").unwrap();
         let b = crate::parser::parse_select("select * from t where x < 150.123457").unwrap();
         assert_ne!(a.normalized(), b.normalized());
+    }
+
+    #[test]
+    fn conjuncts_flatten_left_to_right() {
+        let q = crate::parser::parse_select(
+            "select * from t where price < 150 and \"a\" and x = 'y' and \"b\"",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let parts = w.conjuncts();
+        assert_eq!(parts.len(), 4);
+        assert!(matches!(parts[0], Expr::Compare { .. }));
+        assert_eq!(parts[1], &Expr::Subjective("a".into()));
+        assert!(matches!(parts[2], Expr::Compare { .. }));
+        assert_eq!(parts[3], &Expr::Subjective("b".into()));
+        // Non-And roots are a single conjunct.
+        let q = crate::parser::parse_select("select * from t where \"a\" or \"b\"").unwrap();
+        assert_eq!(q.where_clause.unwrap().conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn cmp_op_truth_table() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Lt.evaluate(Some(Less)));
+        assert!(!CmpOp::Lt.evaluate(Some(Equal)));
+        assert!(CmpOp::Le.evaluate(Some(Equal)));
+        assert!(CmpOp::Gt.evaluate(Some(Greater)));
+        assert!(CmpOp::Ge.evaluate(Some(Greater)));
+        assert!(CmpOp::Eq.evaluate(Some(Equal)));
+        assert!(CmpOp::Ne.evaluate(Some(Less)));
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            assert!(!op.evaluate(None), "NULL/incomparable is always false");
+        }
     }
 
     #[test]

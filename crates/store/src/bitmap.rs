@@ -1,0 +1,210 @@
+//! Fixed-length bitmaps over row positions.
+//!
+//! Two storage-layer jobs share this type: per-column **null bitmaps**
+//! (one bit per row, set when the slot is NULL) and the executor's
+//! **candidate bitmaps** — the result of vectorized objective
+//! predicate evaluation, threaded down into the threshold-algorithm
+//! fast path so sorted access can skip non-candidates.
+
+/// A fixed-length bitmap backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-ones bitmap of `len` bits.
+    pub fn all_set(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail = len % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    /// Builds a bitmap from pre-assembled words (bits past `len` in the
+    /// last word are masked off). The vectorized comparison kernels use
+    /// this: they accumulate 64 comparison results in a register and
+    /// store whole words, instead of paying a read-modify-write per row.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count for {len} bits");
+        if let Some(last) = words.last_mut() {
+            let tail = len % 64;
+            if tail != 0 {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i` (false when out of range, so callers probing a shorter
+    /// null bitmap against a longer row range need no bounds dance).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Appends one bit (grows the bitmap by one).
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[self.len / 64] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// In-place intersection with `other` (must have the same length).
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// In-place `self &= !other` — clears every bit set in `other`
+    /// (e.g. masking NULL slots out of a comparison result).
+    pub fn and_not_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_all_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Indices of set bits, ascending. Skips whole zero words, so
+    /// iterating a selective bitmap costs ~one branch per 64 rows.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(129));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn all_set_masks_the_tail() {
+        let b = Bitmap::all_set(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.get(69));
+        assert!(!b.get(70), "out-of-range bits read as false");
+        let exact = Bitmap::all_set(128);
+        assert_eq!(exact.count_ones(), 128);
+    }
+
+    #[test]
+    fn and_assign_intersects() {
+        let mut a = Bitmap::all_set(100);
+        let mut b = Bitmap::new(100);
+        b.set(3);
+        b.set(99);
+        a.and_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![3, 99]);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut b = Bitmap::new(0);
+        for i in 0..70 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 70);
+        assert_eq!(b.count_ones(), 24);
+        assert!(b.get(69));
+        assert!(!b.get(70));
+    }
+
+    #[test]
+    fn from_words_masks_the_tail_and_and_not_clears() {
+        let b = Bitmap::from_words(vec![u64::MAX, u64::MAX], 70);
+        assert_eq!(b.count_ones(), 70);
+        let mut a = Bitmap::all_set(70);
+        a.and_not_assign(&b);
+        assert!(a.is_all_zero());
+        let mut c = Bitmap::all_set(70);
+        c.and_not_assign(&Bitmap::new(70));
+        assert_eq!(c.count_ones(), 70);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert!(b.is_all_zero());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

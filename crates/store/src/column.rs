@@ -1,0 +1,362 @@
+//! Typed per-column storage and vectorized objective comparisons.
+//!
+//! A [`crate::table::Table`] keeps one [`ColumnData`] per schema column
+//! instead of row-major `Vec<Vec<Value>>`: numeric columns are flat
+//! `Vec<i64>` / `Vec<f64>` with a null bitmap, so an objective predicate
+//! like `price_pn < 150` evaluates as one tight loop over a typed slice
+//! producing a candidate [`Bitmap`] — no per-row `Value` cloning, no
+//! enum dispatch per cell.
+//!
+//! Storage is chosen from the schema's [`ColumnType`]; a value that the
+//! schema accepts but the typed representation cannot hold losslessly
+//! (an `Int` widening into a `Float` column, where identity must be
+//! preserved for display/join semantics) promotes the whole column to
+//! the [`ColumnData::Mixed`] fallback, which stores `Value`s directly.
+
+use crate::ast::CmpOp;
+use crate::bitmap::Bitmap;
+use crate::schema::ColumnType;
+use crate::value::{Value, ValueRef};
+
+/// One column's values, stored as a typed vector where possible.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Integer column: values plus a null bitmap (null slots hold 0).
+    Int {
+        /// Cell values; meaningless where `nulls` is set.
+        vals: Vec<i64>,
+        /// Set bit = NULL.
+        nulls: Bitmap,
+    },
+    /// Float column.
+    Float {
+        /// Cell values; meaningless where `nulls` is set.
+        vals: Vec<f64>,
+        /// Set bit = NULL.
+        nulls: Bitmap,
+    },
+    /// Text column.
+    Str {
+        /// Cell values; empty where `nulls` is set.
+        vals: Vec<String>,
+        /// Set bit = NULL.
+        nulls: Bitmap,
+    },
+    /// Boolean column.
+    Bool {
+        /// Cell values; meaningless where `nulls` is set.
+        vals: Vec<bool>,
+        /// Set bit = NULL.
+        nulls: Bitmap,
+    },
+    /// Fallback storage for columns holding heterogeneous values (e.g.
+    /// `Int`s accepted into a `Float` column).
+    Mixed {
+        /// Cell values as-is.
+        vals: Vec<Value>,
+    },
+}
+
+impl ColumnData {
+    /// Empty storage for a column of the given schema type.
+    pub fn for_type(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int => ColumnData::Int {
+                vals: Vec::new(),
+                nulls: Bitmap::new(0),
+            },
+            ColumnType::Float => ColumnData::Float {
+                vals: Vec::new(),
+                nulls: Bitmap::new(0),
+            },
+            ColumnType::Text => ColumnData::Str {
+                vals: Vec::new(),
+                nulls: Bitmap::new(0),
+            },
+            ColumnType::Bool => ColumnData::Bool {
+                vals: Vec::new(),
+                nulls: Bitmap::new(0),
+            },
+        }
+    }
+
+    /// Number of stored cells.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int { vals, .. } => vals.len(),
+            ColumnData::Float { vals, .. } => vals.len(),
+            ColumnData::Str { vals, .. } => vals.len(),
+            ColumnData::Bool { vals, .. } => vals.len(),
+            ColumnData::Mixed { vals } => vals.len(),
+        }
+    }
+
+    /// True when the column holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one value. The schema has already type-checked it; a
+    /// value the current typed representation cannot hold losslessly
+    /// promotes the column to [`ColumnData::Mixed`] first.
+    pub fn push(&mut self, value: Value) {
+        match (&mut *self, value) {
+            (ColumnData::Int { vals, nulls }, Value::Int(i)) => {
+                vals.push(i);
+                nulls.push(false);
+            }
+            (ColumnData::Int { vals, nulls }, Value::Null) => {
+                vals.push(0);
+                nulls.push(true);
+            }
+            (ColumnData::Float { vals, nulls }, Value::Float(x)) => {
+                vals.push(x);
+                nulls.push(false);
+            }
+            (ColumnData::Float { vals, nulls }, Value::Null) => {
+                vals.push(0.0);
+                nulls.push(true);
+            }
+            (ColumnData::Str { vals, nulls }, Value::Text(s)) => {
+                vals.push(s);
+                nulls.push(false);
+            }
+            (ColumnData::Str { vals, nulls }, Value::Null) => {
+                vals.push(String::new());
+                nulls.push(true);
+            }
+            (ColumnData::Bool { vals, nulls }, Value::Bool(b)) => {
+                vals.push(b);
+                nulls.push(false);
+            }
+            (ColumnData::Bool { vals, nulls }, Value::Null) => {
+                vals.push(false);
+                nulls.push(true);
+            }
+            (ColumnData::Mixed { vals }, v) => vals.push(v),
+            (_, v) => {
+                self.promote_to_mixed();
+                self.push(v);
+            }
+        }
+    }
+
+    /// Rewrites the column as [`ColumnData::Mixed`], preserving values.
+    fn promote_to_mixed(&mut self) {
+        let vals: Vec<Value> = (0..self.len())
+            .map(|i| self.value_ref(i).to_value())
+            .collect();
+        *self = ColumnData::Mixed { vals };
+    }
+
+    /// Borrowed view of cell `i`.
+    #[inline]
+    pub fn value_ref(&self, i: usize) -> ValueRef<'_> {
+        match self {
+            ColumnData::Int { vals, nulls } => {
+                if nulls.get(i) {
+                    ValueRef::Null
+                } else {
+                    ValueRef::Int(vals[i])
+                }
+            }
+            ColumnData::Float { vals, nulls } => {
+                if nulls.get(i) {
+                    ValueRef::Null
+                } else {
+                    ValueRef::Float(vals[i])
+                }
+            }
+            ColumnData::Str { vals, nulls } => {
+                if nulls.get(i) {
+                    ValueRef::Null
+                } else {
+                    ValueRef::Str(&vals[i])
+                }
+            }
+            ColumnData::Bool { vals, nulls } => {
+                if nulls.get(i) {
+                    ValueRef::Null
+                } else {
+                    ValueRef::Bool(vals[i])
+                }
+            }
+            ColumnData::Mixed { vals } => ValueRef::from(&vals[i]),
+        }
+    }
+
+    /// Vectorized `column <op> literal`: one bit per row, set where the
+    /// comparison holds. Semantics are exactly those of
+    /// [`ValueRef::compare`] + [`CmpOp::evaluate`] — NULLs and
+    /// incomparable types are false — the typed arms are the same
+    /// decision compiled into a word-at-a-time kernel: 64 comparison
+    /// results accumulate in a register, the null word is masked off,
+    /// and one store writes the word (no per-row bitmap read-modify-
+    /// write, no bounds checks in the loop body).
+    pub fn compare_bitmap(&self, op: CmpOp, lit: &Value) -> Bitmap {
+        let lit_ref = ValueRef::from(lit);
+        match (self, lit_ref) {
+            (ColumnData::Int { vals, nulls }, ValueRef::Int(_) | ValueRef::Float(_)) => {
+                let b = lit_ref.as_f64().expect("numeric literal");
+                compare_kernel(vals, nulls, |&v| {
+                    op.evaluate(Some((v as f64).total_cmp(&b)))
+                })
+            }
+            (ColumnData::Float { vals, nulls }, ValueRef::Int(_) | ValueRef::Float(_)) => {
+                let b = lit_ref.as_f64().expect("numeric literal");
+                compare_kernel(vals, nulls, |&v| op.evaluate(Some(v.total_cmp(&b))))
+            }
+            (ColumnData::Str { vals, nulls }, ValueRef::Str(s)) => {
+                compare_kernel(vals, nulls, |v: &String| {
+                    op.evaluate(Some(v.as_str().cmp(s)))
+                })
+            }
+            (ColumnData::Bool { vals, nulls }, ValueRef::Bool(b)) => {
+                compare_kernel(vals, nulls, |&v| op.evaluate(Some(v.cmp(&b))))
+            }
+            // Mixed storage, NULL literal, or a type-mismatched literal:
+            // the general cell-at-a-time comparison (which yields all
+            // false for the latter two, exactly like the row executor).
+            _ => {
+                let n = self.len();
+                let mut out = Bitmap::new(n);
+                for i in 0..n {
+                    if op.evaluate(self.value_ref(i).compare(&lit_ref)) {
+                        out.set(i);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Approximate heap footprint of the stored cells, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            ColumnData::Int { vals, nulls } => vals.len() * 8 + nulls.len().div_ceil(8),
+            ColumnData::Float { vals, nulls } => vals.len() * 8 + nulls.len().div_ceil(8),
+            ColumnData::Str { vals, nulls } => {
+                vals.iter()
+                    .map(|s| s.capacity() + std::mem::size_of::<String>())
+                    .sum::<usize>()
+                    + nulls.len().div_ceil(8)
+            }
+            ColumnData::Bool { vals, nulls } => vals.len() + nulls.len().div_ceil(8),
+            ColumnData::Mixed { vals } => vals.len() * std::mem::size_of::<Value>(),
+        }
+    }
+}
+
+/// Word-at-a-time comparison kernel: bit `i` of the result is
+/// `matches(&vals[i])`, with NULL slots masked off afterwards.
+fn compare_kernel<T>(vals: &[T], nulls: &Bitmap, mut matches: impl FnMut(&T) -> bool) -> Bitmap {
+    let mut words = Vec::with_capacity(vals.len().div_ceil(64));
+    for chunk in vals.chunks(64) {
+        let mut word = 0u64;
+        for (bit, v) in chunk.iter().enumerate() {
+            word |= u64::from(matches(v)) << bit;
+        }
+        words.push(word);
+    }
+    let mut out = Bitmap::from_words(words, vals.len());
+    out.and_not_assign(nulls);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn float_col(values: &[Option<f64>]) -> ColumnData {
+        let mut c = ColumnData::for_type(ColumnType::Float);
+        for v in values {
+            c.push(v.map(Value::Float).unwrap_or(Value::Null));
+        }
+        c
+    }
+
+    #[test]
+    fn typed_push_and_read() {
+        let c = float_col(&[Some(1.5), None, Some(-2.0)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value_ref(0), ValueRef::Float(1.5));
+        assert_eq!(c.value_ref(1), ValueRef::Null);
+        assert_eq!(c.value_ref(2), ValueRef::Float(-2.0));
+    }
+
+    #[test]
+    fn int_into_float_column_promotes_to_mixed_and_keeps_identity() {
+        let mut c = ColumnData::for_type(ColumnType::Float);
+        c.push(Value::Float(1.0));
+        c.push(Value::Int(99));
+        assert!(matches!(c, ColumnData::Mixed { .. }));
+        assert_eq!(c.value_ref(0), ValueRef::Float(1.0));
+        assert_eq!(c.value_ref(1), ValueRef::Int(99));
+    }
+
+    #[test]
+    fn compare_bitmap_matches_scalar_semantics() {
+        let cols = [
+            float_col(&[Some(1.0), None, Some(150.0), Some(149.9)]),
+            {
+                let mut c = ColumnData::for_type(ColumnType::Int);
+                for v in [Value::Int(10), Value::Null, Value::Int(-3), Value::Int(150)] {
+                    c.push(v);
+                }
+                c
+            },
+            {
+                let mut c = ColumnData::for_type(ColumnType::Text);
+                for v in [
+                    Value::text("b"),
+                    Value::Null,
+                    Value::text("a"),
+                    Value::text("c"),
+                ] {
+                    c.push(v);
+                }
+                c
+            },
+        ];
+        let lits = [
+            Value::Float(150.0),
+            Value::Int(10),
+            Value::text("b"),
+            Value::Null,
+            Value::Bool(true),
+        ];
+        let ops = [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ];
+        for col in &cols {
+            for lit in &lits {
+                for &op in &ops {
+                    let bitmap = col.compare_bitmap(op, lit);
+                    for i in 0..col.len() {
+                        let expected = op.evaluate(col.value_ref(i).compare(&ValueRef::from(lit)));
+                        assert_eq!(
+                            bitmap.get(i),
+                            expected,
+                            "col {col:?} row {i} {op:?} {lit:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_column_compare_falls_back_cell_at_a_time() {
+        let mut c = ColumnData::for_type(ColumnType::Float);
+        c.push(Value::Int(100)); // promotes
+        c.push(Value::Float(200.0));
+        let b = c.compare_bitmap(CmpOp::Lt, &Value::Float(150.0));
+        assert!(b.get(0));
+        assert!(!b.get(1));
+    }
+}

@@ -6,10 +6,25 @@
 //! [`SubjectiveScorer`] for a degree of truth, and the WHERE expression
 //! combines them with the configured [`FuzzyAlgebra`]. The result is ranked
 //! by score descending (unless an explicit ORDER BY overrides it).
+//!
+//! ## Planning
+//!
+//! For single-table queries the WHERE clause is split into an
+//! **objective prefilter** and a **subjective residue**: the objective
+//! conjuncts evaluate vectorized over the table's typed columns into a
+//! candidate [`Bitmap`], and the residue is scored only over candidates.
+//! When the residue is exactly a conjunction of natural-language
+//! predicates, the bitmap is pushed down into the scorer's
+//! threshold-algorithm top-k
+//! ([`SubjectiveScorer::rank_subjective_conjunction`]) — the paper's
+//! running example `price_pn < 150 and "clean rooms"` rides the TA fast
+//! path end-to-end instead of forcing row-at-a-time scoring.
 
-use crate::ast::{CmpOp, ColumnRef, Expr, Operand, Select};
+use crate::ast::{ColumnRef, Expr, Operand, Select};
+use crate::bitmap::Bitmap;
 use crate::catalog::Catalog;
-use crate::value::Value;
+use crate::table::{RowView, Table};
+use crate::value::{Value, ValueRef};
 use crate::StoreError;
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -76,15 +91,23 @@ pub trait SubjectiveScorer {
     /// does nothing.
     fn prepare_predicates(&self, _predicates: &[&str]) {}
 
-    /// Optional index-assisted ranking for a WHERE clause that is exactly
-    /// a conjunction of natural-language predicates: the top `k`
-    /// `(key, combined degree)` pairs under the product t-norm, ranked by
-    /// degree descending with a deterministic tiebreak. Returning `None`
-    /// (the default) falls back to scoring every row.
+    /// Optional index-assisted ranking for a WHERE clause whose
+    /// subjective part is exactly a conjunction of natural-language
+    /// predicates: the top `k` `(key, combined degree)` pairs under the
+    /// product t-norm, ranked by degree descending with a deterministic
+    /// tiebreak.
+    ///
+    /// `candidates`, when present, is the objective prefilter: a bitmap
+    /// over *base-table row positions* with a set bit for every row that
+    /// passed the objective conjuncts. The scorer must then rank only
+    /// candidate entities (restricted sorted access in TA terms).
+    /// Returning `None` (the default) falls back to scoring candidate
+    /// rows one at a time.
     fn rank_subjective_conjunction(
         &self,
         _predicates: &[&str],
         _k: usize,
+        _candidates: Option<&Bitmap>,
     ) -> Option<Vec<(Value, f64)>> {
         None
     }
@@ -128,21 +151,30 @@ impl ResultSet {
     }
 }
 
-/// One result row of the borrowing path: a reference straight into the
-/// base table's storage when possible, owned only when a join had to
-/// materialize a combined row.
+/// One result row of the borrowing path: a view straight into the base
+/// table's columnar storage when possible, owned only when a join had
+/// to materialize a combined row.
 #[derive(Debug)]
 enum RowHandle<'a> {
-    Borrowed(&'a [Value]),
+    Base(RowView<'a>),
     Owned(Vec<Value>),
 }
 
 impl RowHandle<'_> {
+    /// Cell at output slot `i`, read without materializing the row.
     #[inline]
-    fn values(&self) -> &[Value] {
+    fn value(&self, i: usize) -> ValueRef<'_> {
         match self {
-            RowHandle::Borrowed(r) => r,
-            RowHandle::Owned(r) => r,
+            RowHandle::Base(view) => view.get(i),
+            RowHandle::Owned(row) => ValueRef::from(&row[i]),
+        }
+    }
+
+    /// Number of cells in the (possibly joined) row layout.
+    fn width(&self) -> usize {
+        match self {
+            RowHandle::Base(view) => view.len(),
+            RowHandle::Owned(row) => row.len(),
         }
     }
 }
@@ -165,29 +197,37 @@ pub struct ScoredRows<'a> {
 }
 
 /// Iterator over one result row's projected values.
+///
+/// Yields [`ValueRef`]s — with columnar base storage there is no
+/// `&Value` to hand out; scalars are copied, text is borrowed.
 #[derive(Debug, Clone)]
 pub struct ProjectedValues<'r> {
-    row: &'r [Value],
+    row: &'r RowHandle<'r>,
     projection: Option<&'r [usize]>,
     pos: usize,
 }
 
 impl<'r> Iterator for ProjectedValues<'r> {
-    type Item = &'r Value;
+    type Item = ValueRef<'r>;
 
-    fn next(&mut self) -> Option<&'r Value> {
-        let v = match self.projection {
-            Some(idx) => &self.row[*idx.get(self.pos)?],
-            None => self.row.get(self.pos)?,
+    fn next(&mut self) -> Option<ValueRef<'r>> {
+        let slot = match self.projection {
+            Some(idx) => *idx.get(self.pos)?,
+            None => {
+                if self.pos >= self.row.width() {
+                    return None;
+                }
+                self.pos
+            }
         };
         self.pos += 1;
-        Some(v)
+        Some(self.row.value(slot))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let total = match self.projection {
             Some(idx) => idx.len(),
-            None => self.row.len(),
+            None => self.row.width(),
         };
         let rem = total.saturating_sub(self.pos);
         (rem, Some(rem))
@@ -221,7 +261,7 @@ impl<'a> ScoredRows<'a> {
     /// cloning.
     pub fn values(&self, i: usize) -> ProjectedValues<'_> {
         ProjectedValues {
-            row: self.entries[i].0.values(),
+            row: &self.entries[i].0,
             projection: self.projection.as_deref(),
             pos: 0,
         }
@@ -245,10 +285,10 @@ impl<'a> ScoredRows<'a> {
             .map(|(handle, score)| {
                 let row = match (&projection, handle) {
                     (Some(idx), handle) => {
-                        idx.iter().map(|&i| handle.values()[i].clone()).collect()
+                        idx.iter().map(|&i| handle.value(i).to_value()).collect()
                     }
                     (None, RowHandle::Owned(row)) => row,
-                    (None, RowHandle::Borrowed(row)) => row.to_vec(),
+                    (None, RowHandle::Base(view)) => view.to_values(),
                 };
                 (row, score)
             })
@@ -313,7 +353,7 @@ pub fn execute_lazy<'a>(
     let base = catalog.table(&query.from)?;
     let base_name = query.alias.clone().unwrap_or_else(|| query.from.clone());
 
-    // Build the combined layout and materialize joined rows.
+    // Build the combined layout; joins extend it below.
     let mut layout = Layout {
         slots: base
             .schema()
@@ -324,54 +364,22 @@ pub fn execute_lazy<'a>(
         base_key_slot: base.schema().key,
     };
 
-    // Index-assisted fast path: a WHERE clause that is purely a
-    // conjunction of subjective predicates (the paper's core ranking
-    // query) can be answered by the scorer's threshold-algorithm top-k
-    // over its degree columns, skipping the full scoring scan. ORDER BY
-    // asks for a different order and joins change the row set, so both
-    // disable it; scorers without an index return `None` and fall
-    // through.
-    if query.joins.is_empty() && query.order_by.is_none() {
-        if let Some(predicates) = query
-            .where_clause
-            .as_ref()
-            .and_then(Expr::as_subjective_conjunction)
-        {
-            let k = query.limit.unwrap_or(usize::MAX).min(base.len());
-            if let Some(ranked) = scorer.rank_subjective_conjunction(&predicates, k) {
-                // The table's own key index resolves the ≤ k ranked keys
-                // directly — no per-query scan over the base rows, and no
-                // row clone: the handles borrow table storage.
-                let mut scored: Vec<(RowHandle<'a>, f64)> = Vec::with_capacity(ranked.len());
-                for (key, score) in ranked {
-                    if score <= 0.0 {
-                        continue;
-                    }
-                    let row = base.get_by_key(&key).ok_or_else(|| {
-                        StoreError::Execution(format!("ranked key {key} not in base table"))
-                    })?;
-                    scored.push((RowHandle::Borrowed(row.as_slice()), score));
-                }
-                return finish(query, layout, scored);
-            }
+    // Single-table planner: objective prefilter bitmap + subjective
+    // residue, with TA pushdown for conjunction-shaped residues. Joins
+    // change the row set, so they always take the generic path.
+    if query.joins.is_empty() {
+        if let Some(scored) = plan_single_table(query, base, &layout, scorer)? {
+            return finish(query, layout, scored);
         }
     }
 
-    // Candidate rows: borrowed from the base table; joins below replace
-    // them with owned combined rows.
-    let mut rows: Vec<RowHandle<'a>> = base
-        .rows()
-        .iter()
-        .map(|r| RowHandle::Borrowed(r.as_slice()))
-        .collect();
+    // Candidate rows: views into the base table's columns; joins below
+    // replace them with owned combined rows.
+    let mut rows: Vec<RowHandle<'a>> = base.rows().map(RowHandle::Base).collect();
 
     for join in &query.joins {
         let right = catalog.table(&join.table)?;
         let right_name = join.alias.clone().unwrap_or_else(|| join.table.clone());
-        let left_slot = layout.resolve(&join.left).or_else(|_| {
-            // The ON condition may list the joined table's column first.
-            layout.resolve(&join.right)
-        })?;
         // Which side refers to the already-built layout decides probe/build.
         let (probe_ref, build_ref) = if layout.resolve(&join.left).is_ok() {
             (&join.left, &join.right)
@@ -383,22 +391,22 @@ pub fn execute_lazy<'a>(
             .schema()
             .column_index(&build_ref.column)
             .ok_or_else(|| StoreError::UnknownColumn(build_ref.column.clone()))?;
-        let _ = left_slot;
 
-        // Hash join: build side = joined table.
-        let mut hash: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
-        for row in right.rows() {
-            hash.entry(row[build_col].to_string())
+        // Hash join: build side = joined table (row positions).
+        let mut hash: HashMap<String, Vec<usize>> = HashMap::new();
+        for view in right.rows() {
+            hash.entry(view.get(build_col).to_string())
                 .or_default()
-                .push(row);
+                .push(view.index());
         }
         let mut joined = Vec::new();
         for handle in &rows {
-            let row = handle.values();
-            if let Some(matches) = hash.get(&row[probe_slot].to_string()) {
-                for m in matches {
-                    let mut combined = row.to_vec();
-                    combined.extend_from_slice(m.as_slice());
+            if let Some(matches) = hash.get(&handle.value(probe_slot).to_string()) {
+                for &m in matches {
+                    let mut combined: Vec<Value> = (0..handle.width())
+                        .map(|s| handle.value(s).to_value())
+                        .collect();
+                    combined.extend(right.row(m).to_values());
                     joined.push(RowHandle::Owned(combined));
                 }
             }
@@ -432,12 +440,11 @@ pub fn execute_lazy<'a>(
     let mut scored: Vec<(RowHandle<'a>, f64)> = Vec::with_capacity(rows.len());
     let algebra = FuzzyAlgebra::Product;
     for handle in rows {
-        let score = {
-            let row = handle.values();
-            let key = row[layout.base_key_slot].clone();
-            match &query.where_clause {
-                None => 1.0,
-                Some(expr) => eval(expr, row, &layout, &key, scorer, algebra)?,
+        let score = match &query.where_clause {
+            None => 1.0,
+            Some(expr) => {
+                let key = handle.value(layout.base_key_slot).to_value();
+                eval(expr, &handle, &layout, &key, scorer, algebra)?
             }
         };
         if score > 0.0 {
@@ -446,6 +453,165 @@ pub fn execute_lazy<'a>(
     }
 
     finish(query, layout, scored)
+}
+
+/// The single-table planner. Returns `Ok(None)` for shapes it does not
+/// handle (no WHERE, a purely subjective clause that is not a TA-shaped
+/// conjunction, …), which fall through to the generic scan.
+fn plan_single_table<'a>(
+    query: &Select,
+    base: &'a Table,
+    layout: &Layout,
+    scorer: &dyn SubjectiveScorer,
+) -> Result<Option<Vec<(RowHandle<'a>, f64)>>, StoreError> {
+    let Some(where_clause) = &query.where_clause else {
+        return Ok(None);
+    };
+    let conjuncts = where_clause.conjuncts();
+    let (objective, subjective): (Vec<&Expr>, Vec<&Expr>) =
+        conjuncts.into_iter().partition(|e| !e.has_subjective());
+
+    if objective.is_empty() {
+        // Pure subjective conjunction (the paper's core ranking query):
+        // the scorer's threshold-algorithm top-k over its degree columns
+        // skips the full scoring scan. ORDER BY asks for a different
+        // order, so it disables the path; scorers without an index
+        // return `None` and fall through.
+        if query.order_by.is_none() {
+            if let Some(predicates) = where_clause.as_subjective_conjunction() {
+                let k = query.limit.unwrap_or(usize::MAX).min(base.len());
+                if let Some(ranked) = scorer.rank_subjective_conjunction(&predicates, k, None) {
+                    return Ok(Some(materialize_ranked(base, ranked)?));
+                }
+            }
+        }
+        return Ok(None);
+    }
+
+    // Objective prefilter: vectorized comparisons over typed columns,
+    // AND-combined into one candidate bitmap.
+    let candidates = objective_bitmap(base, layout, &objective, scorer)?;
+
+    if subjective.is_empty() {
+        // Purely objective WHERE: the bitmap *is* the answer (score 1).
+        return Ok(Some(
+            candidates
+                .iter_ones()
+                .map(|i| (RowHandle::Base(base.row(i)), 1.0))
+                .collect(),
+        ));
+    }
+
+    // Mixed clause with a conjunction-shaped subjective residue: push
+    // the candidate bitmap down into the scorer's TA top-k. Objective
+    // conjuncts contribute an exact factor of 1 on candidates under
+    // both t-norms, so the combined degree is the residue's product.
+    if query.order_by.is_none() && subjective.iter().all(|e| matches!(e, Expr::Subjective(_))) {
+        let predicates: Vec<&str> = subjective
+            .iter()
+            .map(|e| match e {
+                Expr::Subjective(s) => s.as_str(),
+                _ => unreachable!("checked above"),
+            })
+            .collect();
+        let k = query
+            .limit
+            .unwrap_or(usize::MAX)
+            .min(candidates.count_ones());
+        if let Some(ranked) = scorer.rank_subjective_conjunction(&predicates, k, Some(&candidates))
+        {
+            return Ok(Some(materialize_ranked(base, ranked)?));
+        }
+    }
+
+    // Residue that TA can't rank (marker matches, OR/NOT, an explicit
+    // ORDER BY, or a scorer without an index): score candidates one at
+    // a time with the *full* WHERE expression, so scores match the
+    // naive path bit-for-bit. Non-candidates would have scored 0.
+    let algebra = FuzzyAlgebra::Product;
+    let mut scored = Vec::new();
+    for i in candidates.iter_ones() {
+        let handle = RowHandle::Base(base.row(i));
+        let key = handle.value(layout.base_key_slot).to_value();
+        let score = eval(where_clause, &handle, layout, &key, scorer, algebra)?;
+        if score > 0.0 {
+            scored.push((handle, score));
+        }
+    }
+    Ok(Some(scored))
+}
+
+/// Evaluates the objective conjuncts into one candidate bitmap.
+/// Column-vs-literal comparisons vectorize over the typed column
+/// storage; other objective shapes (column-vs-column, OR/NOT trees)
+/// evaluate row-at-a-time over the still-live candidates. `scorer` is
+/// never consulted — every conjunct here is subjective-free.
+fn objective_bitmap(
+    base: &Table,
+    layout: &Layout,
+    conjuncts: &[&Expr],
+    scorer: &dyn SubjectiveScorer,
+) -> Result<Bitmap, StoreError> {
+    let mut candidates = Bitmap::all_set(base.len());
+    for expr in conjuncts {
+        if let Expr::Compare { lhs, op, rhs } = expr {
+            let vectorized = match (lhs, rhs) {
+                (Operand::Column(c), Operand::Literal(v)) => Some((layout.resolve(c)?, *op, v)),
+                (Operand::Literal(v), Operand::Column(c)) => {
+                    Some((layout.resolve(c)?, op.flip(), v))
+                }
+                _ => None,
+            };
+            if let Some((slot, op, lit)) = vectorized {
+                // The conjunct's canonical rendering is injective, so it
+                // keys the table's selection-vector cache: a repeated
+                // objective filter costs a hash probe, not an O(rows)
+                // column scan.
+                let bitmap = base.cached_filter(&expr.to_string(), || {
+                    base.column(slot).compare_bitmap(op, lit)
+                });
+                candidates.and_assign(&bitmap);
+                continue;
+            }
+        }
+        for i in 0..base.len() {
+            if !candidates.get(i) {
+                continue;
+            }
+            let handle = RowHandle::Base(base.row(i));
+            if eval(
+                expr,
+                &handle,
+                layout,
+                &Value::Null,
+                scorer,
+                FuzzyAlgebra::Product,
+            )? == 0.0
+            {
+                candidates.clear(i);
+            }
+        }
+    }
+    Ok(candidates)
+}
+
+/// Resolves the scorer's ranked `(key, degree)` pairs back to base-table
+/// rows through the key index — no per-query scan, no row clone.
+fn materialize_ranked<'a>(
+    base: &'a Table,
+    ranked: Vec<(Value, f64)>,
+) -> Result<Vec<(RowHandle<'a>, f64)>, StoreError> {
+    let mut scored = Vec::with_capacity(ranked.len());
+    for (key, score) in ranked {
+        if score <= 0.0 {
+            continue;
+        }
+        let row = base
+            .get_by_key(&key)
+            .ok_or_else(|| StoreError::Execution(format!("ranked key {key} not in base table")))?;
+        scored.push((RowHandle::Base(row), score));
+    }
+    Ok(scored)
 }
 
 /// Shared result assembly: ordering, limit, projection-slot resolution.
@@ -462,9 +628,10 @@ fn finish<'a>(
         Some(ob) => {
             let slot = layout.resolve(&ob.column)?;
             scored.sort_by(|a, b| {
-                let ord = a.0.values()[slot]
-                    .compare(&b.0.values()[slot])
-                    .unwrap_or(Ordering::Equal);
+                let ord =
+                    a.0.value(slot)
+                        .compare(&b.0.value(slot))
+                        .unwrap_or(Ordering::Equal);
                 if ob.ascending {
                     ord
                 } else {
@@ -515,18 +682,13 @@ pub fn execute_with_algebra(
     scorer: &dyn SubjectiveScorer,
     algebra: FuzzyAlgebra,
 ) -> Result<ResultSet, StoreError> {
-    // Same as `execute` but threading the algebra; implemented by scoring
-    // directly here to avoid code drift.
-    let mut q = query.clone();
     // Reuse the main path when the default algebra is requested.
     if algebra == FuzzyAlgebra::Product {
         return execute(query, catalog, scorer);
     }
-    // For the Gödel variant, wrap the scorer evaluation via a custom path:
-    // simplest correct approach is to re-run scoring with the other algebra.
-    let base = catalog.table(&q.from)?;
-    let base_name = q.alias.clone().unwrap_or_else(|| q.from.clone());
-    if !q.joins.is_empty() {
+    let base = catalog.table(&query.from)?;
+    let base_name = query.alias.clone().unwrap_or_else(|| query.from.clone());
+    if !query.joins.is_empty() {
         return Err(StoreError::Execution(
             "execute_with_algebra does not support joins".into(),
         ));
@@ -541,18 +703,21 @@ pub fn execute_with_algebra(
         base_key_slot: base.schema().key,
     };
     let mut scored: Vec<(Vec<Value>, f64)> = Vec::new();
-    for row in base.rows() {
-        let key = row[layout.base_key_slot].clone();
-        let score = match &q.where_clause {
+    for view in base.rows() {
+        let handle = RowHandle::Base(view);
+        let score = match &query.where_clause {
             None => 1.0,
-            Some(expr) => eval(expr, row, &layout, &key, scorer, algebra)?,
+            Some(expr) => {
+                let key = handle.value(layout.base_key_slot).to_value();
+                eval(expr, &handle, &layout, &key, scorer, algebra)?
+            }
         };
         if score > 0.0 {
-            scored.push((row.clone(), score));
+            scored.push((view.to_values(), score));
         }
     }
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-    if let Some(limit) = q.limit.take() {
+    if let Some(limit) = query.limit {
         scored.truncate(limit);
     }
     Ok(ResultSet {
@@ -567,7 +732,7 @@ pub fn execute_with_algebra(
 
 fn eval(
     expr: &Expr,
-    row: &[Value],
+    row: &RowHandle<'_>,
     layout: &Layout,
     key: &Value,
     scorer: &dyn SubjectiveScorer,
@@ -575,19 +740,9 @@ fn eval(
 ) -> Result<f64, StoreError> {
     match expr {
         Expr::Compare { lhs, op, rhs } => {
-            let l = operand_value(lhs, row, layout)?;
-            let r = operand_value(rhs, row, layout)?;
-            let ord = l.compare(&r);
-            let truth = match (op, ord) {
-                (_, None) => false,
-                (CmpOp::Lt, Some(o)) => o == Ordering::Less,
-                (CmpOp::Le, Some(o)) => o != Ordering::Greater,
-                (CmpOp::Gt, Some(o)) => o == Ordering::Greater,
-                (CmpOp::Ge, Some(o)) => o != Ordering::Less,
-                (CmpOp::Eq, Some(o)) => o == Ordering::Equal,
-                (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
-            };
-            Ok(if truth { 1.0 } else { 0.0 })
+            let l = operand_ref(lhs, row, layout)?;
+            let r = operand_ref(rhs, row, layout)?;
+            Ok(if op.evaluate(l.compare(&r)) { 1.0 } else { 0.0 })
         }
         Expr::Subjective(p) => scorer.degree_predicate(p, key),
         Expr::MarkerMatch { attribute, phrase } => scorer.degree_match(attribute, phrase, key),
@@ -613,10 +768,14 @@ fn eval(
     }
 }
 
-fn operand_value(op: &Operand, row: &[Value], layout: &Layout) -> Result<Value, StoreError> {
+fn operand_ref<'r>(
+    op: &'r Operand,
+    row: &'r RowHandle<'_>,
+    layout: &Layout,
+) -> Result<ValueRef<'r>, StoreError> {
     match op {
-        Operand::Literal(v) => Ok(v.clone()),
-        Operand::Column(c) => Ok(row[layout.resolve(c)?].clone()),
+        Operand::Literal(v) => Ok(ValueRef::from(v)),
+        Operand::Column(c) => Ok(row.value(layout.resolve(c)?)),
     }
 }
 
@@ -625,6 +784,7 @@ mod tests {
     use super::*;
     use crate::parser::parse_select;
     use crate::schema::{Column, ColumnType, Schema};
+    use std::cell::Cell;
 
     fn hotel_catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -684,6 +844,66 @@ mod tests {
         }
     }
 
+    /// A scorer with an index: ranks the canned degrees through the
+    /// same contract OpineDb implements, recording the candidate
+    /// bitmaps it receives.
+    struct Indexed {
+        pushdowns: Cell<usize>,
+        last_candidates: Cell<Option<usize>>,
+    }
+
+    impl Indexed {
+        fn new() -> Self {
+            Indexed {
+                pushdowns: Cell::new(0),
+                last_candidates: Cell::new(None),
+            }
+        }
+    }
+
+    impl SubjectiveScorer for Indexed {
+        fn degree_predicate(&self, predicate: &str, key: &Value) -> Result<f64, StoreError> {
+            Canned.degree_predicate(predicate, key)
+        }
+        fn degree_match(
+            &self,
+            attribute: &ColumnRef,
+            phrase: &str,
+            key: &Value,
+        ) -> Result<f64, StoreError> {
+            Canned.degree_match(attribute, phrase, key)
+        }
+        fn rank_subjective_conjunction(
+            &self,
+            predicates: &[&str],
+            k: usize,
+            candidates: Option<&Bitmap>,
+        ) -> Option<Vec<(Value, f64)>> {
+            if candidates.is_some() {
+                self.pushdowns.set(self.pushdowns.get() + 1);
+            }
+            self.last_candidates.set(candidates.map(Bitmap::count_ones));
+            // Rank rows 0..3 (Grand, Plaza, Canal) by canned product.
+            let names = ["Grand", "Plaza", "Canal"];
+            let mut ranked: Vec<(Value, f64)> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| candidates.is_none_or(|c| c.get(*i)))
+                .map(|(_, n)| {
+                    let key = Value::text(n);
+                    let score: f64 = predicates
+                        .iter()
+                        .map(|p| self.degree_predicate(p, &key).unwrap())
+                        .product();
+                    (key, score)
+                })
+                .collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            ranked.truncate(k);
+            Some(ranked)
+        }
+    }
+
     #[test]
     fn objective_filter_works() {
         let cat = hotel_catalog();
@@ -720,11 +940,102 @@ mod tests {
     }
 
     #[test]
+    fn mixed_query_pushes_candidates_into_the_ta_path() {
+        let cat = hotel_catalog();
+        let scorer = Indexed::new();
+        let q =
+            parse_select("select * from hotels where price_pn < 150 and \"clean rooms\" limit 10")
+                .unwrap();
+        let r = execute(&q, &cat, &scorer).unwrap();
+        assert_eq!(scorer.pushdowns.get(), 1, "pushdown path must fire");
+        assert_eq!(
+            scorer.last_candidates.get(),
+            Some(2),
+            "objective bitmap admits Grand + Canal"
+        );
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].0[0], Value::text("Grand"));
+        assert!((r.rows[0].1 - 0.9).abs() < 1e-9);
+        assert_eq!(r.rows[1].0[0], Value::text("Canal"));
+        // Results equal the naive path exactly.
+        let naive = execute(&q, &cat, &Canned).unwrap();
+        assert_eq!(r.rows, naive.rows);
+    }
+
+    #[test]
+    fn pushdown_handles_scattered_objective_conjuncts() {
+        let cat = hotel_catalog();
+        let scorer = Indexed::new();
+        // objective · subjective · objective — flattening must collect
+        // both comparisons into the prefilter.
+        let q = parse_select(
+            "select * from hotels where price_pn < 400 and \"clean rooms\" and city = 'London'",
+        )
+        .unwrap();
+        let r = execute(&q, &cat, &scorer).unwrap();
+        assert_eq!(scorer.pushdowns.get(), 1);
+        assert_eq!(scorer.last_candidates.get(), Some(2), "Grand + Plaza");
+        let naive = execute(&q, &cat, &Canned).unwrap();
+        assert_eq!(r.rows, naive.rows);
+    }
+
+    #[test]
+    fn order_by_disables_the_pushdown_but_keeps_the_prefilter() {
+        let cat = hotel_catalog();
+        let scorer = Indexed::new();
+        let q = parse_select(
+            "select * from hotels where price_pn < 150 and \"clean rooms\" order by price_pn asc",
+        )
+        .unwrap();
+        let r = execute(&q, &cat, &scorer).unwrap();
+        assert_eq!(scorer.pushdowns.get(), 0, "ORDER BY must skip TA");
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].0[0], Value::text("Canal"), "ordered by price");
+    }
+
+    #[test]
+    fn literal_first_comparison_vectorizes_flipped() {
+        use crate::ast::CmpOp;
+        let cat = hotel_catalog();
+        // The parser only spells column-first comparisons, but the AST
+        // admits literal-first; the planner flips the operator.
+        let mut q = parse_select("select * from hotels").unwrap();
+        q.where_clause = Some(Expr::Compare {
+            lhs: Operand::Literal(Value::Int(150)),
+            op: CmpOp::Gt,
+            rhs: Operand::Column(ColumnRef {
+                table: None,
+                column: "price_pn".into(),
+            }),
+        });
+        let r = execute(&q, &cat, &ObjectiveOnly).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        for (row, _) in &r.rows {
+            assert!(row[2].as_f64().unwrap() < 150.0);
+        }
+    }
+
+    #[test]
     fn marker_match_uses_scorer() {
         let cat = hotel_catalog();
         let q = parse_select("select * from hotels h where h.comfort .= \"firm\"").unwrap();
         let r = execute(&q, &cat, &Canned).unwrap();
         assert_eq!(r.rows[0].0[0], Value::text("Plaza"));
+    }
+
+    #[test]
+    fn mixed_marker_residue_scores_candidates_only() {
+        let cat = hotel_catalog();
+        // Marker residue can't ride TA, but the objective prefilter
+        // still applies: only Plaza (price ≥ 150) is scored.
+        let q = parse_select(
+            "select * from hotels h where h.price_pn >= 150 and h.comfort .= \"firm\"",
+        )
+        .unwrap();
+        let r = execute(&q, &cat, &Canned).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].0[0], Value::text("Plaza"));
+        assert!((r.rows[0].1 - 0.8).abs() < 1e-9);
     }
 
     #[test]
@@ -807,15 +1118,11 @@ mod tests {
         let cat = hotel_catalog();
         let q =
             parse_select("select * from hotels where \"clean rooms\" and \"clean rooms\"").unwrap();
-        let product = execute(&cat_query(&q), &cat, &Canned).unwrap();
+        let product = execute(&q, &cat, &Canned).unwrap();
         let godel = execute_with_algebra(&q, &cat, &Canned, FuzzyAlgebra::Godel).unwrap();
         // product: 0.81 for Grand; Gödel: 0.9.
         assert!((product.rows[0].1 - 0.81).abs() < 1e-9);
         assert!((godel.rows[0].1 - 0.9).abs() < 1e-9);
-    }
-
-    fn cat_query(q: &Select) -> Select {
-        q.clone()
     }
 
     #[test]
@@ -833,10 +1140,10 @@ mod tests {
             assert_eq!(lazy.len(), materialized.rows.len(), "{sql}");
             for (i, (row, score)) in materialized.rows.iter().enumerate() {
                 assert_eq!(lazy.score(i), *score, "{sql}");
-                let borrowed: Vec<&Value> = lazy.values(i).collect();
+                let borrowed: Vec<ValueRef<'_>> = lazy.values(i).collect();
                 assert_eq!(borrowed.len(), row.len(), "{sql}");
                 for (a, b) in borrowed.iter().zip(row) {
-                    assert_eq!(**a, *b, "{sql}");
+                    assert_eq!(*a, *b, "{sql}");
                 }
             }
         }
@@ -848,7 +1155,7 @@ mod tests {
         let q = parse_select("select hotelname, city from hotels where price_pn < 150").unwrap();
         let lazy = execute_lazy(&q, &cat, &ObjectiveOnly).unwrap();
         assert_eq!(lazy.columns(), ["hotelname", "city"]);
-        let vals: Vec<&Value> = lazy.values(0).collect();
+        let vals: Vec<ValueRef<'_>> = lazy.values(0).collect();
         assert_eq!(vals.len(), 2);
         assert_eq!(lazy.values(0).len(), 2, "ExactSizeIterator length");
         let rs = lazy.into_result_set();
@@ -872,8 +1179,8 @@ mod tests {
         let q = parse_select("select * from hotels h join cafes c on h.street = c.street").unwrap();
         let lazy = execute_lazy(&q, &cat, &ObjectiveOnly).unwrap();
         assert_eq!(lazy.len(), 1);
-        let vals: Vec<&Value> = lazy.values(0).collect();
-        assert_eq!(*vals[4], Value::text("Beans"));
+        let vals: Vec<ValueRef<'_>> = lazy.values(0).collect();
+        assert_eq!(vals[4], Value::text("Beans"));
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! `sqlparse` and evaluating membership functions as user-defined
 //! aggregates. This crate provides the equivalent substrate:
 //!
-//! * [`value`] / [`schema`] / [`table`] / [`catalog`] — typed rows, tables
-//!   with primary keys, and a concurrent catalog;
+//! * [`value`] / [`schema`] / [`table`] / [`catalog`] — typed values,
+//!   **columnar** tables (typed per-column vectors + null bitmaps behind
+//!   a row-view adapter) with primary keys, and a concurrent catalog;
+//! * [`bitmap`] / [`column`] — the candidate/null [`Bitmap`] and the
+//!   typed column storage with vectorized objective comparisons;
 //! * [`ast`] / [`parser`] — the Subjective SQL dialect: ordinary
 //!   `SELECT … FROM … WHERE` plus natural-language predicates
 //!   (`"has really clean rooms"`) and direct marker conditions
@@ -39,7 +42,9 @@
 //! ```
 
 pub mod ast;
+pub mod bitmap;
 pub mod catalog;
+pub mod column;
 pub mod exec;
 pub mod parser;
 pub mod schema;
@@ -47,15 +52,17 @@ pub mod table;
 pub mod value;
 
 pub use ast::{CmpOp, Expr, OrderBy, Select};
+pub use bitmap::Bitmap;
 pub use catalog::Catalog;
+pub use column::ColumnData;
 pub use exec::{
     execute, execute_lazy, FuzzyAlgebra, ObjectiveOnly, ProjectedValues, ResultSet, ScoredRows,
     SubjectiveScorer,
 };
 pub use parser::{parse_select, ParseError};
 pub use schema::{Column, ColumnType, Schema};
-pub use table::Table;
-pub use value::Value;
+pub use table::{RowView, Table};
+pub use value::{Value, ValueRef};
 
 /// Errors produced by the storage and execution layers.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,25 +1,154 @@
-//! Row storage with key lookup.
+//! Columnar table storage with key lookup.
+//!
+//! Rows are decomposed into one [`ColumnData`] per schema column on
+//! insert; readers get them back through the zero-allocation
+//! [`RowView`] adapter, so everything above the storage layer (parser,
+//! AST, executor surface) is untouched by the row-major → columnar
+//! switch. The payoff is in the executor: objective comparisons run
+//! vectorized over typed column vectors
+//! ([`ColumnData::compare_bitmap`]) instead of row-at-a-time `Value`
+//! dispatch.
 
+use crate::bitmap::Bitmap;
+use crate::column::ColumnData;
 use crate::schema::Schema;
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use crate::StoreError;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, RwLock};
 
-/// An in-memory table: schema + rows + a key index.
+/// Entries kept in a table's selection-vector cache.
+const FILTER_CACHE_CAP: usize = 64;
+
+/// A small bounded FIFO cache of selection bitmaps, keyed by the
+/// canonical rendering of the objective conjunct that produced them.
+///
+/// Re-running the paper's `price_pn < 150 and "clean rooms"` should not
+/// re-scan the price column every time: the vectorized comparison is
+/// O(rows) per conjunct, while a warm hit is a hash probe + `Arc`
+/// clone. Insertions clear the cache (the bitmaps are positional).
+#[derive(Debug, Default)]
+struct FilterCache {
+    inner: RwLock<FilterCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct FilterCacheInner {
+    map: HashMap<String, Arc<Bitmap>>,
+    order: VecDeque<String>,
+}
+
+impl Clone for FilterCache {
+    /// Cloned tables start with a cold cache — the bitmaps would be
+    /// valid, but sharing the lock across clones buys nothing.
+    fn clone(&self) -> Self {
+        FilterCache::default()
+    }
+}
+
+/// An in-memory table: schema + typed columns + a key index.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
-    rows: Vec<Vec<Value>>,
+    columns: Vec<ColumnData>,
+    len: usize,
     key_index: HashMap<String, usize>,
+    filters: FilterCache,
+}
+
+/// A borrowed view of one stored row.
+///
+/// The row-view adapter over columnar storage: `get` reads straight
+/// from the typed column vectors, so no row `Vec<Value>` exists unless
+/// a caller explicitly materializes one with [`RowView::to_values`].
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    table: &'a Table,
+    row: usize,
+}
+
+impl<'a> RowView<'a> {
+    /// Cell `col` of this row.
+    #[inline]
+    pub fn get(&self, col: usize) -> ValueRef<'a> {
+        self.table.columns[col].value_ref(self.row)
+    }
+
+    /// Number of cells (the table's column count).
+    pub fn len(&self) -> usize {
+        self.table.columns.len()
+    }
+
+    /// True for a zero-column table.
+    pub fn is_empty(&self) -> bool {
+        self.table.columns.is_empty()
+    }
+
+    /// This row's position in the table.
+    pub fn index(&self) -> usize {
+        self.row
+    }
+
+    /// Cells in column order.
+    pub fn iter(&self) -> impl Iterator<Item = ValueRef<'a>> + '_ {
+        (0..self.len()).map(|c| self.get(c))
+    }
+
+    /// Materializes the row as owned values.
+    pub fn to_values(&self) -> Vec<Value> {
+        self.iter().map(|v| v.to_value()).collect()
+    }
+}
+
+/// Formats non-text key values into a stack buffer so key lookups do
+/// not allocate; overflow falls back to the heap path.
+struct KeyBuf {
+    buf: [u8; 48],
+    len: usize,
+}
+
+impl Default for KeyBuf {
+    fn default() -> Self {
+        KeyBuf {
+            buf: [0; 48],
+            len: 0,
+        }
+    }
+}
+
+impl KeyBuf {
+    fn as_str(&self) -> &str {
+        // Only `write_str` bytes land in the buffer, so it is UTF-8.
+        std::str::from_utf8(&self.buf[..self.len]).expect("KeyBuf holds UTF-8")
+    }
+}
+
+impl std::fmt::Write for KeyBuf {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let bytes = s.as_bytes();
+        if self.len + bytes.len() > self.buf.len() {
+            return Err(std::fmt::Error);
+        }
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+        Ok(())
+    }
 }
 
 impl Table {
     /// Empty table with `schema`.
     pub fn new(schema: Schema) -> Self {
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| ColumnData::for_type(c.ty))
+            .collect();
         Self {
             schema,
-            rows: Vec::new(),
+            columns,
+            len: 0,
             key_index: HashMap::new(),
+            filters: FilterCache::default(),
         }
     }
 
@@ -47,29 +176,112 @@ impl Table {
             }
         }
         let key = row[self.schema.key].to_string();
-        self.key_index.insert(key, self.rows.len());
-        self.rows.push(row);
+        self.key_index.insert(key, self.len);
+        for (column, v) in self.columns.iter_mut().zip(row) {
+            column.push(v);
+        }
+        self.len += 1;
+        // Selection bitmaps are positional; any cached one is stale now.
+        let mut filters = self.filters.inner.write().expect("filter cache lock");
+        filters.map.clear();
+        filters.order.clear();
         Ok(())
     }
 
-    /// All rows, in insertion order.
-    pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+    /// The selection bitmap cached under `key`, or `build()` evaluated,
+    /// cached (bounded, FIFO eviction), and returned. `key` must
+    /// determine the bitmap — the executor uses the conjunct's
+    /// canonical `Expr` rendering, which is injective.
+    pub fn cached_filter(&self, key: &str, build: impl FnOnce() -> Bitmap) -> Arc<Bitmap> {
+        if let Some(hit) = self
+            .filters
+            .inner
+            .read()
+            .expect("filter cache lock")
+            .map
+            .get(key)
+        {
+            return hit.clone();
+        }
+        let built = Arc::new(build());
+        let mut guard = self.filters.inner.write().expect("filter cache lock");
+        let inner = &mut *guard;
+        if !inner.map.contains_key(key) {
+            if inner.map.len() >= FILTER_CACHE_CAP {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                }
+            }
+            inner.map.insert(key.to_string(), built.clone());
+            inner.order.push_back(key.to_string());
+        }
+        built
+    }
+
+    /// Row views in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> + '_ {
+        (0..self.len).map(|row| RowView { table: self, row })
+    }
+
+    /// View of the row at position `i`. Panics when out of range.
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        assert!(i < self.len, "row {i} out of range (len {})", self.len);
+        RowView {
+            table: self,
+            row: i,
+        }
+    }
+
+    /// Cell at (`row`, `col`) without materializing the row.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> ValueRef<'_> {
+        self.columns[col].value_ref(row)
+    }
+
+    /// The typed storage of column `i`.
+    pub fn column(&self, i: usize) -> &ColumnData {
+        &self.columns[i]
+    }
+
+    /// Row position with the given key value, if present. Text keys
+    /// probe the index by `&str` directly and other types render into a
+    /// stack buffer — no per-lookup `String` allocation on any hot
+    /// path.
+    pub fn row_of_key(&self, key: &Value) -> Option<usize> {
+        match key {
+            Value::Text(s) => self.key_index.get(s.as_str()).copied(),
+            other => {
+                use std::fmt::Write;
+                let mut buf = KeyBuf::default();
+                if write!(&mut buf, "{other}").is_ok() {
+                    self.key_index.get(buf.as_str()).copied()
+                } else {
+                    // Pathological rendering (e.g. a huge float key):
+                    // fall back to the allocating path.
+                    self.key_index.get(&other.to_string()).copied()
+                }
+            }
+        }
+    }
+
+    /// Row position for a key already rendered as its display string.
+    pub fn row_of_key_str(&self, key: &str) -> Option<usize> {
+        self.key_index.get(key).copied()
     }
 
     /// Row with the given key value, if present.
-    pub fn get_by_key(&self, key: &Value) -> Option<&Vec<Value>> {
-        self.key_index.get(&key.to_string()).map(|&i| &self.rows[i])
+    pub fn get_by_key(&self, key: &Value) -> Option<RowView<'_>> {
+        self.row_of_key(key).map(|row| RowView { table: self, row })
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 }
 
@@ -96,7 +308,7 @@ mod tests {
             .unwrap();
         assert_eq!(t.len(), 1);
         let row = t.get_by_key(&Value::text("Grand")).unwrap();
-        assert_eq!(row[1], Value::Float(120.0));
+        assert_eq!(row.get(1), Value::Float(120.0));
         assert!(t.get_by_key(&Value::text("Missing")).is_none());
     }
 
@@ -120,7 +332,9 @@ mod tests {
     fn int_widens_into_float_column() {
         let mut t = table();
         t.insert(vec![Value::text("A"), Value::Int(99)]).unwrap();
-        assert_eq!(t.rows()[0][1], Value::Int(99));
+        // The accepted Int keeps its identity through the columnar
+        // storage (the column promotes to Mixed rather than coercing).
+        assert_eq!(t.row(0).get(1), Value::Int(99));
     }
 
     #[test]
@@ -131,8 +345,78 @@ mod tests {
         // Last write wins for key lookup; both rows remain in scan order.
         assert_eq!(t.len(), 2);
         assert_eq!(
-            t.get_by_key(&Value::text("A")).unwrap()[1],
+            t.get_by_key(&Value::text("A")).unwrap().get(1),
             Value::Float(2.0)
         );
+    }
+
+    #[test]
+    fn row_views_iterate_in_insertion_order() {
+        let mut t = table();
+        t.insert(vec![Value::text("A"), Value::Float(1.0)]).unwrap();
+        t.insert(vec![Value::text("B"), Value::Null]).unwrap();
+        let rows: Vec<Vec<Value>> = t.rows().map(|r| r.to_values()).collect();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::text("A"), Value::Float(1.0)],
+                vec![Value::text("B"), Value::Null],
+            ]
+        );
+        assert_eq!(t.rows().count(), 2);
+        assert_eq!(t.row(1).index(), 1);
+        assert_eq!(t.row(1).len(), 2);
+    }
+
+    #[test]
+    fn filter_cache_hits_and_invalidates_on_insert() {
+        let mut t = table();
+        t.insert(vec![Value::text("A"), Value::Float(100.0)])
+            .unwrap();
+        t.insert(vec![Value::text("B"), Value::Float(200.0)])
+            .unwrap();
+        let mut builds = 0;
+        let build = |builds: &mut i32| {
+            *builds += 1;
+            let mut b = Bitmap::new(2);
+            b.set(0);
+            b
+        };
+        let first = t.cached_filter("price < 150", || build(&mut builds));
+        let second = t.cached_filter("price < 150", || build(&mut builds));
+        assert_eq!(builds, 1, "second lookup must hit the cache");
+        assert!(Arc::ptr_eq(&first, &second));
+        // Insert invalidates: positional bitmaps would be stale.
+        t.insert(vec![Value::text("C"), Value::Float(50.0)])
+            .unwrap();
+        let _ = t.cached_filter("price < 150", || build(&mut builds));
+        assert_eq!(builds, 2, "insert must clear the cache");
+    }
+
+    #[test]
+    fn non_text_keys_resolve_without_allocation_path_breaking() {
+        let mut t = Table::new(Schema::new(
+            "events",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("label", ColumnType::Text),
+            ],
+            0,
+        ));
+        t.insert(vec![Value::Int(41), Value::text("a")]).unwrap();
+        t.insert(vec![Value::Int(-7), Value::text("b")]).unwrap();
+        assert_eq!(t.row_of_key(&Value::Int(41)), Some(0));
+        assert_eq!(t.row_of_key(&Value::Int(-7)), Some(1));
+        assert_eq!(t.row_of_key(&Value::Int(99)), None);
+        assert_eq!(t.row_of_key_str("41"), Some(0));
+        // Float keys render through Display ("{:.2}") both at insert
+        // and at lookup, so they agree.
+        let mut ft = Table::new(Schema::new(
+            "f",
+            vec![Column::new("k", ColumnType::Float)],
+            0,
+        ));
+        ft.insert(vec![Value::Float(2.5)]).unwrap();
+        assert_eq!(ft.row_of_key(&Value::Float(2.5)), Some(0));
     }
 }

@@ -59,12 +59,113 @@ impl Value {
 
 impl std::fmt::Display for Value {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_ref().fmt(f)
+    }
+}
+
+impl Value {
+    /// Borrowed scalar view of this value.
+    pub fn as_ref(&self) -> ValueRef<'_> {
+        ValueRef::from(self)
+    }
+}
+
+/// A borrowed view of one cell value.
+///
+/// The columnar storage ([`crate::table::Table`]) keeps numeric columns
+/// as typed vectors, so reading a cell cannot hand out `&Value` — there
+/// is no `Value` in memory to borrow. `ValueRef` is the zero-allocation
+/// read surface instead: scalars are copied out, text is borrowed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Borrowed UTF-8 text.
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl<'a> From<&'a Value> for ValueRef<'a> {
+    fn from(v: &'a Value) -> Self {
+        match v {
+            Value::Null => ValueRef::Null,
+            Value::Int(i) => ValueRef::Int(*i),
+            Value::Float(x) => ValueRef::Float(*x),
+            Value::Text(s) => ValueRef::Str(s),
+            Value::Bool(b) => ValueRef::Bool(*b),
+        }
+    }
+}
+
+impl ValueRef<'_> {
+    /// Owned copy of the referenced value.
+    pub fn to_value(&self) -> Value {
         match self {
-            Value::Null => write!(f, "NULL"),
-            Value::Int(i) => write!(f, "{i}"),
-            Value::Float(x) => write!(f, "{x:.2}"),
-            Value::Text(s) => write!(f, "{s}"),
-            Value::Bool(b) => write!(f, "{b}"),
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(i) => Value::Int(*i),
+            ValueRef::Float(x) => Value::Float(*x),
+            ValueRef::Str(s) => Value::Text((*s).to_string()),
+            ValueRef::Bool(b) => Value::Bool(*b),
+        }
+    }
+
+    /// Numeric view (ints widen to float); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ValueRef::Int(i) => Some(*i as f64),
+            ValueRef::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ValueRef::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Same comparison semantics as [`Value::compare`].
+    pub fn compare(&self, other: &ValueRef<'_>) -> Option<Ordering> {
+        match (self, other) {
+            (ValueRef::Null, _) | (_, ValueRef::Null) => None,
+            (ValueRef::Str(a), ValueRef::Str(b)) => Some(a.cmp(b)),
+            (ValueRef::Bool(a), ValueRef::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                Some(a.total_cmp(&b))
+            }
+        }
+    }
+}
+
+impl PartialEq<Value> for ValueRef<'_> {
+    fn eq(&self, other: &Value) -> bool {
+        *self == ValueRef::from(other)
+    }
+}
+
+impl PartialEq<ValueRef<'_>> for Value {
+    fn eq(&self, other: &ValueRef<'_>) -> bool {
+        ValueRef::from(self) == *other
+    }
+}
+
+impl std::fmt::Display for ValueRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueRef::Null => write!(f, "NULL"),
+            ValueRef::Int(i) => write!(f, "{i}"),
+            ValueRef::Float(x) => write!(f, "{x:.2}"),
+            ValueRef::Str(s) => write!(f, "{s}"),
+            ValueRef::Bool(b) => write!(f, "{b}"),
         }
     }
 }
@@ -109,5 +210,29 @@ mod tests {
         assert_eq!(Value::Int(5).to_string(), "5");
         assert_eq!(Value::text("x").to_string(), "x");
         assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Float(2.5).to_string(), "2.50");
+    }
+
+    #[test]
+    fn value_ref_round_trips_and_compares_like_value() {
+        let vals = [
+            Value::Null,
+            Value::Int(-3),
+            Value::Float(2.5),
+            Value::text("abc"),
+            Value::Bool(true),
+        ];
+        for a in &vals {
+            assert_eq!(&a.as_ref().to_value(), a);
+            assert_eq!(a.as_ref().to_string(), a.to_string());
+            for b in &vals {
+                assert_eq!(
+                    a.as_ref().compare(&b.as_ref()),
+                    a.compare(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+        assert_eq!(Value::Int(7).as_ref(), Value::Int(7));
     }
 }
