@@ -21,8 +21,8 @@ fn print_histogram(db: &OpineDb, corpus: &Corpus, entity: usize, label: &str) {
         db.entity_key(entity),
         corpus.entities[entity].quality[QUIETNESS]
     );
-    for (marker, count) in set.markers.iter().zip(&summary.counts) {
-        let bar = "#".repeat((*count as usize).min(60));
+    for (marker, count) in set.markers.iter().zip(summary.counts()) {
+        let bar = "#".repeat((count as usize).min(60));
         println!("  {:<16} {:>5.1} {bar}", marker.phrase, count);
     }
 }

@@ -20,6 +20,7 @@ use opine_core::{build, BuildConfig, OpineDb};
 use opine_corpus::hotel::hotel_spec;
 use opine_corpus::{Corpus, CorpusConfig};
 use opine_embed::Word2VecConfig;
+use opine_store::ReviewQualifier;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -144,13 +145,14 @@ fn measure<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     start.elapsed().as_secs_f64() / iters as f64
 }
 
-/// A database for the mixed-WHERE scenario.
-fn mixed_db(entities: usize) -> OpineDb {
+/// A database with a configurable corpus shape (shared by the
+/// mixed-WHERE and review-qualified scenarios).
+fn reviews_db(entities: usize, mean_reviews: usize) -> OpineDb {
     let corpus = Corpus::generate(
         hotel_spec(),
         &CorpusConfig {
             num_entities: entities,
-            mean_reviews: 4,
+            mean_reviews,
             seed: 23,
         },
     );
@@ -166,6 +168,11 @@ fn mixed_db(entities: usize) -> OpineDb {
             ..Default::default()
         },
     )
+}
+
+/// A database for the mixed-WHERE scenario.
+fn mixed_db(entities: usize) -> OpineDb {
+    reviews_db(entities, 4)
 }
 
 /// The `price_pn` column of the entity table, sorted ascending — used
@@ -226,6 +233,99 @@ fn pushdown_smoke_guard() {
     );
 }
 
+/// Corpus shape of the review-qualified scenario: review-heavy (the
+/// paper's setting — each entity aggregates many reviews), so rebuild
+/// cost (per raw occurrence) and merge cost (per distinct partial)
+/// separate. Override entities with `OPINE_BENCH_QUALIFIED_ENTITIES`.
+const QUALIFIED_ENTITIES: usize = 200;
+const QUALIFIED_REVIEWS: usize = 400;
+
+/// The canonical review-qualified scenario of this bench: a year range
+/// plus a reviewer-degree threshold (the paper's "reviews after 2010" /
+/// "reviewers with ≥ N reviews" queries combined).
+const QUALIFIER: ReviewQualifier = ReviewQualifier {
+    min_year: Some(2012),
+    max_year: None,
+    min_reviewer_count: Some(4),
+};
+
+/// Asserts the bucket-merge path answers bit-identically to the full
+/// raw-scan rebuild for `qualifier`, returning the rebuilt set's total
+/// mass (sanity: the filter must actually drop reviews unless trivial).
+fn assert_merge_matches_rebuild(db: &OpineDb, qualifier: &ReviewQualifier) -> f64 {
+    let merged = db.summaries_qualified(qualifier);
+    let rebuilt = db.summaries_with_review_filter(|m| {
+        qualifier.accepts(m.year, db.reviewer_review_count(m.reviewer_id) as u32)
+    });
+    let mut total = 0.0;
+    for e in 0..db.num_entities() {
+        for a in 0..db.attributes.len() {
+            assert!(
+                merged[e][a].same_aggregates(&rebuilt[e][a]),
+                "bucket merge diverged from rebuild at entity {e} attr {a} under {qualifier}"
+            );
+            total += rebuilt[e][a].total;
+        }
+        let d_merged = db.attribute_degree_with_summaries(&merged, e, 0, "clean rooms");
+        let d_rebuilt = db.attribute_degree_with_summaries(&rebuilt, e, 0, "clean rooms");
+        assert_eq!(
+            d_merged.to_bits(),
+            d_rebuilt.to_bits(),
+            "degree of entity {e}"
+        );
+    }
+    total
+}
+
+/// Smoke-mode guard: a review-qualified SQL statement must route
+/// through the bucket-merge path (filtered-summary counters fire) and
+/// agree bit-for-bit with the raw-rebuild reference. Panics — failing
+/// `cargo test --benches` and the CI smoke job — if the bucket merge
+/// never fires.
+fn qualified_smoke_guard() {
+    let db = mixed_db(48);
+    let report = db.cache_report();
+    assert_eq!(report.filtered_summary_queries, 0);
+    let sql = "select * from hotels where \"clean rooms\" \
+               with reviews(year >= 2012, reviewer_min_count >= 3) limit 8";
+    let out = db.query(sql).expect("qualified query runs");
+    assert!(!out.result.rows.is_empty(), "qualified query found no rows");
+    let report = db.cache_report();
+    assert!(
+        report.filtered_summary_queries > 0,
+        "qualified query never took the bucket-merge path: {report:?}"
+    );
+    assert!(
+        report.filtered_summaries.misses > 0,
+        "filtered-summary cache never saw the merge: {report:?}"
+    );
+    // Answers must equal the raw-rebuild reference bit-for-bit (the
+    // 3-review threshold cuts through the [2,4) log2 bucket, so this
+    // also exercises the straddle refinement).
+    let q = ReviewQualifier {
+        min_year: Some(2012),
+        max_year: None,
+        min_reviewer_count: Some(3),
+    };
+    let rebuilt = db.summaries_with_review_filter(|m| {
+        q.accepts(m.year, db.reviewer_review_count(m.reviewer_id) as u32)
+    });
+    for (row, score) in &out.result.rows {
+        let entity = db.entity_id(row[0].as_str().unwrap()).unwrap();
+        let reference = db.attribute_degree_with_summaries(&rebuilt, entity, 0, "clean rooms");
+        assert_eq!(
+            score.to_bits(),
+            reference.to_bits(),
+            "entity {entity}: qualified SQL answer diverged from the rebuild"
+        );
+    }
+    println!(
+        "qualified smoke guard ok: {} qualified queries, {} rows",
+        report.filtered_summary_queries,
+        out.result.rows.len()
+    );
+}
+
 fn bench(c: &mut Criterion) {
     banner("PR 1: query hot path — interpretation cache, dense TA, parallel scoring");
 
@@ -248,6 +348,7 @@ fn bench(c: &mut Criterion) {
     if !measuring {
         println!("smoke mode: correctness checks only, no timings recorded");
         pushdown_smoke_guard();
+        qualified_smoke_guard();
         let mut group = c.benchmark_group("query_hotpath");
         group.bench_function("topk_seed_500", |b| {
             b.iter(|| seed_threshold_topk(black_box(&lists), TOPK_K))
@@ -463,6 +564,103 @@ fn bench(c: &mut Criterion) {
         t_pure_quant * 1e6,
         t_selective_quant * 1e6,
     );
+
+    // ---- PR 4: review-qualified summaries (bucket merge vs rebuild) ----
+    // A review-*heavy* corpus (the paper's setting: fewer entities,
+    // many reviews each) — rebuild cost scales with raw occurrences,
+    // bucket-merge cost with distinct (year, reviewer-degree) partials,
+    // so this is where the partition pays. Cold rebuild re-aggregates
+    // every occurrence per call (the pre-PR-4 behaviour of every
+    // review-qualified query); cold bucket merge folds the build-time
+    // partials; warm replays the merged set from the bounded
+    // filtered-summary cache. Answers are asserted bit-identical before
+    // any timing.
+    let qualified_entities = std::env::var("OPINE_BENCH_QUALIFIED_ENTITIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(QUALIFIED_ENTITIES);
+    println!(
+        "building {qualified_entities}-entity hotel db ({QUALIFIED_REVIEWS} reviews/entity) \
+         for the review-qualified scenario…"
+    );
+    let build_start = Instant::now();
+    let qdb = reviews_db(qualified_entities, QUALIFIED_REVIEWS);
+    println!("built in {:.1}s", build_start.elapsed().as_secs_f64());
+    let rebuild_filter = |m: &opine_core::db::ReviewMeta| {
+        QUALIFIER.accepts(m.year, qdb.reviewer_review_count(m.reviewer_id) as u32)
+    };
+    let filtered_mass = assert_merge_matches_rebuild(&qdb, &QUALIFIER);
+    // Also verify a straddling (non-power-of-two) threshold once.
+    assert_merge_matches_rebuild(
+        &qdb,
+        &ReviewQualifier {
+            min_year: None,
+            max_year: None,
+            min_reviewer_count: Some(5),
+        },
+    );
+    // Steady-state timing for both paths: each iteration constructs a
+    // summary set and frees the previous one.
+    let t_rebuild = measure(5, || {
+        black_box(qdb.summaries_with_review_filter(rebuild_filter));
+    });
+    let t_merge = measure(15, || {
+        qdb.clear_filtered_summaries();
+        black_box(qdb.summaries_qualified(&QUALIFIER));
+    });
+    qdb.clear_filtered_summaries();
+    let _ = qdb.summaries_qualified(&QUALIFIER);
+    let t_filter_warm = measure(200, || {
+        black_box(qdb.summaries_qualified(&QUALIFIER));
+    });
+    let qualified_sql = format!(
+        "select * from hotels where \"clean rooms\" and \"friendly staff\" \
+         with reviews(year >= 2012, reviewer_min_count >= 4) limit {MIXED_K}"
+    );
+    let t_qualified_cold_sql = measure(5, || {
+        qdb.clear_filtered_summaries();
+        black_box(qdb.query(&qualified_sql).expect("qualified query runs"));
+    });
+    let t_qualified_warm_sql = warm_latency(&qdb, &qualified_sql, 50);
+    let t_unqualified_sql = warm_latency(&qdb, PURE_QUERY, 50);
+    let rebuild_speedup = t_rebuild / t_merge;
+    let warm_speedup = t_rebuild / t_filter_warm.max(1e-12);
+    println!(
+        "review-qualified summaries @ {qualified_entities} entities × {QUALIFIED_REVIEWS} reviews \
+         ({QUALIFIER}, filtered mass {filtered_mass:.0}):\n\
+         \x20 full rebuild (raw rescan)   {:>10.1} µs\n\
+         \x20 bucket merge (cold)         {:>10.1} µs   ({rebuild_speedup:.1}x vs rebuild)\n\
+         \x20 filtered-summary cache hit  {:>10.1} µs   ({warm_speedup:.0}x vs rebuild)\n\
+         \x20 qualified SQL cold / warm   {:>10.1} µs / {:.1} µs (unqualified warm {:.1} µs)",
+        t_rebuild * 1e6,
+        t_merge * 1e6,
+        t_filter_warm * 1e6,
+        t_qualified_cold_sql * 1e6,
+        t_qualified_warm_sql * 1e6,
+        t_unqualified_sql * 1e6,
+    );
+    assert!(
+        rebuild_speedup >= 10.0,
+        "acceptance: bucket merge must be ≥ 10x faster than the full rebuild \
+         (rebuild {:.1} µs vs merge {:.1} µs = {rebuild_speedup:.1}x)",
+        t_rebuild * 1e6,
+        t_merge * 1e6,
+    );
+    let qreport = qdb.cache_report();
+    assert!(
+        qreport.filtered_summary_queries > 0,
+        "qualified SQL path must fire"
+    );
+
+    let pr4_json = format!(
+        "{{\n  \"bench\": \"query_hotpath/review_qualified\",\n  \"config\": {{\n    \"entities\": {qualified_entities},\n    \"mean_reviews\": {QUALIFIED_REVIEWS},\n    \"limit\": {MIXED_K},\n    \"workers\": {workers},\n    \"qualifier\": \"{QUALIFIER}\"\n  }},\n  \"seconds\": {{\n    \"rebuild_raw_rescan\": {t_rebuild:.9},\n    \"bucket_merge_cold\": {t_merge:.9},\n    \"filtered_cache_warm\": {t_filter_warm:.9},\n    \"qualified_sql_cold\": {t_qualified_cold_sql:.9},\n    \"qualified_sql_warm\": {t_qualified_warm_sql:.9},\n    \"unqualified_sql_warm\": {t_unqualified_sql:.9}\n  }},\n  \"speedups\": {{\n    \"bucket_merge_vs_rebuild\": {rebuild_speedup:.2},\n    \"warm_cache_vs_rebuild\": {warm_speedup:.2}\n  }},\n  \"counters\": {{\n    \"filtered_summary_queries\": {},\n    \"filtered_summary_cache\": {{\"hits\": {}, \"misses\": {}}},\n    \"bit_identical_to_rebuild\": true\n  }}\n}}\n",
+        qreport.filtered_summary_queries,
+        qreport.filtered_summaries.hits,
+        qreport.filtered_summaries.misses,
+    );
+    let pr4_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    std::fs::write(pr4_out, &pr4_json).expect("write BENCH_pr4.json");
+    println!("wrote {pr4_out}");
 
     let pr3_json = format!(
         "{{\n  \"bench\": \"query_hotpath/mixed_where\",\n  \"config\": {{\n    \"entities\": {mixed_entities},\n    \"limit\": {MIXED_K},\n    \"workers\": {workers}\n  }},\n  \"seconds\": {{\n    \"objective_scan\": {t_bitmap_scan:.9},\n    \"pure_subjective_warm\": {t_pure:.9},\n    \"selective_5pct_pushdown\": {:.9},\n    \"selective_5pct_row_at_a_time\": {:.9},\n    \"half_50pct_pushdown\": {:.9},\n    \"half_50pct_row_at_a_time\": {:.9},\n    \"non_selective_pushdown\": {:.9},\n    \"non_selective_row_at_a_time\": {:.9},\n    \"pure_subjective_quantized\": {t_pure_quant:.9},\n    \"selective_5pct_quantized\": {t_selective_quant:.9}\n  }},\n  \"speedups\": {{\n    \"selective_pushdown_vs_row_at_a_time\": {:.2},\n    \"selective_pushdown_vs_pure_subjective\": {:.2},\n    \"half_pushdown_vs_row_at_a_time\": {:.2}\n  }},\n  \"counters\": {{\n    \"ta_queries\": {},\n    \"pushdown_queries\": {},\n    \"degree_column_bytes_exact\": {exact_bytes},\n    \"degree_column_bytes_quantized\": {quant_bytes}\n  }}\n}}\n",

@@ -176,14 +176,13 @@ pub fn build(corpus: &Corpus, config: &BuildConfig) -> OpineDb {
         .collect();
 
     // ---- 5. Summaries + raw digests + review digests ----
-    let dim = embedder.dim();
     let mut summaries: Vec<Vec<MarkerSummary>> = corpus
         .entities
         .iter()
         .map(|_| {
             marker_sets
                 .iter()
-                .map(|s| MarkerSummary::empty(s.markers.len(), dim))
+                .map(|s| MarkerSummary::empty(s.markers.len()))
                 .collect()
         })
         .collect();
@@ -521,7 +520,7 @@ mod tests {
         for e in 0..db.num_entities() {
             for a in 0..db.attributes.len() {
                 let s = db.summary(e, a);
-                assert_eq!(s.counts.len(), db.marker_set(a).markers.len());
+                assert_eq!(s.num_markers(), db.marker_set(a).markers.len());
             }
         }
     }

@@ -10,7 +10,7 @@ use crate::domain::LinguisticDomain;
 use crate::interpret::{Interpretation, Interpreter};
 use crate::membership::{marker_features, scan_features, MembershipModel};
 use crate::par;
-use crate::summary::{MarkerSet, MarkerSummary};
+use crate::summary::{MarkerSet, MarkerSummary, PhraseContribution};
 use crate::topk::{threshold_topk_dense, threshold_topk_dense_filtered, threshold_topk_rescored};
 use opine_embed::PhraseEmbedder;
 use opine_ir::{Bm25Params, InvertedIndex};
@@ -18,8 +18,8 @@ use opine_sentiment::SentimentAnalyzer;
 use opine_store::ast::ColumnRef;
 use opine_store::exec::{execute_with_algebra, SubjectiveScorer};
 use opine_store::{
-    execute_lazy, parse_select, Bitmap, Catalog, FuzzyAlgebra, ResultSet, ScoredRows, Select,
-    StoreError, Value,
+    execute_lazy, parse_select, Bitmap, Catalog, FuzzyAlgebra, ResultSet, ReviewQualifier,
+    ScoredRows, Select, StoreError, Value,
 };
 use opine_text::{Vocab, WordId};
 use std::collections::HashMap;
@@ -121,6 +121,15 @@ pub struct CacheReport {
     /// shape) — the pushdown counter the serving layer's `/stats`
     /// reports and CI guards.
     pub pushdown_queries: u64,
+    /// Filtered-summary cache hits/misses (qualifier rendering → merged
+    /// summary set).
+    pub filtered_summaries: CacheStats,
+    /// Merged summary sets currently cached.
+    pub filtered_summary_sets: usize,
+    /// Review-qualified rankings served (`with reviews(...)`
+    /// statements) — the `filtered_summary_queries` counter in `/stats`
+    /// that the serve-smoke CI job guards.
+    pub filtered_summary_queries: u64,
 }
 
 /// A query phrase prepared for membership scoring: its normalized
@@ -250,6 +259,121 @@ struct EntityRowMaps {
     row_to_entity: Vec<u32>,
 }
 
+/// One bucket atom of the partitioned review-qualified summaries:
+/// every raw occurrence of one `(entity, attribute)` whose source
+/// review shares a publication year and a reviewer-degree bucket
+/// (`⌊log2(reviews the author wrote)⌋`). The atom spans a `[start,
+/// end)` range of exact-degree sub-partials inside the cell's flat
+/// accumulator store ([`CellPartials`]).
+///
+/// A bucket-aligned qualifier merges whole atoms without looking at
+/// individual degrees; a min-degree threshold that cuts *through* the
+/// bucket (the paper's "at least 10 hotels" cuts `[8, 16)`) resolves
+/// just that atom's sub-partials — no raw occurrence is ever
+/// re-aggregated at query time.
+#[derive(Debug)]
+struct PartialAtom {
+    /// Publication year shared by this atom's occurrences.
+    year: u32,
+    /// `⌊log2(author review count)⌋` shared by this atom's occurrences.
+    degree_bucket: u8,
+    /// Sub-partial range `[start, end)` in the cell's flat store.
+    start: u32,
+    end: u32,
+}
+
+/// Flat per-`(entity, attribute)` store of the partial summaries, laid
+/// out struct-of-arrays: sub-partial `s` owns `counts_q[s·k ..
+/// (s+1)·k]` and `senti_q[s·k .. (s+1)·k]` (k = markers of the
+/// attribute). Contiguous accumulators keep the qualifier merge loop
+/// sequential in memory — merging a sub-partial is two k-element slice
+/// additions, not a pointer chase through per-summary heap
+/// allocations. Fixed-point accumulation (see `core::summary`) makes
+/// any merge order bit-identical to the from-scratch rebuild.
+#[derive(Debug, Default)]
+struct CellPartials {
+    /// Bucket atoms, sorted by (year, degree bucket); ranges index the
+    /// arrays below.
+    atoms: Vec<PartialAtom>,
+    /// Exact reviewer degree per sub-partial (ascending within an
+    /// atom).
+    degrees: Vec<u32>,
+    /// Total phrase count per sub-partial.
+    totals: Vec<f64>,
+    /// Unmatched phrase count per sub-partial.
+    unmatcheds: Vec<f64>,
+    /// Quantized per-marker mass, `subs × k`.
+    counts_q: Vec<i64>,
+    /// Quantized per-marker `Σ sentiment·weight`, `subs × k`.
+    senti_q: Vec<i64>,
+}
+
+impl CellPartials {
+    /// Merges sub-partial `s` into `out`.
+    #[inline]
+    fn merge_sub(&self, s: usize, k: usize, out: &mut MarkerSummary) {
+        out.merge_quantized(
+            &self.counts_q[s * k..(s + 1) * k],
+            &self.senti_q[s * k..(s + 1) * k],
+            self.totals[s],
+            self.unmatcheds[s],
+        );
+    }
+}
+
+/// Degree bucket of a reviewer who wrote `count` reviews.
+#[inline]
+fn degree_bucket(count: u32) -> u8 {
+    count.max(1).ilog2() as u8
+}
+
+/// Resolves one raw occurrence into its summary contribution — the one
+/// shared aggregation step of the build-time partials, the bucket-merge
+/// straddle refinement, and the raw-scan rebuild. Sharing it (and the
+/// fixed-point accumulators underneath) is what makes every route
+/// produce bit-identical summaries.
+fn occ_contribution<'a>(
+    domain: &'a LinguisticDomain,
+    markers: &MarkerSet,
+    config: &BuildConfig,
+    occ: &PhraseOcc,
+) -> PhraseContribution<'a> {
+    let variation = &domain.variations()[occ.variation];
+    PhraseContribution::compute(
+        &variation.phrase,
+        &variation.rep,
+        occ.sentiment,
+        markers,
+        config.assign,
+        config.unmatched_threshold,
+        occ.review_id,
+    )
+}
+
+/// How a min-degree threshold relates to one degree bucket.
+enum BucketCut {
+    /// Every reviewer in the bucket meets the threshold.
+    Full,
+    /// No reviewer in the bucket meets the threshold.
+    Out,
+    /// The threshold cuts through the bucket; the atom's exact-degree
+    /// sub-partials resolve it.
+    Straddle,
+}
+
+fn classify_bucket(bucket: u8, min_count: u32) -> BucketCut {
+    let lo: u32 = 1 << bucket;
+    // Upper bound of the bucket, saturating for the top bucket.
+    let hi: u32 = lo.saturating_mul(2).saturating_sub(1);
+    if min_count <= lo {
+        BucketCut::Full
+    } else if min_count > hi {
+        BucketCut::Out
+    } else {
+        BucketCut::Straddle
+    }
+}
+
 /// An interpretation with its query-side work hoisted out of the
 /// per-entity loop: embeddings, sentiments, and fallback term ids are
 /// computed once, so scoring an entity touches only entity state.
@@ -287,6 +411,17 @@ pub struct OpineDb {
     entity_keys: Vec<String>,
     key_to_entity: HashMap<String, usize>,
     review_meta: Vec<ReviewMeta>,
+    /// Reviews aggregated per entity, precomputed at build time (the
+    /// old `review_count` walked every review per call).
+    entity_review_counts: Vec<u32>,
+    /// Reviews written per reviewer id — the degree the qualifier's
+    /// `reviewer_min_count` thresholds compare against.
+    reviewer_counts: Vec<u32>,
+    /// Per `(entity, attribute)`: raw occurrences partitioned by
+    /// `(year, reviewer degree)` into mergeable partial summaries,
+    /// grouped into log2-degree bucket atoms over a flat accumulator
+    /// store.
+    partials: Vec<Vec<CellPartials>>,
     config: BuildConfig,
     /// Predicate → dense degree column over all entities, with its sorted
     /// order. Populated in parallel on first use; keyed by predicate text
@@ -322,6 +457,13 @@ pub struct OpineDb {
     ta_queries: std::sync::atomic::AtomicU64,
     /// TA rankings that carried an objective candidate bitmap.
     pushdown_queries: std::sync::atomic::AtomicU64,
+    /// Qualifier rendering → merged summary set, so repeated
+    /// review-qualified statements (the interactive case) skip even the
+    /// bucket merge.
+    filtered_cache: BoundedCache<Arc<Vec<Vec<MarkerSummary>>>>,
+    /// Review-qualified rankings served (the `/stats`
+    /// `filtered_summary_queries` counter).
+    qualified_queries: std::sync::atomic::AtomicU64,
 }
 
 impl OpineDb {
@@ -350,6 +492,82 @@ impl OpineDb {
             .enumerate()
             .map(|(i, k)| (k.clone(), i))
             .collect();
+
+        // Per-entity and per-reviewer review counts, both needed at
+        // query time: the former answers `review_count` in O(1), the
+        // latter resolves reviewer-degree thresholds.
+        let mut entity_review_counts = vec![0u32; entity_keys.len()];
+        let max_reviewer = review_meta.iter().map(|m| m.reviewer_id).max();
+        let mut reviewer_counts = vec![0u32; max_reviewer.map_or(0, |m| m + 1)];
+        for meta in &review_meta {
+            if let Some(c) = entity_review_counts.get_mut(meta.entity_id) {
+                *c += 1;
+            }
+            reviewer_counts[meta.reviewer_id] += 1;
+        }
+
+        // Partition every raw occurrence by (year, reviewer degree)
+        // into mergeable partial summaries, grouped into log2-degree
+        // bucket atoms over a flat accumulator store. Contributions are
+        // resolved through the same fixed-point path the full summaries
+        // and the rebuild fallback use, so merging partials reproduces
+        // either bit-for-bit. Entities are independent, so the
+        // construction fans out over entity chunks like the degree
+        // columns do.
+        let marker_sets = interpreter.marker_sets();
+        let partials: Vec<Vec<CellPartials>> = par::par_map(raw.len(), |entity| {
+            raw[entity]
+                .iter()
+                .enumerate()
+                .map(|(attr, occs)| {
+                    let k = marker_sets[attr].markers.len();
+                    // (year, exact degree) → partial, in key order.
+                    let mut subs: std::collections::BTreeMap<(u32, u32), MarkerSummary> =
+                        std::collections::BTreeMap::new();
+                    for occ in occs {
+                        let meta = &review_meta[occ.review_id];
+                        let degree = reviewer_counts[meta.reviewer_id];
+                        let partial = subs
+                            .entry((meta.year, degree))
+                            .or_insert_with(|| MarkerSummary::empty(k));
+                        let contribution = occ_contribution(
+                            &opinion_domains[attr],
+                            &marker_sets[attr],
+                            &config,
+                            occ,
+                        );
+                        partial.apply(&contribution, false);
+                    }
+                    // Flatten into the SoA store; BTreeMap order
+                    // keeps sub-partials sorted by degree within
+                    // each (year, bucket) atom run.
+                    let mut cell = CellPartials::default();
+                    for ((year, degree), partial) in subs {
+                        let bucket = degree_bucket(degree);
+                        let s = cell.degrees.len() as u32;
+                        match cell.atoms.last_mut() {
+                            Some(atom) if atom.year == year && atom.degree_bucket == bucket => {
+                                atom.end = s + 1;
+                            }
+                            _ => cell.atoms.push(PartialAtom {
+                                year,
+                                degree_bucket: bucket,
+                                start: s,
+                                end: s + 1,
+                            }),
+                        }
+                        cell.degrees.push(degree);
+                        cell.totals.push(partial.total);
+                        cell.unmatcheds.push(partial.unmatched);
+                        cell.counts_q.extend_from_slice(partial.quantized_counts());
+                        cell.senti_q
+                            .extend_from_slice(partial.quantized_sentiments());
+                    }
+                    cell
+                })
+                .collect()
+        });
+
         Self {
             attributes,
             vocab,
@@ -367,6 +585,9 @@ impl OpineDb {
             entity_keys,
             key_to_entity,
             review_meta,
+            entity_review_counts,
+            reviewer_counts,
+            partials,
             config,
             column_cache: BoundedCache::new(256),
             point_cache: BoundedCache::new(65_536),
@@ -378,6 +599,8 @@ impl OpineDb {
             entity_rows: OnceLock::new(),
             ta_queries: std::sync::atomic::AtomicU64::new(0),
             pushdown_queries: std::sync::atomic::AtomicU64::new(0),
+            filtered_cache: BoundedCache::new(16),
+            qualified_queries: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -500,6 +723,13 @@ impl OpineDb {
         self.column_cache.clear();
         self.point_cache.clear();
         self.phrase_cache.clear();
+        self.filtered_cache.clear();
+    }
+
+    /// Drops only the cached merged summary sets of review-qualified
+    /// statements — used to benchmark the bucket merge in isolation.
+    pub fn clear_filtered_summaries(&self) {
+        self.filtered_cache.clear();
     }
 
     /// Hit/miss counters of the interpretation memo.
@@ -536,7 +766,17 @@ impl OpineDb {
                 .load(std::sync::atomic::Ordering::Relaxed),
             ta_queries: self.ta_queries.load(std::sync::atomic::Ordering::Relaxed),
             pushdown_queries: self.pushdown_queries(),
+            filtered_summaries: self.filtered_cache.stats(),
+            filtered_summary_sets: self.filtered_cache.len(),
+            filtered_summary_queries: self.qualified_queries(),
         }
+    }
+
+    /// How many review-qualified rankings this engine served (also in
+    /// [`Self::cache_report`]).
+    pub fn qualified_queries(&self) -> u64 {
+        self.qualified_queries
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The marker-feature membership function.
@@ -962,15 +1202,21 @@ impl OpineDb {
     /// Recomputes all summaries over the subset of reviews accepted by
     /// `filter` — the paper's "only consider opinions of people who
     /// reviewed at least 10 hotels" / "reviews after 2010" queries.
+    ///
+    /// This is the general fallback for *arbitrary* closures: it
+    /// re-aggregates every raw occurrence, O(total extractions).
+    /// Qualifiers expressible as year ranges + reviewer-degree
+    /// thresholds should go through [`Self::summaries_qualified`], which
+    /// merges the build-time partial summaries instead and returns
+    /// bit-identical aggregates.
     pub fn summaries_with_review_filter<F>(&self, filter: F) -> Vec<Vec<MarkerSummary>>
     where
         F: Fn(&ReviewMeta) -> bool,
     {
-        let dim = self.embedder.dim();
         let mut out: Vec<Vec<MarkerSummary>> = (0..self.num_entities())
             .map(|_| {
                 (0..self.attributes.len())
-                    .map(|a| MarkerSummary::empty(self.marker_set(a).markers.len(), dim))
+                    .map(|a| MarkerSummary::empty(self.marker_set(a).markers.len()))
                     .collect()
             })
             .collect();
@@ -980,20 +1226,92 @@ impl OpineDb {
                     if !filter(&self.review_meta[occ.review_id]) {
                         continue;
                     }
-                    let variation = &self.opinion_domains[attr].variations()[occ.variation];
-                    out[entity][attr].add_phrase(
-                        &variation.phrase,
-                        &variation.rep,
-                        occ.sentiment,
+                    let contribution = occ_contribution(
+                        &self.opinion_domains[attr],
                         self.marker_set(attr),
-                        self.config.assign,
-                        self.config.unmatched_threshold,
-                        occ.review_id,
+                        &self.config,
+                        occ,
                     );
+                    out[entity][attr].apply(&contribution, true);
                 }
             }
         }
         out
+    }
+
+    /// The filtered summaries of a structured review qualifier, answered
+    /// by **merging** the build-time `(year, reviewer-degree bucket)`
+    /// partial summaries instead of re-aggregating raw occurrences —
+    /// the "interactive" path for the paper's review-qualified queries.
+    ///
+    /// Year ranges align exactly with the partition (atoms are
+    /// per-year). A `reviewer_min_count` threshold merges every degree
+    /// bucket it fully covers and re-resolves only the occurrences of
+    /// the single bucket it cuts through. Fixed-point accumulation makes
+    /// the result bit-identical to
+    /// [`Self::summaries_with_review_filter`] over
+    /// [`ReviewQualifier::accepts`] (modulo provenance, which the merge
+    /// path deliberately drops).
+    ///
+    /// Merged sets are cached (bounded) by the qualifier's canonical
+    /// rendering; repeated qualified statements cost a hash probe.
+    pub fn summaries_qualified(&self, qualifier: &ReviewQualifier) -> Arc<Vec<Vec<MarkerSummary>>> {
+        let key = qualifier.to_string();
+        if self.caching() {
+            if let Some(hit) = self.filtered_cache.get(&key) {
+                return hit;
+            }
+        }
+        let merged = Arc::new(self.merge_qualified(qualifier));
+        if self.caching() {
+            self.filtered_cache.insert(&key, merged.clone());
+        }
+        merged
+    }
+
+    /// The bucket-merge itself, parallel over entity chunks.
+    fn merge_qualified(&self, qualifier: &ReviewQualifier) -> Vec<Vec<MarkerSummary>> {
+        par::par_map(self.num_entities(), |entity| {
+            (0..self.attributes.len())
+                .map(|attr| {
+                    let k = self.marker_set(attr).markers.len();
+                    let cell = &self.partials[entity][attr];
+                    let mut out = MarkerSummary::empty(k);
+                    for atom in &cell.atoms {
+                        if qualifier.min_year.is_some_and(|y| atom.year < y)
+                            || qualifier.max_year.is_some_and(|y| atom.year > y)
+                        {
+                            continue;
+                        }
+                        let cut = match qualifier.min_reviewer_count {
+                            None => BucketCut::Full,
+                            Some(t) => classify_bucket(atom.degree_bucket, t),
+                        };
+                        match cut {
+                            BucketCut::Full => {
+                                for s in atom.start..atom.end {
+                                    cell.merge_sub(s as usize, k, &mut out);
+                                }
+                            }
+                            BucketCut::Out => {}
+                            BucketCut::Straddle => {
+                                // The threshold cuts through this degree
+                                // bucket: merge just the qualifying
+                                // exact-degree sub-partials (sorted, so
+                                // the prefix below the threshold skips).
+                                let t = qualifier.min_reviewer_count.expect("straddle needs t");
+                                for s in atom.start..atom.end {
+                                    if cell.degrees[s as usize] >= t {
+                                        cell.merge_sub(s as usize, k, &mut out);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    out
+                })
+                .collect()
+        })
     }
 
     /// Degree of `attribute .= phrase` computed over externally supplied
@@ -1015,12 +1333,17 @@ impl OpineDb {
         self.membership_markers.degree(&feats)
     }
 
-    /// Number of reviews aggregated for an entity.
+    /// Number of reviews aggregated for an entity. O(1): counts are
+    /// precomputed at build time (this used to walk every review in the
+    /// corpus per call).
     pub fn review_count(&self, entity: usize) -> usize {
-        self.review_meta
-            .iter()
-            .filter(|m| m.entity_id == entity)
-            .count()
+        self.entity_review_counts[entity] as usize
+    }
+
+    /// Number of reviews written by a reviewer — the degree the
+    /// qualifier's `reviewer_min_count` thresholds compare against.
+    pub fn reviewer_review_count(&self, reviewer_id: usize) -> usize {
+        self.reviewer_counts.get(reviewer_id).copied().unwrap_or(0) as usize
     }
 
     /// Resolves an attribute name to its index.
@@ -1028,14 +1351,13 @@ impl OpineDb {
         self.attributes.iter().position(|a| a == name)
     }
 
-    /// Dense entity id for a row-key [`Value`]. Text keys (the normal
-    /// case — entity names) probe the map by `&str`, so the executor's
-    /// per-row scorer calls never allocate a lookup `String`.
+    /// Dense entity id for a row-key [`Value`]. Goes through the shared
+    /// [`Value::with_key_str`] rendering — the same path the table key
+    /// index uses — so text keys probe the map by `&str`, non-text keys
+    /// render into a stack buffer (no per-lookup `String`), and the two
+    /// layers can never disagree on how a key spells.
     fn entity_of_value(&self, key: &Value) -> Option<usize> {
-        match key {
-            Value::Text(s) => self.key_to_entity.get(s.as_str()).copied(),
-            other => self.key_to_entity.get(other.to_string().as_str()).copied(),
-        }
+        key.with_key_str(|s| self.key_to_entity.get(s).copied())
     }
 
     /// Entity id ↔ base-table row maps, built once: the executor's
@@ -1070,6 +1392,82 @@ impl OpineDb {
                 })
             })
             .as_ref()
+    }
+}
+
+/// A scorer view over one review qualifier's merged summaries: every
+/// subjective degree is computed from the filtered summaries through
+/// [`OpineDb::attribute_degree_with_summaries`], so only qualifying
+/// reviews count. Interpretations, prepared phrases, and the membership
+/// model are shared with the engine; the unqualified degree-column and
+/// point caches are bypassed (their entries assume all reviews).
+///
+/// The executor obtains one per qualified statement via
+/// [`SubjectiveScorer::qualified_scorer`]. It deliberately declines the
+/// TA fast path (`rank_subjective_conjunction` default): qualified
+/// statements score row-at-a-time over the merged summaries.
+pub struct QualifiedScorer<'a> {
+    db: &'a OpineDb,
+    summaries: Arc<Vec<Vec<MarkerSummary>>>,
+}
+
+impl QualifiedScorer<'_> {
+    fn entity(&self, key: &Value) -> Result<usize, StoreError> {
+        self.db
+            .entity_of_value(key)
+            .ok_or_else(|| StoreError::Execution(format!("unknown entity key {key}")))
+    }
+
+    /// Degree of a natural-language predicate over the filtered
+    /// summaries. The text-retrieval fallback (stage 3) scores the
+    /// entity's full review document — BM25 has no per-review summary
+    /// to filter — so it is the one stage a qualifier cannot scope.
+    fn degree(&self, entity: usize, predicate: &str) -> f64 {
+        let algebra = FuzzyAlgebra::Product;
+        match self.db.interpret(predicate) {
+            Interpretation::Direct { attribute, .. } => self.db.attribute_degree_with_summaries(
+                &self.summaries,
+                entity,
+                attribute,
+                predicate,
+            ),
+            Interpretation::CoOccur { terms, conjunctive } => {
+                let degrees = terms.iter().map(|&(a, m)| {
+                    let phrase = &self.db.marker_set(a).markers[m].phrase;
+                    self.db
+                        .attribute_degree_with_summaries(&self.summaries, entity, a, phrase)
+                });
+                if conjunctive {
+                    degrees.fold(1.0, |acc, d| algebra.and(acc, d))
+                } else {
+                    degrees.fold(0.0, |acc, d| algebra.or(acc, d))
+                }
+            }
+            Interpretation::TextFallback => self.db.text_degree(entity, predicate),
+        }
+    }
+}
+
+impl SubjectiveScorer for QualifiedScorer<'_> {
+    fn degree_predicate(&self, predicate: &str, key: &Value) -> Result<f64, StoreError> {
+        let entity = self.entity(key)?;
+        Ok(self.degree(entity, predicate))
+    }
+
+    fn degree_match(
+        &self,
+        attribute: &ColumnRef,
+        phrase: &str,
+        key: &Value,
+    ) -> Result<f64, StoreError> {
+        let entity = self.entity(key)?;
+        let attr = self
+            .db
+            .attribute_index(&attribute.column)
+            .ok_or_else(|| StoreError::UnknownColumn(attribute.column.clone()))?;
+        Ok(self
+            .db
+            .attribute_degree_with_summaries(&self.summaries, entity, attr, phrase))
     }
 }
 
@@ -1137,6 +1535,26 @@ impl SubjectiveScorer for OpineDb {
                 .map(|(entity, score)| (Value::text(&self.entity_keys[entity]), score))
                 .collect(),
         )
+    }
+
+    fn qualified_scorer<'s>(
+        &'s self,
+        qualifier: &ReviewQualifier,
+    ) -> Option<Box<dyn SubjectiveScorer + 's>> {
+        // The scan ablation (`set_use_markers(false)`) scores from raw
+        // occurrences, which the merged marker summaries cannot
+        // represent — decline so qualified statements error instead of
+        // silently answering from a different membership model than
+        // their unqualified twins.
+        if !self.use_markers.load(std::sync::atomic::Ordering::Relaxed) {
+            return None;
+        }
+        self.qualified_queries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(Box::new(QualifiedScorer {
+            db: self,
+            summaries: self.summaries_qualified(qualifier),
+        }))
     }
 }
 
@@ -1276,6 +1694,196 @@ mod tests {
         let filtered_total: f64 = filtered.iter().map(|per| per[0].total).sum();
         assert!(filtered_total < full_total);
         assert!(filtered_total > 0.0);
+    }
+
+    #[test]
+    fn bucket_merge_matches_raw_rebuild_bit_for_bit() {
+        let (_, db) = db();
+        // Thresholds chosen to exercise year bounds AND a degree
+        // threshold that cuts through a log2 bucket (3 is not a power
+        // of two ⇒ straddle refinement).
+        for q in [
+            ReviewQualifier {
+                min_year: Some(2012),
+                max_year: None,
+                min_reviewer_count: None,
+            },
+            ReviewQualifier {
+                min_year: Some(2008),
+                max_year: Some(2015),
+                min_reviewer_count: Some(3),
+            },
+            ReviewQualifier {
+                min_year: None,
+                max_year: None,
+                min_reviewer_count: Some(2),
+            },
+            ReviewQualifier::default(),
+        ] {
+            let merged = db.summaries_qualified(&q);
+            let rebuilt = db.summaries_with_review_filter(|m| {
+                q.accepts(m.year, db.reviewer_review_count(m.reviewer_id) as u32)
+            });
+            for e in 0..db.num_entities() {
+                for a in 0..db.attributes.len() {
+                    assert!(
+                        merged[e][a].same_aggregates(&rebuilt[e][a]),
+                        "{q} entity {e} attr {a}: merged {:?} vs rebuilt {:?}",
+                        merged[e][a].counts(),
+                        rebuilt[e][a].counts()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_qualifier_merge_equals_build_time_summaries() {
+        let (_, db) = db();
+        let merged = db.summaries_qualified(&ReviewQualifier::default());
+        for e in 0..db.num_entities() {
+            for a in 0..db.attributes.len() {
+                assert!(
+                    merged[e][a].same_aggregates(db.summary(e, a)),
+                    "entity {e} attr {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qualified_sql_matches_rebuild_reference_and_counts() {
+        let (_, db) = db();
+        let before = db.cache_report();
+        assert_eq!(before.filtered_summary_queries, 0);
+        let sql = "select * from hotels where \"clean rooms\" \
+                   with reviews(year >= 2012) limit 16";
+        let out = db.query(sql).unwrap();
+        assert!(!out.result.rows.is_empty());
+        let after = db.cache_report();
+        assert_eq!(after.filtered_summary_queries, 1, "qualified counter");
+        assert!(after.filtered_summaries.misses > before.filtered_summaries.misses);
+
+        // Reference: score every entity through the raw-rebuild
+        // summaries; the SQL path must agree bit-for-bit.
+        let q = ReviewQualifier {
+            min_year: Some(2012),
+            max_year: None,
+            min_reviewer_count: None,
+        };
+        let rebuilt = db.summaries_with_review_filter(|m| {
+            q.accepts(m.year, db.reviewer_review_count(m.reviewer_id) as u32)
+        });
+        let mut expected: Vec<(usize, f64)> = (0..db.num_entities())
+            .map(|e| {
+                (
+                    e,
+                    db.attribute_degree_with_summaries(&rebuilt, e, 0, "clean rooms"),
+                )
+            })
+            .collect();
+        expected.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for ((row, score), (entity, degree)) in out.result.rows.iter().zip(&expected) {
+            assert_eq!(row[0].as_str(), Some(db.entity_key(*entity)));
+            assert_eq!(score.to_bits(), degree.to_bits(), "bit-identical degrees");
+        }
+
+        // A repeat replays from the filtered-summary cache.
+        let again = db.query(sql).unwrap();
+        assert_eq!(again.result.rows.len(), out.result.rows.len());
+        let warm = db.cache_report();
+        assert!(warm.filtered_summaries.hits > after.filtered_summaries.hits);
+        assert_eq!(warm.filtered_summary_queries, 2);
+    }
+
+    #[test]
+    fn qualified_and_unqualified_queries_do_not_share_answers() {
+        let (_, db) = db();
+        let plain = db
+            .query("select * from hotels where \"clean rooms\" limit 16")
+            .unwrap();
+        let qualified = db
+            .query(
+                "select * from hotels where \"clean rooms\" \
+                 with reviews(year >= 2014, reviewer_min_count >= 2) limit 16",
+            )
+            .unwrap();
+        // The qualifier drops review mass, so at least one degree must
+        // change (the generator spreads years 2005..=2019).
+        let changed = plain
+            .result
+            .rows
+            .iter()
+            .zip(&qualified.result.rows)
+            .any(|(a, b)| a.0[0] != b.0[0] || (a.1 - b.1).abs() > 1e-15);
+        assert!(changed, "qualifier had no effect on any degree");
+    }
+
+    #[test]
+    fn scan_ablation_declines_qualified_statements() {
+        let (_, db) = db();
+        let sql = "select * from hotels where \"clean rooms\" \
+                   with reviews(year >= 2012) limit 4";
+        db.set_use_markers(false);
+        // Merged marker summaries cannot represent the raw-scan
+        // membership mode: answering would silently switch models, so
+        // the statement must error instead.
+        let err = db.query(sql).unwrap_err();
+        assert!(
+            matches!(err, OpineError::Store(StoreError::NoScorer(_))),
+            "expected NoScorer, got {err:?}"
+        );
+        db.set_use_markers(true);
+        assert!(db.query(sql).is_ok(), "marker mode answers it again");
+    }
+
+    #[test]
+    fn trivial_qualifier_stays_on_the_fast_path() {
+        let (_, db) = db();
+        let before = db.cache_report();
+        let out = db
+            .query("select * from hotels where \"clean rooms\" with reviews() limit 8")
+            .unwrap();
+        assert!(!out.result.rows.is_empty());
+        let after = db.cache_report();
+        // with reviews() accepts every review: the base scorer (and its
+        // TA fast path) answers it — no merge, no qualified counter.
+        assert_eq!(
+            after.filtered_summary_queries,
+            before.filtered_summary_queries
+        );
+        assert_eq!(
+            after.filtered_summaries.misses,
+            before.filtered_summaries.misses
+        );
+        assert!(after.ta_queries > before.ta_queries);
+    }
+
+    #[test]
+    fn review_counts_are_precomputed_correctly() {
+        let (corpus, db) = db();
+        for e in 0..db.num_entities() {
+            let scan = corpus.reviews.iter().filter(|r| r.entity_id == e).count();
+            assert_eq!(db.review_count(e), scan, "entity {e}");
+        }
+        let reviewer_scan = corpus.reviewer_counts();
+        for (&reviewer, &count) in &reviewer_scan {
+            assert_eq!(db.reviewer_review_count(reviewer), count);
+        }
+        assert_eq!(db.reviewer_review_count(usize::MAX), 0, "unknown reviewer");
+    }
+
+    #[test]
+    fn clear_caches_drops_filtered_summary_sets() {
+        let (_, db) = db();
+        let _ = db.summaries_qualified(&ReviewQualifier {
+            min_year: Some(2010),
+            max_year: None,
+            min_reviewer_count: None,
+        });
+        assert_eq!(db.cache_report().filtered_summary_sets, 1);
+        db.clear_caches();
+        assert_eq!(db.cache_report().filtered_summary_sets, 0);
     }
 
     #[test]

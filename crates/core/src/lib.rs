@@ -33,7 +33,8 @@ pub mod topk;
 pub use builder::{build, BuildConfig, ExtractionMode};
 pub use cache::{BoundedCache, CacheStats};
 pub use db::{
-    CacheReport, DegreeColumn, OpineDb, OpineError, PreparedPhrase, QueryOutput, QueryRef,
+    CacheReport, DegreeColumn, OpineDb, OpineError, PreparedPhrase, QualifiedScorer, QueryOutput,
+    QueryRef,
 };
 pub use domain::LinguisticDomain;
 pub use interpret::{Interpretation, Interpreter, InterpreterConfig};

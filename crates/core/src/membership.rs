@@ -32,7 +32,7 @@ pub fn marker_features(
     for (i, m) in markers.markers.iter().enumerate() {
         let sim = cosine(query_rep, &m.rep);
         support += fracs.get(i).copied().unwrap_or(0.0) * sim.max(0.0) as f64;
-        avg_sent += fracs.get(i).copied().unwrap_or(0.0) * summary.sentiments[i];
+        avg_sent += fracs.get(i).copied().unwrap_or(0.0) * summary.sentiment_mean(i);
         if sim > best.1 {
             best = (i, sim);
         }
@@ -43,7 +43,7 @@ pub fn marker_features(
     } else {
         (
             fracs.get(best_idx).copied().unwrap_or(0.0),
-            summary.sentiments[best_idx],
+            summary.sentiment_mean(best_idx),
         )
     };
     vec![
@@ -191,7 +191,7 @@ mod tests {
         embedder: &PhraseEmbedder,
         vocab: &Vocab,
     ) -> MarkerSummary {
-        let mut s = MarkerSummary::empty(set.markers.len(), embedder.dim());
+        let mut s = MarkerSummary::empty(set.markers.len());
         for (i, (p, sent)) in phrases.iter().enumerate() {
             let mut rep = embedder.rep(p, vocab);
             opine_embed::normalize(&mut rep);

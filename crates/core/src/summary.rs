@@ -2,8 +2,20 @@
 //!
 //! A marker summary is "a view that aggregates the phrases from the
 //! reviews onto the markers": per entity and attribute, a histogram over
-//! the markers plus precomputed features — per-marker average sentiment
-//! and average phrase embedding — that the membership functions consume.
+//! the markers plus precomputed features — per-marker mass and mean
+//! sentiment — that the membership functions consume.
+//!
+//! ## Deterministic, mergeable aggregation
+//!
+//! Summaries accumulate in **fixed-point `i64`** (scale `2^32`), not
+//! floating point. Integer addition is exact, associative, and
+//! commutative, so [`MarkerSummary::merge`] of any partition of the
+//! phrases — in any order — is *bit-identical* to a from-scratch build
+//! over the same phrases. That is the property the review-qualified
+//! query path relies on: per-bucket partial summaries built at
+//! construction time can be merged per filter instead of re-aggregating
+//! every raw occurrence, with answers guaranteed identical to the full
+//! rebuild.
 
 use crate::domain::LinguisticDomain;
 use opine_embed::cosine;
@@ -161,32 +173,106 @@ pub struct Provenance {
     pub phrase: String,
 }
 
+/// Fixed-point scale of the summary accumulators: weights and weighted
+/// sentiments are quantized to multiples of `2^-32` before accumulation,
+/// so sums are exact `i64` arithmetic (order-independent, mergeable).
+const FP_SCALE: f64 = (1u64 << 32) as f64;
+
+#[inline]
+fn quantize(x: f64) -> i64 {
+    (x * FP_SCALE).round() as i64
+}
+
+#[inline]
+fn dequantize(q: i64) -> f64 {
+    q as f64 / FP_SCALE
+}
+
+/// One phrase's fully-resolved effect on a summary: the marker
+/// assignments quantized to the fixed-point accumulator grid, plus the
+/// unmatched verdict. Splitting resolution ([`Self::compute`], the
+/// marker-similarity loop) from accumulation ([`MarkerSummary::apply`])
+/// gives every aggregation site — the build-time summaries, the
+/// review-bucket partials, the raw-rescan fallback — one shared
+/// resolution path, so their updates are identical by construction.
+/// (Sharing one *computed* contribution across the full summary and
+/// its bucket partial within a single build pass is the follow-on the
+/// ROADMAP's batching item describes.)
+#[derive(Debug, Clone)]
+pub struct PhraseContribution<'p> {
+    phrase: &'p str,
+    review_id: usize,
+    unmatched: bool,
+    /// `(marker, quantized weight, quantized sentiment·weight)`.
+    assignments: Vec<(usize, i64, i64)>,
+}
+
+impl<'p> PhraseContribution<'p> {
+    /// Resolves a phrase against a marker set (Sec. 4.2.2 aggregation
+    /// step). `min_similarity` is the threshold below which the phrase
+    /// counts as unmatched rather than being forced onto a marker.
+    pub fn compute(
+        phrase: &'p str,
+        rep: &[f32],
+        sentiment: f64,
+        markers: &MarkerSet,
+        mode: AssignMode,
+        min_similarity: f32,
+        review_id: usize,
+    ) -> Self {
+        let assignments = markers.assign(rep, mode);
+        let best_sim = markers
+            .markers
+            .iter()
+            .map(|m| cosine(rep, &m.rep))
+            .fold(f32::NEG_INFINITY, f32::max);
+        let unmatched = assignments.is_empty() || best_sim < min_similarity;
+        let assignments = if unmatched {
+            Vec::new()
+        } else {
+            assignments
+                .into_iter()
+                .map(|(idx, weight)| (idx, quantize(weight), quantize(sentiment * weight)))
+                .collect()
+        };
+        PhraseContribution {
+            phrase,
+            review_id,
+            unmatched,
+            assignments,
+        }
+    }
+}
+
 /// A per-entity marker-summary instance.
+///
+/// Per-marker mass and weighted sentiment accumulate in fixed-point
+/// `i64` (see the module docs); [`Self::merge`] of disjoint summaries is
+/// therefore bit-identical to aggregating all their phrases into one
+/// summary, in any order.
 #[derive(Debug, Clone)]
 pub struct MarkerSummary {
-    /// Phrase mass per marker.
-    pub counts: Vec<f64>,
-    /// Running mean sentiment of phrases assigned to each marker.
-    pub sentiments: Vec<f64>,
-    /// Running mean embedding of phrases assigned to each marker.
-    pub centroids: Vec<Vec<f32>>,
-    /// Total phrase mass (matched + unmatched).
+    /// Quantized phrase mass per marker.
+    counts_q: Vec<i64>,
+    /// Quantized `Σ sentiment·weight` per marker.
+    senti_q: Vec<i64>,
+    /// Total phrase count (matched + unmatched). Whole phrases only, so
+    /// the `f64` is exact.
     pub total: f64,
-    /// Mass of phrases whose best marker similarity fell below the
+    /// Count of phrases whose best marker similarity fell below the
     /// unmatched threshold.
     pub unmatched: f64,
-    /// Provenance of every aggregated phrase.
+    /// Provenance of every aggregated phrase (empty for the compact
+    /// review-bucket partials, which skip provenance to stay small).
     pub provenance: Vec<Provenance>,
 }
 
 impl MarkerSummary {
-    /// Empty summary for a marker set with `k` markers and embedding
-    /// dimensionality `dim`.
-    pub fn empty(k: usize, dim: usize) -> Self {
+    /// Empty summary for a marker set with `k` markers.
+    pub fn empty(k: usize) -> Self {
         Self {
-            counts: vec![0.0; k],
-            sentiments: vec![0.0; k],
-            centroids: vec![vec![0.0; dim]; k],
+            counts_q: vec![0; k],
+            senti_q: vec![0; k],
             total: 0.0,
             unmatched: 0.0,
             provenance: Vec::new(),
@@ -195,9 +281,6 @@ impl MarkerSummary {
 
     /// Incrementally aggregates one extracted phrase (Sec. 4.2.2: "the
     /// marker summaries can be incrementally computed").
-    ///
-    /// `min_similarity` is the threshold below which the phrase counts as
-    /// unmatched rather than being forced onto a marker.
     #[allow(clippy::too_many_arguments)]
     pub fn add_phrase(
         &mut self,
@@ -209,36 +292,132 @@ impl MarkerSummary {
         min_similarity: f32,
         review_id: usize,
     ) {
-        self.total += 1.0;
-        self.provenance.push(Provenance {
+        let contribution = PhraseContribution::compute(
+            phrase,
+            rep,
+            sentiment,
+            markers,
+            mode,
+            min_similarity,
             review_id,
-            phrase: phrase.to_string(),
-        });
-        let assignments = markers.assign(rep, mode);
-        let best_sim = markers
-            .markers
-            .iter()
-            .map(|m| cosine(rep, &m.rep))
-            .fold(f32::NEG_INFINITY, f32::max);
-        if assignments.is_empty() || best_sim < min_similarity {
+        );
+        self.apply(&contribution, true);
+    }
+
+    /// Applies one precomputed phrase contribution. With
+    /// `track_provenance` false the phrase text is not recorded — used
+    /// by the review-bucket partials, whose provenance would duplicate
+    /// the full summaries'.
+    pub fn apply(&mut self, contribution: &PhraseContribution<'_>, track_provenance: bool) {
+        self.total += 1.0;
+        if track_provenance {
+            self.provenance.push(Provenance {
+                review_id: contribution.review_id,
+                phrase: contribution.phrase.to_string(),
+            });
+        }
+        if contribution.unmatched {
             self.unmatched += 1.0;
             return;
         }
-        for (idx, weight) in assignments {
-            let prev = self.counts[idx];
-            self.counts[idx] += weight;
-            let new_total = self.counts[idx].max(1e-12);
-            self.sentiments[idx] = (self.sentiments[idx] * prev + sentiment * weight) / new_total;
-            for (c, x) in self.centroids[idx].iter_mut().zip(rep) {
-                *c = (*c * prev as f32 + *x * weight as f32) / new_total as f32;
-            }
+        for &(idx, weight_q, senti_q) in &contribution.assignments {
+            self.counts_q[idx] += weight_q;
+            self.senti_q[idx] += senti_q;
+        }
+    }
+
+    /// Merges another summary over the same marker set into this one.
+    ///
+    /// Associative and commutative at the bit level: integer
+    /// accumulators add exactly, so merging any partition of a phrase
+    /// multiset reproduces the from-scratch build of the union
+    /// bit-for-bit (provenance concatenates in merge order).
+    pub fn merge(&mut self, other: &MarkerSummary) {
+        debug_assert_eq!(
+            self.counts_q.len(),
+            other.counts_q.len(),
+            "merging summaries over different marker sets"
+        );
+        for (a, b) in self.counts_q.iter_mut().zip(&other.counts_q) {
+            *a += b;
+        }
+        for (a, b) in self.senti_q.iter_mut().zip(&other.senti_q) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.unmatched += other.unmatched;
+        if !other.provenance.is_empty() {
+            self.provenance.extend(other.provenance.iter().cloned());
+        }
+    }
+
+    /// Merges raw fixed-point accumulators (the storage
+    /// [`Self::quantized_counts`] / [`Self::quantized_sentiments`]
+    /// expose) into this summary — the flat-layout twin of
+    /// [`Self::merge`], used by partial-summary stores that keep many
+    /// summaries' accumulators in one contiguous allocation.
+    #[inline]
+    pub fn merge_quantized(
+        &mut self,
+        counts_q: &[i64],
+        senti_q: &[i64],
+        total: f64,
+        unmatched: f64,
+    ) {
+        debug_assert_eq!(self.counts_q.len(), counts_q.len());
+        debug_assert_eq!(self.senti_q.len(), senti_q.len());
+        for (a, b) in self.counts_q.iter_mut().zip(counts_q) {
+            *a += b;
+        }
+        for (a, b) in self.senti_q.iter_mut().zip(senti_q) {
+            *a += b;
+        }
+        self.total += total;
+        self.unmatched += unmatched;
+    }
+
+    /// The raw fixed-point mass accumulators, one per marker.
+    pub fn quantized_counts(&self) -> &[i64] {
+        &self.counts_q
+    }
+
+    /// The raw fixed-point `Σ sentiment·weight` accumulators.
+    pub fn quantized_sentiments(&self) -> &[i64] {
+        &self.senti_q
+    }
+
+    /// Number of markers this summary aggregates over.
+    pub fn num_markers(&self) -> usize {
+        self.counts_q.len()
+    }
+
+    /// Phrase mass on marker `i`.
+    pub fn count(&self, i: usize) -> f64 {
+        dequantize(self.counts_q[i])
+    }
+
+    /// Phrase mass per marker.
+    pub fn counts(&self) -> Vec<f64> {
+        self.counts_q.iter().map(|&q| dequantize(q)).collect()
+    }
+
+    /// Mean sentiment of the phrases assigned to marker `i` (0 when the
+    /// marker holds no mass).
+    pub fn sentiment_mean(&self, i: usize) -> f64 {
+        if self.counts_q[i] == 0 {
+            0.0
+        } else {
+            self.senti_q[i] as f64 / self.counts_q[i] as f64
         }
     }
 
     /// Fraction of matched mass on each marker (zeros when empty).
     pub fn fractions(&self) -> Vec<f64> {
         let matched = (self.total - self.unmatched).max(1e-12);
-        self.counts.iter().map(|c| c / matched).collect()
+        self.counts_q
+            .iter()
+            .map(|&q| dequantize(q) / matched)
+            .collect()
     }
 
     /// Fraction of phrases that matched no marker.
@@ -252,7 +431,24 @@ impl MarkerSummary {
 
     /// Total matched mass across markers.
     pub fn matched_mass(&self) -> f64 {
-        self.counts.iter().sum()
+        dequantize(self.counts_q.iter().sum())
+    }
+
+    /// Exact equality of the numeric aggregate state (mass, sentiment
+    /// accumulators, totals) — the "bit-identical" comparison the
+    /// merge/rebuild equivalence tests use. Provenance is excluded: the
+    /// bucket-merge path deliberately drops it.
+    pub fn same_aggregates(&self, other: &MarkerSummary) -> bool {
+        self.counts_q == other.counts_q
+            && self.senti_q == other.senti_q
+            && self.total.to_bits() == other.total.to_bits()
+            && self.unmatched.to_bits() == other.unmatched.to_bits()
+    }
+
+    /// Approximate heap bytes of the numeric accumulators (provenance
+    /// excluded) — sizing information for the partial-summary store.
+    pub fn accumulator_bytes(&self) -> usize {
+        (self.counts_q.len() + self.senti_q.len()) * std::mem::size_of::<i64>()
     }
 }
 
@@ -359,7 +555,7 @@ mod tests {
     fn summary_aggregation_tracks_counts_and_provenance() {
         let (vocab, embedder, domain) = fixture();
         let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 3, 1);
-        let mut s = MarkerSummary::empty(set.markers.len(), embedder.dim());
+        let mut s = MarkerSummary::empty(set.markers.len());
         for (i, phrase) in ["very clean", "clean", "dirty"].iter().enumerate() {
             let mut rep = embedder.rep(phrase, &vocab);
             opine_embed::normalize(&mut rep);
@@ -377,7 +573,7 @@ mod tests {
     fn dissimilar_phrase_goes_to_unmatched() {
         let (vocab, embedder, domain) = fixture();
         let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 3, 1);
-        let mut s = MarkerSummary::empty(set.markers.len(), embedder.dim());
+        let mut s = MarkerSummary::empty(set.markers.len());
         // A zero rep has cosine 0 with everything; threshold 0.5 rejects it.
         let rep = embedder.rep("qqqq zzzz", &vocab);
         s.add_phrase("qqqq zzzz", &rep, 0.0, &set, AssignMode::Best, 0.5, 0);
@@ -388,8 +584,92 @@ mod tests {
 
     #[test]
     fn empty_summary_has_zero_fractions() {
-        let s = MarkerSummary::empty(4, 8);
+        let s = MarkerSummary::empty(4);
         assert_eq!(s.fractions(), vec![0.0; 4]);
         assert_eq!(s.unmatched_fraction(), 0.0);
+    }
+
+    /// Builds a summary over the fixture phrases through add_phrase.
+    fn build_summary(
+        phrases: &[(&str, f64)],
+        set: &MarkerSet,
+        embedder: &PhraseEmbedder,
+        vocab: &Vocab,
+        id_base: usize,
+    ) -> MarkerSummary {
+        let mut s = MarkerSummary::empty(set.markers.len());
+        for (i, (p, sent)) in phrases.iter().enumerate() {
+            let mut rep = embedder.rep(p, vocab);
+            opine_embed::normalize(&mut rep);
+            s.add_phrase(
+                p,
+                &rep,
+                *sent,
+                set,
+                AssignMode::Proportional,
+                0.0,
+                id_base + i,
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn merge_of_partition_is_bit_identical_to_from_scratch() {
+        let (vocab, embedder, domain) = fixture();
+        let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 3, 1);
+        let phrases = [
+            ("very clean", 0.9),
+            ("clean", 0.65),
+            ("average", 0.0),
+            ("dirty", -0.7),
+            ("very dirty", -0.9),
+            ("clean", 0.65),
+        ];
+        let whole = build_summary(&phrases, &set, &embedder, &vocab, 0);
+        let part_a = build_summary(&phrases[..2], &set, &embedder, &vocab, 0);
+        let part_b = build_summary(&phrases[2..4], &set, &embedder, &vocab, 2);
+        let part_c = build_summary(&phrases[4..], &set, &embedder, &vocab, 4);
+        // Merge in an order different from the build order: fixed-point
+        // accumulation is exactly commutative.
+        let mut merged = MarkerSummary::empty(set.markers.len());
+        merged.merge(&part_c);
+        merged.merge(&part_a);
+        merged.merge(&part_b);
+        assert!(merged.same_aggregates(&whole));
+        assert_eq!(merged.provenance.len(), whole.provenance.len());
+        for i in 0..merged.num_markers() {
+            assert_eq!(merged.count(i).to_bits(), whole.count(i).to_bits());
+            assert_eq!(
+                merged.sentiment_mean(i).to_bits(),
+                whole.sentiment_mean(i).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn apply_without_provenance_keeps_aggregates() {
+        let (vocab, embedder, domain) = fixture();
+        let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 3, 1);
+        let mut rep = embedder.rep("clean", &vocab);
+        opine_embed::normalize(&mut rep);
+        let c = PhraseContribution::compute("clean", &rep, 0.65, &set, AssignMode::Best, 0.0, 7);
+        let mut with = MarkerSummary::empty(set.markers.len());
+        with.apply(&c, true);
+        let mut without = MarkerSummary::empty(set.markers.len());
+        without.apply(&c, false);
+        assert!(with.same_aggregates(&without));
+        assert_eq!(with.provenance.len(), 1);
+        assert!(without.provenance.is_empty());
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let (vocab, embedder, domain) = fixture();
+        let set = MarkerSet::discover("a", &domain, SummaryKind::Linear, 3, 1);
+        let built = build_summary(&[("clean", 0.65)], &set, &embedder, &vocab, 0);
+        let mut merged = built.clone();
+        merged.merge(&MarkerSummary::empty(set.markers.len()));
+        assert!(merged.same_aggregates(&built));
     }
 }

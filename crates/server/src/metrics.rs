@@ -87,7 +87,18 @@ impl HistogramSnapshot {
                 return (1u64 << (i + 1)).min(self.max_us.max(1));
             }
         }
-        self.max_us
+        // Torn-snapshot fallback: `record` bumps the bucket, count, sum,
+        // and max with separate relaxed atomics, and `snapshot` copies
+        // the buckets *before* the count — a racing `record` can leave
+        // `count` > Σ buckets, so the rank above is never reached.
+        // Answer from the highest non-empty bucket (same clamped
+        // upper-edge estimate as the in-loop return) rather than the
+        // bare `max_us` field, which the same race can leave at a stale
+        // 0 while observations exist.
+        match self.buckets.iter().rposition(|&n| n > 0) {
+            Some(i) => (1u64 << (i + 1)).min(self.max_us.max(1)),
+            None => self.max_us,
+        }
     }
 }
 
@@ -263,6 +274,43 @@ mod tests {
             .quantile_us(0.5),
             0
         );
+    }
+
+    #[test]
+    fn torn_snapshot_quantile_falls_back_to_last_nonempty_bucket() {
+        // Construct the torn state a racing record() can produce:
+        // count copied *after* a record that the bucket copy missed, so
+        // count (5) exceeds Σ buckets (3) and the rank walk runs off
+        // the end of the histogram.
+        let torn = HistogramSnapshot {
+            count: 5,
+            sum_us: 5150,
+            max_us: 5000,
+            buckets: {
+                let mut b = [0u64; NUM_BUCKETS];
+                b[3] = 2; // [8, 16) µs
+                b[12] = 1; // [4096, 8192) µs
+                b
+            },
+        };
+        // p99 rank = 5 > 3 observed: must answer from the highest
+        // non-empty bucket's upper edge, clamped by max.
+        // Highest non-empty bucket is [4096, 8192); its upper edge 8192
+        // clamps to the observed max.
+        assert_eq!(torn.quantile_us(0.99), 5000);
+        assert_eq!(torn.quantile_us(1.0), 5000);
+        // Ranks still covered by the buckets are unaffected.
+        assert_eq!(torn.quantile_us(0.2), 16);
+        // Fully-torn state: count observed but no bucket yet, and the
+        // max not yet written — best effort is the (stale) max, never a
+        // loop fall-through into garbage.
+        let empty_torn = HistogramSnapshot {
+            count: 1,
+            sum_us: 0,
+            max_us: 0,
+            buckets: [0; NUM_BUCKETS],
+        };
+        assert_eq!(empty_torn.quantile_us(0.5), 0);
     }
 
     #[test]

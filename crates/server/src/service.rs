@@ -562,6 +562,12 @@ fn render_stats(state: &ServerState) -> String {
     out.push_str(&report.ta_queries.to_string());
     out.push_str(",\"pushdown_queries\":");
     out.push_str(&report.pushdown_queries.to_string());
+    out.push_str(",\"filtered_summaries\":");
+    push_cache_stats(&mut out, report.filtered_summaries);
+    out.push_str(",\"filtered_summary_sets\":");
+    out.push_str(&report.filtered_summary_sets.to_string());
+    out.push_str(",\"filtered_summary_queries\":");
+    out.push_str(&report.filtered_summary_queries.to_string());
     out.push_str("},\"result_cache\":{\"enabled\":");
     out.push_str(if state.config.result_cache_capacity > 0 {
         "true"

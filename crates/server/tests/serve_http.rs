@@ -87,6 +87,47 @@ fn query_endpoint_answers_the_running_example() {
 }
 
 #[test]
+fn review_qualified_queries_serve_and_count() {
+    let db = small_db();
+    let server = serve(db.clone());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    let qualified = "select * from hotels where \"clean rooms\" \
+                     with reviews(year >= 2012, reviewer_min_count >= 2) limit 5";
+    let resp = client.post("/query", &query_body(qualified)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"rows\":[{"), "non-empty rows");
+
+    // Wire bytes equal the library-path serialization of the qualified
+    // statement.
+    let select = parse_select(qualified).unwrap();
+    let reference = render_query_body(&db, &select).unwrap();
+    assert_eq!(resp.body, reference);
+
+    // The unqualified variant is a *different* result-cache entry.
+    let plain = client
+        .post(
+            "/query",
+            &query_body("select * from hotels where \"clean rooms\" limit 5"),
+        )
+        .unwrap();
+    assert_eq!(plain.status, 200);
+    assert_eq!(plain.header("x-opine-cache"), Some("miss"));
+
+    // /stats reports the qualified counter and the filtered-summary
+    // cache.
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    assert!(
+        stats.body.contains("\"filtered_summary_queries\":"),
+        "{}",
+        stats.body
+    );
+    assert!(!stats.body.contains("\"filtered_summary_queries\":0"));
+    assert!(stats.body.contains("\"filtered_summaries\":{\"hits\":"));
+}
+
+#[test]
 fn prepared_statements_execute_without_reparsing() {
     let db = small_db();
     let server = serve(db.clone());

@@ -127,6 +127,73 @@ pub struct Join {
     pub right: ColumnRef,
 }
 
+/// A review qualifier: which reviews count toward subjective degrees
+/// (Sec. 2/6 of the paper — "only opinions of reviewers who reviewed at
+/// least 10 hotels", "reviews after 2010").
+///
+/// Spelled `with reviews(year >= 2015, reviewer_min_count >= 10)` after
+/// the WHERE clause. The bounds are closed: `min_year`/`max_year` are
+/// inclusive, `min_reviewer_count` is the smallest accepted number of
+/// reviews the author wrote corpus-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReviewQualifier {
+    /// Earliest accepted publication year (inclusive).
+    pub min_year: Option<u32>,
+    /// Latest accepted publication year (inclusive).
+    pub max_year: Option<u32>,
+    /// Minimum number of reviews the author wrote (inclusive).
+    pub min_reviewer_count: Option<u32>,
+}
+
+impl ReviewQualifier {
+    /// True when the qualifier accepts every review.
+    pub fn is_trivial(&self) -> bool {
+        self.min_year.is_none() && self.max_year.is_none() && self.min_reviewer_count.is_none()
+    }
+
+    /// The reference semantics: does a review published in `year` by an
+    /// author with `reviewer_count` total reviews qualify? Every
+    /// evaluation path (bucket merge, raw rescan) must agree with this.
+    pub fn accepts(&self, year: u32, reviewer_count: u32) -> bool {
+        self.min_year.is_none_or(|y| year >= y)
+            && self.max_year.is_none_or(|y| year <= y)
+            && self.min_reviewer_count.is_none_or(|c| reviewer_count >= c)
+    }
+}
+
+impl std::fmt::Display for ReviewQualifier {
+    /// Canonical rendering, e.g.
+    /// `reviews(year >= 2015, reviewer_min_count >= 10)`. Injective over
+    /// the bound values, so it doubles as the filtered-summary cache key
+    /// and as the [`Select::normalized`] suffix distinguishing qualified
+    /// statement variants.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("reviews(")?;
+        let mut first = true;
+        let mut sep = |f: &mut std::fmt::Formatter<'_>| -> std::fmt::Result {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                f.write_str(", ")
+            }
+        };
+        if let Some(y) = self.min_year {
+            sep(f)?;
+            write!(f, "year >= {y}")?;
+        }
+        if let Some(y) = self.max_year {
+            sep(f)?;
+            write!(f, "year <= {y}")?;
+        }
+        if let Some(c) = self.min_reviewer_count {
+            sep(f)?;
+            write!(f, "reviewer_min_count >= {c}")?;
+        }
+        f.write_str(")")
+    }
+}
+
 /// A parsed `SELECT` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Select {
@@ -140,6 +207,8 @@ pub struct Select {
     pub joins: Vec<Join>,
     /// Optional WHERE expression.
     pub where_clause: Option<Expr>,
+    /// Optional review qualifier scoping the subjective degrees.
+    pub review_qualifier: Option<ReviewQualifier>,
     /// Optional ORDER BY (defaults to fuzzy score descending).
     pub order_by: Option<OrderBy>,
     /// Optional LIMIT.
@@ -344,6 +413,9 @@ impl Select {
         if let Some(w) = &self.where_clause {
             let _ = write!(s, " where {w}");
         }
+        if let Some(q) = &self.review_qualifier {
+            let _ = write!(s, " with {q}");
+        }
         if let Some(ob) = &self.order_by {
             let _ = write!(
                 s,
@@ -412,6 +484,76 @@ mod tests {
             assert_eq!(q, reparsed, "normalized form of {sql:?} must round-trip");
             assert_eq!(q.normalized(), reparsed.normalized());
         }
+    }
+
+    #[test]
+    fn normalization_distinguishes_qualified_variants() {
+        let plain = crate::parser::parse_select("select * from hotels where \"clean rooms\"")
+            .unwrap()
+            .normalized();
+        let y2015 = crate::parser::parse_select(
+            "select * from hotels where \"clean rooms\" with reviews(year >= 2015)",
+        )
+        .unwrap()
+        .normalized();
+        let y2016 = crate::parser::parse_select(
+            "select * from hotels where \"clean rooms\" with reviews(year >= 2016)",
+        )
+        .unwrap()
+        .normalized();
+        let trivial = crate::parser::parse_select(
+            "select * from hotels where \"clean rooms\" with reviews()",
+        )
+        .unwrap()
+        .normalized();
+        // Every semantic variant keys the result cache differently.
+        for pair in [
+            (&plain, &y2015),
+            (&plain, &trivial),
+            (&y2015, &y2016),
+            (&y2015, &trivial),
+        ] {
+            assert_ne!(pair.0, pair.1);
+        }
+        // Spelling variants of one qualifier collapse.
+        let gt = crate::parser::parse_select(
+            "select * from hotels where \"clean rooms\" with reviews(year > 2014)",
+        )
+        .unwrap()
+        .normalized();
+        assert_eq!(gt, y2015);
+    }
+
+    #[test]
+    fn qualified_normalization_round_trips() {
+        for sql in [
+            "select * from hotels where \"clean rooms\" with reviews(year >= 2015, reviewer_min_count >= 10) limit 5",
+            "select * from hotels where \"a\" with reviews(year >= 2010, year <= 2012)",
+            "select * from hotels where \"a\" with reviews()",
+            "select * from hotels with reviews(reviewer_min_count >= 3)",
+        ] {
+            let q = crate::parser::parse_select(sql).unwrap();
+            let reparsed = crate::parser::parse_select(&q.normalized()).unwrap();
+            assert_eq!(q, reparsed, "normalized form of {sql:?} must round-trip");
+            assert_eq!(q.normalized(), reparsed.normalized());
+        }
+    }
+
+    #[test]
+    fn review_qualifier_accepts_reference_semantics() {
+        let q = ReviewQualifier {
+            min_year: Some(2010),
+            max_year: Some(2015),
+            min_reviewer_count: Some(10),
+        };
+        assert!(q.accepts(2010, 10));
+        assert!(q.accepts(2015, 99));
+        assert!(!q.accepts(2009, 10), "below the year range");
+        assert!(!q.accepts(2016, 10), "above the year range");
+        assert!(!q.accepts(2012, 9), "too few reviews written");
+        assert!(ReviewQualifier::default().is_trivial());
+        assert!(ReviewQualifier::default().accepts(0, 0));
+        assert!(!q.is_trivial());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! running example `price_pn < 150 and "clean rooms"` rides the TA fast
 //! path end-to-end instead of forcing row-at-a-time scoring.
 
-use crate::ast::{ColumnRef, Expr, Operand, Select};
+use crate::ast::{ColumnRef, Expr, Operand, ReviewQualifier, Select};
 use crate::bitmap::Bitmap;
 use crate::catalog::Catalog;
 use crate::table::{RowView, Table};
@@ -109,6 +109,22 @@ pub trait SubjectiveScorer {
         _k: usize,
         _candidates: Option<&Bitmap>,
     ) -> Option<Vec<(Value, f64)>> {
+        None
+    }
+
+    /// A scorer view whose subjective degrees count only the reviews
+    /// accepted by `qualifier` (the paper's "reviews after 2010" /
+    /// "reviewers with ≥ 10 reviews" queries). The executor requests one
+    /// per qualified statement and routes every subjective evaluation of
+    /// that statement through it; objective predicates are unaffected.
+    ///
+    /// The default `None` means the scorer cannot scope its degrees, and
+    /// qualified statements fail with [`StoreError::NoScorer`] rather
+    /// than silently answering from unqualified summaries.
+    fn qualified_scorer<'s>(
+        &'s self,
+        _qualifier: &ReviewQualifier,
+    ) -> Option<Box<dyn SubjectiveScorer + 's>> {
         None
     }
 }
@@ -350,6 +366,13 @@ pub fn execute_lazy<'a>(
     catalog: &'a Catalog,
     scorer: &dyn SubjectiveScorer,
 ) -> Result<ScoredRows<'a>, StoreError> {
+    // Review-qualified statements swap in the scorer's scoped view for
+    // every subjective evaluation below. The scoped view declines
+    // rank_subjective_conjunction, so qualified queries take the
+    // row-at-a-time path over the (still vectorized) objective
+    // prefilter — degree columns cache *unqualified* degrees only.
+    let scoped = resolve_qualified(query, scorer)?;
+    let scorer: &dyn SubjectiveScorer = scoped.as_deref().unwrap_or(scorer);
     let base = catalog.table(&query.from)?;
     let base_name = query.alias.clone().unwrap_or_else(|| query.from.clone());
 
@@ -453,6 +476,26 @@ pub fn execute_lazy<'a>(
     }
 
     finish(query, layout, scored)
+}
+
+/// Resolves a statement's review qualifier to the scorer's scoped view,
+/// erroring when the statement is qualified but the scorer cannot scope
+/// its degrees (answering from unqualified summaries would be wrong).
+fn resolve_qualified<'s>(
+    query: &Select,
+    scorer: &'s dyn SubjectiveScorer,
+) -> Result<Option<Box<dyn SubjectiveScorer + 's>>, StoreError> {
+    match &query.review_qualifier {
+        None => Ok(None),
+        // A trivial qualifier accepts every review: the base scorer
+        // already answers it, with all of its fast paths (TA ranking,
+        // degree columns) intact.
+        Some(qualifier) if qualifier.is_trivial() => Ok(None),
+        Some(qualifier) => scorer
+            .qualified_scorer(qualifier)
+            .map(Some)
+            .ok_or_else(|| StoreError::NoScorer(format!("review qualifier `with {qualifier}`"))),
+    }
 }
 
 /// The single-table planner. Returns `Ok(None)` for shapes it does not
@@ -686,6 +729,8 @@ pub fn execute_with_algebra(
     if algebra == FuzzyAlgebra::Product {
         return execute(query, catalog, scorer);
     }
+    let scoped = resolve_qualified(query, scorer)?;
+    let scorer: &dyn SubjectiveScorer = scoped.as_deref().unwrap_or(scorer);
     let base = catalog.table(&query.from)?;
     let base_name = query.alias.clone().unwrap_or_else(|| query.from.clone());
     if !query.joins.is_empty() {
@@ -902,6 +947,159 @@ mod tests {
             ranked.truncate(k);
             Some(ranked)
         }
+    }
+
+    /// A scorer whose qualified view halves every degree — enough to
+    /// observe that the executor routes qualified statements through the
+    /// scoped scorer and unqualified ones through the base scorer.
+    struct Scoping;
+
+    struct Halved;
+    impl SubjectiveScorer for Halved {
+        fn degree_predicate(&self, predicate: &str, key: &Value) -> Result<f64, StoreError> {
+            Canned.degree_predicate(predicate, key).map(|d| d / 2.0)
+        }
+        fn degree_match(
+            &self,
+            attribute: &ColumnRef,
+            phrase: &str,
+            key: &Value,
+        ) -> Result<f64, StoreError> {
+            Canned.degree_match(attribute, phrase, key).map(|d| d / 2.0)
+        }
+    }
+
+    impl SubjectiveScorer for Scoping {
+        fn degree_predicate(&self, predicate: &str, key: &Value) -> Result<f64, StoreError> {
+            Canned.degree_predicate(predicate, key)
+        }
+        fn degree_match(
+            &self,
+            attribute: &ColumnRef,
+            phrase: &str,
+            key: &Value,
+        ) -> Result<f64, StoreError> {
+            Canned.degree_match(attribute, phrase, key)
+        }
+        fn qualified_scorer<'s>(
+            &'s self,
+            _qualifier: &ReviewQualifier,
+        ) -> Option<Box<dyn SubjectiveScorer + 's>> {
+            Some(Box::new(Halved))
+        }
+    }
+
+    #[test]
+    fn review_qualifier_routes_through_the_scoped_scorer() {
+        let cat = hotel_catalog();
+        let plain = parse_select("select * from hotels where \"clean rooms\"").unwrap();
+        let qualified =
+            parse_select("select * from hotels where \"clean rooms\" with reviews(year >= 2015)")
+                .unwrap();
+        let base = execute(&plain, &cat, &Scoping).unwrap();
+        let scoped = execute(&qualified, &cat, &Scoping).unwrap();
+        assert_eq!(base.rows.len(), scoped.rows.len());
+        for (b, s) in base.rows.iter().zip(&scoped.rows) {
+            assert_eq!(b.0[0], s.0[0], "same ranking order");
+            assert!((b.1 / 2.0 - s.1).abs() < 1e-12, "scoped degrees are halved");
+        }
+    }
+
+    #[test]
+    fn trivial_qualifier_bypasses_the_scoped_scorer() {
+        let cat = hotel_catalog();
+        let plain = parse_select("select * from hotels where \"clean rooms\"").unwrap();
+        let trivial =
+            parse_select("select * from hotels where \"clean rooms\" with reviews()").unwrap();
+        let base = execute(&plain, &cat, &Scoping).unwrap();
+        let bypassed = execute(&trivial, &cat, &Scoping).unwrap();
+        // `with reviews()` accepts every review — the base scorer
+        // answers it directly (degrees NOT halved), keeping its fast
+        // paths. A scorer without qualifier support also serves it.
+        assert_eq!(base.rows, bypassed.rows);
+        assert!(execute(&trivial, &cat, &Canned).is_ok());
+    }
+
+    #[test]
+    fn review_qualifier_without_scorer_support_is_an_error() {
+        let cat = hotel_catalog();
+        let q =
+            parse_select("select * from hotels where \"clean rooms\" with reviews(year >= 2015)")
+                .unwrap();
+        // Canned has no qualified view; silently answering from
+        // unqualified degrees would be wrong, so this must error.
+        assert!(matches!(
+            execute(&q, &cat, &Canned),
+            Err(StoreError::NoScorer(_))
+        ));
+        // Same through the Gödel-algebra entry point.
+        assert!(matches!(
+            execute_with_algebra(&q, &cat, &Canned, FuzzyAlgebra::Godel),
+            Err(StoreError::NoScorer(_))
+        ));
+    }
+
+    #[test]
+    fn qualified_mixed_query_keeps_the_objective_prefilter() {
+        let cat = hotel_catalog();
+        let q = parse_select(
+            "select * from hotels where price_pn < 150 and \"clean rooms\" \
+             with reviews(year >= 2015)",
+        )
+        .unwrap();
+        let r = execute(&q, &cat, &Scoping).unwrap();
+        // Plaza (300/night) filtered objectively; degrees are the scoped
+        // (halved) ones.
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].0[0], Value::text("Grand"));
+        assert!((r.rows[0].1 - 0.45).abs() < 1e-12);
+    }
+
+    /// Regression: an Int-keyed base table must resolve scorer keys
+    /// through the shared `Value::with_key_str` rendering — the same
+    /// path the table key index uses — end to end.
+    #[test]
+    fn int_keyed_base_table_scores_subjectively() {
+        struct ById;
+        impl SubjectiveScorer for ById {
+            fn degree_predicate(&self, _predicate: &str, key: &Value) -> Result<f64, StoreError> {
+                // Resolve the key the way an engine-side entity map
+                // would: by its shared key rendering.
+                key.with_key_str(|s| match s {
+                    "41" => Ok(0.9),
+                    "-7" => Ok(0.4),
+                    other => Err(StoreError::Execution(format!("unknown key {other}"))),
+                })
+            }
+            fn degree_match(
+                &self,
+                attribute: &ColumnRef,
+                _phrase: &str,
+                _key: &Value,
+            ) -> Result<f64, StoreError> {
+                Err(StoreError::NoScorer(attribute.column.clone()))
+            }
+        }
+        let mut cat = Catalog::new();
+        cat.create_table(crate::schema::Schema::new(
+            "events",
+            vec![
+                crate::schema::Column::new("id", crate::schema::ColumnType::Int),
+                crate::schema::Column::new("label", crate::schema::ColumnType::Text),
+            ],
+            0,
+        ))
+        .unwrap();
+        cat.insert("events", vec![Value::Int(41), Value::text("a")])
+            .unwrap();
+        cat.insert("events", vec![Value::Int(-7), Value::text("b")])
+            .unwrap();
+        let q = parse_select("select * from events where \"great\"").unwrap();
+        let r = execute(&q, &cat, &ById).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].0[0], Value::Int(41));
+        assert!((r.rows[0].1 - 0.9).abs() < 1e-12);
+        assert_eq!(r.rows[1].0[0], Value::Int(-7));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use ast::{CmpOp, Expr, OrderBy, Select};
+pub use ast::{CmpOp, Expr, OrderBy, ReviewQualifier, Select};
 pub use bitmap::Bitmap;
 pub use catalog::Catalog;
 pub use column::ColumnData;

@@ -5,8 +5,12 @@
 //! ```text
 //! select    := SELECT cols FROM ident [ident]
 //!              (JOIN ident [ident] ON colref '=' colref)*
-//!              [WHERE expr] [ORDER BY colref [ASC|DESC]] [LIMIT int]
+//!              [WHERE expr] [WITH REVIEWS '(' qualifiers ')']
+//!              [ORDER BY colref [ASC|DESC]] [LIMIT int]
 //! cols      := '*' | colref (',' colref)*
+//! qualifiers:= [qualifier (',' qualifier)*]
+//! qualifier := 'year' cmp_op int
+//!            | 'reviewer_min_count' ('>=' | '>') int
 //! expr      := and_expr (OR and_expr)*
 //! and_expr  := unary (AND unary)*
 //! unary     := NOT unary | primary
@@ -18,7 +22,7 @@
 //! colref    := ident ['.' ident]
 //! ```
 
-use crate::ast::{CmpOp, ColumnRef, Expr, Join, Operand, OrderBy, Select};
+use crate::ast::{CmpOp, ColumnRef, Expr, Join, Operand, OrderBy, ReviewQualifier, Select};
 use crate::value::Value;
 
 /// A parse failure, with a human-readable message.
@@ -233,7 +237,7 @@ impl Parser {
     fn is_reserved(word: &str) -> bool {
         [
             "select", "from", "where", "and", "or", "not", "join", "on", "order", "by", "limit",
-            "asc", "desc", "true", "false",
+            "asc", "desc", "true", "false", "with",
         ]
         .iter()
         .any(|k| word.eq_ignore_ascii_case(k))
@@ -270,6 +274,12 @@ impl Parser {
             None
         };
 
+        let review_qualifier = if self.eat_keyword("with") {
+            Some(self.parse_review_qualifier()?)
+        } else {
+            None
+        };
+
         let order_by = if self.eat_keyword("order") {
             self.expect_keyword("by")?;
             let column = self.parse_colref()?;
@@ -299,9 +309,94 @@ impl Parser {
             alias,
             joins,
             where_clause,
+            review_qualifier,
             order_by,
             limit,
         })
+    }
+
+    /// Parses `reviews(year >= 2015, reviewer_min_count >= 10)` — the
+    /// review-qualifier clause following `with`. Bounds of the same kind
+    /// intersect (two `year >=` keep the tighter one), so the qualifier
+    /// is always a closed year range plus a min-degree threshold.
+    fn parse_review_qualifier(&mut self) -> Result<ReviewQualifier, ParseError> {
+        self.expect_keyword("reviews")?;
+        if self.next() != Some(Token::LParen) {
+            return Err(self.err("expected '(' after reviews"));
+        }
+        let mut q = ReviewQualifier::default();
+        if self.peek() == Some(&Token::RParen) {
+            self.pos += 1;
+            return Ok(q);
+        }
+        loop {
+            let field = self.expect_ident()?;
+            let op = match self.next() {
+                Some(Token::Lt) => CmpOp::Lt,
+                Some(Token::Le) => CmpOp::Le,
+                Some(Token::Gt) => CmpOp::Gt,
+                Some(Token::Ge) => CmpOp::Ge,
+                Some(Token::Eq) => CmpOp::Eq,
+                other => {
+                    return Err(self.err(&format!(
+                        "expected comparison in review qualifier, got {other:?}"
+                    )))
+                }
+            };
+            let n = match self.next() {
+                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 && n < 4.0e9 => n as u32,
+                other => {
+                    return Err(self.err(&format!(
+                        "expected a non-negative integer in review qualifier, got {other:?}"
+                    )))
+                }
+            };
+            let tighten_min = |cur: &mut Option<u32>, n: u32| {
+                *cur = Some(cur.map_or(n, |c| c.max(n)));
+            };
+            let tighten_max = |cur: &mut Option<u32>, n: u32| {
+                *cur = Some(cur.map_or(n, |c| c.min(n)));
+            };
+            match field.as_str() {
+                "year" => match op {
+                    CmpOp::Ge => tighten_min(&mut q.min_year, n),
+                    CmpOp::Gt => tighten_min(&mut q.min_year, n.saturating_add(1)),
+                    CmpOp::Le => tighten_max(&mut q.max_year, n),
+                    CmpOp::Lt => tighten_max(&mut q.max_year, n.saturating_sub(1)),
+                    CmpOp::Eq => {
+                        tighten_min(&mut q.min_year, n);
+                        tighten_max(&mut q.max_year, n);
+                    }
+                    CmpOp::Ne => unreachable!("not produced above"),
+                },
+                "reviewer_min_count" => match op {
+                    CmpOp::Ge => tighten_min(&mut q.min_reviewer_count, n),
+                    CmpOp::Gt => {
+                        tighten_min(&mut q.min_reviewer_count, n.saturating_add(1));
+                    }
+                    other => {
+                        return Err(self.err(&format!(
+                            "reviewer_min_count supports only lower bounds (>=, >), got {other}"
+                        )))
+                    }
+                },
+                other => {
+                    return Err(self.err(&format!(
+                        "unknown review qualifier field {other:?} (expected year or reviewer_min_count)"
+                    )))
+                }
+            }
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => {
+                    return Err(self.err(&format!(
+                        "expected ',' or ')' in review qualifier, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(q)
     }
 
     fn parse_optional_alias(&mut self) -> Option<String> {
@@ -566,6 +661,72 @@ mod tests {
                 }
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_review_qualifier() {
+        let q = parse_select(
+            "select * from hotels where \"clean rooms\" \
+             with reviews(year >= 2015, reviewer_min_count >= 10) limit 5",
+        )
+        .unwrap();
+        let rq = q.review_qualifier.unwrap();
+        assert_eq!(rq.min_year, Some(2015));
+        assert_eq!(rq.max_year, None);
+        assert_eq!(rq.min_reviewer_count, Some(10));
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn review_qualifier_bounds_normalize_and_tighten() {
+        let q = parse_select(
+            "select * from t where \"a\" with reviews(year > 2010, year >= 2012, \
+             year < 2018, reviewer_min_count > 3)",
+        )
+        .unwrap();
+        let rq = q.review_qualifier.unwrap();
+        assert_eq!(rq.min_year, Some(2012), "tightest lower bound wins");
+        assert_eq!(rq.max_year, Some(2017), "strict < becomes inclusive -1");
+        assert_eq!(rq.min_reviewer_count, Some(4), "strict > becomes >= n+1");
+        let eq = parse_select("select * from t where \"a\" with reviews(year = 2014)").unwrap();
+        let rq = eq.review_qualifier.unwrap();
+        assert_eq!((rq.min_year, rq.max_year), (Some(2014), Some(2014)));
+    }
+
+    #[test]
+    fn empty_review_qualifier_is_trivial() {
+        let q = parse_select("select * from t where \"a\" with reviews()").unwrap();
+        assert!(q.review_qualifier.unwrap().is_trivial());
+        // No `with` clause at all parses to None, a distinct statement.
+        let q = parse_select("select * from t where \"a\"").unwrap();
+        assert!(q.review_qualifier.is_none());
+    }
+
+    #[test]
+    fn with_is_reserved_and_not_an_alias() {
+        // `with` cannot be captured as a table alias: the qualifier
+        // grammar needs it after the (absent) where clause.
+        let q = parse_select("select * from hotels with reviews(year >= 2010)").unwrap();
+        assert_eq!(q.alias, None);
+        assert_eq!(q.review_qualifier.unwrap().min_year, Some(2010));
+    }
+
+    #[test]
+    fn review_qualifier_rejects_bad_shapes() {
+        for sql in [
+            "select * from t where \"a\" with",
+            "select * from t where \"a\" with reviews",
+            "select * from t where \"a\" with reviews(",
+            "select * from t where \"a\" with reviews(year)",
+            "select * from t where \"a\" with reviews(year >= 'x')",
+            "select * from t where \"a\" with reviews(year >= 2010.5)",
+            "select * from t where \"a\" with reviews(helpful >= 3)",
+            "select * from t where \"a\" with reviews(reviewer_min_count <= 3)",
+            "select * from t where \"a\" with reviews(year != 2010)",
+            "select * from t where \"a\" with reviews(year >= 2010 year <= 2012)",
+        ] {
+            assert!(parse_select(sql).is_err(), "{sql:?} should not parse");
         }
     }
 

@@ -100,41 +100,6 @@ impl<'a> RowView<'a> {
     }
 }
 
-/// Formats non-text key values into a stack buffer so key lookups do
-/// not allocate; overflow falls back to the heap path.
-struct KeyBuf {
-    buf: [u8; 48],
-    len: usize,
-}
-
-impl Default for KeyBuf {
-    fn default() -> Self {
-        KeyBuf {
-            buf: [0; 48],
-            len: 0,
-        }
-    }
-}
-
-impl KeyBuf {
-    fn as_str(&self) -> &str {
-        // Only `write_str` bytes land in the buffer, so it is UTF-8.
-        std::str::from_utf8(&self.buf[..self.len]).expect("KeyBuf holds UTF-8")
-    }
-}
-
-impl std::fmt::Write for KeyBuf {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        let bytes = s.as_bytes();
-        if self.len + bytes.len() > self.buf.len() {
-            return Err(std::fmt::Error);
-        }
-        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
-        self.len += bytes.len();
-        Ok(())
-    }
-}
-
 impl Table {
     /// Empty table with `schema`.
     pub fn new(schema: Schema) -> Self {
@@ -243,25 +208,13 @@ impl Table {
         &self.columns[i]
     }
 
-    /// Row position with the given key value, if present. Text keys
-    /// probe the index by `&str` directly and other types render into a
-    /// stack buffer — no per-lookup `String` allocation on any hot
-    /// path.
+    /// Row position with the given key value, if present. Goes through
+    /// [`Value::with_key_str`] — the key-formatting path shared with
+    /// the engine's entity lookup — so text keys probe the index by
+    /// `&str` and other types render into a stack buffer, with no
+    /// per-lookup `String` allocation on any hot path.
     pub fn row_of_key(&self, key: &Value) -> Option<usize> {
-        match key {
-            Value::Text(s) => self.key_index.get(s.as_str()).copied(),
-            other => {
-                use std::fmt::Write;
-                let mut buf = KeyBuf::default();
-                if write!(&mut buf, "{other}").is_ok() {
-                    self.key_index.get(buf.as_str()).copied()
-                } else {
-                    // Pathological rendering (e.g. a huge float key):
-                    // fall back to the allocating path.
-                    self.key_index.get(&other.to_string()).copied()
-                }
-            }
-        }
+        key.with_key_str(|s| self.key_index.get(s).copied())
     }
 
     /// Row position for a key already rendered as its display string.

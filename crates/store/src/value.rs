@@ -68,6 +68,67 @@ impl Value {
     pub fn as_ref(&self) -> ValueRef<'_> {
         ValueRef::from(self)
     }
+
+    /// Runs `f` on this value's *key rendering* — the exact string key
+    /// indexes (the table key index, the engine's entity map) store for
+    /// it — without allocating on any realistic input. Text keys pass
+    /// their `&str` straight through; other types render via `Display`
+    /// into a stack buffer, falling back to a heap `String` only for
+    /// pathological renderings (e.g. very long floats).
+    ///
+    /// This is *the* shared key-formatting path: every lookup that maps
+    /// a `Value` key to a row or entity must go through it (or through
+    /// an index keyed by strings it produced), so the table layer and
+    /// the engine layer can never disagree on how a non-text key spells.
+    pub fn with_key_str<R>(&self, f: impl FnOnce(&str) -> R) -> R {
+        use std::fmt::Write;
+        match self {
+            Value::Text(s) => f(s),
+            other => {
+                let mut buf = KeyBuf::default();
+                if write!(&mut buf, "{other}").is_ok() {
+                    f(buf.as_str())
+                } else {
+                    f(&other.to_string())
+                }
+            }
+        }
+    }
+}
+
+/// Formats non-text key values into a stack buffer so key lookups do
+/// not allocate; overflow falls back to the heap path.
+struct KeyBuf {
+    buf: [u8; 48],
+    len: usize,
+}
+
+impl Default for KeyBuf {
+    fn default() -> Self {
+        KeyBuf {
+            buf: [0; 48],
+            len: 0,
+        }
+    }
+}
+
+impl KeyBuf {
+    fn as_str(&self) -> &str {
+        // Only `write_str` bytes land in the buffer, so it is UTF-8.
+        std::str::from_utf8(&self.buf[..self.len]).expect("KeyBuf holds UTF-8")
+    }
+}
+
+impl std::fmt::Write for KeyBuf {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let bytes = s.as_bytes();
+        if self.len + bytes.len() > self.buf.len() {
+            return Err(std::fmt::Error);
+        }
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+        Ok(())
+    }
 }
 
 /// A borrowed view of one cell value.
@@ -211,6 +272,29 @@ mod tests {
         assert_eq!(Value::text("x").to_string(), "x");
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::Float(2.5).to_string(), "2.50");
+    }
+
+    #[test]
+    fn key_rendering_agrees_with_display_for_every_type() {
+        // `with_key_str` is the shared key-formatting path of the table
+        // key index and the engine's entity lookup; its output must be
+        // exactly the `Display` rendering those indexes were built from.
+        let vals = [
+            Value::Null,
+            Value::Int(41),
+            Value::Int(-7),
+            Value::Float(2.5),
+            Value::Float(-123456789.015625),
+            Value::text("Grand"),
+            Value::Bool(true),
+        ];
+        for v in &vals {
+            v.with_key_str(|s| assert_eq!(s, v.to_string(), "{v:?}"));
+        }
+        // Stack-buffer overflow falls back to the heap rendering and
+        // still agrees.
+        let long = Value::text(&"x".repeat(200));
+        long.with_key_str(|s| assert_eq!(s, long.to_string()));
     }
 
     #[test]

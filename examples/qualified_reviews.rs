@@ -1,6 +1,12 @@
 //! Review-qualified queries (Sec. 2): "consider only opinions of people
-//! who reviewed at least 10 hotels" and "reviews after 2010" — both
-//! require recomputing marker summaries from the extraction relation.
+//! who reviewed at least 10 hotels" and "reviews after 2010".
+//!
+//! Since PR 4 these are first-class Subjective SQL (`... with
+//! reviews(year >= 2010, reviewer_min_count >= 10)`) and interactive:
+//! raw occurrences are partitioned at build time into per-(year,
+//! reviewer-degree-bucket) partial summaries, and a qualifier *merges*
+//! partials (fixed-point accumulators make the merge bit-identical to a
+//! from-scratch rebuild) instead of re-aggregating every extraction.
 //!
 //! ```sh
 //! cargo run --release --example qualified_reviews
@@ -9,7 +15,8 @@
 use opinedb::core::{build, BuildConfig};
 use opinedb::corpus::hotel::hotel_spec;
 use opinedb::corpus::{Corpus, CorpusConfig};
-use std::collections::HashMap;
+use opinedb::store::ReviewQualifier;
+use std::time::Instant;
 
 fn main() {
     let corpus = Corpus::generate(
@@ -22,44 +29,72 @@ fn main() {
     );
     let db = build(&corpus, &BuildConfig::default());
 
-    // Prolific reviewers: at least 10 reviews in the corpus.
-    let counts: HashMap<usize, usize> = corpus.reviewer_counts();
-    let prolific: Vec<usize> = counts
+    let prolific = corpus
+        .reviews
         .iter()
-        .filter(|(_, &n)| n >= 10)
-        .map(|(&r, _)| r)
-        .collect();
+        .filter(|r| db.reviewer_review_count(r.reviewer_id) >= 10)
+        .count();
     println!(
-        "{} of {} reviewers wrote >= 10 reviews",
-        prolific.len(),
-        counts.len()
+        "{prolific} of {} reviews were written by reviewers with >= 10 reviews",
+        corpus.reviews.len()
     );
 
-    let full = db.summaries_with_review_filter(|_| true);
-    let qualified =
-        db.summaries_with_review_filter(|m| counts.get(&m.reviewer_id).copied().unwrap_or(0) >= 10);
-    let recent = db.summaries_with_review_filter(|m| m.year > 2010);
+    // The SQL surface: the qualifier scopes every subjective degree in
+    // the statement to the qualifying reviews.
+    let sql = "select hotelname, price_pn from hotels \
+               where \"very clean rooms\" \
+               with reviews(year > 2010, reviewer_min_count >= 10) \
+               limit 8";
+    println!("\n{sql}\n");
+    let out = db.query(sql).expect("qualified query runs");
+    for (row, score) in &out.result.rows {
+        println!("  {:<12} {:>8}   degree {score:.3}", row[0], row[1]);
+    }
 
-    println!("\nroom-cleanliness degree for \"very clean\" under each review filter:");
+    // Under the hood: merged partials vs the raw-scan rebuild — same
+    // summaries (bit-identical), very different cost.
+    let qualifier = ReviewQualifier {
+        min_year: Some(2011),
+        max_year: None,
+        min_reviewer_count: Some(10),
+    };
+    let start = Instant::now();
+    let rebuilt = db.summaries_with_review_filter(|m| {
+        qualifier.accepts(m.year, db.reviewer_review_count(m.reviewer_id) as u32)
+    });
+    let t_rebuild = start.elapsed();
+    db.clear_filtered_summaries();
+    let start = Instant::now();
+    let merged = db.summaries_qualified(&qualifier);
+    let t_merge = start.elapsed();
+
+    println!("\nroom-cleanliness degree for \"very clean\", all vs qualified reviews:");
     println!(
-        "{:<10} {:>10} {:>12} {:>12} {:>8}",
-        "hotel", "all", "prolific", "after 2010", "reviews"
+        "{:<12} {:>8} {:>11} {:>8}",
+        "hotel", "all", "qualified", "reviews"
     );
+    let all = db.summaries_qualified(&ReviewQualifier::default());
     for e in 0..8 {
-        let d_all = db.attribute_degree_with_summaries(&full, e, 0, "very clean");
-        let d_q = db.attribute_degree_with_summaries(&qualified, e, 0, "very clean");
-        let d_r = db.attribute_degree_with_summaries(&recent, e, 0, "very clean");
+        let d_all = db.attribute_degree_with_summaries(&all, e, 0, "very clean");
+        let d_q = db.attribute_degree_with_summaries(&merged, e, 0, "very clean");
+        assert_eq!(
+            d_q.to_bits(),
+            db.attribute_degree_with_summaries(&rebuilt, e, 0, "very clean")
+                .to_bits(),
+            "merge and rebuild must agree bit-for-bit"
+        );
         println!(
-            "{:<10} {:>10.3} {:>12.3} {:>12.3} {:>8}",
+            "{:<12} {:>8.3} {:>11.3} {:>8}",
             db.entity_key(e),
             d_all,
             d_q,
-            d_r,
             db.review_count(e)
         );
     }
     println!(
-        "\n(the filtered columns differ from `all` because the summaries were \
-         recomputed from the qualifying extractions only)"
+        "\nraw-scan rebuild {:>8.1?}   bucket merge {:>8.1?}   ({:.1}x)",
+        t_rebuild,
+        t_merge,
+        t_rebuild.as_secs_f64() / t_merge.as_secs_f64().max(1e-9)
     );
 }

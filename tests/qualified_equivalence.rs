@@ -1,0 +1,178 @@
+//! Review-qualifier equivalence properties through the full stack.
+//!
+//! Three evaluation routes must agree *bit-for-bit* on every degree:
+//!
+//! 1. **bucket merge** — `OpineDb::summaries_qualified`, merging the
+//!    build-time `(year, reviewer-degree bucket)` partial summaries
+//!    (with straddle refinement for thresholds that cut a bucket);
+//! 2. **raw rescan** — `OpineDb::summaries_with_review_filter` over the
+//!    qualifier's reference closure (`ReviewQualifier::accepts`);
+//! 3. **trivial qualifier** — `with reviews()` over all reviews, which
+//!    must reproduce the unqualified build-time summaries and the
+//!    unqualified query answers.
+//!
+//! Routes 1 and 2 are exercised both at the summary level and through
+//! `execute` / `execute_lazy` (the SQL surface).
+
+use opinedb::core::{build, BuildConfig, OpineDb};
+use opinedb::corpus::hotel::hotel_spec;
+use opinedb::corpus::{Corpus, CorpusConfig};
+use opinedb::embed::Word2VecConfig;
+use opinedb::store::{execute, execute_lazy, parse_select, ReviewQualifier, Value};
+use proptest::prelude::*;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn qualified_db() -> OpineDb {
+    let corpus = Corpus::generate(
+        hotel_spec(),
+        &CorpusConfig {
+            num_entities: env_usize("OPINE_TEST_ENTITIES", 20),
+            mean_reviews: env_usize("OPINE_TEST_REVIEWS", 14),
+            seed: 71,
+        },
+    );
+    build(
+        &corpus,
+        &BuildConfig {
+            w2v: Word2VecConfig {
+                dim: 24,
+                epochs: 2,
+                ..Default::default()
+            },
+            membership_tuples: 300,
+            ..Default::default()
+        },
+    )
+}
+
+fn db() -> &'static OpineDb {
+    use std::sync::OnceLock;
+    static DB: OnceLock<OpineDb> = OnceLock::new();
+    DB.get_or_init(qualified_db)
+}
+
+/// Degrees of one predicate for all entities over a summary set.
+fn degrees(db: &OpineDb, summaries: &[Vec<opinedb::core::MarkerSummary>]) -> Vec<f64> {
+    (0..db.num_entities())
+        .map(|e| db.attribute_degree_with_summaries(summaries, e, 0, "clean rooms"))
+        .collect()
+}
+
+proptest! {
+    /// Bucket-merged and raw-rescanned summaries agree bit-for-bit for
+    /// arbitrary year ranges and degree thresholds (including
+    /// non-power-of-two thresholds, which cut through a log2 bucket and
+    /// exercise the straddle refinement).
+    #[test]
+    fn bucket_merge_equals_raw_rescan(
+        min_year in 2004u32..2021,
+        span in 0u32..16,
+        min_count in 1u32..12,
+        use_count in prop::sample::select(vec![false, true]),
+    ) {
+        let db = db();
+        let q = ReviewQualifier {
+            min_year: Some(min_year),
+            max_year: Some(min_year + span),
+            min_reviewer_count: use_count.then_some(min_count),
+        };
+        let merged = db.summaries_qualified(&q);
+        let rebuilt = db.summaries_with_review_filter(|m| {
+            q.accepts(m.year, db.reviewer_review_count(m.reviewer_id) as u32)
+        });
+        for e in 0..db.num_entities() {
+            for a in 0..db.attributes.len() {
+                prop_assert!(
+                    merged[e][a].same_aggregates(&rebuilt[e][a]),
+                    "{q} entity {e} attr {a}"
+                );
+            }
+        }
+        let d_merged = degrees(db, &merged);
+        let d_rebuilt = degrees(db, &rebuilt);
+        for (a, b) in d_merged.iter().zip(&d_rebuilt) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn trivial_qualifier_is_bit_identical_to_unqualified_execution() {
+    let db = db();
+    let plain = parse_select("select * from hotels where \"clean rooms\" limit 20").unwrap();
+    let trivial =
+        parse_select("select * from hotels where \"clean rooms\" with reviews() limit 20").unwrap();
+
+    let base = execute(&plain, db.catalog(), db).unwrap();
+    let qualified = execute(&trivial, db.catalog(), db).unwrap();
+    assert_eq!(base.rows.len(), qualified.rows.len());
+    for (a, b) in base.rows.iter().zip(&qualified.rows) {
+        assert_eq!(a.0, b.0, "same rows in the same order");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "bit-identical scores");
+    }
+}
+
+#[test]
+fn execute_and_execute_lazy_agree_on_qualified_statements() {
+    let db = db();
+    for sql in [
+        "select * from hotels where \"clean rooms\" with reviews(year >= 2012) limit 20",
+        "select hotelname from hotels where \"clean rooms\" \
+         with reviews(year >= 2008, year <= 2016, reviewer_min_count >= 3) limit 10",
+        "select * from hotels where price_pn < 260 and \"clean rooms\" \
+         with reviews(reviewer_min_count >= 2) limit 20",
+        "select * from hotels where \"clean rooms\" with reviews() limit 20",
+    ] {
+        let q = parse_select(sql).unwrap();
+        let materialized = execute(&q, db.catalog(), db).unwrap();
+        let lazy = execute_lazy(&q, db.catalog(), db).unwrap();
+        assert_eq!(lazy.len(), materialized.rows.len(), "{sql}");
+        for (i, (row, score)) in materialized.rows.iter().enumerate() {
+            assert_eq!(
+                lazy.score(i).to_bits(),
+                score.to_bits(),
+                "{sql}: bit-identical scores"
+            );
+            let borrowed: Vec<Value> = lazy.values(i).map(|v| v.to_value()).collect();
+            assert_eq!(&borrowed, row, "{sql}");
+        }
+    }
+}
+
+#[test]
+fn qualified_execution_matches_rebuild_reference_scores() {
+    let db = db();
+    let q = ReviewQualifier {
+        min_year: Some(2011),
+        max_year: None,
+        min_reviewer_count: Some(3),
+    };
+    let out = execute(
+        &parse_select(
+            "select * from hotels where \"clean rooms\" \
+             with reviews(year >= 2011, reviewer_min_count >= 3) limit 20",
+        )
+        .unwrap(),
+        db.catalog(),
+        db,
+    )
+    .unwrap();
+    let rebuilt = db.summaries_with_review_filter(|m| {
+        q.accepts(m.year, db.reviewer_review_count(m.reviewer_id) as u32)
+    });
+    for (row, score) in &out.rows {
+        let entity = db.entity_id(row[0].as_str().unwrap()).unwrap();
+        let reference = db.attribute_degree_with_summaries(&rebuilt, entity, 0, "clean rooms");
+        assert_eq!(
+            score.to_bits(),
+            reference.to_bits(),
+            "entity {entity}: SQL path vs rebuild reference"
+        );
+    }
+}

@@ -33,7 +33,7 @@ proptest! {
         mode in prop::sample::select(vec![AssignMode::Best, AssignMode::Proportional]),
     ) {
         let set = axis_markers(3, 4, SummaryKind::Linear);
-        let mut summary = MarkerSummary::empty(3, 4);
+        let mut summary = MarkerSummary::empty(3);
         for (i, (rep, senti)) in phrases.iter().enumerate() {
             summary.add_phrase("p", rep, *senti, &set, mode, 0.1, i);
         }
@@ -67,8 +67,8 @@ proptest! {
         }
     }
 
-    /// Incremental aggregation is order-insensitive for counts (the
-    /// histogram is a sum, whatever the arrival order).
+    /// Incremental aggregation is order-insensitive — *bit-exactly* so,
+    /// now that accumulators are fixed-point integers.
     #[test]
     fn histogram_is_order_insensitive(
         mut phrases in prop::collection::vec(
@@ -76,7 +76,7 @@ proptest! {
     ) {
         let set = axis_markers(3, 4, SummaryKind::Linear);
         let run = |ps: &[(Vec<f32>, f64)]| {
-            let mut s = MarkerSummary::empty(3, 4);
+            let mut s = MarkerSummary::empty(3);
             for (i, (rep, senti)) in ps.iter().enumerate() {
                 s.add_phrase("p", rep, *senti, &set, AssignMode::Best, 0.1, i);
             }
@@ -85,9 +85,61 @@ proptest! {
         let forward = run(&phrases);
         phrases.reverse();
         let backward = run(&phrases);
-        for (a, b) in forward.counts.iter().zip(&backward.counts) {
-            prop_assert!((a - b).abs() < 1e-9);
+        prop_assert!(forward.same_aggregates(&backward));
+        for (a, b) in forward.counts().iter().zip(&backward.counts()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
         }
         prop_assert!((forward.unmatched - backward.unmatched).abs() < 1e-9);
+    }
+
+    /// The tentpole property: building partial summaries over any
+    /// partition of the phrases and merging them — in any order — is
+    /// bit-identical to the from-scratch build over all phrases.
+    /// Fixed-point accumulation makes merge exactly associative and
+    /// commutative, which is what lets the engine answer review-
+    /// qualified queries by merging per-bucket partials instead of
+    /// re-aggregating raw occurrences.
+    #[test]
+    fn merge_of_partition_is_bit_identical_to_from_scratch(
+        phrases in prop::collection::vec(
+            (prop::collection::vec(-1.0f32..=1.0, 4), -1.0f64..=1.0), 1..24),
+        assignment in prop::collection::vec(0usize..4, 24),
+        mode in prop::sample::select(vec![AssignMode::Best, AssignMode::Proportional]),
+        merge_backwards in prop::sample::select(vec![false, true]),
+    ) {
+        let set = axis_markers(3, 4, SummaryKind::Linear);
+        // From-scratch build over every phrase, in order.
+        let mut whole = MarkerSummary::empty(3);
+        for (i, (rep, senti)) in phrases.iter().enumerate() {
+            whole.add_phrase("p", rep, *senti, &set, mode, 0.1, i);
+        }
+        // Partition phrases into up to 4 parts by the random assignment
+        // and build each part independently.
+        let mut parts: Vec<MarkerSummary> = (0..4).map(|_| MarkerSummary::empty(3)).collect();
+        for (i, (rep, senti)) in phrases.iter().enumerate() {
+            parts[assignment[i]].add_phrase("p", rep, *senti, &set, mode, 0.1, i);
+        }
+        let mut merged = MarkerSummary::empty(3);
+        if merge_backwards {
+            for p in parts.iter().rev() {
+                merged.merge(p);
+            }
+        } else {
+            for p in &parts {
+                merged.merge(p);
+            }
+        }
+        prop_assert!(merged.same_aggregates(&whole),
+            "merged {:?}/{:?} vs whole {:?}/{:?}",
+            merged.counts(), merged.total, whole.counts(), whole.total);
+        for i in 0..3 {
+            prop_assert_eq!(merged.count(i).to_bits(), whole.count(i).to_bits());
+            prop_assert_eq!(
+                merged.sentiment_mean(i).to_bits(),
+                whole.sentiment_mean(i).to_bits()
+            );
+        }
+        prop_assert_eq!(merged.matched_mass().to_bits(), whole.matched_mass().to_bits());
+        prop_assert_eq!(merged.provenance.len(), whole.provenance.len());
     }
 }
