@@ -8,10 +8,17 @@
 //! quantized (`u16`) degree-column ablation. Recorded in
 //! `BENCH_pr3.json`.
 //!
+//! PR 5 adds the **Block-Max-WAND retrieval** scenario: the cold
+//! interpretation path's BM25 top-k over the review-heavy corpus's
+//! index, WAND vs the exhaustive posting traversal, asserted ≥ 5x with
+//! bit-identical answers and recorded in `BENCH_pr5.json`.
+//!
 //! In smoke mode (`cargo test --benches`, no `--bench` flag) the heavy
-//! measurement loops are skipped, but a small-corpus **pushdown guard**
-//! still runs: a mixed query must fire the `pushdown_queries` counter,
-//! or the bench (and CI) fails.
+//! measurement loops are skipped, but small-corpus guards still run: a
+//! mixed query must fire the `pushdown_queries` counter, a qualified
+//! query the bucket-merge counters, and the **wand guard** must skip
+//! posting blocks while returning bit-identical top-k answers — or the
+//! bench (and CI) fails.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use opine_bench::banner;
@@ -20,7 +27,9 @@ use opine_core::{build, BuildConfig, OpineDb};
 use opine_corpus::hotel::hotel_spec;
 use opine_corpus::{Corpus, CorpusConfig};
 use opine_embed::Word2VecConfig;
+use opine_ir::{Bm25Params, InvertedIndex};
 use opine_store::ReviewQualifier;
+use opine_text::WordId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -326,6 +335,62 @@ fn qualified_smoke_guard() {
     );
 }
 
+/// Smoke-mode guard: Block-Max WAND must return **bit-identical** top-k
+/// answers to the exhaustive posting traversal AND actually skip blocks
+/// on a skewed corpus (the `wand-smoke` CI guard). The corpus is
+/// deterministic (LCG), so a silent regression in either property fails
+/// `cargo test --benches` and the CI smoke job.
+fn wand_smoke_guard() {
+    let mut vocab = opine_text::Vocab::new();
+    let mut index = InvertedIndex::new();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for _ in 0..4000 {
+        let mut text = String::new();
+        for _ in 0..(next() % 4) {
+            text.push_str("clean ");
+        }
+        if next() % 2 == 0 {
+            text.push_str("room ");
+        }
+        for f in 0..(next() % 6) {
+            text.push_str(["lobby ", "stay ", "bed ", "desk ", "pool ", "bar "][f]);
+        }
+        text.push_str("hotel");
+        index.add_document(&text, &mut vocab);
+    }
+    let terms: Vec<WordId> = ["clean", "room"]
+        .iter()
+        .map(|t| vocab.get(t).expect("corpus term"))
+        .collect();
+    let params = Bm25Params::default();
+    let wand = index.search_terms(&terms, 10, &params);
+    index.set_wand(false);
+    let exhaustive = index.search_terms(&terms, 10, &params);
+    index.set_wand(true);
+    assert_eq!(wand.len(), exhaustive.len(), "same hit count");
+    for (w, e) in wand.iter().zip(&exhaustive) {
+        assert_eq!(w.doc, e.doc, "wand and exhaustive must rank identically");
+        assert_eq!(w.score.to_bits(), e.score.to_bits(), "bit-identical scores");
+    }
+    let stats = index.retrieval_stats();
+    assert!(stats.wand_queries > 0, "wand path must fire: {stats:?}");
+    assert!(
+        stats.blocks_skipped > 0,
+        "cold top-10 over 4000 skewed docs must skip posting blocks: {stats:?}"
+    );
+    println!(
+        "wand smoke guard ok: {} blocks skipped, {} bit-identical hits",
+        stats.blocks_skipped,
+        wand.len()
+    );
+}
+
 fn bench(c: &mut Criterion) {
     banner("PR 1: query hot path — interpretation cache, dense TA, parallel scoring");
 
@@ -349,6 +414,7 @@ fn bench(c: &mut Criterion) {
         println!("smoke mode: correctness checks only, no timings recorded");
         pushdown_smoke_guard();
         qualified_smoke_guard();
+        wand_smoke_guard();
         let mut group = c.benchmark_group("query_hotpath");
         group.bench_function("topk_seed_500", |b| {
             b.iter(|| seed_threshold_topk(black_box(&lists), TOPK_K))
@@ -679,6 +745,126 @@ fn bench(c: &mut Criterion) {
     let pr3_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
     std::fs::write(pr3_out, &pr3_json).expect("write BENCH_pr3.json");
     println!("wrote {pr3_out}");
+
+    // ---- PR 5: Block-Max WAND retrieval on the cold interpretation path ----
+    // The review-heavy corpus above doubles as the retrieval corpus
+    // (its review index is what the co-occurrence stage searches). Two
+    // shapes: the interpreter's own fan-out (top_k_reviews · 4 = 160)
+    // and a tight top-10; both must be bit-identical to the exhaustive
+    // posting traversal before any timing is recorded.
+    let rindex = qdb.interpreter().review_index();
+    let rvocab = qdb.vocab();
+    // Concept predicates — the phrases stage 1 cannot map to a single
+    // attribute, i.e. exactly the workload the co-occurrence retrieval
+    // serves cold (direct attribute phrases are intercepted by the
+    // word2vec stage). Mixed document frequencies, including an
+    // out-of-vocabulary token, like real user queries.
+    let wand_preds = [
+        "romantic getaway",
+        "good for business travelers",
+        "kid friendly hotel",
+        "anniversary celebration",
+    ];
+    let term_sets: Vec<Vec<WordId>> = wand_preds
+        .iter()
+        .map(|p| {
+            opine_text::tokenize(p)
+                .iter()
+                .filter_map(|t| rvocab.get(t))
+                .collect()
+        })
+        .collect();
+    for (p, t) in wand_preds.iter().zip(&term_sets) {
+        assert!(
+            !t.is_empty(),
+            "bench predicate {p:?} must have in-vocab terms"
+        );
+    }
+    let params = Bm25Params::default();
+    for terms in &term_sets {
+        for k in [10, 160] {
+            let w = rindex.search_terms(terms, k, &params);
+            rindex.set_wand(false);
+            let e = rindex.search_terms(terms, k, &params);
+            rindex.set_wand(true);
+            assert_eq!(w.len(), e.len(), "same hit count at k={k}");
+            for (a, b) in w.iter().zip(&e) {
+                assert_eq!(a.doc, b.doc, "identical ranking at k={k}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "bit-identical scores");
+            }
+        }
+    }
+    let skipped_before = rindex.retrieval_stats().blocks_skipped;
+    let time_search = |k: usize, iters: usize| -> f64 {
+        measure(iters, || {
+            for terms in &term_sets {
+                black_box(rindex.search_terms(black_box(terms), k, &params));
+            }
+        }) / term_sets.len() as f64
+    };
+    let t_wand_k10 = time_search(10, 300);
+    let t_wand_k160 = time_search(160, 300);
+    rindex.set_wand(false);
+    let t_exh_k10 = time_search(10, 30);
+    let t_exh_k160 = time_search(160, 30);
+    rindex.set_wand(true);
+    // The cold co-occurrence stage end-to-end: BM25 retrieval +
+    // sentiment rescoring + digest co-occurrence scoring, no memo.
+    let time_cooccur = |iters: usize| -> f64 {
+        measure(iters, || {
+            for p in &wand_preds {
+                black_box(qdb.interpreter().cooccurrence_stage(black_box(p), rvocab));
+            }
+        }) / wand_preds.len() as f64
+    };
+    let t_cooccur_wand = time_cooccur(100);
+    rindex.set_wand(false);
+    let t_cooccur_exh = time_cooccur(30);
+    rindex.set_wand(true);
+    let rstats = rindex.retrieval_stats();
+    assert!(
+        rstats.blocks_skipped > skipped_before,
+        "the measured scenario must skip posting blocks: {rstats:?}"
+    );
+    let speedup_k10 = t_exh_k10 / t_wand_k10;
+    let speedup_k160 = t_exh_k160 / t_wand_k160;
+    let speedup_cooccur = t_cooccur_exh / t_cooccur_wand;
+    println!(
+        "block-max WAND retrieval over {} reviews ({} predicates, bit-identical):\n\
+         \x20 top-10   exhaustive {:>9.1} µs   wand {:>9.1} µs   ({speedup_k10:.1}x)\n\
+         \x20 top-160  exhaustive {:>9.1} µs   wand {:>9.1} µs   ({speedup_k160:.1}x)\n\
+         \x20 cold co-occurrence stage {:>9.1} µs -> {:>9.1} µs   ({speedup_cooccur:.1}x)\n\
+         \x20 wand_queries={} blocks_skipped={}",
+        rindex.num_docs(),
+        wand_preds.len(),
+        t_exh_k10 * 1e6,
+        t_wand_k10 * 1e6,
+        t_exh_k160 * 1e6,
+        t_wand_k160 * 1e6,
+        t_cooccur_exh * 1e6,
+        t_cooccur_wand * 1e6,
+        rstats.wand_queries,
+        rstats.blocks_skipped,
+    );
+    assert!(
+        speedup_k160 >= 5.0,
+        "acceptance: the interpreter-shaped cold retrieval (k=160) must be \
+         ≥ 5x faster than the exhaustive posting traversal, got {speedup_k160:.1}x \
+         ({:.1} µs vs {:.1} µs)",
+        t_exh_k160 * 1e6,
+        t_wand_k160 * 1e6,
+    );
+
+    let pr5_json = format!(
+        "{{\n  \"bench\": \"query_hotpath/wand_retrieval\",\n  \"config\": {{\n    \"reviews\": {},\n    \"entities\": {qualified_entities},\n    \"predicates\": {},\n    \"workers\": {workers}\n  }},\n  \"seconds\": {{\n    \"retrieval_top10_exhaustive\": {t_exh_k10:.9},\n    \"retrieval_top10_wand\": {t_wand_k10:.9},\n    \"retrieval_top160_exhaustive\": {t_exh_k160:.9},\n    \"retrieval_top160_wand\": {t_wand_k160:.9},\n    \"cooccur_stage_cold_exhaustive\": {t_cooccur_exh:.9},\n    \"cooccur_stage_cold_wand\": {t_cooccur_wand:.9}\n  }},\n  \"speedups\": {{\n    \"retrieval_top10\": {speedup_k10:.2},\n    \"retrieval_top160\": {speedup_k160:.2},\n    \"cooccur_stage_cold\": {speedup_cooccur:.2}\n  }},\n  \"counters\": {{\n    \"wand_queries\": {},\n    \"blocks_skipped\": {},\n    \"bit_identical_to_exhaustive\": true\n  }}\n}}\n",
+        rindex.num_docs(),
+        wand_preds.len(),
+        rstats.wand_queries,
+        rstats.blocks_skipped,
+    );
+    let pr5_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    std::fs::write(pr5_out, &pr5_json).expect("write BENCH_pr5.json");
+    println!("wrote {pr5_out}");
 
     // ---- record for the PR ----
     let json = format!(

@@ -240,6 +240,8 @@ pub fn build(corpus: &Corpus, config: &BuildConfig) -> OpineDb {
     for entity in &corpus.entities {
         entity_index.add_document(&corpus.entity_document(entity.id), &mut vocab);
     }
+    // Freeze the block-max structure at build time so no query pays it.
+    entity_index.freeze();
 
     let interpreter = Interpreter::new(
         config.interpreter.clone(),

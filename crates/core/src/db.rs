@@ -130,6 +130,17 @@ pub struct CacheReport {
     /// statements) — the `filtered_summary_queries` counter in `/stats`
     /// that the serve-smoke CI job guards.
     pub filtered_summary_queries: u64,
+    /// Top-k retrievals answered by the Block-Max-WAND path, summed
+    /// over the review index (co-occurrence interpretation) and the
+    /// entity index (text fallback) — the `/stats` counter the
+    /// serve-smoke CI job greps.
+    pub wand_queries: u64,
+    /// Top-k retrievals answered by the exhaustive ablation scorer.
+    pub exhaustive_queries: u64,
+    /// Posting blocks bypassed via skip pointers across both indexes —
+    /// the bench smoke guard panics when this stays zero on the cold
+    /// scenario.
+    pub blocks_skipped: u64,
 }
 
 /// A query phrase prepared for membership scoring: its normalized
@@ -701,6 +712,21 @@ impl OpineDb {
             .store(enabled, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// Routes BM25 top-k retrieval (the co-occurrence interpretation
+    /// stage and the entity text index) through Block-Max WAND (the
+    /// default) or the exhaustive posting traversal — the ablation the
+    /// equivalence tests and the cold-interpretation bench compare.
+    /// Answers are bit-identical either way; the interpretation memo
+    /// and degree caches are cleared so the ablation re-runs the full
+    /// cascade instead of replaying memoized results.
+    pub fn set_wand(&self, enabled: bool) {
+        self.entity_index.set_wand(enabled);
+        self.interpreter.review_index().set_wand(enabled);
+        self.interpreter.clear_cache();
+        self.column_cache.clear();
+        self.point_cache.clear();
+    }
+
     /// How many TA fast-path rankings carried an objective candidate
     /// bitmap — the pushdown counter (also in [`Self::cache_report`]).
     pub fn pushdown_queries(&self) -> u64 {
@@ -754,6 +780,8 @@ impl OpineDb {
         let mut column_bytes = 0usize;
         self.column_cache
             .for_each_value(|c| column_bytes += c.memory_bytes());
+        let review_ir = self.interpreter.review_index().retrieval_stats();
+        let entity_ir = self.entity_index.retrieval_stats();
         CacheReport {
             interpretations: self.interpreter.cache_stats(),
             phrases: self.phrase_cache.stats(),
@@ -769,6 +797,9 @@ impl OpineDb {
             filtered_summaries: self.filtered_cache.stats(),
             filtered_summary_sets: self.filtered_cache.len(),
             filtered_summary_queries: self.qualified_queries(),
+            wand_queries: review_ir.wand_queries + entity_ir.wand_queries,
+            exhaustive_queries: review_ir.exhaustive_queries + entity_ir.exhaustive_queries,
+            blocks_skipped: review_ir.blocks_skipped + entity_ir.blocks_skipped,
         }
     }
 
@@ -920,9 +951,24 @@ impl OpineDb {
         }
         let interp = self.interpret(predicate);
         let prepared = self.prepare_interpretation(predicate, &interp);
-        let degrees = par::par_map(self.num_entities(), |entity| {
-            self.degree_prepared(entity, &prepared)
-        });
+        let degrees = match &prepared {
+            // Text fallback: one term-at-a-time pass over the entity
+            // index's posting lists (O(total postings)) instead of a
+            // per-entity per-term lookup — bit-identical to the point
+            // path, which sums the same contributions per document.
+            PreparedInterpretation::Text { terms }
+                if self.entity_index.num_docs() == self.num_entities() =>
+            {
+                self.entity_index
+                    .bm25_dense(terms, &Bm25Params::default())
+                    .into_iter()
+                    .map(|score| sigmoid(score - self.config.sigmoid_c))
+                    .collect()
+            }
+            _ => par::par_map(self.num_entities(), |entity| {
+                self.degree_prepared(entity, &prepared)
+            }),
+        };
         let quantize = self
             .quantize_columns
             .load(std::sync::atomic::Ordering::Relaxed);
@@ -1893,6 +1939,87 @@ mod tests {
             .query("select * from hotels h where h.room_cleanliness .= \"very clean\" limit 5")
             .unwrap();
         assert!(!out.result.rows.is_empty());
+    }
+
+    /// A database whose interpreter thresholds are unreachable, so
+    /// every predicate falls through word2vec and co-occurrence to the
+    /// text-retrieval stage — the fixture for the text-fallback column
+    /// and the WAND counters (stage 2 still *runs* its retrieval
+    /// before giving up, so `wand_queries` fires).
+    fn text_fallback_db() -> OpineDb {
+        let corpus = Corpus::generate(
+            hotel_spec(),
+            &CorpusConfig {
+                num_entities: 16,
+                mean_reviews: 16,
+                seed: 9,
+            },
+        );
+        build(
+            &corpus,
+            &BuildConfig {
+                w2v: Word2VecConfig {
+                    dim: 24,
+                    epochs: 2,
+                    ..Default::default()
+                },
+                membership_tuples: 400,
+                interpreter: crate::interpret::InterpreterConfig {
+                    theta1: 1.01,
+                    theta2: f64::INFINITY,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn text_fallback_column_matches_point_path_bit_for_bit() {
+        let db = text_fallback_db();
+        let predicate = "clean rooms";
+        assert_eq!(
+            db.interpret(predicate),
+            Interpretation::TextFallback,
+            "unreachable thresholds must force the text stage"
+        );
+        // Batched column (one pass over the posting lists)…
+        let column = db.degree_column(predicate);
+        let degrees = column.degrees().expect("exact by default");
+        // …must equal the per-entity point path exactly.
+        db.set_degree_cache(false);
+        for (e, column_degree) in degrees.iter().enumerate() {
+            let point = db.degree(e, predicate);
+            assert_eq!(
+                column_degree.to_bits(),
+                point.to_bits(),
+                "entity {e}: batched text column diverged from the point path"
+            );
+        }
+        db.set_degree_cache(true);
+    }
+
+    #[test]
+    fn cache_report_aggregates_wand_counters() {
+        let db = text_fallback_db();
+        let before = db.cache_report();
+        // The cascade runs the co-occurrence retrieval (stage 2) before
+        // falling back, so one cold interpretation fires the counter.
+        let _ = db.interpret("comfortable beds");
+        let after = db.cache_report();
+        assert!(
+            after.wand_queries > before.wand_queries,
+            "stage-2 retrieval must route through WAND: {after:?}"
+        );
+        // The ablation toggle reroutes the same retrieval.
+        db.set_wand(false);
+        let _ = db.interpret("comfortable beds");
+        let toggled = db.cache_report();
+        assert!(
+            toggled.exhaustive_queries > after.exhaustive_queries,
+            "disabled WAND must fall back to the exhaustive scorer"
+        );
+        db.set_wand(true);
     }
 
     #[test]

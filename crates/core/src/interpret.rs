@@ -142,6 +142,9 @@ impl Interpreter {
             }
         }
         let cache = BoundedCache::new(config.cache_capacity);
+        // Freeze the block-max retrieval structure now, not inside the
+        // first cold interpretation.
+        review_index.freeze();
         Self {
             config,
             domains,
@@ -167,6 +170,13 @@ impl Interpreter {
     /// The configured thresholds.
     pub fn config(&self) -> &InterpreterConfig {
         &self.config
+    }
+
+    /// The review inverted index the co-occurrence stage retrieves
+    /// from — exposed so the engine can flip its Block-Max-WAND
+    /// ablation toggle and aggregate its retrieval counters.
+    pub fn review_index(&self) -> &InvertedIndex {
+        &self.review_index
     }
 
     /// Interprets `predicate` with the full three-stage fallback.
@@ -292,9 +302,12 @@ impl Interpreter {
         let terms: Vec<(usize, usize)> = attr_scores
             .iter()
             .map(|&(a, _)| {
+                // Tie-break by smallest marker index: `HashMap`
+                // iteration order is arbitrary, and a count-only max
+                // made tied markers resolve differently run to run.
                 let marker = marker_freq[a]
                     .iter()
-                    .max_by_key(|(_, &c)| c)
+                    .max_by_key(|(&m, &c)| (c, std::cmp::Reverse(m)))
                     .map(|(&m, _)| m)
                     .unwrap_or(0);
                 (a, marker)

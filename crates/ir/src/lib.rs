@@ -2,9 +2,12 @@
 //!
 //! Stands in for Elasticsearch in the original system. Provides:
 //!
-//! * [`InvertedIndex`] — document index with Okapi BM25 top-k retrieval,
-//!   used by the co-occurrence interpretation method (Eq. (3)) and by the
-//!   text-retrieval fallback (Sec. 3.2);
+//! * [`InvertedIndex`] — document index with Okapi BM25 top-k retrieval
+//!   (doc-ordered posting lists partitioned into blocks carrying
+//!   max-impact bounds, driven by Block-Max WAND, with the exhaustive
+//!   scorer kept as an ablation), used by the co-occurrence
+//!   interpretation method (Eq. (3)) and by the text-retrieval
+//!   fallback (Sec. 3.2);
 //! * [`expansion`] — embedding-based query expansion, used to strengthen
 //!   the GZ12 opinion-based entity-ranking baseline (Sec. 5.3).
 
@@ -12,4 +15,4 @@ pub mod expansion;
 pub mod index;
 
 pub use expansion::expand_query;
-pub use index::{Bm25Params, DocId, InvertedIndex, SearchHit};
+pub use index::{Bm25Params, DocId, InvertedIndex, RetrievalStats, SearchHit, DEFAULT_BLOCK_SIZE};

@@ -568,6 +568,12 @@ fn render_stats(state: &ServerState) -> String {
     out.push_str(&report.filtered_summary_sets.to_string());
     out.push_str(",\"filtered_summary_queries\":");
     out.push_str(&report.filtered_summary_queries.to_string());
+    out.push_str(",\"wand_queries\":");
+    out.push_str(&report.wand_queries.to_string());
+    out.push_str(",\"exhaustive_queries\":");
+    out.push_str(&report.exhaustive_queries.to_string());
+    out.push_str(",\"blocks_skipped\":");
+    out.push_str(&report.blocks_skipped.to_string());
     out.push_str("},\"result_cache\":{\"enabled\":");
     out.push_str(if state.config.result_cache_capacity > 0 {
         "true"

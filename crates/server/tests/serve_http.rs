@@ -205,7 +205,16 @@ fn stats_reports_caches_and_latencies() {
         "2nd and 3rd queries must hit: {}",
         stats.body
     );
-    assert!(v.get("engine_caches").is_some());
+    let engine = v.get("engine_caches").expect("engine cache section");
+    // The Block-Max-WAND retrieval counters are part of the payload
+    // (values depend on which interpretation stages the queries hit).
+    for field in ["wand_queries", "blocks_skipped", "exhaustive_queries"] {
+        assert!(
+            engine.get(field).and_then(|x| x.as_f64()).is_some(),
+            "missing {field} in {}",
+            stats.body
+        );
+    }
 }
 
 #[test]

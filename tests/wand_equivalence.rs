@@ -1,0 +1,310 @@
+//! Block-Max-WAND equivalence harness.
+//!
+//! The skipping retrieval path must return **bit-identical** answers to
+//! the exhaustive posting traversal it replaced — same documents, same
+//! `f64` score bits, same tie order — over random corpora and queries
+//! (including duplicate terms, empty queries, out-of-vocabulary terms,
+//! `k` larger than the corpus, and all-equal-score ties), and the
+//! per-block max-impact bounds must truly dominate every member
+//! document's score. On top of the index-level properties, a cold-path
+//! regression asserts the skipping path actually fires inside the
+//! interpretation pipeline (`wand_queries` / `blocks_skipped` via
+//! `cache_report`) and that query answers with WAND on and off match
+//! end-to-end through both `execute` and `execute_lazy`.
+
+use opinedb::core::interpret::InterpreterConfig;
+use opinedb::core::{build, BuildConfig, OpineDb};
+use opinedb::corpus::hotel::hotel_spec;
+use opinedb::corpus::{Corpus, CorpusConfig};
+use opinedb::embed::Word2VecConfig;
+use opinedb::ir::{Bm25Params, InvertedIndex, SearchHit};
+use opinedb::store::parser::parse_select;
+use opinedb::store::{execute, execute_lazy};
+use opinedb::text::Vocab;
+use proptest::prelude::*;
+
+/// Builds an index over synthetic documents. Word id `w` renders as the
+/// token `w{w}`; every id in `0..vocab_size + 3` is interned, so ids at
+/// the top of the range act as in-vocabulary terms with empty posting
+/// lists (the OOV case `search_terms` must tolerate).
+fn build_index(
+    docs: &[Vec<u8>],
+    vocab_size: u8,
+    block_size: usize,
+) -> (Vocab, InvertedIndex, Vec<opinedb::text::WordId>) {
+    let mut vocab = Vocab::new();
+    let ids: Vec<_> = (0..vocab_size as usize + 3)
+        .map(|w| vocab.intern(&format!("w{w}")))
+        .collect();
+    let mut index = InvertedIndex::new();
+    index.set_block_size(block_size);
+    for doc in docs {
+        let text = doc
+            .iter()
+            .map(|&w| format!("w{w}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        index.add_document(&text, &mut vocab);
+    }
+    (vocab, index, ids)
+}
+
+/// Asserts bit-identical hits: same docs, same score bits, same order.
+fn assert_bit_identical(
+    wand: &[SearchHit],
+    exhaustive: &[SearchHit],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        wand.len() == exhaustive.len(),
+        "{}: lengths differ ({} vs {})",
+        context,
+        wand.len(),
+        exhaustive.len()
+    );
+    for (i, (w, e)) in wand.iter().zip(exhaustive).enumerate() {
+        prop_assert!(
+            w.doc == e.doc,
+            "{}: doc at rank {} differs ({:?} vs {:?})",
+            context,
+            i,
+            w.doc,
+            e.doc
+        );
+        prop_assert!(
+            w.score.to_bits() == e.score.to_bits(),
+            "{}: score bits at rank {} differ ({} vs {})",
+            context,
+            i,
+            w.score,
+            e.score
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Random corpora + random queries (duplicates and OOV terms
+    /// included), random k (0 up to past the corpus size), random
+    /// block sizes down to single-posting blocks: WAND ≡ exhaustive.
+    #[test]
+    fn wand_is_bit_identical_to_exhaustive(
+        docs in prop::collection::vec(prop::collection::vec(0u8..12, 0..10), 0..48),
+        query in prop::collection::vec(0usize..15, 0..6),
+        k in 0usize..60,
+        block_size in 1usize..9,
+    ) {
+        let (_, index, ids) = build_index(&docs, 12, block_size);
+        let terms: Vec<_> = query.iter().map(|&q| ids[q]).collect();
+        let params = Bm25Params::default();
+        let wand = index.search_terms(&terms, k, &params);
+        let exhaustive = index.search_terms_exhaustive(&terms, k, &params);
+        assert_bit_identical(
+            &wand,
+            &exhaustive,
+            &format!("docs={} terms={:?} k={k} block={block_size}", docs.len(), query),
+        )?;
+        if k == 0 || terms.is_empty() {
+            prop_assert!(wand.is_empty());
+        }
+    }
+
+    /// A tiny vocabulary forces massive score ties; the tie order
+    /// (ascending doc id) must survive skipping exactly.
+    #[test]
+    fn tied_scores_keep_exhaustive_order(
+        num_docs in 1usize..64,
+        k in 0usize..80,
+        block_size in 1usize..6,
+    ) {
+        // Every document is identical, so every score is identical.
+        let docs: Vec<Vec<u8>> = (0..num_docs).map(|_| vec![0, 1, 1]).collect();
+        let (_, index, ids) = build_index(&docs, 2, block_size);
+        let terms = [ids[0], ids[1]];
+        let params = Bm25Params::default();
+        let wand = index.search_terms(&terms, k, &params);
+        let exhaustive = index.search_terms_exhaustive(&terms, k, &params);
+        assert_bit_identical(&wand, &exhaustive, &format!("n={num_docs} k={k}"))?;
+        // Ties resolve to the smallest doc ids, in ascending order.
+        let expect: Vec<u32> = (0..num_docs.min(k) as u32).collect();
+        let got: Vec<u32> = wand.iter().map(|h| h.doc.0).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Duplicate query terms double (triple, …) a term's contribution;
+    /// the skipping path must accumulate them in the same order.
+    #[test]
+    fn duplicate_terms_stay_equivalent(
+        docs in prop::collection::vec(prop::collection::vec(0u8..6, 1..8), 1..40),
+        term in 0usize..6,
+        copies in 2usize..5,
+        k in 1usize..50,
+    ) {
+        let (_, index, ids) = build_index(&docs, 6, 4);
+        let terms: Vec<_> = std::iter::repeat_n(ids[term], copies).collect();
+        let params = Bm25Params::default();
+        let wand = index.search_terms(&terms, k, &params);
+        let exhaustive = index.search_terms_exhaustive(&terms, k, &params);
+        assert_bit_identical(&wand, &exhaustive, &format!("copies={copies} k={k}"))?;
+    }
+
+    /// No block's stored max-impact bound is ever exceeded by a member
+    /// document's real score (the invariant every skip relies on).
+    #[test]
+    fn block_bounds_dominate_member_scores(
+        docs in prop::collection::vec(prop::collection::vec(0u8..8, 1..10), 1..60),
+        block_size in 1usize..7,
+    ) {
+        let (_, index, ids) = build_index(&docs, 8, block_size);
+        let params = Bm25Params::default();
+        for &term in &ids {
+            let blocks = index.term_blocks(term, &params);
+            let postings = index.term_postings(term);
+            for (first, last, bound) in blocks {
+                for &(doc, _) in postings {
+                    if doc >= first && doc <= last {
+                        let score = index.bm25(doc, &[term], &params);
+                        prop_assert!(
+                            score <= bound,
+                            "doc {:?} scores {} above its block bound {}",
+                            doc, score, bound
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A database whose interpreter must fall past stage 1 for every
+/// predicate (unreachable word2vec threshold) and retrieves a small
+/// top-k, so the cold interpretation path exercises WAND skipping on a
+/// review-heavy corpus.
+fn pipeline_db() -> OpineDb {
+    let corpus = Corpus::generate(
+        hotel_spec(),
+        &CorpusConfig {
+            num_entities: 24,
+            mean_reviews: 40,
+            seed: 31,
+        },
+    );
+    build(
+        &corpus,
+        &BuildConfig {
+            w2v: Word2VecConfig {
+                dim: 24,
+                epochs: 1,
+                ..Default::default()
+            },
+            membership_tuples: 300,
+            interpreter: InterpreterConfig {
+                // Stage 1 can never trigger (cosine ≤ 1), so every cold
+                // interpretation runs the co-occurrence retrieval.
+                theta1: 1.01,
+                top_k_reviews: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn cold_interpretation_fires_the_skipping_path() {
+    let db = pipeline_db();
+    let before = db.cache_report();
+    assert_eq!(before.wand_queries, 0);
+    let out = db
+        .query("select * from hotels where \"very clean comfortable room\" limit 8")
+        .expect("query runs");
+    assert!(!out.result.rows.is_empty());
+    let after = db.cache_report();
+    assert!(
+        after.wand_queries > 0,
+        "cold interpretation must route retrieval through WAND: {after:?}"
+    );
+    assert!(
+        after.blocks_skipped > 0,
+        "the block-max bounds must actually skip blocks on a \
+         review-heavy corpus: {after:?}"
+    );
+}
+
+#[test]
+fn wand_toggle_answers_match_end_to_end() {
+    let db = pipeline_db();
+    for sql in [
+        "select * from hotels where \"very clean comfortable room\" limit 10",
+        "select * from hotels where \"friendly helpful staff\" and \"clean rooms\" limit 6",
+        "select * from hotels where price_pn < 200 and \"quiet comfortable room\" limit 12",
+    ] {
+        let select = parse_select(sql).expect("parses");
+
+        let wand_exec = execute(&select, db.catalog(), &db).expect("execute");
+        let wand_lazy_rows: Vec<_> = {
+            let lazy = execute_lazy(&select, db.catalog(), &db).expect("execute_lazy");
+            (0..lazy.len())
+                .map(|i| {
+                    (
+                        lazy.score(i),
+                        lazy.values(i).map(|v| v.to_value()).collect::<Vec<_>>(),
+                    )
+                })
+                .collect()
+        };
+
+        db.set_wand(false);
+        let exhaustive_exec = execute(&select, db.catalog(), &db).expect("execute (exhaustive)");
+        let exhaustive_lazy_rows: Vec<_> = {
+            let lazy = execute_lazy(&select, db.catalog(), &db).expect("execute_lazy (exhaustive)");
+            (0..lazy.len())
+                .map(|i| {
+                    (
+                        lazy.score(i),
+                        lazy.values(i).map(|v| v.to_value()).collect::<Vec<_>>(),
+                    )
+                })
+                .collect()
+        };
+        db.set_wand(true);
+
+        // execute: same rows, same order, bit-equal scores.
+        assert_eq!(wand_exec.rows.len(), exhaustive_exec.rows.len(), "{sql}");
+        for ((wr, ws), (er, es)) in wand_exec.rows.iter().zip(&exhaustive_exec.rows) {
+            assert_eq!(wr, er, "{sql}");
+            assert_eq!(ws.to_bits(), es.to_bits(), "{sql}");
+        }
+        // execute_lazy: identical through the borrowing path too.
+        assert_eq!(wand_lazy_rows.len(), exhaustive_lazy_rows.len(), "{sql}");
+        for ((ws, wr), (es, er)) in wand_lazy_rows.iter().zip(&exhaustive_lazy_rows) {
+            assert_eq!(ws.to_bits(), es.to_bits(), "{sql}");
+            assert_eq!(wr, er, "{sql}");
+        }
+        // And the lazy path agrees with the materializing one.
+        assert_eq!(wand_exec.rows.len(), wand_lazy_rows.len(), "{sql}");
+        for ((row, score), (lscore, lrow)) in wand_exec.rows.iter().zip(&wand_lazy_rows) {
+            assert_eq!(score.to_bits(), lscore.to_bits(), "{sql}");
+            assert_eq!(row, lrow, "{sql}");
+        }
+    }
+}
+
+#[test]
+fn interpretations_match_with_wand_on_and_off() {
+    let db = pipeline_db();
+    let predicates = [
+        "very clean comfortable room",
+        "friendly helpful staff",
+        "spotless bathroom",
+        "quiet room great location",
+    ];
+    let with_wand: Vec<_> = predicates.iter().map(|p| db.interpret(p)).collect();
+    db.set_wand(false); // also clears the interpretation memo
+    let without: Vec<_> = predicates.iter().map(|p| db.interpret(p)).collect();
+    db.set_wand(true);
+    assert_eq!(
+        with_wand, without,
+        "bit-identical retrieval must produce identical interpretations"
+    );
+}
