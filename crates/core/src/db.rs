@@ -56,6 +56,10 @@ pub enum OpineError {
     Parse(String),
     /// Storage/execution failure.
     Store(StoreError),
+    /// The request's deadline expired mid-execution: a cancellation
+    /// checkpoint fired inside a long scan and the engine unwound to
+    /// the query entry. The serving layer maps this to 504.
+    QueryTimeout,
 }
 
 impl std::fmt::Display for OpineError {
@@ -63,6 +67,7 @@ impl std::fmt::Display for OpineError {
         match self {
             OpineError::Parse(m) => write!(f, "{m}"),
             OpineError::Store(e) => write!(f, "{e}"),
+            OpineError::QueryTimeout => write!(f, "query cancelled: deadline exceeded"),
         }
     }
 }
@@ -141,6 +146,13 @@ pub struct CacheReport {
     /// the bench smoke guard panics when this stays zero on the cold
     /// scenario.
     pub blocks_skipped: u64,
+    /// Queries cancelled mid-scan because their deadline expired
+    /// (surfaced to callers as [`OpineError::QueryTimeout`]).
+    pub timed_out_queries: u64,
+    /// Faults triggered by the `opine_faults` failpoints (delays,
+    /// injected errors, injected panics) — zero unless fault injection
+    /// is armed. The chaos-smoke CI job greps this from `/stats`.
+    pub faults_injected: u64,
 }
 
 /// A query phrase prepared for membership scoring: its normalized
@@ -475,6 +487,9 @@ pub struct OpineDb {
     /// Review-qualified rankings served (the `/stats`
     /// `filtered_summary_queries` counter).
     qualified_queries: std::sync::atomic::AtomicU64,
+    /// Queries cancelled by an expired deadline (mapped to
+    /// [`OpineError::QueryTimeout`] at the query entry).
+    timed_out_queries: std::sync::atomic::AtomicU64,
 }
 
 impl OpineDb {
@@ -612,6 +627,7 @@ impl OpineDb {
             pushdown_queries: std::sync::atomic::AtomicU64::new(0),
             filtered_cache: BoundedCache::new(16),
             qualified_queries: std::sync::atomic::AtomicU64::new(0),
+            timed_out_queries: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -800,6 +816,10 @@ impl OpineDb {
             wand_queries: review_ir.wand_queries + entity_ir.wand_queries,
             exhaustive_queries: review_ir.exhaustive_queries + entity_ir.exhaustive_queries,
             blocks_skipped: review_ir.blocks_skipped + entity_ir.blocks_skipped,
+            timed_out_queries: self
+                .timed_out_queries
+                .load(std::sync::atomic::Ordering::Relaxed),
+            faults_injected: opine_faults::injected_total(),
         }
     }
 
@@ -876,6 +896,49 @@ impl OpineDb {
         Ok(QueryRef {
             result,
             interpretations,
+        })
+    }
+
+    /// [`Self::query_select_ref`] under a request deadline: `deadline`
+    /// is installed as the thread's ambient cancellation token for the
+    /// duration of execution, so every long scan underneath (TA depth
+    /// loops, WAND pivoting, summary-partial merges, row scoring,
+    /// `par_map` fan-outs) checkpoints against it at chunk boundaries.
+    ///
+    /// This is the **single catch site** for the cancellation unwind: an
+    /// expired checkpoint panics with [`opine_faults::Cancelled`], which
+    /// is caught here and mapped to the typed
+    /// [`OpineError::QueryTimeout`] (and counted in
+    /// [`CacheReport::timed_out_queries`]). Every other panic payload is
+    /// resumed untouched for the serving layer's per-request isolation
+    /// to handle. The unwind is state-safe: the workspace's locks never
+    /// poison (`parking_lot` shim) and every bounded cache computes
+    /// outside its lock, so a cancelled query cannot publish a partial
+    /// result.
+    pub fn query_select_ref_deadline(
+        &self,
+        select: &Select,
+        deadline: Option<opine_faults::Deadline>,
+    ) -> Result<QueryRef<'_>, OpineError> {
+        if deadline.is_none() {
+            return self.query_select_ref(select);
+        }
+        opine_faults::with_deadline(deadline, || {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Coarse entry checkpoint: an already-spent budget (or a
+                // pre-cancelled token) times out before any work, even
+                // for queries too small to reach a strided checkpoint.
+                opine_faults::checkpoint_now();
+                self.query_select_ref(select)
+            })) {
+                Ok(result) => result,
+                Err(payload) if payload.is::<opine_faults::Cancelled>() => {
+                    self.timed_out_queries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Err(OpineError::QueryTimeout)
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         })
     }
 
@@ -966,6 +1029,7 @@ impl OpineDb {
                     .collect()
             }
             _ => par::par_map(self.num_entities(), |entity| {
+                opine_faults::checkpoint();
                 self.degree_prepared(entity, &prepared)
             }),
         };
@@ -1317,7 +1381,9 @@ impl OpineDb {
 
     /// The bucket-merge itself, parallel over entity chunks.
     fn merge_qualified(&self, qualifier: &ReviewQualifier) -> Vec<Vec<MarkerSummary>> {
+        opine_faults::fire_panic("summary_merge");
         par::par_map(self.num_entities(), |entity| {
+            opine_faults::checkpoint();
             (0..self.attributes.len())
                 .map(|attr| {
                     let k = self.marker_set(attr).markers.len();
@@ -1561,6 +1627,7 @@ impl SubjectiveScorer for OpineDb {
         if !self.caching() {
             return None;
         }
+        opine_faults::fire_panic("pre_ta");
         let ranked = match candidates {
             None => self.rank_top_k(predicates, k),
             Some(bitmap) => {

@@ -23,6 +23,10 @@
 pub mod builder;
 pub mod cache;
 pub mod db;
+/// Deadlines, cooperative cancellation, and fault-injection failpoints
+/// (re-exported from the workspace's bottom-layer `opine-faults` crate
+/// so `ir`/`store`/`server` share the same ambient tokens).
+pub use opine_faults as faults;
 pub mod domain;
 pub mod interpret;
 pub mod membership;

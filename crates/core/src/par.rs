@@ -32,19 +32,33 @@ where
     let workers = workers.min(n);
     let chunk = n.div_ceil(workers);
     let mut out = Vec::with_capacity(n);
+    // The spawning request's cancellation token is thread-ambient;
+    // re-install it in every worker so deadline checkpoints inside `f`
+    // keep firing across the fan-out.
+    let deadline = opine_faults::current_deadline();
     thread::scope(|scope| {
         let f = &f;
+        let deadline = &deadline;
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(n);
-                    (lo..hi).map(f).collect::<Vec<T>>()
+                    opine_faults::with_deadline(deadline.clone(), || {
+                        let lo = w * chunk;
+                        let hi = ((w + 1) * chunk).min(n);
+                        (lo..hi).map(f).collect::<Vec<T>>()
+                    })
                 })
             })
             .collect();
         for handle in handles {
-            out.extend(handle.join().expect("par_map worker panicked"));
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                // Propagate the worker's own payload (a cancellation
+                // unwind, an injected fault, a genuine bug) instead of
+                // flattening it into a generic expect message — the
+                // catch sites upstream dispatch on the payload type.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     out

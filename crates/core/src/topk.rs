@@ -84,6 +84,10 @@ where
 
     let depth_max = sorted.iter().map(|s| s.len()).max().unwrap_or(0);
     for depth in 0..depth_max {
+        // Cancellation checkpoint per sorted-access depth: an expired
+        // request deadline unwinds out of the scan here instead of
+        // walking the remaining entities.
+        opine_faults::checkpoint();
         for order in &sorted {
             let Some(&entity) = order.get(depth) else {
                 continue;
@@ -232,6 +236,9 @@ where
     let mut bounds = vec![0.0f64; sorted.len()];
 
     'scan: loop {
+        // Cancellation checkpoint per sorted-access round (see
+        // `threshold_topk_dense`).
+        opine_faults::checkpoint();
         for (p, order) in sorted.iter().enumerate() {
             let mut cur = cursors[p];
             while let Some(&e) = order.get(cur) {

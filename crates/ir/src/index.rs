@@ -413,6 +413,7 @@ impl InvertedIndex {
             };
             let idf = self.idf(postings.len());
             for &(doc, tf) in postings {
+                opine_faults::checkpoint();
                 scores[doc.index()] +=
                     score_one(idf, tf, self.doc_lengths[doc.index()], avg_len, params);
             }
@@ -473,6 +474,7 @@ impl InvertedIndex {
             };
             let idf = self.idf(postings.len());
             for &(doc, tf) in postings {
+                opine_faults::checkpoint();
                 let s = score_one(idf, tf, self.doc_len(doc), avg_len, params);
                 *scores.entry(doc).or_insert(0.0) += s;
             }
@@ -537,7 +539,12 @@ impl InvertedIndex {
         // Indices into `cursors`, kept sorted by current document.
         let mut order: Vec<usize> = (0..cursors.len()).collect();
 
+        // The `mid_wand` failpoint sits inside the pivot loop (armed
+        // only under fault injection), alongside the cancellation
+        // checkpoint an expired request deadline unwinds from.
         loop {
+            opine_faults::checkpoint();
+            opine_faults::fire_panic("mid_wand");
             order.retain(|&i| !cursors[i].exhausted());
             if order.is_empty() {
                 break;

@@ -17,9 +17,15 @@
 //! * [`metrics`] — lock-free per-endpoint counters and log₂ latency
 //!   histograms;
 //! * [`service`] — the router and handlers: `POST /query`,
-//!   `POST /prepare`, `POST /execute`, `GET /stats`, `GET /healthz`,
-//!   plus a bounded query-result cache keyed on normalized SQL
-//!   (reusing `opine_core::cache::BoundedCache`);
+//!   `POST /prepare`, `POST /execute`, `GET /stats`, `GET /healthz`
+//!   (liveness), `GET /readyz` (readiness), plus a bounded query-result
+//!   cache keyed on normalized SQL (reusing
+//!   `opine_core::cache::BoundedCache`). The request path is
+//!   overload-safe: a bounded in-flight admission budget sheds excess
+//!   load with 503s, every query runs under a cancellation deadline
+//!   (504 on expiry), handler panics are caught at the request boundary
+//!   (500, worker survives), and all error responses share one JSON
+//!   taxonomy `{"error":{"code","message"}}`;
 //! * [`client`] — a tiny blocking client for tests and benches.
 //!
 //! ```no_run
@@ -46,4 +52,4 @@ pub use json::JsonValue;
 pub use metrics::{Endpoint, EndpointSnapshot, HistogramSnapshot, LatencyHistogram, Metrics};
 pub use pool::AcceptPool;
 pub use prepared::{PrepareError, PreparedQuery, PreparedRegistry};
-pub use service::{render_query_body, OpineServer, ServerConfig};
+pub use service::{render_query_body, render_query_body_deadline, OpineServer, ServerConfig};

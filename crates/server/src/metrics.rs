@@ -113,20 +113,23 @@ pub enum Endpoint {
     Execute,
     /// `GET /stats`
     Stats,
-    /// `GET /healthz`
+    /// `GET /healthz` (liveness).
     Health,
+    /// `GET /readyz` (readiness: reports shedding/degraded state).
+    Ready,
     /// Anything else (404s, bad methods).
     Other,
 }
 
 impl Endpoint {
     /// Every endpoint, in `/stats` rendering order.
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Query,
         Endpoint::Prepare,
         Endpoint::Execute,
         Endpoint::Stats,
         Endpoint::Health,
+        Endpoint::Ready,
         Endpoint::Other,
     ];
 
@@ -138,6 +141,7 @@ impl Endpoint {
             Endpoint::Execute => "execute",
             Endpoint::Stats => "stats",
             Endpoint::Health => "healthz",
+            Endpoint::Ready => "readyz",
             Endpoint::Other => "other",
         }
     }
@@ -149,7 +153,8 @@ impl Endpoint {
             Endpoint::Execute => 2,
             Endpoint::Stats => 3,
             Endpoint::Health => 4,
-            Endpoint::Other => 5,
+            Endpoint::Ready => 5,
+            Endpoint::Other => 6,
         }
     }
 }
@@ -177,7 +182,7 @@ pub struct EndpointSnapshot {
 /// The server's metrics registry.
 #[derive(Debug)]
 pub struct Metrics {
-    per_endpoint: [EndpointMetrics; 6],
+    per_endpoint: [EndpointMetrics; 7],
     connections: AtomicU64,
     started: Instant,
 }

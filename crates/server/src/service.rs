@@ -28,7 +28,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,20 +48,71 @@ pub struct ServerConfig {
     /// Socket read timeout — bounds how long an idle keep-alive
     /// connection can pin a worker.
     pub read_timeout: Option<Duration>,
+    /// Socket write timeout — bounds how long a slow-reading client can
+    /// pin a worker mid-response (slow-loris defense).
+    pub write_timeout: Option<Duration>,
+    /// Admission budget: execution requests (`/query`, `/prepare`,
+    /// `/execute`) running at once. Arrivals beyond it are shed with a
+    /// 503 + `Retry-After` instead of queueing behind a full pool.
+    /// Cheap endpoints (`/stats`, `/healthz`, `/readyz`) are never shed.
+    pub max_in_flight: usize,
+    /// Wall-clock budget per query execution; exceeding it cancels the
+    /// scan at the next checkpoint and answers 504. `None` disables.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        // Blocking I/O: more workers than cores still helps, because a
+        // worker stalled on a slow client isn't burning a core.
+        let workers = (opine_core::par::available_workers() * 2).clamp(2, 16);
         ServerConfig {
-            // Blocking I/O: more workers than cores still helps, because a
-            // worker stalled on a slow client isn't burning a core.
-            workers: (opine_core::par::available_workers() * 2).clamp(2, 16),
+            workers,
             max_body: DEFAULT_MAX_BODY,
             result_cache_capacity: 1024,
             prepared_capacity: 256,
             max_requests_per_conn: 10_000,
             read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            // Leave headroom: workers not holding an execution permit
+            // still answer probes and write 503s promptly.
+            max_in_flight: (workers / 2).max(1),
+            request_deadline: Some(Duration::from_secs(10)),
         }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden by environment knobs: `OPINE_WORKERS`,
+    /// `OPINE_MAX_IN_FLIGHT`, `OPINE_REQUEST_TIMEOUT_MS` (0 disables),
+    /// `OPINE_READ_TIMEOUT_MS` (0 disables), `OPINE_WRITE_TIMEOUT_MS`
+    /// (0 disables), `OPINE_RESULT_CACHE`.
+    pub fn from_env() -> ServerConfig {
+        fn parsed(name: &str) -> Option<u64> {
+            std::env::var(name).ok()?.parse().ok()
+        }
+        let mut config = ServerConfig::default();
+        if let Some(n) = parsed("OPINE_WORKERS") {
+            config.workers = (n as usize).max(1);
+            config.max_in_flight = (config.workers / 2).max(1);
+        }
+        if let Some(n) = parsed("OPINE_MAX_IN_FLIGHT") {
+            config.max_in_flight = (n as usize).max(1);
+        }
+        if let Some(n) = parsed("OPINE_RESULT_CACHE") {
+            config.result_cache_capacity = n as usize;
+        }
+        let timeout = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+        if let Some(ms) = parsed("OPINE_REQUEST_TIMEOUT_MS") {
+            config.request_deadline = timeout(ms);
+        }
+        if let Some(ms) = parsed("OPINE_READ_TIMEOUT_MS") {
+            config.read_timeout = timeout(ms);
+        }
+        if let Some(ms) = parsed("OPINE_WRITE_TIMEOUT_MS") {
+            config.write_timeout = timeout(ms);
+        }
+        config
     }
 }
 
@@ -74,6 +125,12 @@ struct ServerState {
     results: BoundedCache<Arc<String>>,
     config: ServerConfig,
     workers: usize,
+    /// Execution requests currently holding an admission permit.
+    in_flight: AtomicUsize,
+    /// Requests refused with 503 because the admission budget was full.
+    shed_requests: AtomicU64,
+    /// Handler panics caught at the request boundary (worker survived).
+    caught_panics: AtomicU64,
     /// Set during shutdown so keep-alive loops stop taking requests.
     stopping: AtomicBool,
     /// Live connections by id — shutdown closes these sockets so workers
@@ -119,6 +176,9 @@ impl OpineServer {
             results: BoundedCache::new(config.result_cache_capacity.max(1)),
             config,
             workers,
+            in_flight: AtomicUsize::new(0),
+            shed_requests: AtomicU64::new(0),
+            caught_panics: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
             live: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
@@ -195,6 +255,8 @@ struct Routed {
     body: Arc<String>,
     /// `X-Opine-Cache` value for `/query`-family responses.
     cache: Option<&'static str>,
+    /// `Retry-After` seconds for shed (503) responses.
+    retry_after: Option<&'static str>,
 }
 
 impl Routed {
@@ -204,12 +266,133 @@ impl Routed {
             status,
             body: Arc::new(body),
             cache: None,
+            retry_after: None,
         }
     }
 }
 
-fn error_body(message: &str) -> String {
-    format!("{{\"error\":{}}}", json::escaped(message))
+/// Machine-readable error code for each failure class the service can
+/// answer with. Every non-2xx body is `{"error":{"code","message"}}` —
+/// clients branch on `code`, humans read `message`.
+fn error_body(code: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":{},\"message\":{}}}}}",
+        json::escaped(code),
+        json::escaped(message)
+    )
+}
+
+/// RAII admission permit: slot taken on acquire, released on drop.
+struct Permit<'a> {
+    state: &'a ServerState,
+}
+
+impl<'a> Permit<'a> {
+    /// Takes one execution slot unless the budget is full.
+    fn try_acquire(state: &'a ServerState) -> Option<Permit<'a>> {
+        let limit = state.config.max_in_flight.max(1);
+        let mut current = state.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= limit {
+                return None;
+            }
+            match state.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit { state }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.state.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Whether this request executes queries and must hold an admission
+/// permit. Probes and stats stay admissible under full load so
+/// operators can observe an overloaded server.
+fn needs_permit(req: &Request) -> bool {
+    req.method == "POST" && matches!(req.path.as_str(), "/query" | "/prepare" | "/execute")
+}
+
+/// Endpoint attribution for responses produced outside `route` (shed
+/// 503s, caught panics).
+fn endpoint_of(req: &Request) -> Endpoint {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => Endpoint::Query,
+        ("POST", "/prepare") => Endpoint::Prepare,
+        ("POST", "/execute") => Endpoint::Execute,
+        ("GET", "/stats") => Endpoint::Stats,
+        ("GET", "/healthz") => Endpoint::Health,
+        ("GET", "/readyz") => Endpoint::Ready,
+        _ => Endpoint::Other,
+    }
+}
+
+/// Admission control + panic isolation around `route`.
+///
+/// Execution endpoints must win an in-flight permit or are shed with a
+/// 503 before any work happens. The routed handler runs under
+/// `catch_unwind`, so a panic (a bug, or an injected fault) costs that
+/// request a 500 — never the worker thread, and never the shared state:
+/// the engine's locks are unpoisonable `parking_lot` shims and its
+/// caches publish only fully-computed values.
+fn handle_request(state: &ServerState, req: &Request) -> Routed {
+    let _permit = if needs_permit(req) {
+        match Permit::try_acquire(state) {
+            Some(permit) => Some(permit),
+            None => {
+                state.shed_requests.fetch_add(1, Ordering::Relaxed);
+                let mut shed = Routed::new(
+                    endpoint_of(req),
+                    503,
+                    error_body(
+                        "shed",
+                        &format!(
+                            "server at capacity ({} requests in flight); retry shortly",
+                            state.config.max_in_flight
+                        ),
+                    ),
+                );
+                shed.retry_after = Some("1");
+                return shed;
+            }
+        }
+    } else {
+        None
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let routed = route(state, req);
+        // Failpoint at the response boundary: the body is built but not
+        // yet on the wire. Inside the catch so the error/panic actions
+        // surface as a taxonomy 500, not a dead worker.
+        opine_faults::fire_panic("response_write");
+        routed
+    }));
+    match outcome {
+        Ok(routed) => routed,
+        Err(payload) => {
+            state.caught_panics.fetch_add(1, Ordering::Relaxed);
+            let message = if let Some(fault) = payload.downcast_ref::<opine_faults::InjectedPanic>()
+            {
+                format!("internal error: {fault}")
+            } else if let Some(m) = payload.downcast_ref::<&str>() {
+                format!("internal error: {m}")
+            } else if let Some(m) = payload.downcast_ref::<String>() {
+                format!("internal error: {m}")
+            } else {
+                "internal error".to_string()
+            };
+            Routed::new(endpoint_of(req), 500, error_body("internal", &message))
+        }
+    }
 }
 
 /// Serves one connection: a keep-alive loop of read → route → respond.
@@ -217,6 +400,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     state.metrics.record_connection();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(state.config.read_timeout);
+    let _ = stream.set_write_timeout(state.config.write_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -243,7 +427,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
         match http::read_request(&mut reader, state.config.max_body) {
             Ok(req) => {
                 let started = Instant::now();
-                let routed = route(state, &req);
+                let routed = handle_request(state, &req);
                 state.metrics.record(
                     routed.endpoint,
                     routed.status == 200,
@@ -253,10 +437,15 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                 if let Some(cache) = routed.cache {
                     extra.push(("x-opine-cache", cache));
                 }
+                if let Some(secs) = routed.retry_after {
+                    extra.push(("retry-after", secs));
+                }
                 // On the last budgeted request, advertise the close so
                 // well-behaved clients reconnect instead of hitting a
-                // broken pipe.
-                let keep_alive = req.keep_alive && served + 1 < budget;
+                // broken pipe. A caught panic (500) also closes: the
+                // request boundary is known-good, the connection's
+                // parser state after an arbitrary unwind is not.
+                let keep_alive = req.keep_alive && served + 1 < budget && routed.status != 500;
                 if http::write_response(
                     &mut writer,
                     routed.status,
@@ -266,8 +455,32 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                     &extra,
                 )
                 .is_err()
-                    || !keep_alive
                 {
+                    return;
+                }
+                if !keep_alive {
+                    // A client that pipelined past the per-connection
+                    // budget has bytes already buffered that will never
+                    // be served; tell it explicitly (429) instead of
+                    // silently closing on them. Buffer-only check — no
+                    // blocking read for well-behaved clients.
+                    if served + 1 >= budget && !reader.buffer().is_empty() {
+                        state.metrics.record(Endpoint::Other, false, 0);
+                        let _ = http::write_response(
+                            &mut writer,
+                            429,
+                            "application/json",
+                            error_body(
+                                "too_many_requests",
+                                &format!(
+                                    "connection budget of {budget} requests exhausted; reconnect"
+                                ),
+                            )
+                            .as_bytes(),
+                            false,
+                            &[],
+                        );
+                    }
                     return;
                 }
             }
@@ -278,22 +491,28 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                     &mut writer,
                     400,
                     "application/json",
-                    error_body(&format!("bad request: {m}")).as_bytes(),
+                    error_body("bad_request", &format!("bad request: {m}")).as_bytes(),
                     false,
                     &[],
                 );
                 return;
             }
             Err(HttpError::PayloadTooLarge(n)) => {
+                // The oversized body is *not* drained: the 413 goes out
+                // with `Connection: close` and the socket drops, so an
+                // abusive client cannot make a worker read gigabytes.
                 state.metrics.record(Endpoint::Other, false, 0);
                 let _ = http::write_response(
                     &mut writer,
                     413,
                     "application/json",
-                    error_body(&format!(
-                        "body of {n} bytes exceeds the {}-byte limit",
-                        state.config.max_body
-                    ))
+                    error_body(
+                        "payload_too_large",
+                        &format!(
+                            "body of {n} bytes exceeds the {}-byte limit",
+                            state.config.max_body
+                        ),
+                    )
                     .as_bytes(),
                     false,
                     &[],
@@ -310,33 +529,65 @@ fn route(state: &ServerState, req: &Request) -> Routed {
         ("POST", "/prepare") => handle_prepare(state, req),
         ("POST", "/execute") => handle_execute(state, req),
         ("GET", "/stats") => Routed::new(Endpoint::Stats, 200, render_stats(state)),
+        // Liveness: answers 200 whenever a worker can still serve — the
+        // probe for "is the process alive", deliberately load-blind.
         ("GET", "/healthz") => Routed::new(
             Endpoint::Health,
             200,
             format!("{{\"ok\":true,\"entities\":{}}}", state.db.num_entities()),
         ),
-        (_, "/query" | "/prepare" | "/execute" | "/stats" | "/healthz") => Routed::new(
+        // Readiness: answers 503 while shedding or stopping, so load
+        // balancers steer new traffic away without killing the process.
+        ("GET", "/readyz") => handle_ready(state),
+        (_, "/query" | "/prepare" | "/execute" | "/stats" | "/healthz" | "/readyz") => Routed::new(
             Endpoint::Other,
             405,
-            error_body(&format!(
-                "method {} not allowed on {}",
-                req.method, req.path
-            )),
+            error_body(
+                "method_not_allowed",
+                &format!("method {} not allowed on {}", req.method, req.path),
+            ),
         ),
         _ => Routed::new(
             Endpoint::Other,
             404,
-            error_body(&format!("no such endpoint {}", req.path)),
+            error_body("not_found", &format!("no such endpoint {}", req.path)),
         ),
     }
+}
+
+/// `GET /readyz`: readiness, distinct from liveness. Not-ready states —
+/// draining for shutdown, or the admission budget saturated — answer
+/// 503 with the reason, while `/healthz` keeps reporting the process
+/// alive.
+fn handle_ready(state: &ServerState) -> Routed {
+    let in_flight = state.in_flight.load(Ordering::Relaxed);
+    let limit = state.config.max_in_flight.max(1);
+    let stopping = state.stopping.load(Ordering::SeqCst);
+    let (status, ready, reason) = if stopping {
+        (503, false, "stopping")
+    } else if in_flight >= limit {
+        (503, false, "shedding")
+    } else {
+        (200, true, "ok")
+    };
+    Routed::new(
+        Endpoint::Ready,
+        status,
+        format!(
+            "{{\"ready\":{ready},\"reason\":\"{reason}\",\"in_flight\":{in_flight},\
+             \"max_in_flight\":{limit},\"shed_requests\":{}}}",
+            state.shed_requests.load(Ordering::Relaxed)
+        ),
+    )
 }
 
 /// Parses the request body as a JSON object, mapping failures to 400s.
 fn parse_body(endpoint: Endpoint, req: &Request) -> Result<JsonValue, Routed> {
     let text = req
         .body_str()
-        .map_err(|e| Routed::new(endpoint, 400, error_body(&e.to_string())))?;
-    json::parse(text).map_err(|e| Routed::new(endpoint, 400, error_body(&e.to_string())))
+        .map_err(|e| Routed::new(endpoint, 400, error_body("bad_request", &e.to_string())))?;
+    json::parse(text)
+        .map_err(|e| Routed::new(endpoint, 400, error_body("bad_request", &e.to_string())))
 }
 
 /// A required string field of the body object.
@@ -349,9 +600,10 @@ fn string_field<'b>(
         Routed::new(
             endpoint,
             400,
-            error_body(&format!(
-                "body must be a JSON object with a string {field:?} field"
-            )),
+            error_body(
+                "bad_request",
+                &format!("body must be a JSON object with a string {field:?} field"),
+            ),
         )
     })
 }
@@ -367,7 +619,13 @@ fn handle_query(state: &ServerState, req: &Request) -> Routed {
     };
     let select = match parse_select(sql) {
         Ok(s) => s,
-        Err(e) => return Routed::new(Endpoint::Query, 400, error_body(&e.to_string())),
+        Err(e) => {
+            return Routed::new(
+                Endpoint::Query,
+                400,
+                error_body("bad_request", &e.to_string()),
+            )
+        }
     };
     run_select(state, Endpoint::Query, &select, &select.normalized())
 }
@@ -394,7 +652,11 @@ fn handle_prepare(state: &ServerState, req: &Request) -> Routed {
                 json::escaped(&p.normalized)
             ),
         ),
-        Err(e) => Routed::new(Endpoint::Prepare, 400, error_body(&e.to_string())),
+        Err(e) => Routed::new(
+            Endpoint::Prepare,
+            400,
+            error_body("bad_request", &e.to_string()),
+        ),
     }
 }
 
@@ -411,7 +673,10 @@ fn handle_execute(state: &ServerState, req: &Request) -> Routed {
         return Routed::new(
             Endpoint::Execute,
             404,
-            error_body(&format!("no prepared statement named {name:?}")),
+            error_body(
+                "not_found",
+                &format!("no prepared statement named {name:?}"),
+            ),
         );
     };
     run_select(
@@ -432,10 +697,15 @@ fn run_select(state: &ServerState, endpoint: Endpoint, select: &Select, key: &st
                 status: 200,
                 body: hit,
                 cache: Some("hit"),
+                retry_after: None,
             };
         }
     }
-    match render_query_body(&state.db, select) {
+    let deadline = state
+        .config
+        .request_deadline
+        .map(opine_faults::Deadline::after);
+    match render_query_body_deadline(&state.db, select, deadline) {
         Ok(body) => {
             let body = Arc::new(body);
             if caching {
@@ -446,9 +716,21 @@ fn run_select(state: &ServerState, endpoint: Endpoint, select: &Select, key: &st
                 status: 200,
                 body,
                 cache: Some(if caching { "miss" } else { "off" }),
+                retry_after: None,
             }
         }
-        Err(e) => Routed::new(endpoint, 400, error_body(&e.to_string())),
+        Err(OpineError::QueryTimeout) => Routed::new(
+            endpoint,
+            504,
+            error_body(
+                "timeout",
+                &format!(
+                    "query exceeded the {:?} execution deadline",
+                    state.config.request_deadline.unwrap_or_default()
+                ),
+            ),
+        ),
+        Err(e) => Routed::new(endpoint, 400, error_body("bad_request", &e.to_string())),
     }
 }
 
@@ -474,6 +756,24 @@ fn push_value(out: &mut String, v: ValueRef<'_>) {
 /// query_select_ref`]) — no row `Vec<Value>` is cloned along the way.
 pub fn render_query_body(db: &OpineDb, select: &Select) -> Result<String, OpineError> {
     let q = db.query_select_ref(select)?;
+    Ok(render_body(&q))
+}
+
+/// [`render_query_body`] under a cancellation deadline: the scan aborts
+/// at the engine's next checkpoint once the budget is spent and comes
+/// back as [`OpineError::QueryTimeout`]. The response body is fully
+/// buffered here, *then* written to the socket by the caller — the
+/// executor's borrow of the store never spans a client-paced write.
+pub fn render_query_body_deadline(
+    db: &OpineDb,
+    select: &Select,
+    deadline: Option<opine_faults::Deadline>,
+) -> Result<String, OpineError> {
+    let q = db.query_select_ref_deadline(select, deadline)?;
+    Ok(render_body(&q))
+}
+
+fn render_body(q: &opine_core::QueryRef<'_>) -> String {
     let mut out = String::with_capacity(256 + 64 * q.result.len());
     out.push_str("{\"columns\":[");
     for (i, col) in q.result.columns().iter().enumerate() {
@@ -512,7 +812,7 @@ pub fn render_query_body(db: &OpineDb, select: &Select) -> Result<String, OpineE
         out.push('}');
     }
     out.push_str("]}");
-    Ok(out)
+    out
 }
 
 fn push_cache_stats(out: &mut String, stats: opine_core::CacheStats) {
@@ -536,6 +836,14 @@ fn render_stats(state: &ServerState) -> String {
     json::push_f64(&mut out, state.metrics.uptime_seconds());
     out.push_str(",\"connections\":");
     out.push_str(&state.metrics.connections().to_string());
+    out.push_str(",\"max_in_flight\":");
+    out.push_str(&state.config.max_in_flight.to_string());
+    out.push_str(",\"in_flight\":");
+    out.push_str(&state.in_flight.load(Ordering::Relaxed).to_string());
+    out.push_str(",\"shed_requests\":");
+    out.push_str(&state.shed_requests.load(Ordering::Relaxed).to_string());
+    out.push_str(",\"caught_panics\":");
+    out.push_str(&state.caught_panics.load(Ordering::Relaxed).to_string());
     out.push_str(",\"entities\":");
     out.push_str(&state.db.num_entities().to_string());
     out.push_str(",\"entity_table\":");
@@ -574,6 +882,10 @@ fn render_stats(state: &ServerState) -> String {
     out.push_str(&report.exhaustive_queries.to_string());
     out.push_str(",\"blocks_skipped\":");
     out.push_str(&report.blocks_skipped.to_string());
+    out.push_str(",\"timed_out_queries\":");
+    out.push_str(&report.timed_out_queries.to_string());
+    out.push_str(",\"faults_injected\":");
+    out.push_str(&report.faults_injected.to_string());
     out.push_str("},\"result_cache\":{\"enabled\":");
     out.push_str(if state.config.result_cache_capacity > 0 {
         "true"

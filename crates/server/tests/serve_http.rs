@@ -38,6 +38,10 @@ fn serve(db: Arc<OpineDb>) -> OpineServer {
         db,
         ServerConfig {
             workers: 4,
+            // These tests exercise protocol/answer behavior, not
+            // admission: keep the budget above the test's concurrency
+            // so no request is shed (shedding has its own tests).
+            max_in_flight: 64,
             ..Default::default()
         },
     )

@@ -463,6 +463,9 @@ pub fn execute_lazy<'a>(
     let mut scored: Vec<(RowHandle<'a>, f64)> = Vec::with_capacity(rows.len());
     let algebra = FuzzyAlgebra::Product;
     for handle in rows {
+        // Cancellation checkpoint per scored row: an expired request
+        // deadline unwinds out of the scan at the next chunk boundary.
+        opine_faults::checkpoint();
         let score = match &query.where_clause {
             None => 1.0,
             Some(expr) => {
@@ -574,6 +577,7 @@ fn plan_single_table<'a>(
     let algebra = FuzzyAlgebra::Product;
     let mut scored = Vec::new();
     for i in candidates.iter_ones() {
+        opine_faults::checkpoint();
         let handle = RowHandle::Base(base.row(i));
         let key = handle.value(layout.base_key_slot).to_value();
         let score = eval(where_clause, &handle, layout, &key, scorer, algebra)?;
@@ -618,6 +622,7 @@ fn objective_bitmap(
             }
         }
         for i in 0..base.len() {
+            opine_faults::checkpoint();
             if !candidates.get(i) {
                 continue;
             }

@@ -9,6 +9,15 @@
 //!   port and prints it).
 //! * `OPINE_ENTITIES` / `OPINE_REVIEWS` — corpus scale (default 64 / 12).
 //! * `OPINE_WORKERS` — worker threads (default: 2× cores, clamped 2–16).
+//! * `OPINE_MAX_IN_FLIGHT` — admission budget: concurrent query
+//!   executions before arrivals are shed with 503 (default: workers/2).
+//! * `OPINE_REQUEST_TIMEOUT_MS` — per-query execution deadline; scans
+//!   past it answer 504 (default 10000; `0` disables).
+//! * `OPINE_READ_TIMEOUT_MS` / `OPINE_WRITE_TIMEOUT_MS` — socket
+//!   timeouts bounding idle and slow-reading clients (`0` disables).
+//! * `OPINE_FAULTS` / `OPINE_FAULTS_SEED` — fault injection, e.g.
+//!   `OPINE_FAULTS='pre_ta=panic@0.01,mid_wand=delay:5@0.02'`
+//!   (chaos testing only; see `opine_core::faults`).
 //!
 //! Then, in another terminal (the paper's running example):
 //!
@@ -46,12 +55,10 @@ fn main() {
     );
     let db = Arc::new(build(&corpus, &BuildConfig::default()));
 
-    let mut config = ServerConfig::default();
-    if let Ok(workers) = std::env::var("OPINE_WORKERS") {
-        if let Ok(w) = workers.parse() {
-            config.workers = w;
-        }
-    }
+    // Failpoints are compiled in but inert until OPINE_FAULTS is set.
+    opinedb::core::faults::init_from_env();
+
+    let config = ServerConfig::from_env();
     let server =
         OpineServer::bind(format!("127.0.0.1:{port}"), db, config).expect("bind serving port");
 
