@@ -155,6 +155,57 @@ pub struct CacheReport {
     pub faults_injected: u64,
 }
 
+/// One exported value of a [`CacheReport`] field, typed so each metrics
+/// surface can render it idiomatically (JSON object vs. Prometheus
+/// counter/gauge lines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time level that can go up or down.
+    Gauge(u64),
+    /// A boolean toggle (rendered as `true`/`false` or `0`/`1`).
+    Flag(bool),
+    /// A cache's hit/miss pair.
+    Cache(CacheStats),
+}
+
+impl CacheReport {
+    /// Every public field as a `(name, value)` pair, in declaration
+    /// order, under the names the `/stats` JSON uses. Both `/stats` and
+    /// the `/metrics` Prometheus exposition render from this one list,
+    /// so the two surfaces cannot drift apart.
+    pub fn fields(&self) -> impl Iterator<Item = (&'static str, MetricValue)> {
+        use MetricValue::{Cache, Counter, Flag, Gauge};
+        [
+            ("interpretations", Cache(self.interpretations)),
+            ("phrases", Cache(self.phrases)),
+            ("points", Cache(self.points)),
+            ("degree_columns", Cache(self.columns)),
+            ("cached_degree_columns", Gauge(self.cached_columns as u64)),
+            ("degree_column_bytes", Gauge(self.column_bytes as u64)),
+            ("quantized_columns", Flag(self.quantized_columns)),
+            ("ta_queries", Counter(self.ta_queries)),
+            ("pushdown_queries", Counter(self.pushdown_queries)),
+            ("filtered_summaries", Cache(self.filtered_summaries)),
+            (
+                "filtered_summary_sets",
+                Gauge(self.filtered_summary_sets as u64),
+            ),
+            (
+                "filtered_summary_queries",
+                Counter(self.filtered_summary_queries),
+            ),
+            ("wand_queries", Counter(self.wand_queries)),
+            ("exhaustive_queries", Counter(self.exhaustive_queries)),
+            ("blocks_skipped", Counter(self.blocks_skipped)),
+            ("timed_out_queries", Counter(self.timed_out_queries)),
+            ("faults_injected", Counter(self.faults_injected)),
+        ]
+        .into_iter()
+    }
+}
+
 /// A query phrase prepared for membership scoring: its normalized
 /// embedding and sentiment, computed once instead of once per entity.
 #[derive(Debug, Clone)]
@@ -1009,9 +1060,11 @@ impl OpineDb {
     pub fn degree_column(&self, predicate: &str) -> Arc<DegreeColumn> {
         if self.caching() {
             if let Some(hit) = self.column_cache.get(predicate) {
+                opine_trace::count("ta_topk", "cache_hits", 1);
                 return hit;
             }
         }
+        opine_trace::count("ta_topk", "cache_misses", 1);
         let interp = self.interpret(predicate);
         let prepared = self.prepare_interpretation(predicate, &interp);
         let degrees = match &prepared {
@@ -1130,6 +1183,9 @@ impl OpineDb {
         if all_exact
             && cand_count.saturating_mul(cand_count) <= k.saturating_mul(self.num_entities())
         {
+            opine_trace::note(|| {
+                format!("ta_topk: pushdown via gather ({cand_count} candidates, k={k})")
+            });
             let views: Vec<&[f64]> = columns
                 .iter()
                 .map(|c| c.degrees().expect("exact column"))
@@ -1151,6 +1207,11 @@ impl OpineDb {
             scored.sort_by(crate::topk::rank_cmp);
             return Some(scored);
         }
+        opine_trace::note(|| {
+            format!(
+                "ta_topk: pushdown via restricted sorted access ({cand_count} candidates, k={k})"
+            )
+        });
         Some(self.rank_top_k_filtered(
             predicates,
             k,
@@ -1369,10 +1430,14 @@ impl OpineDb {
         let key = qualifier.to_string();
         if self.caching() {
             if let Some(hit) = self.filtered_cache.get(&key) {
+                opine_trace::count("summary_merge", "cache_hits", 1);
                 return hit;
             }
         }
+        let span = opine_trace::span("summary_merge");
+        span.count("cache_misses", 1);
         let merged = Arc::new(self.merge_qualified(qualifier));
+        drop(span);
         if self.caching() {
             self.filtered_cache.insert(&key, merged.clone());
         }
@@ -1625,21 +1690,33 @@ impl SubjectiveScorer for OpineDb {
         candidates: Option<&Bitmap>,
     ) -> Option<Vec<(Value, f64)>> {
         if !self.caching() {
+            opine_trace::note(|| "ta_topk: declined — degree cache disabled".into());
             return None;
         }
         opine_faults::fire_panic("pre_ta");
+        let span = opine_trace::span("ta_topk");
         let ranked = match candidates {
-            None => self.rank_top_k(predicates, k),
+            None => {
+                opine_trace::note(|| format!("ta_topk: full TA over degree columns (k={k})"));
+                self.rank_top_k(predicates, k)
+            }
             Some(bitmap) => {
                 if !self
                     .objective_pushdown
                     .load(std::sync::atomic::Ordering::Relaxed)
                 {
+                    opine_trace::note(|| "ta_topk: declined — objective pushdown disabled".into());
                     return None;
                 }
-                self.rank_pushdown(predicates, k, bitmap)?
+                let Some(ranked) = self.rank_pushdown(predicates, k, bitmap) else {
+                    opine_trace::note(|| "ta_topk: declined — no entity↔row maps".into());
+                    return None;
+                };
+                ranked
             }
         };
+        span.count("scored", ranked.len() as u64);
+        drop(span);
         self.ta_queries
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Some(

@@ -27,6 +27,10 @@ pub mod db;
 /// (re-exported from the workspace's bottom-layer `opine-faults` crate
 /// so `ir`/`store`/`server` share the same ambient tokens).
 pub use opine_faults as faults;
+/// Per-query stage spans, counters, and notes (re-exported from the
+/// workspace's `opine-trace` crate so every layer enriches the same
+/// thread-ambient context).
+pub use opine_trace as trace;
 pub mod domain;
 pub mod interpret;
 pub mod membership;
@@ -37,8 +41,8 @@ pub mod topk;
 pub use builder::{build, BuildConfig, ExtractionMode};
 pub use cache::{BoundedCache, CacheStats};
 pub use db::{
-    CacheReport, DegreeColumn, OpineDb, OpineError, PreparedPhrase, QualifiedScorer, QueryOutput,
-    QueryRef,
+    CacheReport, DegreeColumn, MetricValue, OpineDb, OpineError, PreparedPhrase, QualifiedScorer,
+    QueryOutput, QueryRef,
 };
 pub use domain::LinguisticDomain;
 pub use interpret::{Interpretation, Interpreter, InterpreterConfig};

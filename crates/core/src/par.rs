@@ -32,20 +32,25 @@ where
     let workers = workers.min(n);
     let chunk = n.div_ceil(workers);
     let mut out = Vec::with_capacity(n);
-    // The spawning request's cancellation token is thread-ambient;
-    // re-install it in every worker so deadline checkpoints inside `f`
-    // keep firing across the fan-out.
+    // The spawning request's cancellation token and trace context are
+    // thread-ambient; re-install both in every worker so deadline
+    // checkpoints inside `f` keep firing across the fan-out and worker
+    // spans/counters aggregate into the coordinator's trace tree.
     let deadline = opine_faults::current_deadline();
+    let trace = opine_trace::current_trace();
     thread::scope(|scope| {
         let f = &f;
         let deadline = &deadline;
+        let trace = &trace;
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
                     opine_faults::with_deadline(deadline.clone(), || {
-                        let lo = w * chunk;
-                        let hi = ((w + 1) * chunk).min(n);
-                        (lo..hi).map(f).collect::<Vec<T>>()
+                        opine_trace::with_trace(trace.clone(), || {
+                            let lo = w * chunk;
+                            let hi = ((w + 1) * chunk).min(n);
+                            (lo..hi).map(f).collect::<Vec<T>>()
+                        })
                     })
                 })
             })
@@ -93,6 +98,24 @@ mod tests {
     fn small_inputs_run_serially_and_in_order() {
         assert_eq!(par_map(5, |i| i), vec![0, 1, 2, 3, 4]);
         assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn trace_context_survives_the_fan_out() {
+        let ctx = opine_trace::TraceContext::new();
+        let n = PAR_THRESHOLD * 2;
+        opine_trace::with_trace(Some(ctx.clone()), || {
+            let out = par_map(n, |i| {
+                opine_trace::count("rescore", "scored", 1);
+                i
+            });
+            assert_eq!(out.len(), n);
+        });
+        // Every worker's increments land in the one shared tree, each
+        // index counted exactly once — no double-counting across the
+        // scoped fan-out.
+        let snap = ctx.snapshot();
+        assert_eq!(snap.stage("rescore").unwrap().counter("scored"), n as u64);
     }
 
     #[test]

@@ -81,6 +81,9 @@ where
     // Min-heap of the current top-k: the root is the candidate that would
     // be evicted first (lowest score, then largest entity id).
     let mut best: BinaryHeap<Reverse<Candidate>> = BinaryHeap::with_capacity(k + 1);
+    // Heap evictions are counted locally and flushed to the ambient
+    // trace once per call, so the loop body stays atomic-free.
+    let mut heap_pops = 0u64;
 
     let depth_max = sorted.iter().map(|s| s.len()).max().unwrap_or(0);
     for depth in 0..depth_max {
@@ -103,6 +106,7 @@ where
                 best.push(Reverse(candidate));
             } else if candidate > best.peek().expect("non-empty heap").0 {
                 best.pop();
+                heap_pops += 1;
                 best.push(Reverse(candidate));
             }
         }
@@ -120,6 +124,9 @@ where
         if best.len() >= k && best.peek().expect("non-empty heap").0.score > threshold {
             break;
         }
+    }
+    if heap_pops != 0 {
+        opine_trace::count("ta_topk", "heap_pops", heap_pops);
     }
 
     let mut out: Vec<(usize, f64)> = best
@@ -231,6 +238,8 @@ where
 {
     let mut seen = vec![false; num_entities];
     let mut best: BinaryHeap<Reverse<Candidate>> = BinaryHeap::with_capacity(k + 1);
+    // See `threshold_topk_dense`: flushed to the trace once per call.
+    let mut heap_pops = 0u64;
     let mut cursors = vec![0usize; sorted.len()];
     // Degree upper bound of the last candidate accessed per list.
     let mut bounds = vec![0.0f64; sorted.len()];
@@ -267,6 +276,7 @@ where
                 best.push(Reverse(candidate));
             } else if candidate > best.peek().expect("non-empty heap").0 {
                 best.pop();
+                heap_pops += 1;
                 best.push(Reverse(candidate));
             }
         }
@@ -277,6 +287,9 @@ where
         if best.len() >= k && best.peek().expect("non-empty heap").0.score > threshold {
             break;
         }
+    }
+    if heap_pops != 0 {
+        opine_trace::count("ta_topk", "heap_pops", heap_pops);
     }
 
     let mut out: Vec<(usize, f64)> = best

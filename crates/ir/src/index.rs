@@ -499,6 +499,7 @@ impl InvertedIndex {
             return Vec::new();
         }
         self.wand_queries.fetch_add(1, Relaxed);
+        let span = opine_trace::span("wand_retrieval");
         let frozen = self.frozen();
         let avg_len = self.avg_doc_len();
         let same_params = params.same_bits(&frozen.params);
@@ -652,6 +653,7 @@ impl InvertedIndex {
                 }
             }
         }
+        span.count("blocks_skipped", skipped);
         self.blocks_skipped.fetch_add(skipped, Relaxed);
         sorted_hits(heap)
     }

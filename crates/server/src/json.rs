@@ -44,6 +44,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// A parse failure with a byte offset.

@@ -14,12 +14,17 @@
 //! * [`pool`] — the accept pool: N workers blocked in `accept()` on a
 //!   shared listener;
 //! * [`prepared`] — named parse-once/execute-many statements;
-//! * [`metrics`] — lock-free per-endpoint counters and log₂ latency
-//!   histograms;
-//! * [`service`] — the router and handlers: `POST /query`,
-//!   `POST /prepare`, `POST /execute`, `GET /stats`, `GET /healthz`
-//!   (liveness), `GET /readyz` (readiness), plus a bounded query-result
-//!   cache keyed on normalized SQL (reusing
+//! * [`metrics`] — lock-free per-endpoint counters, log₂ latency
+//!   histograms, and per-stage query-path histograms fed by
+//!   `opine_core::trace`;
+//! * [`prometheus`] — the text-exposition writer behind `GET /metrics`;
+//! * [`service`] — the router and handlers: `POST /query`
+//!   (`EXPLAIN ANALYZE` and a `"trace": true` field return the query's
+//!   span tree), `POST /prepare`, `POST /execute`, `GET /stats`,
+//!   `GET /metrics` (Prometheus text format), `GET /healthz` (liveness),
+//!   `GET /readyz` (readiness), `GET /debug/slow_queries` (ring buffer
+//!   of recent traces over the `OPINE_SLOW_QUERY_MS` threshold), plus a
+//!   bounded query-result cache keyed on normalized SQL (reusing
 //!   `opine_core::cache::BoundedCache`). The request path is
 //!   overload-safe: a bounded in-flight admission budget sheds excess
 //!   load with 503s, every query runs under a cancellation deadline
@@ -44,6 +49,7 @@ pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod prepared;
+pub mod prometheus;
 pub mod service;
 
 pub use client::{ClientResponse, HttpClient};

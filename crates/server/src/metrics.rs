@@ -72,9 +72,12 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper-bound estimate of the `p`-quantile (`0 < p ≤ 1`) in µs: the
-    /// upper edge of the bucket containing that rank, clamped by the
-    /// observed maximum. Bucket-resolution (factor-of-two) accuracy.
+    /// Estimate of the `p`-quantile (`0 < p ≤ 1`) in µs: rank-proportional
+    /// interpolation *within* the log₂ bucket containing that rank. The
+    /// `j`-th of the `n` in-bucket observations is placed at
+    /// `lower + (j/n)·(upper − lower)`, with the bucket's upper bound
+    /// clamped by the observed maximum — so p100 answers the true max
+    /// and mid-quantiles no longer collapse to the bucket ceiling.
     pub fn quantile_us(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -82,9 +85,13 @@ impl HistogramSnapshot {
         let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
+            let before = seen;
             seen += n;
             if seen >= rank {
-                return (1u64 << (i + 1)).min(self.max_us.max(1));
+                let lower = 1u64 << i;
+                let upper = (1u64 << (i + 1)).min(self.max_us.max(1)).max(lower);
+                let within = (rank - before) as f64 / n as f64;
+                return (lower as f64 + within * (upper - lower) as f64).round() as u64;
             }
         }
         // Torn-snapshot fallback: `record` bumps the bucket, count, sum,
@@ -117,19 +124,25 @@ pub enum Endpoint {
     Health,
     /// `GET /readyz` (readiness: reports shedding/degraded state).
     Ready,
+    /// `GET /metrics` (Prometheus text exposition).
+    PromMetrics,
+    /// `GET /debug/slow_queries` (slow-query ring buffer).
+    SlowQueries,
     /// Anything else (404s, bad methods).
     Other,
 }
 
 impl Endpoint {
     /// Every endpoint, in `/stats` rendering order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Query,
         Endpoint::Prepare,
         Endpoint::Execute,
         Endpoint::Stats,
         Endpoint::Health,
         Endpoint::Ready,
+        Endpoint::PromMetrics,
+        Endpoint::SlowQueries,
         Endpoint::Other,
     ];
 
@@ -142,6 +155,8 @@ impl Endpoint {
             Endpoint::Stats => "stats",
             Endpoint::Health => "healthz",
             Endpoint::Ready => "readyz",
+            Endpoint::PromMetrics => "metrics",
+            Endpoint::SlowQueries => "slow_queries",
             Endpoint::Other => "other",
         }
     }
@@ -154,7 +169,9 @@ impl Endpoint {
             Endpoint::Stats => 3,
             Endpoint::Health => 4,
             Endpoint::Ready => 5,
-            Endpoint::Other => 6,
+            Endpoint::PromMetrics => 6,
+            Endpoint::SlowQueries => 7,
+            Endpoint::Other => 8,
         }
     }
 }
@@ -179,10 +196,18 @@ pub struct EndpointSnapshot {
     pub latency: HistogramSnapshot,
 }
 
-/// The server's metrics registry.
+/// Number of query-path stages tracked by the per-stage histograms
+/// (one per [`opine_trace::STAGES`] entry).
+pub const NUM_STAGES: usize = opine_trace::STAGES.len();
+
+/// The server's metrics registry — the *single* source both `/stats`
+/// and the Prometheus `/metrics` exposition render from.
 #[derive(Debug)]
 pub struct Metrics {
-    per_endpoint: [EndpointMetrics; 7],
+    per_endpoint: [EndpointMetrics; 9],
+    /// Per-stage latency histograms, indexed like [`opine_trace::STAGES`].
+    /// Fed one observation per active stage per traced request.
+    stages: [LatencyHistogram; NUM_STAGES],
     connections: AtomicU64,
     started: Instant,
 }
@@ -191,6 +216,7 @@ impl Default for Metrics {
     fn default() -> Self {
         Metrics {
             per_endpoint: Default::default(),
+            stages: Default::default(),
             connections: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -206,6 +232,25 @@ impl Metrics {
             m.errors.fetch_add(1, Ordering::Relaxed);
         }
         m.latency.record(latency_us);
+    }
+
+    /// Records every active stage of one request's trace into the
+    /// per-stage global histograms.
+    pub fn record_stages(&self, trace: &opine_trace::TraceSnapshot) {
+        for stage in &trace.stages {
+            if let Some(i) = opine_trace::STAGES.iter().position(|&s| s == stage.name) {
+                self.stages[i].record(stage.elapsed_us);
+            }
+        }
+    }
+
+    /// Snapshots the per-stage histograms in pipeline order.
+    pub fn stage_snapshot(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        opine_trace::STAGES
+            .iter()
+            .zip(&self.stages)
+            .map(|(&name, h)| (name, h.snapshot()))
+            .collect()
     }
 
     /// Records one accepted connection.
@@ -265,7 +310,8 @@ mod tests {
         assert_eq!(s.sum_us, 5150);
         assert_eq!(s.max_us, 5000);
         assert!((s.mean_us() - 1030.0).abs() < 1e-9);
-        // p50 is the 3rd observation (40 µs), bucket [32, 64) → upper edge 64.
+        // p50 is the 3rd observation (40 µs), the only one in bucket
+        // [32, 64) → rank-proportional position is the bucket's top.
         assert_eq!(s.quantile_us(0.5), 64);
         // p100 is clamped by the observed max.
         assert_eq!(s.quantile_us(1.0), 5000);
@@ -304,8 +350,9 @@ mod tests {
         // clamps to the observed max.
         assert_eq!(torn.quantile_us(0.99), 5000);
         assert_eq!(torn.quantile_us(1.0), 5000);
-        // Ranks still covered by the buckets are unaffected.
-        assert_eq!(torn.quantile_us(0.2), 16);
+        // Ranks still covered by the buckets interpolate normally: rank
+        // 1 of the 2 observations in [8, 16) sits halfway through it.
+        assert_eq!(torn.quantile_us(0.2), 12);
         // Fully-torn state: count observed but no bucket yet, and the
         // max not yet written — best effort is the (stale) max, never a
         // loop fall-through into garbage.
@@ -316,6 +363,46 @@ mod tests {
             buckets: [0; NUM_BUCKETS],
         };
         assert_eq!(empty_torn.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_winning_bucket() {
+        // 64 observations, 1024..1088 µs — all land in the one bucket
+        // [1024, 2048). The bucket-ceiling estimate would answer 1087
+        // (the clamped max) for *every* quantile; interpolation must
+        // track the exact nearest-rank quantiles to within 1 µs.
+        let h = LatencyHistogram::default();
+        for us in 1024..1088u64 {
+            h.record(us);
+        }
+        let s = h.snapshot();
+        for (p, exact) in [(0.25, 1039i64), (0.5, 1055), (0.75, 1071), (1.0, 1087)] {
+            let est = s.quantile_us(p) as i64;
+            assert!(
+                (est - exact).abs() <= 1,
+                "p{p}: interpolated {est} vs exact {exact}"
+            );
+        }
+        // Distinct quantiles stay distinct instead of collapsing to the
+        // bucket ceiling.
+        assert!(s.quantile_us(0.25) < s.quantile_us(0.5));
+        assert!(s.quantile_us(0.5) < s.quantile_us(0.75));
+    }
+
+    #[test]
+    fn stage_histograms_record_active_stages_only() {
+        let m = Metrics::default();
+        let trace = opine_trace::TraceContext::new();
+        opine_trace::with_trace(Some(trace.clone()), || {
+            let span = opine_trace::span("ta_topk");
+            span.count("heap_pops", 3);
+        });
+        m.record_stages(&trace.snapshot());
+        let stages = m.stage_snapshot();
+        for (name, snap) in &stages {
+            let expected = u64::from(*name == "ta_topk");
+            assert_eq!(snap.count, expected, "stage {name}");
+        }
     }
 
     #[test]

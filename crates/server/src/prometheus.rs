@@ -1,0 +1,203 @@
+//! Prometheus text-exposition (version 0.0.4) rendering.
+//!
+//! A tiny writer for the plain-text scrape format: `# HELP`/`# TYPE`
+//! headers, `name{label="v"} value` samples, and histogram families
+//! expanded from the registry's log₂-bucketed [`HistogramSnapshot`]s
+//! into cumulative `_bucket{le="…"}` / `_sum` / `_count` series. Metric
+//! names are restricted to `[a-z_]` so every emitted line satisfies the
+//! format check the serve-smoke CI job runs against `GET /metrics`.
+
+use crate::metrics::HistogramSnapshot;
+
+/// Content type of the exposition format this module renders.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// An in-progress `/metrics` response body.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty() && name.bytes().all(|b| b == b'_' || b.is_ascii_lowercase())
+}
+
+fn push_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        // Label values we emit are static identifiers (endpoint and
+        // stage names, cache names); escape the reserved characters
+        // anyway so a future caller cannot corrupt the format.
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+}
+
+impl Exposition {
+    /// An empty exposition.
+    pub fn new() -> Exposition {
+        Exposition {
+            out: String::with_capacity(8 * 1024),
+        }
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header of a metric family.
+    /// `kind` is one of `counter`, `gauge`, `histogram`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emits one integer-valued sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        self.out.push_str(name);
+        push_labels(&mut self.out, labels);
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Emits one float-valued sample line (non-finite values clamp to 0
+    /// — the text format has no place for `NaN` in a scrape we expect
+    /// CI to validate).
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        self.out.push_str(name);
+        push_labels(&mut self.out, labels);
+        self.out.push(' ');
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Expands one log₂-bucketed latency snapshot into a histogram
+    /// series: cumulative `_bucket{le="<seconds>"}` lines for each
+    /// power-of-two bound, the mandatory `le="+Inf"` bucket, `_sum` in
+    /// seconds, and `_count`. Extra `labels` (endpoint/stage identity)
+    /// are carried on every line.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let mut cumulative = 0u64;
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            cumulative += n;
+            let bound_seconds = ((1u64 << (i + 1)) as f64 / 1e6).to_string();
+            let mut with_le = labels.to_vec();
+            with_le.push(("le", bound_seconds.as_str()));
+            self.sample(&format!("{name}_bucket"), &with_le, cumulative);
+        }
+        let mut with_le = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample(&format!("{name}_bucket"), &with_le, snap.count);
+        self.sample_f64(&format!("{name}_sum"), labels, snap.sum_us as f64 / 1e6);
+        self.sample(&format!("{name}_count"), labels, snap.count);
+    }
+
+    /// The finished response body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{LatencyHistogram, NUM_BUCKETS};
+
+    /// The serve-smoke CI check: every line is a comment or matches
+    /// `^[a-z_]+(\{[^}]*\})? [0-9.e+-]+$`.
+    fn line_is_valid(line: &str) -> bool {
+        if line.starts_with('#') {
+            return true;
+        }
+        let rest = match line.find(|c: char| !(c.is_ascii_lowercase() || c == '_')) {
+            Some(0) | None => return false,
+            Some(end) => &line[end..],
+        };
+        let rest = if let Some(stripped) = rest.strip_prefix('{') {
+            match stripped.find('}') {
+                Some(close) => &stripped[close + 1..],
+                None => return false,
+            }
+        } else {
+            rest
+        };
+        let Some(value) = rest.strip_prefix(' ') else {
+            return false;
+        };
+        !value.is_empty()
+            && value
+                .bytes()
+                .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'+' | b'-'))
+    }
+
+    #[test]
+    fn samples_and_headers_satisfy_the_text_format() {
+        let mut exp = Exposition::new();
+        exp.family("opine_requests_total", "counter", "Requests handled.");
+        exp.sample("opine_requests_total", &[("endpoint", "query")], 7);
+        exp.family("opine_uptime_seconds", "gauge", "Seconds since start.");
+        exp.sample_f64("opine_uptime_seconds", &[], 1.25);
+        exp.sample_f64("opine_bad_value", &[], f64::NAN);
+        let body = exp.finish();
+        assert!(body.contains("opine_requests_total{endpoint=\"query\"} 7\n"));
+        assert!(body.contains("# TYPE opine_requests_total counter\n"));
+        assert!(body.contains("opine_bad_value 0\n"));
+        for line in body.lines() {
+            assert!(line_is_valid(line), "bad exposition line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn histograms_expand_to_cumulative_buckets() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 20, 40, 5000] {
+            h.record(us);
+        }
+        let mut exp = Exposition::new();
+        exp.family(
+            "opine_request_duration_seconds",
+            "histogram",
+            "Request latency.",
+        );
+        exp.histogram(
+            "opine_request_duration_seconds",
+            &[("endpoint", "query")],
+            &h.snapshot(),
+        );
+        let body = exp.finish();
+        // One line per bucket bound plus +Inf, _sum, and _count.
+        assert_eq!(body.lines().count(), 2 + NUM_BUCKETS + 3);
+        // 10 and 20 µs sit below the 32 µs bound → cumulative 2 there.
+        assert!(body.contains("{endpoint=\"query\",le=\"0.000032\"} 2\n"));
+        // The +Inf bucket equals the total count.
+        assert!(body.contains("{endpoint=\"query\",le=\"+Inf\"} 4\n"));
+        assert!(body.contains("opine_request_duration_seconds_count{endpoint=\"query\"} 4\n"));
+        for line in body.lines() {
+            assert!(line_is_valid(line), "bad exposition line: {line:?}");
+        }
+    }
+}

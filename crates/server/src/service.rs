@@ -2,11 +2,23 @@
 //!
 //! ```text
 //! POST /query    {"sql": "select …"}          → ranked rows as JSON
+//!                {"sql": "…", "trace": true}  → rows + per-stage span tree
+//!                {"sql": "explain analyze …"} → rows + per-stage span tree
 //! POST /prepare  {"name": "n", "sql": "…"}    → parse-once registration
 //! POST /execute  {"name": "n"}                → run a prepared statement
 //! GET  /stats                                 → caches, latencies, counters
+//! GET  /metrics                               → Prometheus text exposition
+//! GET  /debug/slow_queries                    → ring of recent slow traces
 //! GET  /healthz                               → liveness probe
 //! ```
+//!
+//! Every `/query` and `/execute` request runs under an armed
+//! [`opine_trace::TraceContext`]: the engine's stage spans feed the
+//! registry's per-stage histograms and the slow-query ring on every
+//! request, and are returned to the client as JSON when explicitly
+//! asked for (`EXPLAIN ANALYZE` or `"trace": true`). Explicitly traced
+//! responses bypass the result cache — a cached body would replay the
+//! original execution's timings forever.
 //!
 //! Every worker thread shares one [`OpineDb`] behind an `Arc`; the
 //! engine's interior caches are `Sync` (statically asserted in
@@ -21,11 +33,13 @@ use crate::json::{self, JsonValue};
 use crate::metrics::{Endpoint, Metrics};
 use crate::pool::AcceptPool;
 use crate::prepared::PreparedRegistry;
+use crate::prometheus::{self, Exposition};
 use opine_core::cache::BoundedCache;
-use opine_core::{OpineDb, OpineError};
-use opine_store::{parse_select, Select, ValueRef};
+use opine_core::{MetricValue, OpineDb, OpineError};
+use opine_store::{parse_statement, Select, Statement, ValueRef};
+use opine_trace::{TraceContext, TraceSnapshot};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -59,6 +73,12 @@ pub struct ServerConfig {
     /// Wall-clock budget per query execution; exceeding it cancels the
     /// scan at the next checkpoint and answers 504. `None` disables.
     pub request_deadline: Option<Duration>,
+    /// Queries whose traced wall-clock meets this many milliseconds are
+    /// recorded in the slow-query ring (`GET /debug/slow_queries`).
+    /// 0 disables the log.
+    pub slow_query_ms: u64,
+    /// Entries retained in the slow-query ring (oldest evicted first).
+    pub slow_query_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +98,8 @@ impl Default for ServerConfig {
             // still answer probes and write 503s promptly.
             max_in_flight: (workers / 2).max(1),
             request_deadline: Some(Duration::from_secs(10)),
+            slow_query_ms: 100,
+            slow_query_capacity: 32,
         }
     }
 }
@@ -86,7 +108,8 @@ impl ServerConfig {
     /// Defaults overridden by environment knobs: `OPINE_WORKERS`,
     /// `OPINE_MAX_IN_FLIGHT`, `OPINE_REQUEST_TIMEOUT_MS` (0 disables),
     /// `OPINE_READ_TIMEOUT_MS` (0 disables), `OPINE_WRITE_TIMEOUT_MS`
-    /// (0 disables), `OPINE_RESULT_CACHE`.
+    /// (0 disables), `OPINE_RESULT_CACHE`, `OPINE_SLOW_QUERY_MS`
+    /// (0 disables the slow-query log), `OPINE_SLOW_QUERY_CAPACITY`.
     pub fn from_env() -> ServerConfig {
         fn parsed(name: &str) -> Option<u64> {
             std::env::var(name).ok()?.parse().ok()
@@ -112,6 +135,12 @@ impl ServerConfig {
         if let Some(ms) = parsed("OPINE_WRITE_TIMEOUT_MS") {
             config.write_timeout = timeout(ms);
         }
+        if let Some(ms) = parsed("OPINE_SLOW_QUERY_MS") {
+            config.slow_query_ms = ms;
+        }
+        if let Some(n) = parsed("OPINE_SLOW_QUERY_CAPACITY") {
+            config.slow_query_capacity = (n as usize).max(1);
+        }
         config
     }
 }
@@ -131,6 +160,10 @@ struct ServerState {
     shed_requests: AtomicU64,
     /// Handler panics caught at the request boundary (worker survived).
     caught_panics: AtomicU64,
+    /// Ring of the most recent queries whose traced wall-clock met
+    /// `config.slow_query_ms`. Locked only when a query is actually
+    /// slow (or `/debug/slow_queries` renders), never on the fast path.
+    slow_queries: Mutex<VecDeque<SlowQuery>>,
     /// Set during shutdown so keep-alive loops stop taking requests.
     stopping: AtomicBool,
     /// Live connections by id — shutdown closes these sockets so workers
@@ -179,6 +212,7 @@ impl OpineServer {
             in_flight: AtomicUsize::new(0),
             shed_requests: AtomicU64::new(0),
             caught_panics: AtomicU64::new(0),
+            slow_queries: Mutex::new(VecDeque::new()),
             stopping: AtomicBool::new(false),
             live: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
@@ -248,11 +282,22 @@ impl Drop for OpineServer {
     }
 }
 
+/// One entry of the slow-query ring.
+struct SlowQuery {
+    /// Normalized SQL of the statement (the result-cache key).
+    sql: String,
+    endpoint: Endpoint,
+    status: u16,
+    trace: TraceSnapshot,
+}
+
 /// One routed response.
 struct Routed {
     endpoint: Endpoint,
     status: u16,
     body: Arc<String>,
+    /// Response content type (`/metrics` is text, everything else JSON).
+    content_type: &'static str,
     /// `X-Opine-Cache` value for `/query`-family responses.
     cache: Option<&'static str>,
     /// `Retry-After` seconds for shed (503) responses.
@@ -265,6 +310,7 @@ impl Routed {
             endpoint,
             status,
             body: Arc::new(body),
+            content_type: "application/json",
             cache: None,
             retry_after: None,
         }
@@ -332,6 +378,8 @@ fn endpoint_of(req: &Request) -> Endpoint {
         ("GET", "/stats") => Endpoint::Stats,
         ("GET", "/healthz") => Endpoint::Health,
         ("GET", "/readyz") => Endpoint::Ready,
+        ("GET", "/metrics") => Endpoint::PromMetrics,
+        ("GET", "/debug/slow_queries") => Endpoint::SlowQueries,
         _ => Endpoint::Other,
     }
 }
@@ -449,7 +497,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                 if http::write_response(
                     &mut writer,
                     routed.status,
-                    "application/json",
+                    routed.content_type,
                     routed.body.as_bytes(),
                     keep_alive,
                     &extra,
@@ -539,7 +587,25 @@ fn route(state: &ServerState, req: &Request) -> Routed {
         // Readiness: answers 503 while shedding or stopping, so load
         // balancers steer new traffic away without killing the process.
         ("GET", "/readyz") => handle_ready(state),
-        (_, "/query" | "/prepare" | "/execute" | "/stats" | "/healthz" | "/readyz") => Routed::new(
+        ("GET", "/metrics") => {
+            let mut routed = Routed::new(Endpoint::PromMetrics, 200, render_prometheus(state));
+            routed.content_type = prometheus::CONTENT_TYPE;
+            routed
+        }
+        ("GET", "/debug/slow_queries") => {
+            Routed::new(Endpoint::SlowQueries, 200, render_slow_queries(state))
+        }
+        (
+            _,
+            "/query"
+            | "/prepare"
+            | "/execute"
+            | "/stats"
+            | "/healthz"
+            | "/readyz"
+            | "/metrics"
+            | "/debug/slow_queries",
+        ) => Routed::new(
             Endpoint::Other,
             405,
             error_body(
@@ -617,17 +683,38 @@ fn handle_query(state: &ServerState, req: &Request) -> Routed {
         Ok(s) => s,
         Err(r) => return r,
     };
-    let select = match parse_select(sql) {
-        Ok(s) => s,
-        Err(e) => {
-            return Routed::new(
-                Endpoint::Query,
-                400,
-                error_body("bad_request", &e.to_string()),
-            )
-        }
-    };
-    run_select(state, Endpoint::Query, &select, &select.normalized())
+    let want_trace = body
+        .get("trace")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    // Arm a trace context for the whole request so the parse below and
+    // every engine stage land in one tree.
+    let trace = TraceContext::new();
+    opine_trace::with_trace(Some(trace.clone()), || {
+        let statement = {
+            let _parse = opine_trace::span("parse");
+            match parse_statement(sql) {
+                Ok(s) => s,
+                Err(e) => {
+                    return Routed::new(
+                        Endpoint::Query,
+                        400,
+                        error_body("bad_request", &e.to_string()),
+                    )
+                }
+            }
+        };
+        let explicit = want_trace || matches!(statement, Statement::ExplainAnalyze(_));
+        let select = statement.select();
+        run_select(
+            state,
+            Endpoint::Query,
+            select,
+            &select.normalized(),
+            &trace,
+            explicit,
+        )
+    })
 }
 
 fn handle_prepare(state: &ServerState, req: &Request) -> Routed {
@@ -679,59 +766,196 @@ fn handle_execute(state: &ServerState, req: &Request) -> Routed {
             ),
         );
     };
-    run_select(
-        state,
-        Endpoint::Execute,
-        &prepared.select,
-        &prepared.normalized,
-    )
+    let want_trace = body
+        .get("trace")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    let trace = TraceContext::new();
+    opine_trace::with_trace(Some(trace.clone()), || {
+        run_select(
+            state,
+            Endpoint::Execute,
+            &prepared.select,
+            &prepared.normalized,
+            &trace,
+            want_trace,
+        )
+    })
 }
 
 /// Executes a parsed statement through the result cache.
-fn run_select(state: &ServerState, endpoint: Endpoint, select: &Select, key: &str) -> Routed {
-    let caching = state.config.result_cache_capacity > 0;
-    if caching {
-        if let Some(hit) = state.results.get(key) {
-            return Routed {
-                endpoint,
-                status: 200,
-                body: hit,
-                cache: Some("hit"),
-                retry_after: None,
-            };
-        }
-    }
-    let deadline = state
-        .config
-        .request_deadline
-        .map(opine_faults::Deadline::after);
-    match render_query_body_deadline(&state.db, select, deadline) {
-        Ok(body) => {
-            let body = Arc::new(body);
-            if caching {
-                state.results.insert(key, body.clone());
-            }
-            Routed {
-                endpoint,
-                status: 200,
-                body,
-                cache: Some(if caching { "miss" } else { "off" }),
-                retry_after: None,
+///
+/// `explicit` marks a request that asked to see its trace
+/// (`EXPLAIN ANALYZE` or `"trace": true`): the span tree is appended to
+/// the response body, and the result cache is bypassed in both
+/// directions — a cached body would replay the original execution's
+/// timings, and inserting a traced body would leak one request's spans
+/// into every later hit.
+fn run_select(
+    state: &ServerState,
+    endpoint: Endpoint,
+    select: &Select,
+    key: &str,
+    trace: &TraceContext,
+    explicit: bool,
+) -> Routed {
+    let caching = state.config.result_cache_capacity > 0 && !explicit;
+    let routed = 'routed: {
+        if caching {
+            if let Some(hit) = state.results.get(key) {
+                break 'routed Routed {
+                    endpoint,
+                    status: 200,
+                    body: hit,
+                    content_type: "application/json",
+                    cache: Some("hit"),
+                    retry_after: None,
+                };
             }
         }
-        Err(OpineError::QueryTimeout) => Routed::new(
-            endpoint,
-            504,
-            error_body(
-                "timeout",
-                &format!(
-                    "query exceeded the {:?} execution deadline",
-                    state.config.request_deadline.unwrap_or_default()
+        let deadline = state
+            .config
+            .request_deadline
+            .map(opine_faults::Deadline::after);
+        match render_query_body_deadline(&state.db, select, deadline) {
+            Ok(body) => {
+                let body = if explicit {
+                    let mut body = body;
+                    append_trace(&mut body, &trace.snapshot());
+                    Arc::new(body)
+                } else {
+                    let body = Arc::new(body);
+                    if caching {
+                        state.results.insert(key, body.clone());
+                    }
+                    body
+                };
+                Routed {
+                    endpoint,
+                    status: 200,
+                    body,
+                    content_type: "application/json",
+                    cache: Some(if explicit {
+                        "bypass"
+                    } else if caching {
+                        "miss"
+                    } else {
+                        "off"
+                    }),
+                    retry_after: None,
+                }
+            }
+            Err(OpineError::QueryTimeout) => Routed::new(
+                endpoint,
+                504,
+                error_body(
+                    "timeout",
+                    &format!(
+                        "query exceeded the {:?} execution deadline",
+                        state.config.request_deadline.unwrap_or_default()
+                    ),
                 ),
             ),
-        ),
-        Err(e) => Routed::new(endpoint, 400, error_body("bad_request", &e.to_string())),
+            Err(e) => Routed::new(endpoint, 400, error_body("bad_request", &e.to_string())),
+        }
+    };
+    // One final snapshot feeds the per-stage global histograms and,
+    // past the threshold, the slow-query ring. Fast requests never take
+    // the ring's lock.
+    let snapshot = trace.snapshot();
+    state.metrics.record_stages(&snapshot);
+    let threshold_ms = state.config.slow_query_ms;
+    if threshold_ms > 0 && snapshot.total_us >= threshold_ms.saturating_mul(1000) {
+        let mut ring = state.slow_queries.lock();
+        while ring.len() >= state.config.slow_query_capacity.max(1) {
+            ring.pop_front();
+        }
+        ring.push_back(SlowQuery {
+            sql: key.to_string(),
+            endpoint,
+            status: routed.status,
+            trace: snapshot,
+        });
     }
+    routed
+}
+
+/// Appends `,"trace":{…}` inside a rendered response body (which always
+/// ends in `}`), producing the traced variant of the response.
+fn append_trace(body: &mut String, snapshot: &TraceSnapshot) {
+    debug_assert!(body.ends_with('}'));
+    body.pop();
+    body.push_str(",\"trace\":");
+    render_trace_json(body, snapshot);
+    body.push('}');
+}
+
+/// Renders one trace snapshot as JSON: total wall-clock, the active
+/// stages in pipeline order with their counters, and the engine's
+/// plan-choice notes (which fast path fired, and why or why not).
+fn render_trace_json(out: &mut String, snapshot: &TraceSnapshot) {
+    out.push_str("{\"total_us\":");
+    out.push_str(&snapshot.total_us.to_string());
+    out.push_str(",\"stages\":[");
+    for (i, stage) in snapshot.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"stage\":");
+        json::escape_into(out, stage.name);
+        out.push_str(&format!(
+            ",\"calls\":{},\"elapsed_us\":{},\"counters\":{{",
+            stage.calls, stage.elapsed_us
+        ));
+        for (j, (name, value)) in stage.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"notes\":[");
+    for (i, note) in snapshot.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(out, note);
+    }
+    out.push_str("]}");
+}
+
+/// Renders the `/debug/slow_queries` payload: the ring's entries,
+/// oldest first, each with its normalized SQL and full span tree.
+fn render_slow_queries(state: &ServerState) -> String {
+    let ring = state.slow_queries.lock();
+    let mut out = String::with_capacity(256 + 512 * ring.len());
+    out.push_str(&format!(
+        "{{\"threshold_ms\":{},\"capacity\":{},\"count\":{},\"entries\":[",
+        state.config.slow_query_ms,
+        state.config.slow_query_capacity,
+        ring.len()
+    ));
+    for (i, entry) in ring.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"sql\":");
+        json::escape_into(&mut out, &entry.sql);
+        out.push_str(&format!(
+            ",\"endpoint\":\"{}\",\"status\":{},\"total_us\":{},\"trace\":",
+            entry.endpoint.name(),
+            entry.status,
+            entry.trace.total_us
+        ));
+        render_trace_json(&mut out, &entry.trace);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Appends one cell value as JSON. Takes the executor's borrowed
@@ -774,6 +998,8 @@ pub fn render_query_body_deadline(
 }
 
 fn render_body(q: &opine_core::QueryRef<'_>) -> String {
+    let span = opine_trace::span("serialize");
+    span.count("rows", q.result.len() as u64);
     let mut out = String::with_capacity(256 + 64 * q.result.len());
     out.push_str("{\"columns\":[");
     for (i, col) in q.result.columns().iter().enumerate() {
@@ -848,44 +1074,23 @@ fn render_stats(state: &ServerState) -> String {
     out.push_str(&state.db.num_entities().to_string());
     out.push_str(",\"entity_table\":");
     json::escape_into(&mut out, state.db.entity_table());
-    out.push_str("},\"engine_caches\":{\"interpretations\":");
-    push_cache_stats(&mut out, report.interpretations);
-    out.push_str(",\"phrases\":");
-    push_cache_stats(&mut out, report.phrases);
-    out.push_str(",\"points\":");
-    push_cache_stats(&mut out, report.points);
-    out.push_str(",\"degree_columns\":");
-    push_cache_stats(&mut out, report.columns);
-    out.push_str(",\"cached_degree_columns\":");
-    out.push_str(&report.cached_columns.to_string());
-    out.push_str(",\"degree_column_bytes\":");
-    out.push_str(&report.column_bytes.to_string());
-    out.push_str(",\"quantized_columns\":");
-    out.push_str(if report.quantized_columns {
-        "true"
-    } else {
-        "false"
-    });
-    out.push_str(",\"ta_queries\":");
-    out.push_str(&report.ta_queries.to_string());
-    out.push_str(",\"pushdown_queries\":");
-    out.push_str(&report.pushdown_queries.to_string());
-    out.push_str(",\"filtered_summaries\":");
-    push_cache_stats(&mut out, report.filtered_summaries);
-    out.push_str(",\"filtered_summary_sets\":");
-    out.push_str(&report.filtered_summary_sets.to_string());
-    out.push_str(",\"filtered_summary_queries\":");
-    out.push_str(&report.filtered_summary_queries.to_string());
-    out.push_str(",\"wand_queries\":");
-    out.push_str(&report.wand_queries.to_string());
-    out.push_str(",\"exhaustive_queries\":");
-    out.push_str(&report.exhaustive_queries.to_string());
-    out.push_str(",\"blocks_skipped\":");
-    out.push_str(&report.blocks_skipped.to_string());
-    out.push_str(",\"timed_out_queries\":");
-    out.push_str(&report.timed_out_queries.to_string());
-    out.push_str(",\"faults_injected\":");
-    out.push_str(&report.faults_injected.to_string());
+    // The engine section renders from CacheReport::fields() — the same
+    // list the Prometheus exposition walks — so `/stats` and `/metrics`
+    // cannot drift apart.
+    out.push_str("},\"engine_caches\":{");
+    for (i, (name, value)) in report.fields().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+        match value {
+            MetricValue::Counter(n) | MetricValue::Gauge(n) => out.push_str(&n.to_string()),
+            MetricValue::Flag(b) => out.push_str(if b { "true" } else { "false" }),
+            MetricValue::Cache(stats) => push_cache_stats(&mut out, stats),
+        }
+    }
     out.push_str("},\"result_cache\":{\"enabled\":");
     out.push_str(if state.config.result_cache_capacity > 0 {
         "true"
@@ -923,4 +1128,210 @@ fn render_stats(state: &ServerState) -> String {
     }
     out.push_str("}}");
     out
+}
+
+/// Renders the `GET /metrics` body: every `/stats` counter in
+/// Prometheus text-exposition format, plus the per-stage query-path
+/// histograms. Both surfaces read the same [`Metrics`] registry and the
+/// same [`opine_core::CacheReport::fields`] list.
+fn render_prometheus(state: &ServerState) -> String {
+    let mut exp = Exposition::new();
+
+    exp.family(
+        "opine_uptime_seconds",
+        "gauge",
+        "Seconds since the server started.",
+    );
+    exp.sample_f64("opine_uptime_seconds", &[], state.metrics.uptime_seconds());
+    exp.family(
+        "opine_connections_total",
+        "counter",
+        "Accepted TCP connections.",
+    );
+    exp.sample("opine_connections_total", &[], state.metrics.connections());
+    exp.family("opine_workers", "gauge", "Accept-pool worker threads.");
+    exp.sample("opine_workers", &[], state.workers as u64);
+    exp.family(
+        "opine_in_flight",
+        "gauge",
+        "Execution requests currently admitted.",
+    );
+    exp.sample(
+        "opine_in_flight",
+        &[],
+        state.in_flight.load(Ordering::Relaxed) as u64,
+    );
+    exp.family(
+        "opine_max_in_flight",
+        "gauge",
+        "Admission budget for execution requests.",
+    );
+    exp.sample(
+        "opine_max_in_flight",
+        &[],
+        state.config.max_in_flight as u64,
+    );
+    exp.family(
+        "opine_shed_requests_total",
+        "counter",
+        "Requests shed with 503 at admission.",
+    );
+    exp.sample(
+        "opine_shed_requests_total",
+        &[],
+        state.shed_requests.load(Ordering::Relaxed),
+    );
+    exp.family(
+        "opine_caught_panics_total",
+        "counter",
+        "Handler panics caught at the request boundary.",
+    );
+    exp.sample(
+        "opine_caught_panics_total",
+        &[],
+        state.caught_panics.load(Ordering::Relaxed),
+    );
+    exp.family("opine_entities", "gauge", "Entities in the catalog.");
+    exp.sample("opine_entities", &[], state.db.num_entities() as u64);
+
+    let snaps = state.metrics.snapshot();
+    exp.family(
+        "opine_requests_total",
+        "counter",
+        "Requests handled per endpoint.",
+    );
+    for s in &snaps {
+        exp.sample(
+            "opine_requests_total",
+            &[("endpoint", s.endpoint.name())],
+            s.requests,
+        );
+    }
+    exp.family(
+        "opine_request_errors_total",
+        "counter",
+        "Non-2xx responses per endpoint.",
+    );
+    for s in &snaps {
+        exp.sample(
+            "opine_request_errors_total",
+            &[("endpoint", s.endpoint.name())],
+            s.errors,
+        );
+    }
+    exp.family(
+        "opine_request_duration_seconds",
+        "histogram",
+        "Request latency per endpoint.",
+    );
+    for s in &snaps {
+        exp.histogram(
+            "opine_request_duration_seconds",
+            &[("endpoint", s.endpoint.name())],
+            &s.latency,
+        );
+    }
+
+    exp.family(
+        "opine_stage_duration_seconds",
+        "histogram",
+        "Per-request latency of each query-path stage.",
+    );
+    for (name, snap) in state.metrics.stage_snapshot() {
+        exp.histogram("opine_stage_duration_seconds", &[("stage", name)], &snap);
+    }
+
+    let report = state.db.cache_report();
+    let fields: Vec<_> = report.fields().collect();
+    exp.family("opine_cache_hits_total", "counter", "Engine cache hits.");
+    for (name, value) in &fields {
+        if let MetricValue::Cache(stats) = value {
+            exp.sample("opine_cache_hits_total", &[("cache", name)], stats.hits);
+        }
+    }
+    exp.family(
+        "opine_cache_misses_total",
+        "counter",
+        "Engine cache misses.",
+    );
+    for (name, value) in &fields {
+        if let MetricValue::Cache(stats) = value {
+            exp.sample("opine_cache_misses_total", &[("cache", name)], stats.misses);
+        }
+    }
+    for (name, value) in &fields {
+        match value {
+            MetricValue::Counter(n) => {
+                let metric = format!("opine_{name}_total");
+                exp.family(&metric, "counter", "Engine counter (see /stats).");
+                exp.sample(&metric, &[], *n);
+            }
+            MetricValue::Gauge(n) => {
+                let metric = format!("opine_{name}");
+                exp.family(&metric, "gauge", "Engine gauge (see /stats).");
+                exp.sample(&metric, &[], *n);
+            }
+            MetricValue::Flag(b) => {
+                let metric = format!("opine_{name}");
+                exp.family(&metric, "gauge", "Engine toggle (0/1, see /stats).");
+                exp.sample(&metric, &[], u64::from(*b));
+            }
+            MetricValue::Cache(_) => {}
+        }
+    }
+
+    let rc = state.results.stats();
+    exp.family(
+        "opine_result_cache_hits_total",
+        "counter",
+        "Result-cache hits.",
+    );
+    exp.sample("opine_result_cache_hits_total", &[], rc.hits);
+    exp.family(
+        "opine_result_cache_misses_total",
+        "counter",
+        "Result-cache misses.",
+    );
+    exp.sample("opine_result_cache_misses_total", &[], rc.misses);
+    exp.family(
+        "opine_result_cache_entries",
+        "gauge",
+        "Rendered bodies currently cached.",
+    );
+    exp.sample(
+        "opine_result_cache_entries",
+        &[],
+        state.results.len() as u64,
+    );
+    exp.family(
+        "opine_result_cache_capacity",
+        "gauge",
+        "Result-cache capacity (0 = disabled).",
+    );
+    exp.sample(
+        "opine_result_cache_capacity",
+        &[],
+        state.config.result_cache_capacity as u64,
+    );
+    exp.family(
+        "opine_prepared_statements",
+        "gauge",
+        "Prepared statements registered.",
+    );
+    exp.sample(
+        "opine_prepared_statements",
+        &[],
+        state.prepared.len() as u64,
+    );
+    exp.family(
+        "opine_slow_queries_logged",
+        "gauge",
+        "Entries currently in the slow-query ring.",
+    );
+    exp.sample(
+        "opine_slow_queries_logged",
+        &[],
+        state.slow_queries.lock().len() as u64,
+    );
+    exp.finish()
 }

@@ -222,6 +222,218 @@ fn stats_reports_caches_and_latencies() {
 }
 
 #[test]
+fn explain_analyze_and_trace_flag_return_span_trees() {
+    let server = serve(small_db());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // EXPLAIN ANALYZE: runs the statement and returns the span tree
+    // alongside the rows, bypassing the result cache in both directions.
+    let explained = client
+        .post(
+            "/query",
+            &query_body(&format!("explain analyze {RUNNING_EXAMPLE}")),
+        )
+        .unwrap();
+    assert_eq!(explained.status, 200, "{}", explained.body);
+    assert_eq!(explained.header("x-opine-cache"), Some("bypass"));
+    let v = opine_server::json::parse(&explained.body).expect("traced body is valid JSON");
+    assert!(
+        v.get("rows").is_some(),
+        "rows ride along: {}",
+        explained.body
+    );
+    let trace = v.get("trace").expect("span tree present");
+    let stages = match trace.get("stages").expect("stages array") {
+        opine_server::JsonValue::Array(items) => items,
+        other => panic!("expected array, got {other:?}"),
+    };
+    assert!(!stages.is_empty(), "span tree must be non-empty");
+    let names: Vec<&str> = stages
+        .iter()
+        .map(|s| s.get("stage").and_then(|n| n.as_str()).unwrap())
+        .collect();
+    for expected in ["parse", "prefilter_bitmap", "ta_topk", "serialize"] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    // The plan notes say which fast path fired.
+    assert!(
+        explained.body.contains("pushdown"),
+        "plan note should name the pushdown path: {}",
+        explained.body
+    );
+
+    // The same statement via the `"trace": true` field.
+    let flagged = client
+        .post(
+            "/query",
+            &format!(
+                "{{\"sql\": {}, \"trace\": true}}",
+                opine_server::json::escaped(RUNNING_EXAMPLE)
+            ),
+        )
+        .unwrap();
+    assert_eq!(flagged.status, 200);
+    assert_eq!(flagged.header("x-opine-cache"), Some("bypass"));
+    assert!(flagged.body.contains("\"trace\":{\"total_us\":"));
+
+    // Traced executions were never inserted into the result cache, and
+    // untraced responses carry no trace object.
+    let plain = client.post("/query", &query_body(RUNNING_EXAMPLE)).unwrap();
+    assert_eq!(plain.header("x-opine-cache"), Some("miss"));
+    assert!(!plain.body.contains("\"trace\""));
+}
+
+/// The serve-smoke CI format check, inlined: every exposition line is a
+/// comment or `^[a-z_]+(\{[^}]*\})? [0-9.e+-]+$`.
+fn prometheus_line_is_valid(line: &str) -> bool {
+    if line.starts_with('#') {
+        return true;
+    }
+    let rest = match line.find(|c: char| !(c.is_ascii_lowercase() || c == '_')) {
+        Some(0) | None => return false,
+        Some(end) => &line[end..],
+    };
+    let rest = if let Some(stripped) = rest.strip_prefix('{') {
+        match stripped.find('}') {
+            Some(close) => &stripped[close + 1..],
+            None => return false,
+        }
+    } else {
+        rest
+    };
+    let Some(value) = rest.strip_prefix(' ') else {
+        return false;
+    };
+    !value.is_empty()
+        && value
+            .bytes()
+            .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'+' | b'-'))
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_cannot_drift_from_stats() {
+    let db = small_db();
+    let server = serve(db.clone());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    for _ in 0..2 {
+        assert_eq!(
+            client
+                .post("/query", &query_body(RUNNING_EXAMPLE))
+                .unwrap()
+                .status,
+            200
+        );
+    }
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    for line in metrics.body.lines() {
+        assert!(prometheus_line_is_valid(line), "bad line: {line:?}");
+    }
+    // The mixed running example took the TA fast path.
+    assert!(metrics.body.contains("opine_ta_queries_total "));
+    assert!(!metrics.body.contains("opine_ta_queries_total 0\n"));
+    // Per-stage histograms are fed by the always-armed request traces.
+    assert!(metrics
+        .body
+        .contains("opine_stage_duration_seconds_count{stage=\"ta_topk\"} "));
+    assert!(!metrics
+        .body
+        .contains("opine_stage_duration_seconds_count{stage=\"ta_topk\"} 0\n"));
+
+    // Satellite guarantee: every public CacheReport field appears in
+    // BOTH surfaces — they render from the same fields() list.
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    for (name, value) in db.cache_report().fields() {
+        assert!(
+            stats.body.contains(&format!("\"{name}\":")),
+            "/stats is missing {name}"
+        );
+        let expected = match value {
+            opine_core::MetricValue::Cache(_) => format!("cache=\"{name}\""),
+            opine_core::MetricValue::Counter(_) => format!("opine_{name}_total "),
+            _ => format!("opine_{name} "),
+        };
+        assert!(
+            metrics.body.contains(&expected),
+            "/metrics is missing {expected}"
+        );
+    }
+
+    // Wrong method is routed like the other endpoints.
+    assert_eq!(client.post("/metrics", "{}").unwrap().status, 405);
+    assert_eq!(
+        client.post("/debug/slow_queries", "{}").unwrap().status,
+        405
+    );
+}
+
+#[test]
+fn slow_query_log_captures_traces_and_bounds_its_ring() {
+    let server = OpineServer::bind(
+        "127.0.0.1:0",
+        small_db(),
+        ServerConfig {
+            workers: 2,
+            max_in_flight: 64,
+            // Every cold query qualifies as "slow".
+            slow_query_ms: 1,
+            slow_query_capacity: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // A tiny corpus can answer even cold queries in under a
+    // millisecond, so make the subjective statements deterministically
+    // slow with the delay failpoint ahead of the TA stage.
+    opine_core::faults::configure("pre_ta=delay:10@1", 7).unwrap();
+    let statements = [
+        RUNNING_EXAMPLE,
+        "select * from hotels where \"friendly staff\" limit 4",
+        "select * from hotels where \"quiet rooms\" limit 3",
+    ];
+    for sql in statements {
+        assert_eq!(client.post("/query", &query_body(sql)).unwrap().status, 200);
+    }
+    opine_core::faults::clear();
+
+    let resp = client.get("/debug/slow_queries").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let v = opine_server::json::parse(&resp.body).expect("slow-query payload is valid JSON");
+    assert_eq!(v.get("threshold_ms").and_then(|t| t.as_f64()), Some(1.0));
+    assert_eq!(v.get("capacity").and_then(|c| c.as_f64()), Some(2.0));
+    let entries = match v.get("entries").expect("entries array") {
+        opine_server::JsonValue::Array(items) => items,
+        other => panic!("expected array, got {other:?}"),
+    };
+    assert!(
+        !entries.is_empty(),
+        "cold queries should exceed 1 ms: {}",
+        resp.body
+    );
+    assert!(
+        entries.len() <= 2,
+        "ring must respect its capacity: {}",
+        resp.body
+    );
+    for entry in entries {
+        let sql = entry.get("sql").and_then(|s| s.as_str()).unwrap();
+        assert!(sql.contains("hotels"), "normalized SQL recorded: {sql}");
+        assert!(
+            entry.get("trace").and_then(|t| t.get("stages")).is_some(),
+            "each entry carries its span tree"
+        );
+    }
+}
+
+#[test]
 fn error_paths_return_json_errors() {
     let server = serve(small_db());
     let mut client = HttpClient::connect(server.local_addr()).unwrap();

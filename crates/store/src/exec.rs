@@ -462,20 +462,25 @@ pub fn execute_lazy<'a>(
     // Score every row.
     let mut scored: Vec<(RowHandle<'a>, f64)> = Vec::with_capacity(rows.len());
     let algebra = FuzzyAlgebra::Product;
-    for handle in rows {
-        // Cancellation checkpoint per scored row: an expired request
-        // deadline unwinds out of the scan at the next chunk boundary.
-        opine_faults::checkpoint();
-        let score = match &query.where_clause {
-            None => 1.0,
-            Some(expr) => {
-                let key = handle.value(layout.base_key_slot).to_value();
-                eval(expr, &handle, &layout, &key, scorer, algebra)?
+    {
+        let span = opine_trace::span("rescore");
+        let examined = rows.len() as u64;
+        for handle in rows {
+            // Cancellation checkpoint per scored row: an expired request
+            // deadline unwinds out of the scan at the next chunk boundary.
+            opine_faults::checkpoint();
+            let score = match &query.where_clause {
+                None => 1.0,
+                Some(expr) => {
+                    let key = handle.value(layout.base_key_slot).to_value();
+                    eval(expr, &handle, &layout, &key, scorer, algebra)?
+                }
+            };
+            if score > 0.0 {
+                scored.push((handle, score));
             }
-        };
-        if score > 0.0 {
-            scored.push((handle, score));
         }
+        span.count("scored", examined);
     }
 
     finish(query, layout, scored)
@@ -513,9 +518,11 @@ fn plan_single_table<'a>(
     let Some(where_clause) = &query.where_clause else {
         return Ok(None);
     };
+    let plan_span = opine_trace::span("plan");
     let conjuncts = where_clause.conjuncts();
     let (objective, subjective): (Vec<&Expr>, Vec<&Expr>) =
         conjuncts.into_iter().partition(|e| !e.has_subjective());
+    drop(plan_span);
 
     if objective.is_empty() {
         // Pure subjective conjunction (the paper's core ranking query):
@@ -527,8 +534,10 @@ fn plan_single_table<'a>(
             if let Some(predicates) = where_clause.as_subjective_conjunction() {
                 let k = query.limit.unwrap_or(usize::MAX).min(base.len());
                 if let Some(ranked) = scorer.rank_subjective_conjunction(&predicates, k, None) {
+                    opine_trace::note(|| "plan: pure subjective conjunction → TA top-k".into());
                     return Ok(Some(materialize_ranked(base, ranked)?));
                 }
+                opine_trace::note(|| "plan: scorer declined TA ranking → full scan".into());
             }
         }
         return Ok(None);
@@ -536,7 +545,12 @@ fn plan_single_table<'a>(
 
     // Objective prefilter: vectorized comparisons over typed columns,
     // AND-combined into one candidate bitmap.
+    let prefilter_span = opine_trace::span("prefilter_bitmap");
     let candidates = objective_bitmap(base, layout, &objective, scorer)?;
+    if prefilter_span.active() {
+        prefilter_span.count("candidates", candidates.count_ones() as u64);
+    }
+    drop(prefilter_span);
 
     if subjective.is_empty() {
         // Purely objective WHERE: the bitmap *is* the answer (score 1).
@@ -566,6 +580,7 @@ fn plan_single_table<'a>(
             .min(candidates.count_ones());
         if let Some(ranked) = scorer.rank_subjective_conjunction(&predicates, k, Some(&candidates))
         {
+            opine_trace::note(|| "plan: mixed clause → objective prefilter + TA pushdown".into());
             return Ok(Some(materialize_ranked(base, ranked)?));
         }
     }
@@ -574,10 +589,14 @@ fn plan_single_table<'a>(
     // ORDER BY, or a scorer without an index): score candidates one at
     // a time with the *full* WHERE expression, so scores match the
     // naive path bit-for-bit. Non-candidates would have scored 0.
+    opine_trace::note(|| "plan: residue not TA-rankable → row-at-a-time over candidates".into());
+    let span = opine_trace::span("rescore");
     let algebra = FuzzyAlgebra::Product;
     let mut scored = Vec::new();
+    let mut examined = 0u64;
     for i in candidates.iter_ones() {
         opine_faults::checkpoint();
+        examined += 1;
         let handle = RowHandle::Base(base.row(i));
         let key = handle.value(layout.base_key_slot).to_value();
         let score = eval(where_clause, &handle, layout, &key, scorer, algebra)?;
@@ -585,6 +604,7 @@ fn plan_single_table<'a>(
             scored.push((handle, score));
         }
     }
+    span.count("scored", examined);
     Ok(Some(scored))
 }
 
@@ -670,6 +690,7 @@ fn finish<'a>(
     layout: Layout,
     mut scored: Vec<(RowHandle<'a>, f64)>,
 ) -> Result<ScoredRows<'a>, StoreError> {
+    let span = opine_trace::span("materialize");
     // Order: explicit ORDER BY, else score descending (stable, so equal
     // scores keep base-row / rank order).
     match &query.order_by {
@@ -692,6 +713,7 @@ fn finish<'a>(
     if let Some(limit) = query.limit {
         scored.truncate(limit);
     }
+    span.count("rows", scored.len() as u64);
 
     let (columns, projection) = if query.columns.is_empty() {
         (

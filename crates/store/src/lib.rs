@@ -59,7 +59,7 @@ pub use exec::{
     execute, execute_lazy, FuzzyAlgebra, ObjectiveOnly, ProjectedValues, ResultSet, ScoredRows,
     SubjectiveScorer,
 };
-pub use parser::{parse_select, ParseError};
+pub use parser::{parse_select, parse_statement, ParseError, Statement};
 pub use schema::{Column, ColumnType, Schema};
 pub use table::{RowView, Table};
 pub use value::{Value, ValueRef};

@@ -51,6 +51,45 @@ pub fn parse_select(input: &str) -> Result<Select, ParseError> {
     Ok(select)
 }
 
+/// A top-level Subjective SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A plain `SELECT …`.
+    Select(Select),
+    /// `EXPLAIN ANALYZE SELECT …`: execute the query and return its
+    /// per-stage trace instead of (or alongside) the rows.
+    ExplainAnalyze(Select),
+}
+
+impl Statement {
+    /// The wrapped `SELECT`, whichever form the statement took.
+    pub fn select(&self) -> &Select {
+        match self {
+            Statement::Select(s) | Statement::ExplainAnalyze(s) => s,
+        }
+    }
+}
+
+/// Parses a statement: a `SELECT`, optionally prefixed with
+/// `EXPLAIN ANALYZE`.
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let explain = p.eat_keyword("explain");
+    if explain {
+        p.expect_keyword("analyze")?;
+    }
+    let select = p.parse_select()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(&format!("unexpected trailing token {:?}", p.peek())));
+    }
+    Ok(if explain {
+        Statement::ExplainAnalyze(select)
+    } else {
+        Statement::Select(select)
+    })
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
     Ident(String),
@@ -631,6 +670,35 @@ mod tests {
             q.where_clause.unwrap(),
             Expr::Subjective("clean rooms".into())
         );
+    }
+
+    #[test]
+    fn parses_explain_analyze() {
+        let s = parse_statement(
+            "EXPLAIN ANALYZE select * from hotels where price_pn < 150 and \"clean rooms\" limit 5",
+        )
+        .unwrap();
+        let Statement::ExplainAnalyze(q) = &s else {
+            panic!("expected EXPLAIN ANALYZE, got {s:?}");
+        };
+        assert_eq!(q.from, "hotels");
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(s.select().from, "hotels");
+        // Keywords are case-insensitive, like the rest of the dialect.
+        assert!(matches!(
+            parse_statement("explain analyze select * from t").unwrap(),
+            Statement::ExplainAnalyze(_)
+        ));
+        // A plain select parses to the Select variant, identically to
+        // `parse_select`.
+        let plain = parse_statement("select * from t where \"a\"").unwrap();
+        assert_eq!(
+            *plain.select(),
+            parse_select("select * from t where \"a\"").unwrap()
+        );
+        // EXPLAIN without ANALYZE (or bare EXPLAIN ANALYZE) is rejected.
+        assert!(parse_statement("explain select * from t").is_err());
+        assert!(parse_statement("explain analyze").is_err());
     }
 
     #[test]
