@@ -35,6 +35,7 @@ pub mod domain;
 pub mod interpret;
 pub mod membership;
 pub mod par;
+pub mod snapshot;
 pub mod summary;
 pub mod topk;
 
@@ -47,4 +48,5 @@ pub use db::{
 pub use domain::LinguisticDomain;
 pub use interpret::{Interpretation, Interpreter, InterpreterConfig};
 pub use membership::MembershipModel;
+pub use snapshot::{Snapshot, SnapshotCell};
 pub use summary::{AssignMode, Marker, MarkerSet, MarkerSummary, SummaryKind};

@@ -55,6 +55,7 @@ where
                 })
             })
             .collect();
+        // lint:allow(checkpoint_coverage, reason = "bounded by worker count; joins finished workers rather than scanning data")
         for handle in handles {
             match handle.join() {
                 Ok(part) => out.extend(part),

@@ -91,6 +91,7 @@ where
         // request deadline unwinds out of the scan here instead of
         // walking the remaining entities.
         opine_faults::checkpoint();
+        // lint:allow(checkpoint_coverage, reason = "bounded by predicate count; the enclosing depth loop checkpoints once per sorted-access round")
         for order in &sorted {
             let Some(&entity) = order.get(depth) else {
                 continue;
@@ -254,6 +255,9 @@ where
                 if is_candidate(e as usize) {
                     break;
                 }
+                // The non-candidate skip can walk a long sparse prefix;
+                // keep the deadline honest while it does.
+                opine_faults::checkpoint();
                 cur += 1;
             }
             let Some(&e) = order.get(cur) else {
@@ -328,6 +332,7 @@ pub fn densify(lists: &[Vec<(usize, f64)>]) -> (Vec<Vec<f64>>, Vec<Vec<u32>>) {
     let mut columns = Vec::with_capacity(lists.len());
     let mut sorted = Vec::with_capacity(lists.len());
     for list in lists {
+        opine_faults::checkpoint();
         let mut column = vec![0.0f64; num_entities];
         let mut order = Vec::with_capacity(list.len());
         for &(entity, degree) in list {

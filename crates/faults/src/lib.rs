@@ -57,11 +57,14 @@ impl Deadline {
 
     /// Cancels the request immediately, regardless of remaining time.
     pub fn cancel(&self) {
+        // sync: pairs with the Acquire load in expired(); everything the
+        // canceller wrote before cancelling is visible to the observer.
         self.cancelled.store(true, Ordering::Release);
     }
 
     /// True once the budget is spent or [`Self::cancel`] was called.
     pub fn expired(&self) -> bool {
+        // sync: pairs with the Release store in cancel().
         self.cancelled.load(Ordering::Acquire) || Instant::now() >= self.expires_at
     }
 
@@ -291,13 +294,19 @@ pub fn configure(spec: &str, seed: u64) -> Result<(), String> {
     }
     let armed = !points.is_empty();
     *registry().lock().unwrap_or_else(|e| e.into_inner()) = points;
+    // sync: RNG is a self-contained draw state; any interleaving of
+    // seeding and draws yields a valid xorshift sequence.
     RNG.store(seed | 1, Ordering::Relaxed);
+    // sync: pairs with the Acquire load in fire(); the registry mutex
+    // above already ordered the configured points before arming.
     ENABLED.store(armed, Ordering::Release);
     Ok(())
 }
 
 /// Disarms every failpoint (counters keep their totals).
 pub fn clear() {
+    // sync: pairs with the Acquire load in fire(); disarm is observed
+    // before the registry drains.
     ENABLED.store(false, Ordering::Release);
     registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
@@ -309,12 +318,16 @@ pub fn injected_total() -> u64 {
 
 /// xorshift64* step over the shared state; uniform in `[0, 1)`.
 fn draw() -> f64 {
+    // sync: self-contained draw state; the CAS loop below only needs
+    // atomicity of the step, not ordering against other memory.
     let mut x = RNG.load(Ordering::Relaxed);
     loop {
         let mut y = x;
         y ^= y << 13;
         y ^= y >> 7;
         y ^= y << 17;
+        // sync: only the RNG word itself is contended; no other memory
+        // is published through the draw.
         match RNG.compare_exchange_weak(x, y, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => {
                 return (y.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
@@ -331,6 +344,8 @@ fn draw() -> f64 {
 /// `Err(InjectedFault)`, a `panic` unwinds with [`InjectedPanic`].
 #[inline]
 pub fn fire(site: &'static str) -> Result<(), InjectedFault> {
+    // sync: pairs with the Release stores in configure()/clear(); an
+    // armed observation sees the fully configured registry.
     if !ENABLED.load(Ordering::Acquire) {
         return Ok(());
     }

@@ -190,6 +190,7 @@ impl Clone for InvertedIndex {
             total_length: self.total_length,
             block_size: self.block_size,
             frozen,
+            // sync: ablation toggle; both routes are bit-identical.
             use_wand: AtomicBool::new(self.use_wand.load(Relaxed)),
             // Counters are per-instance observability state, not model
             // state: a clone starts at zero.
@@ -318,11 +319,14 @@ impl InvertedIndex {
     /// equivalence tests and the cold-interpretation bench compare.
     /// Both produce bit-identical answers.
     pub fn set_wand(&self, enabled: bool) {
+        // sync: ablation toggle; a stale read routes through the other
+        // bit-identical retrieval path.
         self.use_wand.store(enabled, Relaxed);
     }
 
     /// True when `search_terms` takes the Block-Max-WAND path.
     pub fn wand_enabled(&self) -> bool {
+        // sync: ablation toggle; observability read.
         self.use_wand.load(Relaxed)
     }
 
@@ -444,6 +448,7 @@ impl InvertedIndex {
     /// WAND (or the exhaustive ablation when [`Self::set_wand`] turned
     /// it off — answers are bit-identical either way).
     pub fn search_terms(&self, terms: &[WordId], k: usize, params: &Bm25Params) -> Vec<SearchHit> {
+        // sync: ablation toggle; both routes are bit-identical.
         if self.use_wand.load(Relaxed) {
             self.search_terms_wand(terms, k, params)
         } else {
@@ -483,6 +488,7 @@ impl InvertedIndex {
         // Keep the k best via a min-heap of (Reverse score, doc).
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
         for (doc, score) in scores {
+            opine_faults::checkpoint();
             heap.push(HeapEntry { score, doc });
             if heap.len() > k {
                 heap.pop();
@@ -563,6 +569,7 @@ impl InvertedIndex {
             // already-kept smaller id, so the comparison is strict.
             let mut ub = 0.0;
             let mut pivot_rank = None;
+            // lint:allow(checkpoint_coverage, reason = "bounded by query term count; the enclosing WAND round checkpoints")
             for (rank, &i) in order.iter().enumerate() {
                 ub += cursors[i].bound;
                 if ub > threshold {
@@ -585,6 +592,7 @@ impl InvertedIndex {
             // [pivot_doc, min participating block's last doc].
             let mut block_ub = 0.0;
             let mut min_block_last = u32::MAX;
+            // lint:allow(checkpoint_coverage, reason = "bounded by query term count; the enclosing WAND round checkpoints")
             for &i in &order[..=m] {
                 let c = &cursors[i];
                 let nblocks = c.list.blocks.len();
@@ -624,6 +632,7 @@ impl InvertedIndex {
                 // the exhaustive scorer's sum).
                 let doc_len = self.doc_lengths[pivot_doc as usize];
                 let mut score = 0.0;
+                // lint:allow(checkpoint_coverage, reason = "bounded by query term count; the enclosing WAND round checkpoints")
                 for c in cursors.iter_mut() {
                     if !c.exhausted() && c.doc() == pivot_doc {
                         score += score_one(c.list.idf, c.list.tfs[c.pos], doc_len, avg_len, params);
@@ -677,6 +686,7 @@ impl InvertedIndex {
                     let tfs: Vec<u32> = postings.iter().map(|&(_, tf)| tf).collect();
                     let mut blocks = Vec::with_capacity(docs.len().div_ceil(block_size));
                     let mut list_max = 0.0f64;
+                    // lint:allow(checkpoint_coverage, reason = "construction path; block summaries are built before the index serves queries")
                     for start in (0..docs.len()).step_by(block_size) {
                         let end = (start + block_size).min(docs.len());
                         let mut max_tf = 0u32;

@@ -1,0 +1,16 @@
+// Fixture: a data-proportional nested scan with no deadline checkpoint.
+// Loaded under a hot-path filename (crates/core/src/topk.rs) so the
+// checkpoint_coverage rule applies.
+pub fn scan(lists: &[Vec<u64>]) -> u64 {
+    let mut total = 0;
+    for list in lists {
+        for &v in list {
+            if v % 2 == 0 {
+                total += v;
+            } else {
+                total += 1;
+            }
+        }
+    }
+    total
+}

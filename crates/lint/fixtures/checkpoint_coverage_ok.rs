@@ -1,0 +1,25 @@
+// Fixture: the passing twin — the innermost loop checkpoints (covering
+// the outer loop too), and a trip-count-bounded loop uses the escape
+// hatch with its bound as the reason.
+pub fn scan(lists: &[Vec<u64>], deadline: &Deadline) -> u64 {
+    let mut total = 0;
+    for list in lists {
+        for &v in list {
+            deadline.checkpoint();
+            if v % 2 == 0 {
+                total += v;
+            } else {
+                total += 1;
+            }
+        }
+    }
+    // lint:allow(checkpoint_coverage, reason = "bounded by the fixed 8-entry tail window, not data size")
+    for slot in 0..8 {
+        if slot % 2 == 0 {
+            total += 3;
+        } else {
+            total -= 1;
+        }
+    }
+    total
+}

@@ -1,0 +1,15 @@
+// Fixture: `misses` is declared as a Counter in fields() but no
+// `misses.fetch_add` site exists anywhere in the (synthetic) workspace.
+// Loaded under the fields-file path (crates/core/src/db.rs).
+impl CacheReport {
+    pub fn fields(&self) -> Vec<(&'static str, Field)> {
+        vec![
+            ("hits", Counter(self.hits)),
+            ("misses", Counter(self.misses)),
+        ]
+    }
+}
+
+pub fn record_hit(hits: &AtomicU64) {
+    hits.fetch_add(1, Ordering::Relaxed);
+}

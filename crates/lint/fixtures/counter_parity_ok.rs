@@ -1,0 +1,17 @@
+// Fixture: the twin where every declared counter has an increment site.
+impl CacheReport {
+    pub fn fields(&self) -> Vec<(&'static str, Field)> {
+        vec![
+            ("hits", Counter(self.hits)),
+            ("misses", Counter(self.misses)),
+        ]
+    }
+}
+
+pub fn record(hits: &AtomicU64, misses: &AtomicU64, hit: bool) {
+    if hit {
+        hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        misses.fetch_add(1, Ordering::Relaxed);
+    }
+}

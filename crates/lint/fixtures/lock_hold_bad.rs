@@ -1,0 +1,8 @@
+// Fixture: guard `from` (a.lock()) is still live when b.lock() is
+// acquired — the classic nested-acquisition deadlock shape.
+pub fn transfer(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let mut from = a.lock().unwrap();
+    let mut to = b.lock().unwrap();
+    *to += *from;
+    *from = 0;
+}

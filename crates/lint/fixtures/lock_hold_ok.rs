@@ -1,0 +1,27 @@
+// Fixture: three sanctioned shapes — scope the first guard in a block,
+// drop() it before the second acquisition, or annotate a deliberate
+// global acquisition order.
+pub fn transfer(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let taken = {
+        let mut from = a.lock().unwrap();
+        let v = *from;
+        *from = 0;
+        v
+    };
+    let mut to = b.lock().unwrap();
+    *to += taken;
+}
+
+pub fn drain(stats: &Mutex<Vec<u64>>, sink: &Mutex<Vec<u64>>) {
+    let mut pending = stats.lock().unwrap();
+    let drained: Vec<u64> = pending.split_off(0);
+    drop(pending);
+    sink.lock().unwrap().extend(drained);
+}
+
+pub fn ordered(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let first = a.lock().unwrap();
+    // lint:allow(lock_hold, reason = "workspace-wide acquisition order is a before b; see module docs")
+    let second = b.lock().unwrap();
+    *second = *first;
+}

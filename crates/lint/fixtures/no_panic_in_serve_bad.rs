@@ -1,0 +1,11 @@
+// Fixture: three panic vectors on the request path — indexing, unwrap,
+// and a panicking macro. Loaded under crates/server/src/ so the rule
+// applies.
+pub fn respond(headers: &[(String, String)], body: &str) -> String {
+    let first = headers[0].clone();
+    let parsed: u64 = body.trim().parse().unwrap();
+    if parsed > 10 {
+        panic!("request too large");
+    }
+    first.0
+}

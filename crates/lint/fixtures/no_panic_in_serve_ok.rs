@@ -1,0 +1,17 @@
+// Fixture: the hardened twin — fallible access returns typed errors,
+// and the one remaining index carries its bounds argument.
+const BUCKETS: [u64; 4] = [1, 10, 100, 1000];
+
+pub fn respond(headers: &[(String, String)], body: &str) -> Result<String, String> {
+    let first = headers
+        .first()
+        .cloned()
+        .ok_or_else(|| "missing header".to_string())?;
+    let parsed: u64 = body
+        .trim()
+        .parse()
+        .map_err(|_| "body must be an integer".to_string())?;
+    // lint:allow(no_panic_in_serve, reason = "index is parsed % BUCKETS.len(), provably in bounds")
+    let bucket = BUCKETS[(parsed as usize) % BUCKETS.len()];
+    Ok(format!("{}:{bucket}", first.0))
+}

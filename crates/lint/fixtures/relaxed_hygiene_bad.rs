@@ -1,0 +1,18 @@
+// Fixture: planted relaxed_hygiene violations.
+// `dirty` is not a registered monotonic counter, and neither ordering
+// site carries a `// sync:` justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flags {
+    dirty: AtomicU64,
+}
+
+impl Flags {
+    pub fn mark(&self) {
+        self.dirty.store(1, Ordering::Relaxed);
+    }
+
+    pub fn publish(&self) {
+        self.dirty.store(2, Ordering::Release);
+    }
+}

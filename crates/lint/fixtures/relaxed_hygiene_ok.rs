@@ -1,0 +1,25 @@
+// Fixture: the annotated twin of relaxed_hygiene_bad.rs. A registered
+// monotonic counter passes bare; everything else carries `// sync:`.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flags {
+    hits: AtomicU64,
+    dirty: AtomicU64,
+}
+
+impl Flags {
+    pub fn count(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn mark(&self) {
+        // sync: redundant dirty hint; readers re-validate under the map
+        // lock, so a stale read only costs one extra validation pass.
+        self.dirty.store(1, Ordering::Relaxed);
+    }
+
+    pub fn publish(&self) {
+        // sync: pairs with the Acquire load in consume().
+        self.dirty.store(2, Ordering::Release);
+    }
+}

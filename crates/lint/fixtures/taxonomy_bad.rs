@@ -1,0 +1,19 @@
+// Fixture: two planted taxonomy violations — status 418 is emitted but
+// unregistered, and code "gone" (410) is registered but never emitted.
+// Loaded under the service path (crates/server/src/service.rs).
+pub const ERROR_TAXONOMY: &[(u16, &str)] = &[
+    (400, "bad_request"),
+    (410, "gone"),
+];
+
+fn route(ok: bool) -> (u16, String) {
+    if ok {
+        (400, error_body("bad_request", "missing field"))
+    } else {
+        (418, error_body("teapot", "short and stout"))
+    }
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    format!("{{\"error\":{{\"code\":\"{code}\",\"message\":\"{message}\"}}}}")
+}

@@ -1,0 +1,18 @@
+// Fixture: the twin where the taxonomy and the emission sites cover
+// each other exactly.
+pub const ERROR_TAXONOMY: &[(u16, &str)] = &[
+    (400, "bad_request"),
+    (418, "teapot"),
+];
+
+fn route(ok: bool) -> (u16, String) {
+    if ok {
+        (400, error_body("bad_request", "missing field"))
+    } else {
+        (418, error_body("teapot", "short and stout"))
+    }
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    format!("{{\"error\":{{\"code\":\"{code}\",\"message\":\"{message}\"}}}}")
+}

@@ -1,0 +1,479 @@
+//! A minimal Rust lexer for opine-lint.
+//!
+//! This is not a conforming Rust lexer; it is just faithful enough for
+//! token-pattern lints: identifiers, integer/float literals, string and
+//! char literals (including raw and byte strings), lifetimes, single-char
+//! punctuation, and — crucially — comments, which carry the annotation
+//! grammar (`lint:allow(...)` / `sync: ...`). Every token records the
+//! 1-based line it starts on so diagnostics stay clickable.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Int,
+    Float,
+    /// String or char literal; `text` holds the raw contents without quotes.
+    Str,
+    Lifetime,
+    /// Single ASCII punctuation character in `text`.
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] as char == ch
+    }
+
+    /// Integer value for plain decimal literals (ignoring `_` and a type
+    /// suffix). Returns `None` for hex/octal/binary — the only numeric
+    /// values lints inspect are HTTP status codes, which are decimal.
+    pub fn int_value(&self) -> Option<u64> {
+        if self.kind != TokKind::Int {
+            return None;
+        }
+        let digits: String = self
+            .text
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '_')
+            .filter(|c| *c != '_')
+            .collect();
+        if digits.is_empty()
+            || self.text.starts_with("0x")
+            || self.text.starts_with("0b")
+            || self.text.starts_with("0o")
+        {
+            return None;
+        }
+        digits.parse().ok()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without the `//` / `/* */` markers (and without any
+    /// doc-comment `/`/`!` prefix), trimmed.
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether anything other than whitespace has appeared on the
+    // current line yet, so comments can be classified as own-line or EOL.
+    let mut line_clean = true;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            line_clean = true;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let start = i + 2;
+            let mut end = start;
+            while end < bytes.len() && bytes[end] != b'\n' {
+                end += 1;
+            }
+            let mut body = &src[start..end];
+            // Strip doc-comment markers (`///`, `//!`).
+            while body.starts_with('/') || body.starts_with('!') {
+                body = &body[1..];
+            }
+            comments.push(Comment {
+                text: body.trim().to_string(),
+                line,
+                own_line: line_clean,
+            });
+            line_clean = false;
+            i = end;
+            continue;
+        }
+
+        // Block comment (nested, possibly multi-line).
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let start_line = line;
+            let own = line_clean;
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == b'\n' {
+                    line += 1;
+                    j += 1;
+                } else if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            let mut body = &src[start..end.min(src.len())];
+            while body.starts_with('*') || body.starts_with('!') {
+                body = &body[1..];
+            }
+            comments.push(Comment {
+                text: body.trim().to_string(),
+                line: start_line,
+                own_line: own,
+            });
+            line_clean = false;
+            i = j;
+            continue;
+        }
+
+        line_clean = false;
+
+        // Raw / byte strings: r"..", r#".."#, b"..", br#".."#.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && j < bytes.len() && bytes[j] == b'r' {
+                j += 1;
+            }
+            let raw = c == 'r' || (j > i + 1);
+            let mut hashes = 0usize;
+            if raw {
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            if j < bytes.len() && bytes[j] == b'"' && (raw || c == 'b') {
+                let content_start = j + 1;
+                let mut k = content_start;
+                let start_line = line;
+                'scan: while k < bytes.len() {
+                    if bytes[k] == b'\n' {
+                        line += 1;
+                        k += 1;
+                        continue;
+                    }
+                    if !raw && bytes[k] == b'\\' {
+                        k += 2;
+                        continue;
+                    }
+                    if bytes[k] == b'"' {
+                        if hashes == 0 {
+                            break 'scan;
+                        }
+                        let mut h = 0usize;
+                        while k + 1 + h < bytes.len() && bytes[k + 1 + h] == b'#' && h < hashes {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            break 'scan;
+                        }
+                    }
+                    k += 1;
+                }
+                let content_end = k.min(src.len());
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: src[content_start.min(src.len())..content_end].to_string(),
+                    line: start_line,
+                });
+                i = (k + 1 + hashes).min(bytes.len());
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                text: src[start..j].to_string(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i + 1;
+            let mut is_float = false;
+            if c == '0' && j < bytes.len() && matches!(bytes[j], b'x' | b'b' | b'o') {
+                j += 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+            } else {
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                // Fraction — but not the start of a `..` range.
+                if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                        j += 1;
+                    }
+                }
+                // Exponent.
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Type suffix (u64, f32, usize, ...).
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    if bytes[j] == b'f' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+            }
+            tokens.push(Token {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: src[start..j].to_string(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let content_start = i + 1;
+            let mut j = content_start;
+            while j < bytes.len() {
+                if bytes[j] == b'\\' {
+                    j += 2;
+                    continue;
+                }
+                if bytes[j] == b'\n' {
+                    line += 1;
+                }
+                if bytes[j] == b'"' {
+                    break;
+                }
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokKind::Str,
+                text: src[content_start.min(src.len())..j.min(src.len())].to_string(),
+                line: start_line,
+            });
+            i = j + 1;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let j = i + 1;
+            if j < bytes.len() {
+                let next = bytes[j] as char;
+                if next.is_ascii_alphabetic() || next == '_' {
+                    let mut k = j + 1;
+                    while k < bytes.len() && (bytes[k].is_ascii_alphanumeric() || bytes[k] == b'_')
+                    {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k] == b'\'' && k == j + 1 {
+                        // 'a' — single-char literal.
+                        tokens.push(Token {
+                            kind: TokKind::Str,
+                            text: src[j..k].to_string(),
+                            line,
+                        });
+                        i = k + 1;
+                        continue;
+                    }
+                    // Lifetime: 'a, 'static, '_ ...
+                    tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[j..k].to_string(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // Escaped or punctuation char literal: '\n', '\\', '\'', '{', ...
+                let mut k = j;
+                if bytes[k] == b'\\' {
+                    k += 2;
+                    // \u{...}
+                    if k <= bytes.len() && k >= 1 && bytes[k - 1] == b'{' {
+                        while k < bytes.len() && bytes[k] != b'}' {
+                            k += 1;
+                        }
+                        k += 1;
+                    }
+                } else {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == b'\'' {
+                    tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: src[j..k].to_string(),
+                        line,
+                    });
+                    i = k + 1;
+                    continue;
+                }
+            }
+            // Stray quote — treat as punctuation and move on.
+            tokens.push(Token {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+
+        tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    Lexed { tokens, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        let toks = kinds("Ordering::Relaxed");
+        assert_eq!(toks[0], (TokKind::Ident, "Ordering".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ":".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ":".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "Relaxed".into()));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.iter().any(|t| *t == (TokKind::Int, "0".into())));
+        assert!(toks.iter().any(|t| *t == (TokKind::Int, "10".into())));
+        assert!(!toks.iter().any(|t| t.0 == TokKind::Float));
+    }
+
+    #[test]
+    fn floats_and_suffixes() {
+        let toks = kinds("1.5 2e3 404u16 0xff");
+        assert_eq!(toks[0].0, TokKind::Float);
+        assert_eq!(toks[1].0, TokKind::Float);
+        assert_eq!(toks[2], (TokKind::Int, "404u16".into()));
+        let lexed = lex("404u16 404 0x194");
+        assert_eq!(lexed.tokens[0].int_value(), Some(404));
+        assert_eq!(lexed.tokens[1].int_value(), Some(404));
+        assert_eq!(lexed.tokens[2].int_value(), None);
+        assert_eq!(toks[3], (TokKind::Int, "0xff".into()));
+    }
+
+    #[test]
+    fn strings_raw_strings_chars_lifetimes() {
+        let toks = kinds(
+            r####"let s = "a\"b"; let r = r#"raw "quoted""#; let c = 'x'; let nl = '\n'; fn f<'a>() {}"####,
+        );
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Str)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"a\"b"#, r#"raw "quoted""#, "x", r"\n"]);
+        assert!(toks.iter().any(|t| *t == (TokKind::Lifetime, "a".into())));
+    }
+
+    #[test]
+    fn comments_capture_and_own_line() {
+        let lexed = lex("let x = 1; // eol note\n// own line\nlet y = 2;\n/* block */ let z = 3;");
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].text, "eol note");
+        assert!(!lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[1].text, "own line");
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[2].text, "block");
+        assert!(lexed.comments[2].own_line);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let lexed = lex("/* outer /* inner */ still */\nlet a = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn doc_comment_markers_stripped() {
+        let lexed = lex("/// docs here\n//! inner docs\ncode();");
+        assert_eq!(lexed.comments[0].text, "docs here");
+        assert_eq!(lexed.comments[1].text, "inner docs");
+    }
+
+    #[test]
+    fn byte_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw bytes"# x"##);
+        assert_eq!(toks[0], (TokKind::Str, "bytes".into()));
+        assert_eq!(toks[1], (TokKind::Str, "raw bytes".into()));
+    }
+}

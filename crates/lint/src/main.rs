@@ -1,0 +1,180 @@
+//! opine-lint CLI: run the invariant lints over the workspace sources
+//! and the bounded-interleaving model suite.
+//!
+//! Exit status: 0 when clean; 1 when `--deny-all` and any lint finding,
+//! or whenever a model that should pass has a counterexample (that is a
+//! real protocol bug regardless of flags).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use opine_lint::{model, models, rules, run_all, Workspace};
+
+const USAGE: &str = "\
+opine-lint — workspace invariant lints + bounded-interleaving model checker
+
+USAGE: opine-lint [OPTIONS]
+
+OPTIONS:
+    --deny-all      exit non-zero if any lint finding remains
+    --no-models     skip the model-checking suite
+    --models-only   run only the model-checking suite
+    --seed <N>      exploration-order seed for the checker (default 1)
+    --root <DIR>    workspace root (default: walk up from cwd)
+    --list-rules    print the rule catalog and exit
+";
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut no_models = false;
+    let mut models_only = false;
+    let mut seed: u64 = 1;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--no-models" => no_models = true,
+            "--models-only" => models_only = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in rules::RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+    let mut n_findings = 0usize;
+
+    if !models_only {
+        let root = match root
+            .clone()
+            .or_else(|| std::env::current_dir().ok().and_then(find_root))
+        {
+            Some(r) => r,
+            None => {
+                eprintln!("could not locate a workspace root (pass --root)");
+                return ExitCode::from(2);
+            }
+        };
+        let ws = match Workspace::load(&root) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!("failed to load workspace sources: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let findings = run_all(&ws);
+        n_findings = findings.len();
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "opine-lint: {} finding{} across {} source files",
+            n_findings,
+            if n_findings == 1 { "" } else { "s" },
+            ws.files.len()
+        );
+        if deny_all && n_findings > 0 {
+            failed = true;
+        }
+    }
+
+    if !no_models {
+        println!("model suite (seed {seed}):");
+        for (m, expect_violation) in models::suite() {
+            match model::check(m.as_ref(), seed) {
+                Ok(stats) => {
+                    if expect_violation {
+                        println!(
+                            "  FAIL {name}: expected a counterexample, none found in {states} states — the checker is not exploring this protocol",
+                            name = m.name(),
+                            states = stats.states,
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "  pass {name}: exhaustive over {states} states / {transitions} transitions",
+                            name = m.name(),
+                            states = stats.states,
+                            transitions = stats.transitions,
+                        );
+                    }
+                }
+                Err(v) => {
+                    if expect_violation {
+                        println!(
+                            "  pass {name}: counterexample found as expected ({} steps): {}",
+                            v.trace.len(),
+                            v.reason,
+                            name = m.name(),
+                        );
+                    } else {
+                        println!(
+                            "  FAIL {name}: {reason}",
+                            name = m.name(),
+                            reason = v.reason
+                        );
+                        println!("    counterexample trace:");
+                        for step in &v.trace {
+                            println!("      {step}");
+                        }
+                        println!("    violating state: shared={:?}", v.state.shared);
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    if failed {
+        if deny_all && n_findings > 0 {
+            eprintln!("opine-lint: failing (--deny-all with findings)");
+        }
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

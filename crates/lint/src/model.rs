@@ -1,0 +1,263 @@
+//! A small bounded-interleaving model checker: exhaustive explicit-state
+//! DFS over every schedule of a fixed set of threads, each of whose
+//! steps is atomic. Deterministic and seedable — the seed permutes the
+//! order in which thread steps are *explored* (so different seeds
+//! surface different counterexamples first) without changing the set of
+//! states visited. No wall-clock anywhere: seeding follows the xorshift
+//! idiom the `faults` crate uses for failpoint draws.
+
+use std::collections::HashSet;
+
+pub type Val = i64;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThreadState {
+    pub pc: u32,
+    pub regs: Vec<Val>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    pub shared: Vec<Val>,
+    pub threads: Vec<ThreadState>,
+}
+
+impl State {
+    pub fn new(shared: Vec<Val>, nthreads: usize, nregs: usize) -> State {
+        State {
+            shared,
+            threads: vec![
+                ThreadState {
+                    pc: 0,
+                    regs: vec![0; nregs],
+                };
+                nthreads
+            ],
+        }
+    }
+}
+
+/// A micro-model of a concurrent protocol. Each `step` is one atomic
+/// action of one thread; the checker owns the interleaving.
+pub trait Model {
+    fn name(&self) -> &'static str;
+    fn initial(&self) -> State;
+    /// One atomic step of thread `tid`, or None if it is done or blocked.
+    fn step(&self, st: &State, tid: usize) -> Option<(State, String)>;
+    /// True when the thread has run to completion (used to tell a
+    /// finished system apart from a deadlocked one).
+    fn is_done(&self, st: &State, tid: usize) -> bool;
+    /// Safety invariant, checked at every reachable state.
+    fn invariant(&self, st: &State) -> Result<(), String>;
+    /// Checked in every terminal state where all threads completed.
+    fn final_check(&self, _st: &State) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+pub struct Violation {
+    pub reason: String,
+    /// Step labels from the initial state to the violating state.
+    pub trace: Vec<String>,
+    pub state: State,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    pub states: usize,
+    pub transitions: usize,
+}
+
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Exhaustively explore all interleavings of `model` from its initial
+/// state. Returns exploration stats, or the first violation found (in
+/// the seed-determined exploration order) with its full trace.
+pub fn check(model: &dyn Model, seed: u64) -> Result<Stats, Box<Violation>> {
+    let initial = model.initial();
+    let nthreads = initial.threads.len();
+    let mut rng = seed | 1; // never let the xorshift state be zero
+
+    // Arena of (parent, label) for counterexample reconstruction.
+    let mut nodes: Vec<(usize, String)> = vec![(usize::MAX, String::new())];
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack: Vec<(State, usize)> = vec![(initial.clone(), 0)];
+    visited.insert(initial);
+    let mut transitions = 0usize;
+
+    let trace_of = |nodes: &[(usize, String)], mut idx: usize| -> Vec<String> {
+        let mut trace = Vec::new();
+        while idx != 0 {
+            trace.push(nodes[idx].1.clone());
+            idx = nodes[idx].0;
+        }
+        trace.reverse();
+        trace
+    };
+
+    while let Some((st, node)) = stack.pop() {
+        if let Err(reason) = model.invariant(&st) {
+            return Err(Box::new(Violation {
+                reason,
+                trace: trace_of(&nodes, node),
+                state: st,
+            }));
+        }
+
+        // Seed-permuted exploration order over threads.
+        let mut order: Vec<usize> = (0..nthreads).collect();
+        let rot = (xorshift64(&mut rng) as usize) % nthreads.max(1);
+        order.rotate_left(rot);
+
+        let mut stepped = false;
+        for &tid in &order {
+            if let Some((next, label)) = model.step(&st, tid) {
+                stepped = true;
+                transitions += 1;
+                if visited.insert(next.clone()) {
+                    nodes.push((node, format!("t{tid}: {label}")));
+                    stack.push((next, nodes.len() - 1));
+                }
+            }
+        }
+
+        if !stepped {
+            let all_done = (0..nthreads).all(|tid| model.is_done(&st, tid));
+            if !all_done {
+                return Err(Box::new(Violation {
+                    reason: "deadlock: no thread can step but not all are done".to_string(),
+                    trace: trace_of(&nodes, node),
+                    state: st,
+                }));
+            }
+            if let Err(reason) = model.final_check(&st) {
+                return Err(Box::new(Violation {
+                    reason,
+                    trace: trace_of(&nodes, node),
+                    state: st,
+                }));
+            }
+        }
+    }
+
+    Ok(Stats {
+        states: visited.len(),
+        transitions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads each do `shared[0] += 1` non-atomically (load then
+    /// store): the classic lost update. The checker must find it.
+    struct LostUpdate;
+
+    impl Model for LostUpdate {
+        fn name(&self) -> &'static str {
+            "lost-update"
+        }
+        fn initial(&self) -> State {
+            State::new(vec![0], 2, 1)
+        }
+        fn step(&self, st: &State, tid: usize) -> Option<(State, String)> {
+            let t = &st.threads[tid];
+            let mut next = st.clone();
+            match t.pc {
+                0 => {
+                    next.threads[tid].regs[0] = st.shared[0];
+                    next.threads[tid].pc = 1;
+                    Some((next, "load".into()))
+                }
+                1 => {
+                    next.shared[0] = st.threads[tid].regs[0] + 1;
+                    next.threads[tid].pc = 2;
+                    Some((next, "store".into()))
+                }
+                _ => None,
+            }
+        }
+        fn is_done(&self, st: &State, tid: usize) -> bool {
+            st.threads[tid].pc == 2
+        }
+        fn invariant(&self, _st: &State) -> Result<(), String> {
+            Ok(())
+        }
+        fn final_check(&self, st: &State) -> Result<(), String> {
+            if st.shared[0] == 2 {
+                Ok(())
+            } else {
+                Err(format!("lost update: final count {} != 2", st.shared[0]))
+            }
+        }
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        let v = check(&LostUpdate, 42).unwrap_err();
+        assert!(v.reason.contains("lost update"));
+        assert!(!v.trace.is_empty());
+    }
+
+    #[test]
+    fn seed_does_not_change_reachability() {
+        // Different seeds must agree on the verdict (here: violation).
+        for seed in [1u64, 7, 99, 12345] {
+            assert!(check(&LostUpdate, seed).is_err());
+        }
+    }
+
+    /// Same protocol with an atomic increment passes.
+    struct AtomicAdd;
+
+    impl Model for AtomicAdd {
+        fn name(&self) -> &'static str {
+            "atomic-add"
+        }
+        fn initial(&self) -> State {
+            State::new(vec![0], 2, 0)
+        }
+        fn step(&self, st: &State, tid: usize) -> Option<(State, String)> {
+            if st.threads[tid].pc != 0 {
+                return None;
+            }
+            let mut next = st.clone();
+            next.shared[0] += 1;
+            next.threads[tid].pc = 1;
+            Some((next, "fetch_add".into()))
+        }
+        fn is_done(&self, st: &State, tid: usize) -> bool {
+            st.threads[tid].pc == 1
+        }
+        fn invariant(&self, st: &State) -> Result<(), String> {
+            if st.shared[0] <= 2 {
+                Ok(())
+            } else {
+                Err("count exceeded thread total".into())
+            }
+        }
+        fn final_check(&self, st: &State) -> Result<(), String> {
+            if st.shared[0] == 2 {
+                Ok(())
+            } else {
+                Err("wrong final count".into())
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_add_passes_exhaustively() {
+        let stats = check(&AtomicAdd, 1).unwrap();
+        assert!(stats.states >= 3);
+        assert!(stats.transitions >= stats.states - 1);
+    }
+}

@@ -1,0 +1,575 @@
+//! Micro-models of the workspace's lock-free protocols, extracted for
+//! the bounded-interleaving checker:
+//!
+//! * [`PermitModel`] — the admission-control CAS budget in
+//!   `server::service` (`in_flight` + `compare_exchange_weak` loop).
+//! * [`CacheModel`] — `core::cache::BoundedCache`'s RwLock'd map+order
+//!   pair, which must never serve a torn entry.
+//! * [`HistogramModel`] — `server::metrics`' relaxed bucket/count cells,
+//!   whose snapshots are *documented* to tear (quantile_us carries the
+//!   fallback): the unguarded model must fail, proving the checker sees
+//!   the race, and the guarded model (the fallback) must pass.
+//! * [`SnapshotCellModel`] — the epoch/Arc-swap snapshot cell
+//!   (`core::snapshot::SnapshotCell`) that live ingest will adopt:
+//!   readers must only ever observe (value, epoch) pairs published
+//!   together, with per-reader monotone epochs (linearizable snapshots).
+//!
+//! Each model has a `broken()` mutant encoding the bug the real protocol
+//! prevents; the checker must find a counterexample for every mutant —
+//! a mutation-style self-test that the exploration is actually doing work.
+
+use crate::model::{Model, State};
+
+// ---------------------------------------------------------------------------
+// Permit CAS budget
+// ---------------------------------------------------------------------------
+
+/// shared[0] = in_flight budget counter, shared[1] = ghost count of
+/// threads actually holding a permit. Each thread runs `cycles`
+/// acquire→release rounds; acquisition at the limit sheds (skips the
+/// round), mirroring `try_acquire` returning 429.
+pub struct PermitModel {
+    pub threads: usize,
+    pub limit: i64,
+    pub cycles: u32,
+    pub broken: bool,
+}
+
+impl PermitModel {
+    pub fn correct() -> Self {
+        PermitModel {
+            threads: 3,
+            limit: 2,
+            cycles: 2,
+            broken: false,
+        }
+    }
+    /// Check-then-act on a stale load instead of CAS: over-admits.
+    pub fn broken() -> Self {
+        PermitModel {
+            broken: true,
+            ..Self::correct()
+        }
+    }
+}
+
+// Per-cycle pc phases: 0 = load, 1 = cas/store, 2 = release.
+const PERMIT_PHASES: u32 = 3;
+
+impl Model for PermitModel {
+    fn name(&self) -> &'static str {
+        if self.broken {
+            "permit-cas-budget (broken mutant)"
+        } else {
+            "permit-cas-budget"
+        }
+    }
+
+    fn initial(&self) -> State {
+        State::new(vec![0, 0], self.threads, 1)
+    }
+
+    fn step(&self, st: &State, tid: usize) -> Option<(State, String)> {
+        let t = &st.threads[tid];
+        if t.pc >= self.cycles * PERMIT_PHASES {
+            return None;
+        }
+        let phase = t.pc % PERMIT_PHASES;
+        let mut next = st.clone();
+        match phase {
+            0 => {
+                next.threads[tid].regs[0] = st.shared[0];
+                next.threads[tid].pc += 1;
+                Some((next, format!("load in_flight={}", st.shared[0])))
+            }
+            1 => {
+                let observed = t.regs[0];
+                if observed >= self.limit {
+                    // Shed: skip straight past the release phase.
+                    next.threads[tid].pc += 2;
+                    return Some((next, "shed (budget full)".into()));
+                }
+                if self.broken {
+                    // Blind store of observed+1 — the lost-update bug the
+                    // compare_exchange loop exists to prevent.
+                    next.shared[0] = observed + 1;
+                    next.shared[1] += 1;
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("store in_flight={} (stale)", observed + 1)))
+                } else {
+                    if st.shared[0] != observed {
+                        // CAS failure: retry from the load.
+                        next.threads[tid].pc -= 1;
+                        return Some((next, "cas fail → retry".into()));
+                    }
+                    next.shared[0] = observed + 1;
+                    next.shared[1] += 1;
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("cas in_flight {}→{}", observed, observed + 1)))
+                }
+            }
+            _ => {
+                next.shared[0] -= 1;
+                next.shared[1] -= 1;
+                next.threads[tid].pc += 1;
+                Some((next, "release (fetch_sub)".into()))
+            }
+        }
+    }
+
+    fn is_done(&self, st: &State, tid: usize) -> bool {
+        st.threads[tid].pc >= self.cycles * PERMIT_PHASES
+    }
+
+    fn invariant(&self, st: &State) -> Result<(), String> {
+        if st.shared[1] > self.limit {
+            return Err(format!(
+                "over-admission: {} permits held with limit {}",
+                st.shared[1], self.limit
+            ));
+        }
+        if st.shared[0] < 0 {
+            return Err(format!("in_flight went negative: {}", st.shared[0]));
+        }
+        Ok(())
+    }
+
+    fn final_check(&self, st: &State) -> Result<(), String> {
+        if st.shared[0] != 0 || st.shared[1] != 0 {
+            return Err(format!(
+                "permit leak: in_flight={} holders={} after all threads released",
+                st.shared[0], st.shared[1]
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BoundedCache read/write race
+// ---------------------------------------------------------------------------
+
+/// shared[0], shared[1] = the two halves of a cache entry (map slot +
+/// recency order), which the real BoundedCache mutates together under
+/// one write lock. shared[2] = lock state (0 free, -1 writer, n>0
+/// readers). shared[3] = ghost "reader observed a torn entry" flag.
+pub struct CacheModel {
+    pub writers: usize,
+    pub readers: usize,
+    pub writes: u32,
+    pub reads: u32,
+    pub broken: bool,
+}
+
+impl CacheModel {
+    pub fn correct() -> Self {
+        CacheModel {
+            writers: 1,
+            readers: 2,
+            writes: 2,
+            reads: 2,
+            broken: false,
+        }
+    }
+    /// Writer skips the write lock: two-step publish tears under readers.
+    pub fn broken() -> Self {
+        CacheModel {
+            broken: true,
+            ..Self::correct()
+        }
+    }
+
+    fn nthreads(&self) -> usize {
+        self.writers + self.readers
+    }
+
+    fn is_writer(&self, tid: usize) -> bool {
+        tid < self.writers
+    }
+}
+
+// Writer phases per round: 0 acquire-W, 1 write half A, 2 write half B,
+// 3 unlock. Reader phases: 0 acquire-R, 1 read A, 2 read B + check,
+// 3 unlock.
+const CACHE_PHASES: u32 = 4;
+
+impl Model for CacheModel {
+    fn name(&self) -> &'static str {
+        if self.broken {
+            "bounded-cache-torn-read (broken mutant)"
+        } else {
+            "bounded-cache-torn-read"
+        }
+    }
+
+    fn initial(&self) -> State {
+        State::new(vec![0, 0, 0, 0], self.nthreads(), 2)
+    }
+
+    fn step(&self, st: &State, tid: usize) -> Option<(State, String)> {
+        let t = &st.threads[tid];
+        let rounds = if self.is_writer(tid) {
+            self.writes
+        } else {
+            self.reads
+        };
+        if t.pc >= rounds * CACHE_PHASES {
+            return None;
+        }
+        let phase = t.pc % CACHE_PHASES;
+        let round = t.pc / CACHE_PHASES;
+        let mut next = st.clone();
+        if self.is_writer(tid) {
+            let generation = (round + 1) as i64 * (tid as i64 + 1);
+            match phase {
+                0 => {
+                    if self.broken {
+                        next.threads[tid].pc += 1;
+                        return Some((next, "skip write lock (broken)".into()));
+                    }
+                    if st.shared[2] != 0 {
+                        return None; // blocked until lock is free
+                    }
+                    next.shared[2] = -1;
+                    next.threads[tid].pc += 1;
+                    Some((next, "write-lock".into()))
+                }
+                1 => {
+                    next.shared[0] = generation;
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("write map slot = {generation}")))
+                }
+                2 => {
+                    next.shared[1] = generation;
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("write order slot = {generation}")))
+                }
+                _ => {
+                    if !self.broken {
+                        next.shared[2] = 0;
+                    }
+                    next.threads[tid].pc += 1;
+                    Some((next, "write-unlock".into()))
+                }
+            }
+        } else {
+            match phase {
+                0 => {
+                    if st.shared[2] < 0 {
+                        return None; // blocked behind the writer
+                    }
+                    next.shared[2] += 1;
+                    next.threads[tid].pc += 1;
+                    Some((next, "read-lock".into()))
+                }
+                1 => {
+                    next.threads[tid].regs[0] = st.shared[0];
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("read map slot → {}", st.shared[0])))
+                }
+                2 => {
+                    next.threads[tid].regs[1] = st.shared[1];
+                    if next.threads[tid].regs[0] != next.threads[tid].regs[1] {
+                        next.shared[3] = 1;
+                    }
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("read order slot → {}", st.shared[1])))
+                }
+                _ => {
+                    next.shared[2] -= 1;
+                    next.threads[tid].pc += 1;
+                    Some((next, "read-unlock".into()))
+                }
+            }
+        }
+    }
+
+    fn is_done(&self, st: &State, tid: usize) -> bool {
+        let rounds = if self.is_writer(tid) {
+            self.writes
+        } else {
+            self.reads
+        };
+        st.threads[tid].pc >= rounds * CACHE_PHASES
+    }
+
+    fn invariant(&self, st: &State) -> Result<(), String> {
+        if st.shared[3] != 0 {
+            return Err("reader observed a torn cache entry (map and order slots disagree)".into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram torn snapshot
+// ---------------------------------------------------------------------------
+
+/// shared[0] = bucket cell, shared[1] = total count — bumped in two
+/// separate relaxed steps by the recorder, exactly like
+/// `LatencyHistogram::record`. The snapshot reader loads both in two
+/// steps. Unguarded, the "snapshot is internally consistent" invariant
+/// is FALSE — the checker must find the tear (self-validation). Guarded,
+/// the reader applies the documented `quantile_us` fallback (detect the
+/// mismatch and discard the torn view) and the model passes.
+pub struct HistogramModel {
+    pub records: u32,
+    pub guarded: bool,
+}
+
+impl HistogramModel {
+    pub fn guarded() -> Self {
+        HistogramModel {
+            records: 2,
+            guarded: true,
+        }
+    }
+    /// Asserts torn snapshots never happen — expected to FAIL.
+    pub fn torn() -> Self {
+        HistogramModel {
+            records: 2,
+            guarded: false,
+        }
+    }
+}
+
+impl Model for HistogramModel {
+    fn name(&self) -> &'static str {
+        if self.guarded {
+            "histogram-snapshot (guarded fallback)"
+        } else {
+            "histogram-snapshot (unguarded — expected counterexample)"
+        }
+    }
+
+    fn initial(&self) -> State {
+        // threads: 0 = recorder, 1 = snapshot reader
+        // shared: [bucket, count, torn-and-unhandled flag]
+        State::new(vec![0, 0, 0], 2, 2)
+    }
+
+    fn step(&self, st: &State, tid: usize) -> Option<(State, String)> {
+        let t = &st.threads[tid];
+        let mut next = st.clone();
+        if tid == 0 {
+            if t.pc >= self.records * 2 {
+                return None;
+            }
+            if t.pc.is_multiple_of(2) {
+                next.shared[0] += 1;
+                next.threads[tid].pc += 1;
+                Some((next, "bucket.fetch_add(1, Relaxed)".into()))
+            } else {
+                next.shared[1] += 1;
+                next.threads[tid].pc += 1;
+                Some((next, "count.fetch_add(1, Relaxed)".into()))
+            }
+        } else {
+            match t.pc {
+                0 => {
+                    next.threads[tid].regs[0] = st.shared[1];
+                    next.threads[tid].pc = 1;
+                    Some((next, format!("snapshot count → {}", st.shared[1])))
+                }
+                1 => {
+                    next.threads[tid].regs[1] = st.shared[0];
+                    let torn = next.threads[tid].regs[0] != next.threads[tid].regs[1];
+                    if torn && !self.guarded {
+                        // Unguarded reader treats the torn view as valid.
+                        next.shared[2] = 1;
+                    }
+                    // Guarded reader notices the mismatch and falls back,
+                    // like HistogramSnapshot::quantile_us.
+                    next.threads[tid].pc = 2;
+                    Some((next, format!("snapshot buckets → {}", st.shared[0])))
+                }
+                _ => None,
+            }
+        }
+    }
+
+    fn is_done(&self, st: &State, tid: usize) -> bool {
+        if tid == 0 {
+            st.threads[tid].pc >= self.records * 2
+        } else {
+            st.threads[tid].pc >= 2
+        }
+    }
+
+    fn invariant(&self, st: &State) -> Result<(), String> {
+        if st.shared[2] != 0 {
+            return Err("snapshot used a torn (count, buckets) view without the fallback".into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch / Arc-swap snapshot cell
+// ---------------------------------------------------------------------------
+
+/// Micro-model of `core::snapshot::SnapshotCell`: a writer publishes
+/// (value, epoch) pairs under a write lock; readers take the pair under
+/// a read lock. Linearizability at these bounds means (a) a reader never
+/// observes value != epoch (pairs are indivisible) and (b) epochs are
+/// monotone per reader (no snapshot travels backwards in time).
+///
+/// shared: [value, epoch, lock (0 free / -1 writer / n readers),
+///          torn flag, regression flag]
+pub struct SnapshotCellModel {
+    pub readers: usize,
+    pub publishes: u32,
+    pub reads: u32,
+    pub broken: bool,
+}
+
+impl SnapshotCellModel {
+    pub fn correct() -> Self {
+        SnapshotCellModel {
+            readers: 2,
+            publishes: 2,
+            reads: 2,
+            broken: false,
+        }
+    }
+    /// Writer publishes value and epoch in two unlocked steps.
+    pub fn broken() -> Self {
+        SnapshotCellModel {
+            broken: true,
+            ..Self::correct()
+        }
+    }
+}
+
+// Writer phases: 0 lock, 1 store value, 2 store epoch, 3 unlock.
+// Reader phases: 0 lock, 1 load value, 2 load epoch + checks, 3 unlock.
+const SNAP_PHASES: u32 = 4;
+
+impl Model for SnapshotCellModel {
+    fn name(&self) -> &'static str {
+        if self.broken {
+            "epoch-snapshot-cell (broken mutant)"
+        } else {
+            "epoch-snapshot-cell"
+        }
+    }
+
+    fn initial(&self) -> State {
+        // Thread 0 is the writer; reader regs: [loaded value, last epoch seen].
+        State::new(vec![0, 0, 0, 0, 0], 1 + self.readers, 2)
+    }
+
+    fn step(&self, st: &State, tid: usize) -> Option<(State, String)> {
+        let t = &st.threads[tid];
+        let mut next = st.clone();
+        if tid == 0 {
+            if t.pc >= self.publishes * SNAP_PHASES {
+                return None;
+            }
+            let phase = t.pc % SNAP_PHASES;
+            let generation = (t.pc / SNAP_PHASES + 1) as i64;
+            match phase {
+                0 => {
+                    if self.broken {
+                        next.threads[tid].pc += 1;
+                        return Some((next, "skip write lock (broken)".into()));
+                    }
+                    if st.shared[2] != 0 {
+                        return None;
+                    }
+                    next.shared[2] = -1;
+                    next.threads[tid].pc += 1;
+                    Some((next, "publish: write-lock".into()))
+                }
+                1 => {
+                    next.shared[0] = generation;
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("publish: value = {generation}")))
+                }
+                2 => {
+                    next.shared[1] = generation;
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("publish: epoch = {generation}")))
+                }
+                _ => {
+                    if !self.broken {
+                        next.shared[2] = 0;
+                    }
+                    next.threads[tid].pc += 1;
+                    Some((next, "publish: unlock".into()))
+                }
+            }
+        } else {
+            if t.pc >= self.reads * SNAP_PHASES {
+                return None;
+            }
+            let phase = t.pc % SNAP_PHASES;
+            match phase {
+                0 => {
+                    if st.shared[2] < 0 {
+                        return None;
+                    }
+                    next.shared[2] += 1;
+                    next.threads[tid].pc += 1;
+                    Some((next, "load: read-lock".into()))
+                }
+                1 => {
+                    next.threads[tid].regs[0] = st.shared[0];
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("load: value → {}", st.shared[0])))
+                }
+                2 => {
+                    let value = t.regs[0];
+                    let epoch = st.shared[1];
+                    if value != epoch {
+                        next.shared[3] = 1;
+                    }
+                    if epoch < t.regs[1] {
+                        next.shared[4] = 1;
+                    }
+                    next.threads[tid].regs[1] = epoch;
+                    next.threads[tid].pc += 1;
+                    Some((next, format!("load: epoch → {epoch}")))
+                }
+                _ => {
+                    next.shared[2] -= 1;
+                    next.threads[tid].pc += 1;
+                    Some((next, "load: read-unlock".into()))
+                }
+            }
+        }
+    }
+
+    fn is_done(&self, st: &State, tid: usize) -> bool {
+        let rounds = if tid == 0 { self.publishes } else { self.reads };
+        st.threads[tid].pc >= rounds * SNAP_PHASES
+    }
+
+    fn invariant(&self, st: &State) -> Result<(), String> {
+        if st.shared[3] != 0 {
+            return Err(
+                "reader observed a torn snapshot (value and epoch published separately)".into(),
+            );
+        }
+        if st.shared[4] != 0 {
+            return Err(
+                "reader observed a non-monotone epoch (snapshot travelled backwards)".into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The model suite the CLI runs: (model, expect_violation).
+pub fn suite() -> Vec<(Box<dyn Model>, bool)> {
+    vec![
+        (Box::new(PermitModel::correct()), false),
+        (Box::new(PermitModel::broken()), true),
+        (Box::new(CacheModel::correct()), false),
+        (Box::new(CacheModel::broken()), true),
+        (Box::new(HistogramModel::guarded()), false),
+        (Box::new(HistogramModel::torn()), true),
+        (Box::new(SnapshotCellModel::correct()), false),
+        (Box::new(SnapshotCellModel::broken()), true),
+    ]
+}

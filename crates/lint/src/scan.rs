@@ -1,0 +1,421 @@
+//! File-level scanning on top of the lexer: annotation parsing
+//! (`lint:allow(rule, reason = "...")` and `sync: ...`), `#[cfg(test)]`
+//! range detection, and the small structural helpers (statement start,
+//! matching brace) the rules share.
+
+use crate::lexer::{lex, Comment, Token};
+use crate::Finding;
+
+/// An `// lint:allow(rule, reason = "...")` escape hatch, resolved to the
+/// line range it covers: its own line for EOL comments, or the following
+/// construct (through its block) for own-line comments.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+/// A `// sync: <what this orders>` justification, with the same scoping
+/// rules as `Allow`.
+#[derive(Debug, Clone)]
+pub struct Sync {
+    pub lo: u32,
+    pub hi: u32,
+}
+
+pub struct FileScan {
+    /// Workspace-relative path with `/` separators, e.g. `crates/core/src/db.rs`.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub allows: Vec<Allow>,
+    pub syncs: Vec<Sync>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Malformed annotations surface as findings of their own.
+    pub bad_annotations: Vec<Finding>,
+}
+
+impl FileScan {
+    pub fn new(path: String, src: &str) -> FileScan {
+        let lexed = lex(src);
+        let mut scan = FileScan {
+            path,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            allows: Vec::new(),
+            syncs: Vec::new(),
+            test_ranges: Vec::new(),
+            bad_annotations: Vec::new(),
+        };
+        scan.find_test_ranges();
+        scan.parse_annotations();
+        scan
+    }
+
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Is any `lint:allow(rule, ...)` span intersecting [lo, hi]?
+    pub fn allowed(&self, rule: &str, lo: u32, hi: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.lo <= hi && lo <= a.hi)
+    }
+
+    /// Is any `sync:` justification span intersecting [lo, hi]?
+    pub fn synced(&self, lo: u32, hi: u32) -> bool {
+        self.syncs.iter().any(|s| s.lo <= hi && lo <= s.hi)
+    }
+
+    /// Line of the first token of the statement containing token `idx`:
+    /// walks back to the nearest `;`, `{` or `}` and reports the line of
+    /// the token after it.
+    pub fn stmt_start_line(&self, idx: usize) -> u32 {
+        let mut j = idx;
+        while j > 0 {
+            let t = &self.tokens[j - 1];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            j -= 1;
+        }
+        self.tokens.get(j).map(|t| t.line).unwrap_or(1)
+    }
+
+    /// Index of the `}` matching the `{` at `open_idx` (or last token).
+    pub fn matching_brace(&self, open_idx: usize) -> usize {
+        let mut depth = 0usize;
+        for (off, t) in self.tokens[open_idx..].iter().enumerate() {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return open_idx + off;
+                }
+            }
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+
+    /// Detect `#[cfg(test)]` / `#[test]` / `#[cfg_attr(test, ...)]`
+    /// attributes and record the line span of the item they gate.
+    fn find_test_ranges(&mut self) {
+        let toks = &self.tokens;
+        let mut i = 0usize;
+        while i + 1 < toks.len() {
+            if !(toks[i].is_punct('#') && toks[i + 1].is_punct('[')) {
+                i += 1;
+                continue;
+            }
+            // Collect the attribute's tokens.
+            let attr_open = i + 1;
+            let mut depth = 0usize;
+            let mut j = attr_open;
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let attr_end = j;
+            let attr = &toks[attr_open..=attr_end.min(toks.len() - 1)];
+            // `test` anywhere in the attribute gates the item out of
+            // production — except inside `not(test)`.
+            let is_test_attr = attr.iter().enumerate().any(|(p, t)| {
+                t.is_ident("test")
+                    && !(p >= 2 && attr[p - 1].is_punct('(') && attr[p - 2].is_ident("not"))
+            });
+            if !is_test_attr {
+                i = attr_end + 1;
+                continue;
+            }
+            let start_line = toks[i].line;
+            // Skip any further attributes on the same item.
+            let mut k = attr_end + 1;
+            while k + 1 < toks.len() && toks[k].is_punct('#') && toks[k + 1].is_punct('[') {
+                let mut d = 0usize;
+                let mut m = k + 1;
+                while m < toks.len() {
+                    if toks[m].is_punct('[') {
+                        d += 1;
+                    } else if toks[m].is_punct(']') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                k = m + 1;
+            }
+            // Find the item's end: a `;` before any `{` at paren depth 0,
+            // or the matching close of its first `{`.
+            let mut paren = 0isize;
+            let mut end_idx = toks.len().saturating_sub(1);
+            let mut m = k;
+            while m < toks.len() {
+                let t = &toks[m];
+                if t.is_punct('(') || t.is_punct('[') {
+                    paren += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    paren -= 1;
+                } else if paren == 0 && t.is_punct(';') {
+                    end_idx = m;
+                    break;
+                } else if paren == 0 && t.is_punct('{') {
+                    end_idx = self.matching_brace(m);
+                    break;
+                }
+                m += 1;
+            }
+            let end_line = toks.get(end_idx).map(|t| t.line).unwrap_or(start_line);
+            self.test_ranges.push((start_line, end_line));
+            i = end_idx + 1;
+        }
+    }
+
+    /// Scope for an own-line annotation: the next construct after the
+    /// comment, through its block (or its terminating `;`). Attributes
+    /// and further comments between annotation and construct are skipped
+    /// (comments never enter the token stream, so only attributes need
+    /// explicit handling).
+    fn own_line_scope(&self, comment_line: u32) -> u32 {
+        let toks = &self.tokens;
+        let mut i = match toks.iter().position(|t| t.line > comment_line) {
+            Some(i) => i,
+            None => return comment_line,
+        };
+        // Skip attributes.
+        while i + 1 < toks.len() && toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+            let mut d = 0usize;
+            let mut m = i + 1;
+            while m < toks.len() {
+                if toks[m].is_punct('[') {
+                    d += 1;
+                } else if toks[m].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            i = m + 1;
+        }
+        let mut paren = 0isize;
+        let mut m = i;
+        while m < toks.len() {
+            let t = &toks[m];
+            if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct(';') {
+                return t.line;
+            } else if paren == 0 && t.is_punct('{') {
+                let close = self.matching_brace(m);
+                return toks.get(close).map(|t| t.line).unwrap_or(t.line);
+            }
+            m += 1;
+        }
+        toks.last().map(|t| t.line).unwrap_or(comment_line)
+    }
+
+    fn parse_annotations(&mut self) {
+        let comments = self.comments.clone();
+        for c in &comments {
+            let text = c.text.trim();
+            if let Some(rest) = text.strip_prefix("lint:allow") {
+                match parse_allow_args(rest) {
+                    Ok(rule) => {
+                        let (lo, hi) = if c.own_line {
+                            (c.line, self.own_line_scope(c.line).max(c.line))
+                        } else {
+                            (c.line, c.line)
+                        };
+                        self.allows.push(Allow { rule, lo, hi });
+                    }
+                    Err(why) => self.bad_annotations.push(Finding {
+                        path: self.path.clone(),
+                        line: c.line,
+                        rule: "annotation",
+                        message: format!("malformed lint:allow annotation: {why}"),
+                        hint:
+                            "use `// lint:allow(<rule>, reason = \"...\")` with a non-empty reason"
+                                .to_string(),
+                    }),
+                }
+            } else if let Some(rest) = text.strip_prefix("sync:") {
+                if rest.trim().is_empty() {
+                    self.bad_annotations.push(Finding {
+                        path: self.path.clone(),
+                        line: c.line,
+                        rule: "annotation",
+                        message: "empty sync: justification".to_string(),
+                        hint: "state what this ordering synchronizes with, e.g. `// sync: pairs with the Release store in stop()`".to_string(),
+                    });
+                    continue;
+                }
+                let (lo, hi) = if c.own_line {
+                    (c.line, self.own_line_scope(c.line).max(c.line))
+                } else {
+                    (c.line, c.line)
+                };
+                self.syncs.push(Sync { lo, hi });
+            }
+        }
+    }
+}
+
+/// Parse `(rule, reason = "...")`, returning the rule name.
+fn parse_allow_args(rest: &str) -> Result<String, &'static str> {
+    let rest = rest.trim_start();
+    let inner = rest
+        .strip_prefix('(')
+        .ok_or("expected `(` after lint:allow")?;
+    let close = inner.rfind(')').ok_or("missing closing `)`")?;
+    let inner = &inner[..close];
+    let (rule, tail) = match inner.find(',') {
+        Some(pos) => (inner[..pos].trim(), inner[pos + 1..].trim()),
+        None => return Err("missing `, reason = \"...\"`"),
+    };
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+    {
+        return Err("rule name must be a snake_case identifier");
+    }
+    let tail = tail
+        .strip_prefix("reason")
+        .ok_or("expected `reason = \"...\"`")?
+        .trim_start();
+    let tail = tail
+        .strip_prefix('=')
+        .ok_or("expected `=` after reason")?
+        .trim_start();
+    let quoted = tail
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or("reason must be a double-quoted string")?;
+    if quoted.trim().is_empty() {
+        return Err("reason must not be empty");
+    }
+    Ok(rule.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eol_allow_covers_its_line_only() {
+        let s = FileScan::new(
+            "f.rs".into(),
+            "fn f() {\n    x.load(Ordering::Relaxed); // lint:allow(relaxed_hygiene, reason = \"scratch\")\n    y();\n}\n",
+        );
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!((s.allows[0].lo, s.allows[0].hi), (2, 2));
+        assert!(s.allowed("relaxed_hygiene", 2, 2));
+        assert!(!s.allowed("relaxed_hygiene", 3, 3));
+        assert!(!s.allowed("other_rule", 2, 2));
+    }
+
+    #[test]
+    fn own_line_allow_covers_following_block() {
+        let src = "\
+// lint:allow(checkpoint_coverage, reason = \"fixed 4-way unroll\")
+for i in 0..4 {
+    body();
+    more();
+}
+after();
+";
+        let s = FileScan::new("f.rs".into(), src);
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!((s.allows[0].lo, s.allows[0].hi), (1, 5));
+        assert!(s.allowed("checkpoint_coverage", 2, 2));
+        assert!(!s.allowed("checkpoint_coverage", 6, 6));
+    }
+
+    #[test]
+    fn own_line_allow_skips_attributes() {
+        let src = "\
+// lint:allow(no_panic_in_serve, reason = \"startup only\")
+#[inline]
+fn boot() {
+    let x = v[0];
+}
+";
+        let s = FileScan::new("f.rs".into(), src);
+        assert_eq!((s.allows[0].lo, s.allows[0].hi), (1, 5));
+    }
+
+    #[test]
+    fn malformed_allow_is_a_finding() {
+        let s = FileScan::new("f.rs".into(), "// lint:allow(relaxed_hygiene)\nx();\n");
+        assert_eq!(s.allows.len(), 0);
+        assert_eq!(s.bad_annotations.len(), 1);
+        let s2 = FileScan::new("f.rs".into(), "// lint:allow(r, reason = \"\")\nx();\n");
+        assert_eq!(s2.bad_annotations.len(), 1);
+    }
+
+    #[test]
+    fn sync_comment_spans() {
+        let src = "\
+// sync: pairs with the Release store in shutdown
+let v = flag.load(Ordering::Acquire);
+bare.load(Ordering::Acquire); // sync: pairs with store above
+";
+        let s = FileScan::new("f.rs".into(), src);
+        assert_eq!(s.syncs.len(), 2);
+        assert!(s.synced(2, 2));
+        assert!(s.synced(3, 3));
+    }
+
+    #[test]
+    fn cfg_test_ranges() {
+        let src = "\
+fn live() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert!(true);
+    }
+}
+
+fn also_live() {}
+";
+        let s = FileScan::new("f.rs".into(), src);
+        assert!(!s.in_test(1));
+        assert!(s.in_test(4));
+        assert!(s.in_test(7));
+        assert!(!s.in_test(11));
+    }
+
+    #[test]
+    fn stmt_start_walks_multiline_chains() {
+        let src = "\
+fn f() {
+    self.use_markers
+        .store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+";
+        let s = FileScan::new("f.rs".into(), src);
+        let idx = s.tokens.iter().position(|t| t.is_ident("Relaxed")).unwrap();
+        assert_eq!(s.stmt_start_line(idx), 2);
+    }
+}

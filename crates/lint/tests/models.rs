@@ -1,0 +1,104 @@
+//! Model-checker regression tests: the correct protocol models must pass
+//! exhaustively (the bounded state space is fully explored), the broken
+//! mutants must produce a counterexample trace, and verdicts must not
+//! depend on the exploration seed.
+
+use opine_lint::model::check;
+use opine_lint::models::{CacheModel, HistogramModel, PermitModel, SnapshotCellModel};
+
+const SEEDS: [u64; 4] = [1, 7, 99, 0xDEAD_BEEF];
+
+#[test]
+fn permit_cas_never_over_admits() {
+    for seed in SEEDS {
+        let stats = check(&PermitModel::correct(), seed)
+            .unwrap_or_else(|v| panic!("unexpected counterexample (seed {seed}): {}", v.reason));
+        assert!(
+            stats.states > 1_000,
+            "state space looks truncated: {} states",
+            stats.states
+        );
+    }
+}
+
+#[test]
+fn permit_cas_three_threads_four_cycles_exhaustive() {
+    // The issue's acceptance bound: 3 threads each doing 4 acquire /
+    // release (or shed) rounds against a budget of 2.
+    let model = PermitModel {
+        threads: 3,
+        limit: 2,
+        cycles: 4,
+        broken: false,
+    };
+    let stats =
+        check(&model, 1).unwrap_or_else(|v| panic!("unexpected counterexample: {}", v.reason));
+    assert!(
+        stats.states > 10_000,
+        "3 threads x 4 cycles should dwarf the default bound, got {} states",
+        stats.states
+    );
+}
+
+#[test]
+fn permit_blind_store_mutant_is_counterexampled() {
+    for seed in SEEDS {
+        let v = check(&PermitModel::broken(), seed)
+            .expect_err("check-then-act permit mutant must over-admit");
+        assert!(!v.trace.is_empty(), "counterexample must carry a trace");
+        assert!(
+            v.reason.contains("in_flight") || v.reason.contains("admission"),
+            "pointed reason expected, got: {}",
+            v.reason
+        );
+    }
+}
+
+#[test]
+fn bounded_cache_is_never_torn() {
+    for seed in SEEDS {
+        check(&CacheModel::correct(), seed)
+            .unwrap_or_else(|v| panic!("unexpected counterexample (seed {seed}): {}", v.reason));
+    }
+    let v = check(&CacheModel::broken(), 1)
+        .expect_err("lockless two-slot write mutant must produce a torn read");
+    assert!(v.reason.contains("torn"), "{}", v.reason);
+    assert!(!v.trace.is_empty());
+}
+
+#[test]
+fn histogram_snapshot_guard_is_load_bearing() {
+    // With the count-recheck fallback (what metrics.rs::quantile_us
+    // does), torn snapshots are detected and discarded: passes.
+    check(&HistogramModel::guarded(), 1)
+        .unwrap_or_else(|v| panic!("guarded histogram must pass: {}", v.reason));
+    // Without it, the checker finds the torn (count, buckets) view —
+    // validating that the model is strong enough to notice.
+    let v =
+        check(&HistogramModel::torn(), 1).expect_err("unguarded snapshot must be counterexampled");
+    assert!(v.reason.contains("torn"), "{}", v.reason);
+}
+
+#[test]
+fn snapshot_cell_is_linearizable_at_bounds() {
+    for seed in SEEDS {
+        let stats = check(&SnapshotCellModel::correct(), seed)
+            .unwrap_or_else(|v| panic!("unexpected counterexample (seed {seed}): {}", v.reason));
+        assert!(stats.states > 100, "{} states", stats.states);
+    }
+    let v = check(&SnapshotCellModel::broken(), 1)
+        .expect_err("unlocked two-step publish must be counterexampled");
+    assert!(v.reason.contains("torn"), "{}", v.reason);
+}
+
+#[test]
+fn verdicts_are_seed_independent() {
+    // The seed may only permute exploration order; with exhaustive
+    // search the verdict — and the reachable state count — must agree.
+    let baseline = check(&CacheModel::correct(), 1).expect("passes");
+    for seed in SEEDS {
+        let stats = check(&CacheModel::correct(), seed).expect("passes at every seed");
+        assert_eq!(stats.states, baseline.states, "seed {seed}");
+        assert_eq!(stats.transitions, baseline.transitions, "seed {seed}");
+    }
+}

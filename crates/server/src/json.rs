@@ -139,7 +139,8 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -156,7 +157,13 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned range is ASCII digits/signs by construction, but a
+        // malformed frame must surface as a parse error, never a panic.
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("bad number"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| self.err(&format!("bad number {text:?}")))
@@ -216,9 +223,15 @@ impl Parser<'_> {
                 Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
                 Some(_) => {
                     // Copy one UTF-8 scalar (multi-byte sequences intact).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let tail = self
+                        .bytes
+                        .get(self.pos..)
+                        .ok_or_else(|| self.err("unexpected end of input"))?;
+                    let rest = std::str::from_utf8(tail).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unexpected end of input"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -228,11 +241,11 @@ impl Parser<'_> {
 
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let end = self.pos + 4;
-        if end > self.bytes.len() {
-            return Err(self.err("truncated \\u escape"));
-        }
-        let text = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| self.err("bad \\u escape"))?;
+        let quad = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(quad).map_err(|_| self.err("bad \\u escape"))?;
         let v = u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
         self.pos = end;
         Ok(v)

@@ -44,9 +44,13 @@ impl AcceptPool {
             let handle = std::thread::Builder::new()
                 .name(format!("opine-serve-{id}"))
                 .spawn(move || {
+                    // sync: pairs with the AcqRel swap in shutdown();
+                    // a stopped observation sees the closed listener.
                     while !stop.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((stream, _)) => {
+                                // sync: pairs with the AcqRel swap in
+                                // shutdown(); drop wake-up connections.
                                 if stop.load(Ordering::Acquire) {
                                     return;
                                 }
@@ -85,6 +89,9 @@ impl AcceptPool {
     /// Stops accepting, wakes every blocked worker, and joins them.
     /// Idempotent; also invoked by `Drop`.
     pub fn shutdown(&mut self) {
+        // sync: pairs with the Acquire loads in the worker accept loop;
+        // AcqRel also orders racing shutdown() calls so exactly one
+        // proceeds to wake and join the workers.
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }

@@ -274,7 +274,12 @@ impl Drop for OpineServer {
         // reading an idle keep-alive connection see EOF at once instead
         // of waiting out the read timeout, while a response already being
         // written for an in-flight request still reaches the client.
-        self.state.stopping.store(true, Ordering::SeqCst);
+        // sync: pairs with the Acquire loads in handle_connection and
+        // handle_ready. Release suffices (downgraded from SeqCst): a
+        // connection that registers after our `live` sweep acquired the
+        // same mutex we are about to take, and that release/acquire
+        // edge already publishes this store to its stopping check.
+        self.state.stopping.store(true, Ordering::Release);
         for stream in self.state.live.lock().values() {
             let _ = stream.shutdown(Shutdown::Read);
         }
@@ -317,6 +322,22 @@ impl Routed {
     }
 }
 
+/// The full error taxonomy: every non-2xx status this service can emit,
+/// paired with the machine-readable `code` clients branch on. The
+/// `taxonomy_exhaustiveness` lint holds this table and the emission
+/// sites in both directions: a new error status must be registered
+/// here, and a registered code must still have an emitter.
+pub const ERROR_TAXONOMY: &[(u16, &str)] = &[
+    (400, "bad_request"),
+    (404, "not_found"),
+    (405, "method_not_allowed"),
+    (413, "payload_too_large"),
+    (429, "too_many_requests"),
+    (500, "internal"),
+    (503, "shed"),
+    (504, "timeout"),
+];
+
 /// Machine-readable error code for each failure class the service can
 /// answer with. Every non-2xx body is `{"error":{"code","message"}}` —
 /// clients branch on `code`, humans read `message`.
@@ -337,11 +358,17 @@ impl<'a> Permit<'a> {
     /// Takes one execution slot unless the budget is full.
     fn try_acquire(state: &'a ServerState) -> Option<Permit<'a>> {
         let limit = state.config.max_in_flight.max(1);
+        // sync: optimistic snapshot only; the CAS below re-validates it,
+        // so a stale read costs one retry, never an over-admission.
         let mut current = state.in_flight.load(Ordering::Relaxed);
         loop {
             if current >= limit {
                 return None;
             }
+            // sync: pairs with the AcqRel fetch_sub in Drop. The permit
+            // word is self-contained admission state; AcqRel keeps each
+            // acquire ordered against the release it reuses the slot of
+            // (model-checked: permit-cas-budget in opine-lint).
             match state.in_flight.compare_exchange_weak(
                 current,
                 current + 1,
@@ -357,6 +384,8 @@ impl<'a> Permit<'a> {
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
+        // sync: pairs with the AcqRel compare_exchange in try_acquire;
+        // frees the slot this permit held.
         self.state.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -461,7 +490,10 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     };
     state.live.lock().insert(id, shutdown_handle);
     let _guard = ConnGuard { state, id };
-    if state.stopping.load(Ordering::SeqCst) {
+    // sync: pairs with the Release store in Drop; the `live` mutex above
+    // orders registration against the shutdown sweep, so either the
+    // sweep closed this socket or this load observes `stopping`.
+    if state.stopping.load(Ordering::Acquire) {
         return;
     }
     let mut reader = BufReader::new(read_half);
@@ -469,7 +501,9 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
 
     let budget = state.config.max_requests_per_conn.max(1);
     for served in 0..budget {
-        if state.stopping.load(Ordering::SeqCst) {
+        // sync: pairs with the Release store in Drop; a missed flag here
+        // is caught by the read-side shutdown (EOF) on the next read.
+        if state.stopping.load(Ordering::Acquire) {
             return;
         }
         match http::read_request(&mut reader, state.config.max_body) {
@@ -626,9 +660,12 @@ fn route(state: &ServerState, req: &Request) -> Routed {
 /// 503 with the reason, while `/healthz` keeps reporting the process
 /// alive.
 fn handle_ready(state: &ServerState) -> Routed {
+    // sync: point-in-time gauge read for readiness; staleness only
+    // flips one probe's answer, never admission itself.
     let in_flight = state.in_flight.load(Ordering::Relaxed);
     let limit = state.config.max_in_flight.max(1);
-    let stopping = state.stopping.load(Ordering::SeqCst);
+    // sync: pairs with the Release store in Drop; monitoring read.
+    let stopping = state.stopping.load(Ordering::Acquire);
     let (status, ready, reason) = if stopping {
         (503, false, "stopping")
     } else if in_flight >= limit {
@@ -932,6 +969,7 @@ fn render_trace_json(out: &mut String, snapshot: &TraceSnapshot) {
 /// oldest first, each with its normalized SQL and full span tree.
 fn render_slow_queries(state: &ServerState) -> String {
     let ring = state.slow_queries.lock();
+    // lint:allow(taxonomy_exhaustiveness, reason = "512 here is a capacity estimate per ring entry, not an HTTP status")
     let mut out = String::with_capacity(256 + 512 * ring.len());
     out.push_str(&format!(
         "{{\"threshold_ms\":{},\"capacity\":{},\"count\":{},\"entries\":[",
@@ -1065,6 +1103,7 @@ fn render_stats(state: &ServerState) -> String {
     out.push_str(",\"max_in_flight\":");
     out.push_str(&state.config.max_in_flight.to_string());
     out.push_str(",\"in_flight\":");
+    // sync: point-in-time gauge read for observability only.
     out.push_str(&state.in_flight.load(Ordering::Relaxed).to_string());
     out.push_str(",\"shed_requests\":");
     out.push_str(&state.shed_requests.load(Ordering::Relaxed).to_string());
@@ -1159,6 +1198,7 @@ fn render_prometheus(state: &ServerState) -> String {
     exp.sample(
         "opine_in_flight",
         &[],
+        // sync: point-in-time gauge read for observability only.
         state.in_flight.load(Ordering::Relaxed) as u64,
     );
     exp.family(

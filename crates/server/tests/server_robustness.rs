@@ -109,6 +109,52 @@ fn error_taxonomy_is_uniform_across_failure_classes() {
 }
 
 #[test]
+fn malformed_json_frames_get_400_not_500() {
+    // Regression coverage for the JSON parser's truncation paths: every
+    // one of these frames once pointed at an unwrap/slice that could
+    // panic mid-parse. A malformed frame must come back as a taxonomy
+    // 400 — never a 500 (panic caught at the boundary) and never a
+    // silently dropped connection.
+    let server = serve_with(small_db(), ServerConfig::default());
+    let evil: &[&str] = &[
+        "tru",                    // truncated literal
+        "nul",                    // truncated literal, shorter than "null"
+        "-",                      // sign with no digits
+        "1e",                     // exponent with no digits
+        "[1,2,",                  // unterminated array
+        "{\"sql\":",              // object cut at the value
+        "{\"sql\": \"x",          // unterminated string
+        "\"\\u00",                // truncated \u escape
+        "\"\\",                   // escape at end of input
+        "{\"sql\": \"q\" \"t\"}", // garbage between members
+    ];
+    for body in evil {
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let resp = client
+            .post("/query", body)
+            .unwrap_or_else(|e| panic!("server dropped frame {body:?}: {e}"));
+        assert_eq!(resp.status, 400, "frame {body:?} must parse-fail cleanly");
+        assert_taxonomy(&resp.body, "bad_request");
+    }
+    // Invalid UTF-8 can't travel through the string-typed client; speak
+    // raw HTTP. The body bytes are not a valid UTF-8 sequence.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"POST /query HTTP/1.1\r\nhost: x\r\ncontent-length: 4\r\n\r\n\xff\xfe{\"a")
+        .unwrap();
+    let response = read_to_eof(&mut stream);
+    assert!(
+        response.starts_with("HTTP/1.1 400"),
+        "invalid UTF-8 body must be a 400, got: {response}"
+    );
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert_taxonomy(body, "bad_request");
+}
+
+#[test]
 fn oversized_body_gets_413_close_without_draining() {
     let db = small_db();
     let server = serve_with(

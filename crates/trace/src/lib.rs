@@ -233,6 +233,8 @@ impl Drop for AmbientGuard {
     fn drop(&mut self) {
         AMBIENT.with(|slot| slot.set(self.previous.take()));
         if self.armed {
+            // sync: approximate arm gate; the authoritative context is
+            // thread-local, so cross-thread ordering carries no data.
             ARMED.fetch_sub(1, Ordering::Relaxed);
         }
     }
@@ -244,6 +246,8 @@ impl Drop for AmbientGuard {
 pub fn with_trace<R>(trace: Option<TraceContext>, f: impl FnOnce() -> R) -> R {
     let armed = trace.is_some();
     if armed {
+        // sync: approximate arm gate (see current_trace); the context
+        // itself travels through the thread-local slot, not this counter.
         ARMED.fetch_add(1, Ordering::Relaxed);
     }
     let previous = AMBIENT.with(|slot| slot.replace(trace));
@@ -254,6 +258,9 @@ pub fn with_trace<R>(trace: Option<TraceContext>, f: impl FnOnce() -> R) -> R {
 /// The ambient context, if one is installed on this thread. Costs one
 /// relaxed load when nothing is armed process-wide.
 pub fn current_trace() -> Option<TraceContext> {
+    // sync: approximate arm gate; a stale zero only short-circuits a
+    // thread that installed no context of its own, which reads None
+    // from its thread-local slot anyway.
     if ARMED.load(Ordering::Relaxed) == 0 {
         return None;
     }
@@ -299,6 +306,7 @@ impl Drop for SpanGuard {
 /// enclosing scope via RAII. One relaxed load when disarmed.
 #[inline]
 pub fn span(stage: &'static str) -> SpanGuard {
+    // sync: approximate arm gate (see current_trace).
     if ARMED.load(Ordering::Relaxed) == 0 {
         return SpanGuard { live: None };
     }
@@ -315,6 +323,7 @@ fn span_slow(stage: &'static str) -> SpanGuard {
 /// opening a span. One relaxed load when disarmed.
 #[inline]
 pub fn count(stage: &'static str, counter: &'static str, n: u64) {
+    // sync: approximate arm gate (see current_trace).
     if ARMED.load(Ordering::Relaxed) == 0 {
         return;
     }
@@ -333,6 +342,7 @@ fn count_slow(stage: &'static str, counter: &'static str, n: u64) {
 /// this thread, so callers can format freely.
 #[inline]
 pub fn note(f: impl FnOnce() -> String) {
+    // sync: approximate arm gate (see current_trace).
     if ARMED.load(Ordering::Relaxed) == 0 {
         return;
     }
