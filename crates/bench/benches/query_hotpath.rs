@@ -19,12 +19,21 @@
 //! cost (a `TraceContext` collecting the full span tree) is recorded
 //! alongside in `BENCH_pr7.json`.
 //!
+//! PR 10 adds the **live-ingest** scenario: warm reads while a writer
+//! thread streams `INSERT` batches through the delta segment (and its
+//! threshold merges). Readers pin one snapshot epoch per query and
+//! never take the writer lock, so the warm-read latency floor must
+//! stay within 1.2x of the read-only baseline; recorded in
+//! `BENCH_pr10.json`.
+//!
 //! In smoke mode (`cargo test --benches`, no `--bench` flag) the heavy
 //! measurement loops are skipped, but small-corpus guards still run: a
 //! mixed query must fire the `pushdown_queries` counter, a qualified
-//! query the bucket-merge counters, and the **wand guard** must skip
-//! posting blocks while returning bit-identical top-k answers — or the
-//! bench (and CI) fails.
+//! query the bucket-merge counters, the **wand guard** must skip
+//! posting blocks while returning bit-identical top-k answers, and the
+//! **ingest guard** must serve an inserted review to the very next
+//! select and keep serving it through a threshold merge — or the bench
+//! (and CI) fails.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use opine_bench::banner;
@@ -40,7 +49,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::hint::black_box;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 const TOPK_ENTITIES: usize = 10_000;
 const TOPK_PREDICATES: usize = 3;
@@ -212,6 +222,24 @@ fn warm_latency(db: &OpineDb, sql: &str, iters: usize) -> f64 {
     measure(iters, || {
         black_box(db.query(sql).expect("query runs"));
     })
+}
+
+/// Warm minimum single-iteration latency of `sql` on `db` (caches
+/// primed by a first run). The floor — not the mean — is the right
+/// statistic when a concurrent writer shares this container's single
+/// core: the mean folds in CPU time the scheduler hands to the
+/// writer's own inserts and merges, while the floor measures what the
+/// read path itself costs when it runs — which is exactly where lock
+/// contention or snapshot-pinning overhead would show up.
+fn latency_floor(db: &OpineDb, sql: &str, iters: usize) -> f64 {
+    db.query(sql).expect("query runs");
+    let mut floor = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(db.query(sql).expect("query runs"));
+        floor = floor.min(start.elapsed().as_secs_f64());
+    }
+    floor
 }
 
 /// Smoke-mode guard: on a small corpus, the paper's running-example
@@ -397,6 +425,68 @@ fn wand_smoke_guard() {
     );
 }
 
+/// Smoke-mode guard: live ingest must publish atomically and survive a
+/// threshold merge — an inserted review is visible to the very next
+/// select, repeated selects over the same epoch answer identically,
+/// and the merge that freezes the delta keeps serving the same rows.
+/// Panics — failing `cargo test --benches` and the CI smoke job — if
+/// ingest loses rows or a merge changes the answer.
+fn ingest_smoke_guard() {
+    let db = mixed_db(48);
+    let probe = "select * from reviews where reviewer_id = 910000";
+    assert!(
+        db.query(probe).expect("probe runs").result.rows.is_empty(),
+        "marker reviewer band must start empty"
+    );
+    let insert = |text: &str| {
+        format!(
+            "INSERT INTO reviews (entity, text, year, reviewer_id) \
+             VALUES ('{}', '{text}', 2021, 910000)",
+            db.entity_key(0)
+        )
+    };
+    let receipt = db
+        .insert_sql(&insert("spotless clean rooms, lovely stay"))
+        .expect("insert runs");
+    assert_eq!(receipt.inserted, 1);
+    assert_eq!(receipt.epoch, 1, "one batch = one published epoch");
+    assert!(!receipt.merged, "below the default merge threshold");
+    let first = db.query(probe).expect("probe runs");
+    assert_eq!(
+        first.result.rows.len(),
+        1,
+        "inserted row must be visible to the very next select"
+    );
+    let replay = db.query(probe).expect("probe runs");
+    assert_eq!(
+        first.result.rows, replay.result.rows,
+        "two selects over the same epoch must answer identically"
+    );
+    // Crossing the threshold merges inline: the delta's rows move into
+    // frozen posting blocks and per-year partials without dropping a
+    // row on the serving path.
+    db.set_merge_threshold(2);
+    let receipt = db
+        .insert_sql(&insert("clean rooms again, would return"))
+        .expect("insert runs");
+    assert!(receipt.merged, "second insert must cross the threshold");
+    // The merge seals the delta's occurrences into frozen artifacts;
+    // the rows themselves stay resident in the delta generation.
+    assert_eq!(db.delta_reviews(), 2);
+    let merged = db.query(probe).expect("probe runs");
+    assert_eq!(merged.result.rows.len(), 2, "merged rows keep serving");
+    let report = db.cache_report();
+    assert_eq!(report.inserted_reviews, 2);
+    assert!(report.delta_merges >= 1, "merge counter must fire");
+    assert_eq!(report.failed_merges, 0);
+    println!(
+        "ingest smoke guard ok: epoch {} after {} inserts, {} merge",
+        db.ingest_epoch(),
+        report.inserted_reviews,
+        report.delta_merges
+    );
+}
+
 fn bench(c: &mut Criterion) {
     banner("PR 1: query hot path — interpretation cache, dense TA, parallel scoring");
 
@@ -421,6 +511,7 @@ fn bench(c: &mut Criterion) {
         pushdown_smoke_guard();
         qualified_smoke_guard();
         wand_smoke_guard();
+        ingest_smoke_guard();
         let mut group = c.benchmark_group("query_hotpath");
         group.bench_function("topk_seed_500", |b| {
             b.iter(|| seed_threshold_topk(black_box(&lists), TOPK_K))
@@ -976,6 +1067,127 @@ fn bench(c: &mut Criterion) {
     let pr5_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
     std::fs::write(pr5_out, &pr5_json).expect("write BENCH_pr5.json");
     println!("wrote {pr5_out}");
+
+    // ---- PR 10: live ingest — warm reads while a writer streams inserts ----
+    // A writer thread feeds paced 25-row `INSERT` batches into the
+    // 10k-entity mixed db (crossing the default merge threshold every
+    // few batches, so frozen-artifact merges run mid-measurement) while
+    // the reader measures the warm running-example query. Readers pin
+    // one snapshot epoch per query and never take the writer lock, so
+    // the acceptance bar is on the latency *floor*: on this single-core
+    // container the mean inevitably folds in CPU time the scheduler
+    // hands to the writer's own inserts and merges, but any iteration
+    // that runs uninterrupted must cost within 1.2x of the read-only
+    // floor — blocking (a reader waiting on the writer lock) or
+    // per-query snapshot overhead would lift the floor itself.
+    const INGEST_BATCH: usize = 25;
+    println!("live-ingest scenario: streaming inserts into the {mixed_entities}-entity db…");
+    let merges_before = mdb.cache_report().delta_merges;
+    let epoch_before = mdb.ingest_epoch();
+    let t_read_only_floor = latency_floor(&mdb, PURE_QUERY, 400);
+    let t_read_only_mean = warm_latency(&mdb, PURE_QUERY, 200);
+    let stop = AtomicBool::new(false);
+    let (t_ingest_floor, t_ingest_mean, batches_written) = std::thread::scope(|scope| {
+        let writer = {
+            let mdb = &mdb;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut batch = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let rows: Vec<String> = (0..INGEST_BATCH)
+                        .map(|i| {
+                            let n = batch * INGEST_BATCH + i;
+                            // Stride the entity rotation so each batch
+                            // dirties a fresh handful of entities — the
+                            // reader's warm columns repair exactly
+                            // those, never the other ~10k.
+                            format!(
+                                "('{}', 'clean rooms and friendly staff, stream row {n}', {}, {})",
+                                mdb.entity_key((n * 131) % mdb.num_entities()),
+                                2000 + (batch % 20),
+                                920_000 + n
+                            )
+                        })
+                        .collect();
+                    let sql = format!(
+                        "INSERT INTO reviews (entity, text, year, reviewer_id) VALUES {}",
+                        rows.join(", ")
+                    );
+                    let receipt = mdb.insert_sql(&sql).expect("stream insert");
+                    assert_eq!(receipt.inserted, INGEST_BATCH, "batches are all-or-nothing");
+                    batch += 1;
+                    // Paced feed: a steady stream, not a saturating one
+                    // — the scenario measures serving during ingest,
+                    // not the writer's own throughput ceiling.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                batch
+            })
+        };
+        let floor = latency_floor(&mdb, PURE_QUERY, 400);
+        let mean = warm_latency(&mdb, PURE_QUERY, 200);
+        stop.store(true, Ordering::Release);
+        let batches = writer.join().expect("writer thread");
+        (floor, mean, batches)
+    });
+    // Quiesced floor after the stream: also read-only (the merged data
+    // is now part of the frozen baseline), and taking the min of the
+    // two baselines cancels the container's slow frequency drift.
+    let t_quiesced_floor = latency_floor(&mdb, PURE_QUERY, 400);
+    let baseline_floor = t_read_only_floor.min(t_quiesced_floor);
+    let ingest_ratio = t_ingest_floor / baseline_floor;
+    let ingest_report = mdb.cache_report();
+    let streamed = mdb
+        .query("select * from reviews where reviewer_id >= 920000")
+        .expect("stream count runs");
+    println!(
+        "live ingest @ {mixed_entities} entities ({batches_written} × {INGEST_BATCH}-row batches, \
+         {} merges, epoch {} -> {}):\n\
+         \x20 read-only floor / mean  {:>9.1} µs / {:.1} µs\n\
+         \x20 ingesting floor / mean  {:>9.1} µs / {:.1} µs   ({ingest_ratio:.3}x floor)\n\
+         \x20 quiesced floor          {:>9.1} µs",
+        ingest_report.delta_merges - merges_before,
+        epoch_before,
+        mdb.ingest_epoch(),
+        t_read_only_floor * 1e6,
+        t_read_only_mean * 1e6,
+        t_ingest_floor * 1e6,
+        t_ingest_mean * 1e6,
+        t_quiesced_floor * 1e6,
+    );
+    assert!(
+        batches_written >= 3,
+        "the writer must actually stream during the measurement ({batches_written} batches)"
+    );
+    assert_eq!(
+        streamed.result.rows.len(),
+        batches_written * INGEST_BATCH,
+        "every streamed row must be served after the run"
+    );
+    assert!(
+        ingest_report.delta_merges > merges_before,
+        "threshold merges must run mid-measurement: {ingest_report:?}"
+    );
+    assert_eq!(ingest_report.failed_merges, 0, "{ingest_report:?}");
+    assert!(
+        ingest_ratio <= 1.2,
+        "acceptance: warm-read latency floor while ingest runs must stay within \
+         1.2x of the read-only floor (ingesting {:.1} µs vs read-only {:.1} µs = \
+         {ingest_ratio:.3}x)",
+        t_ingest_floor * 1e6,
+        baseline_floor * 1e6,
+    );
+
+    let pr10_json = format!(
+        "{{\n  \"bench\": \"query_hotpath/live_ingest\",\n  \"config\": {{\n    \"entities\": {mixed_entities},\n    \"rows_per_batch\": {INGEST_BATCH},\n    \"batches_streamed\": {batches_written},\n    \"workers\": {workers}\n  }},\n  \"seconds\": {{\n    \"warm_floor_read_only\": {t_read_only_floor:.9},\n    \"warm_mean_read_only\": {t_read_only_mean:.9},\n    \"warm_floor_ingesting\": {t_ingest_floor:.9},\n    \"warm_mean_ingesting\": {t_ingest_mean:.9},\n    \"warm_floor_quiesced\": {t_quiesced_floor:.9}\n  }},\n  \"ratios\": {{\n    \"ingesting_floor_vs_read_only_floor\": {ingest_ratio:.4}\n  }},\n  \"counters\": {{\n    \"rows_streamed\": {},\n    \"delta_merges\": {},\n    \"failed_merges\": {},\n    \"epochs_published\": {}\n  }}\n}}\n",
+        batches_written * INGEST_BATCH,
+        ingest_report.delta_merges - merges_before,
+        ingest_report.failed_merges,
+        mdb.ingest_epoch() - epoch_before,
+    );
+    let pr10_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json");
+    std::fs::write(pr10_out, &pr10_json).expect("write BENCH_pr10.json");
+    println!("wrote {pr10_out}");
 
     // ---- record for the PR ----
     let json = format!(

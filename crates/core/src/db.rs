@@ -7,6 +7,7 @@
 use crate::builder::BuildConfig;
 use crate::cache::{BoundedCache, CacheStats};
 use crate::domain::LinguisticDomain;
+use crate::ingest::{DeltaState, IngestReceipt, IngestState, PhraseMatcher, Pin};
 use crate::interpret::{Interpretation, Interpreter};
 use crate::membership::{marker_features, scan_features, MembershipModel};
 use crate::par;
@@ -18,11 +19,12 @@ use opine_sentiment::SentimentAnalyzer;
 use opine_store::ast::ColumnRef;
 use opine_store::exec::{execute_with_algebra, SubjectiveScorer};
 use opine_store::{
-    execute_lazy, parse_select, Bitmap, Catalog, FuzzyAlgebra, ResultSet, ReviewQualifier,
-    ScoredRows, Select, StoreError, Value,
+    execute_lazy_with_overlay, parse_insert, parse_select, Bitmap, Catalog, FuzzyAlgebra,
+    InsertStmt, ResultSet, ReviewQualifier, ScoredRows, Select, StoreError, Value,
 };
 use opine_text::{Vocab, WordId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, OnceLock};
 
 /// One extracted phrase occurrence in an entity's raw digest.
@@ -98,6 +100,11 @@ pub struct QueryRef<'a> {
     pub result: ScoredRows<'a>,
     /// `(predicate, interpretation)` for every natural-language predicate.
     pub interpretations: Vec<(String, Interpretation)>,
+    /// The data epoch this query pinned: every read underneath saw
+    /// exactly the delta generation published as `epoch`. The serving
+    /// layer keys its result cache by `(statement, epoch)` so an
+    /// `INSERT` invalidates cached answers without a flush.
+    pub epoch: u64,
 }
 
 /// A point-in-time snapshot of every query-path cache, for the serving
@@ -153,6 +160,19 @@ pub struct CacheReport {
     /// injected errors, injected panics) — zero unless fault injection
     /// is armed. The chaos-smoke CI job greps this from `/stats`.
     pub faults_injected: u64,
+    /// The current data epoch: bumped by every published `INSERT` batch
+    /// and every completed delta merge. 0 until the first insert.
+    pub ingest_epoch: u64,
+    /// Delta reviews live in the current generation (level, not a
+    /// counter: a future delta GC could shrink it).
+    pub delta_reviews: u64,
+    /// Reviews accepted by `INSERT` statements since startup.
+    pub inserted_reviews: u64,
+    /// Delta merges that published (froze posting blocks + partials).
+    pub delta_merges: u64,
+    /// Delta merges that failed and were rolled back — the previous
+    /// epoch kept serving. The chaos-smoke CI job greps this.
+    pub failed_merges: u64,
 }
 
 /// One exported value of a [`CacheReport`] field, typed so each metrics
@@ -201,6 +221,11 @@ impl CacheReport {
             ("blocks_skipped", Counter(self.blocks_skipped)),
             ("timed_out_queries", Counter(self.timed_out_queries)),
             ("faults_injected", Counter(self.faults_injected)),
+            ("ingest_epoch", Gauge(self.ingest_epoch)),
+            ("delta_reviews", Gauge(self.delta_reviews)),
+            ("inserted_reviews", Counter(self.inserted_reviews)),
+            ("delta_merges", Counter(self.delta_merges)),
+            ("failed_merges", Counter(self.failed_merges)),
         ]
         .into_iter()
     }
@@ -304,6 +329,34 @@ impl DegreeColumn {
         match &self.data {
             DegreeData::Exact(v) => v.len() * std::mem::size_of::<f64>(),
             DegreeData::Quantized(v) => v.len() * std::mem::size_of::<u16>(),
+        }
+    }
+
+    /// A copy with the given `(entity, exact degree)` slots replaced —
+    /// the live-ingest cache-repair path, which recomputes only the
+    /// entities whose delta version moved past the cached column's
+    /// epoch stamp instead of rebuilding all of them. Quantized slots
+    /// re-quantize with the same ceil rule as a cold build; the sorted
+    /// order is recomputed lazily by the new column.
+    fn patched(&self, updates: &[(usize, f64)]) -> DegreeColumn {
+        match &self.data {
+            DegreeData::Exact(v) => {
+                let mut v = v.clone();
+                for &(entity, degree) in updates {
+                    v[entity] = degree;
+                }
+                DegreeColumn::exact(v)
+            }
+            DegreeData::Quantized(q) => {
+                let mut q = q.clone();
+                for &(entity, degree) in updates {
+                    q[entity] = (degree.clamp(0.0, 1.0) * QUANT_SCALE).ceil() as u16;
+                }
+                DegreeColumn {
+                    data: DegreeData::Quantized(q),
+                    sorted: OnceLock::new(),
+                }
+            }
         }
     }
 
@@ -466,6 +519,22 @@ enum PreparedInterpretation {
     Text { terms: Vec<WordId> },
 }
 
+/// One validated `INSERT` row, resolved against the frozen entity set.
+struct InsertRow {
+    entity: usize,
+    text: String,
+    /// `None` defaults to a fresh reviewer id at apply time.
+    reviewer_id: Option<usize>,
+    year: u32,
+    helpful_votes: u32,
+}
+
+/// An `INSERT` rejection (shape/typing/unknown-entity problems surface
+/// as execution errors, like the executor's own validation does).
+fn insert_error(message: String) -> OpineError {
+    OpineError::Store(StoreError::Execution(message))
+}
+
 /// The subjective database engine.
 pub struct OpineDb {
     /// Subjective attribute names, index-aligned with the domain spec.
@@ -498,14 +567,15 @@ pub struct OpineDb {
     partials: Vec<Vec<CellPartials>>,
     config: BuildConfig,
     /// Predicate → dense degree column over all entities, with its sorted
-    /// order. Populated in parallel on first use; keyed by predicate text
+    /// order, stamped with the data epoch it was built (or last repaired)
+    /// at. Populated in parallel on first use; keyed by predicate text
     /// so repeated queries reuse both the degrees and the sort. Bounded:
     /// columns are the largest per-entry cache (8 bytes × entities each).
-    column_cache: BoundedCache<Arc<DegreeColumn>>,
-    /// `(entity, predicate)` → degree memo for the lazy point path taken
-    /// by mixed queries, where an objective filter admits few rows and a
-    /// full column build would be wasted work.
-    point_cache: BoundedCache<f64>,
+    column_cache: BoundedCache<(u64, Arc<DegreeColumn>)>,
+    /// `(entity, predicate)` → epoch-stamped degree memo for the lazy
+    /// point path taken by mixed queries, where an objective filter
+    /// admits few rows and a full column build would be wasted work.
+    point_cache: BoundedCache<(u64, f64)>,
     /// Phrase → normalized embedding + sentiment, shared by the
     /// interpretation, marker-match (`attr .= "phrase"`), and column
     /// scoring paths.
@@ -541,6 +611,9 @@ pub struct OpineDb {
     /// Queries cancelled by an expired deadline (mapped to
     /// [`OpineError::QueryTimeout`] at the query entry).
     timed_out_queries: std::sync::atomic::AtomicU64,
+    /// Live ingest: the published delta generation, the writer lock,
+    /// and the ingest counters.
+    ingest: IngestState,
 }
 
 impl OpineDb {
@@ -682,6 +755,7 @@ impl OpineDb {
             filtered_cache: BoundedCache::new(16),
             qualified_queries: std::sync::atomic::AtomicU64::new(0),
             timed_out_queries: std::sync::atomic::AtomicU64::new(0),
+            ingest: IngestState::new(),
         }
     }
 
@@ -857,9 +931,10 @@ impl OpineDb {
     pub fn cache_report(&self) -> CacheReport {
         let mut column_bytes = 0usize;
         self.column_cache
-            .for_each_value(|c| column_bytes += c.memory_bytes());
+            .for_each_value(|(_, c)| column_bytes += c.memory_bytes());
         let review_ir = self.interpreter.review_index().retrieval_stats();
         let entity_ir = self.entity_index.retrieval_stats();
+        let delta = self.ingest.cell.load();
         CacheReport {
             interpretations: self.interpreter.cache_stats(),
             phrases: self.phrase_cache.stats(),
@@ -883,6 +958,11 @@ impl OpineDb {
                 .timed_out_queries
                 .load(std::sync::atomic::Ordering::Relaxed),
             faults_injected: opine_faults::injected_total(),
+            ingest_epoch: delta.epoch(),
+            delta_reviews: delta.value().meta.len() as u64,
+            inserted_reviews: self.ingest.inserted_reviews.load(Relaxed),
+            delta_merges: self.ingest.delta_merges.load(Relaxed),
+            failed_merges: self.ingest.failed_merges.load(Relaxed),
         }
     }
 
@@ -944,21 +1024,32 @@ impl OpineDb {
     /// Executes an already-parsed statement through the borrowing path —
     /// the parse-once/execute-many entry the serving layer's prepared
     /// queries use.
+    ///
+    /// The whole execution runs under one pinned delta generation
+    /// (installed thread-locally here, re-installed inside parallel
+    /// workers): row scans see {frozen tables + that generation's
+    /// overlay rows}, and every degree, count, and qualified summary
+    /// underneath reads the same generation — snapshot isolation
+    /// against concurrent `INSERT`s.
     pub fn query_select_ref(&self, select: &Select) -> Result<QueryRef<'_>, OpineError> {
-        let interpretations = select
-            .where_clause
-            .as_ref()
-            .map(|w| {
-                w.subjective_predicates()
-                    .into_iter()
-                    .map(|p| (p.to_string(), self.interpret(p)))
-                    .collect()
+        self.ensure_pinned(|pin| {
+            let interpretations = select
+                .where_clause
+                .as_ref()
+                .map(|w| {
+                    w.subjective_predicates()
+                        .into_iter()
+                        .map(|p| (p.to_string(), self.interpret(p)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let overlay = (!pin.delta.overlay.is_empty()).then_some(&pin.delta.overlay);
+            let result = execute_lazy_with_overlay(select, &self.catalog, self, overlay)?;
+            Ok(QueryRef {
+                result,
+                interpretations,
+                epoch: pin.epoch,
             })
-            .unwrap_or_default();
-        let result = execute_lazy(select, &self.catalog, self)?;
-        Ok(QueryRef {
-            result,
-            interpretations,
         })
     }
 
@@ -1006,14 +1097,18 @@ impl OpineDb {
     }
 
     /// Executes with an explicit fuzzy algebra (ablation hook; joins are
-    /// only supported under the default product algebra).
+    /// only supported under the default product algebra). Degrees and
+    /// counts observe one pinned delta generation like every other
+    /// path, but this ablation entry does not append overlay rows —
+    /// live-inserted reviews are invisible to its row scans.
     pub fn query_with_algebra(
         &self,
         sql: &str,
         algebra: FuzzyAlgebra,
     ) -> Result<QueryOutput, OpineError> {
         let select = parse_select(sql).map_err(|e| OpineError::Parse(e.to_string()))?;
-        let result = execute_with_algebra(&select, &self.catalog, self, algebra)?;
+        let result =
+            self.ensure_pinned(|_| execute_with_algebra(&select, &self.catalog, self, algebra))?;
         Ok(QueryOutput {
             result,
             interpretations: Vec::new(),
@@ -1034,6 +1129,10 @@ impl OpineDb {
     /// the point value — a mixed query whose objective filter admits few
     /// rows must not trigger a full column build.
     pub fn degree(&self, entity: usize, predicate: &str) -> f64 {
+        self.ensure_pinned(|pin| self.degree_pinned(entity, predicate, pin))
+    }
+
+    fn degree_pinned(&self, entity: usize, predicate: &str, pin: &Pin) -> f64 {
         if self.caching() {
             // Quantized columns only hold upper bounds, so with
             // quantization on (the cache is cleared on every flag flip,
@@ -1047,21 +1146,25 @@ impl OpineDb {
                 .quantize_columns
                 .load(std::sync::atomic::Ordering::Relaxed);
             if !quantized {
-                if let Some(column) = self.column_cache.get(predicate) {
-                    if let Some(degrees) = column.degrees() {
-                        return degrees[entity];
+                if let Some((stamp, column)) = self.column_cache.get(predicate) {
+                    if Self::entry_fresh(stamp, entity, pin) {
+                        if let Some(degrees) = column.degrees() {
+                            return degrees[entity];
+                        }
                     }
                 }
             }
             // `\u{1}` cannot occur in tokenized predicate text, so the
             // composite key is unambiguous.
             let key = format!("{entity}\u{1}{predicate}");
-            if let Some(degree) = self.point_cache.get(&key) {
-                return degree;
+            if let Some((stamp, degree)) = self.point_cache.get(&key) {
+                if Self::entry_fresh(stamp, entity, pin) {
+                    return degree;
+                }
             }
             let interp = self.interpret(predicate);
             let degree = self.degree_for_interpretation(entity, predicate, &interp);
-            self.point_cache.insert(&key, degree);
+            self.point_cache.insert(&key, (pin.epoch, degree));
             return degree;
         }
         let interp = self.interpret(predicate);
@@ -1071,11 +1174,60 @@ impl OpineDb {
     /// The dense degree column of a predicate over all entities, cached
     /// when the degree cache is enabled. Degrees are computed in
     /// parallel over entity chunks.
+    ///
+    /// Cached columns are stamped with the data epoch they were built
+    /// at. A probe from a newer pin **repairs** a stale column instead
+    /// of rebuilding it: only the entities whose pinned delta version
+    /// moved past the stamp recompute (an `INSERT` touches one entity;
+    /// the other N−1 slots are reused verbatim).
     pub fn degree_column(&self, predicate: &str) -> Arc<DegreeColumn> {
+        self.ensure_pinned(|pin| self.degree_column_pinned(predicate, pin))
+    }
+
+    fn degree_column_pinned(&self, predicate: &str, pin: &Pin) -> Arc<DegreeColumn> {
+        let mut cacheable = self.caching();
         if self.caching() {
-            if let Some(hit) = self.column_cache.get(predicate) {
-                opine_trace::count("ta_topk", "cache_hits", 1);
-                return hit;
+            if let Some((stamp, column)) = self.column_cache.get(predicate) {
+                if stamp == pin.epoch {
+                    opine_trace::count("ta_topk", "cache_hits", 1);
+                    return column;
+                }
+                if stamp < pin.epoch {
+                    let mut stale: Vec<usize> = pin
+                        .delta
+                        .entity_versions
+                        .iter()
+                        .filter(|&(_, &version)| version > stamp)
+                        .map(|(&entity, _)| entity)
+                        .collect();
+                    if stale.is_empty() {
+                        // Nothing the column depends on changed across
+                        // those epochs; restamp so the next probe hits
+                        // on the fast equality check.
+                        opine_trace::count("ta_topk", "cache_hits", 1);
+                        self.column_cache
+                            .insert(predicate, (pin.epoch, column.clone()));
+                        return column;
+                    }
+                    stale.sort_unstable();
+                    opine_trace::count("ta_topk", "cache_repairs", 1);
+                    let interp = self.interpret(predicate);
+                    let prepared = self.prepare_interpretation(predicate, &interp);
+                    let updates: Vec<(usize, f64)> = stale
+                        .iter()
+                        .map(|&entity| {
+                            opine_faults::checkpoint();
+                            (entity, self.degree_prepared(entity, &prepared))
+                        })
+                        .collect();
+                    let column = Arc::new(column.patched(&updates));
+                    self.column_cache
+                        .insert(predicate, (pin.epoch, column.clone()));
+                    return column;
+                }
+                // stamp > pin.epoch: a column from this pin's future.
+                // Build privately without regressing the cached stamp.
+                cacheable = false;
             }
         }
         opine_trace::count("ta_topk", "cache_misses", 1);
@@ -1086,11 +1238,20 @@ impl OpineDb {
             // index's posting lists (O(total postings)) instead of a
             // per-entity per-term lookup — bit-identical to the point
             // path, which sums the same contributions per document.
+            // The pinned delta's text index (present after a merge)
+            // contributes through the identical dense pass, added as
+            // one `f64` add per entity exactly like the point path.
             PreparedInterpretation::Text { terms }
                 if self.entity_index.num_docs() == self.num_entities() =>
             {
-                self.entity_index
-                    .bm25_dense(terms, &Bm25Params::default())
+                let mut scores = self.entity_index.bm25_dense(terms, &Bm25Params::default());
+                if let Some(index) = Self::delta_text_index(pin, self.num_entities()) {
+                    let delta_scores = index.bm25_dense(terms, &Bm25Params::default());
+                    for (score, delta) in scores.iter_mut().zip(&delta_scores) {
+                        *score += delta;
+                    }
+                }
+                scores
                     .into_iter()
                     .map(|score| sigmoid(score - self.config.sigmoid_c))
                     .collect()
@@ -1110,8 +1271,9 @@ impl OpineDb {
         } else {
             DegreeColumn::exact(degrees)
         });
-        if self.caching() {
-            self.column_cache.insert(predicate, column.clone());
+        if cacheable {
+            self.column_cache
+                .insert(predicate, (pin.epoch, column.clone()));
         }
         column
     }
@@ -1312,14 +1474,31 @@ impl OpineDb {
                 }
             }
             PreparedInterpretation::Text { terms } => {
-                let score = self.entity_index.bm25(
+                let pin = self.pinned();
+                let mut score = self.entity_index.bm25(
                     opine_ir::DocId(entity as u32),
                     terms,
                     &Bm25Params::default(),
                 );
+                if let Some(index) = Self::delta_text_index(&pin, self.num_entities()) {
+                    score +=
+                        index.bm25(opine_ir::DocId(entity as u32), terms, &Bm25Params::default());
+                }
                 sigmoid(score - self.config.sigmoid_c)
             }
         }
+    }
+
+    /// The pinned delta's frozen text index, when it spans every entity
+    /// (doc id == entity id) — `None` until the first merge. Both the
+    /// point and the dense text paths add its BM25 contribution with
+    /// one `f64` add under this same guard, so their bit-identity
+    /// survives live ingest.
+    fn delta_text_index(pin: &Pin, num_entities: usize) -> Option<&InvertedIndex> {
+        pin.delta
+            .text_index
+            .as_deref()
+            .filter(|index| index.num_docs() == num_entities)
     }
 
     /// Degree of truth under a given interpretation.
@@ -1348,19 +1527,44 @@ impl OpineDb {
         attribute: usize,
         phrase: &PreparedPhrase,
     ) -> f64 {
+        let pin = self.pinned();
         // sync: ablation toggle; both branches are correct membership paths.
         if self.use_markers.load(std::sync::atomic::Ordering::Relaxed) {
-            let feats = marker_features(
-                &self.summaries[entity][attribute],
-                self.marker_set(attribute),
-                &phrase.rep,
-                phrase.sentiment,
-            );
+            let base = &self.summaries[entity][attribute];
+            let feats = match pin.delta.summaries.get(&(entity, attribute)) {
+                // Delta reviews mentioned this cell: score over the
+                // frozen summary merged with the pinned delta summary
+                // (fixed-point merge — identical to rebuilding from
+                // base + delta occurrences).
+                Some(delta_summary) => {
+                    let mut merged = base.clone();
+                    merged.merge(delta_summary);
+                    marker_features(
+                        &merged,
+                        self.marker_set(attribute),
+                        &phrase.rep,
+                        phrase.sentiment,
+                    )
+                }
+                None => marker_features(
+                    base,
+                    self.marker_set(attribute),
+                    &phrase.rep,
+                    phrase.sentiment,
+                ),
+            };
             self.membership_markers.degree(&feats)
         } else {
             let occs = &self.raw[entity][attribute];
+            let delta_occs = pin
+                .delta
+                .cells
+                .get(&(entity, attribute))
+                .map(|cell| cell.occs.as_slice())
+                .unwrap_or(&[]);
             let phrase_refs: Vec<(&[f32], f64)> = occs
                 .iter()
+                .chain(delta_occs)
                 .map(|occ| {
                     (
                         self.opinion_domains[attribute].variations()[occ.variation]
@@ -1375,17 +1579,24 @@ impl OpineDb {
         }
     }
 
-    /// Text-retrieval fallback degree: `sigmoid(BM25(D_e, q) − c)`.
+    /// Text-retrieval fallback degree: `sigmoid(BM25(D_e, q) − c)`,
+    /// with the pinned delta's merged text contributing once a merge
+    /// has frozen it (near-real-time, Lucene-style: delta text becomes
+    /// retrievable at the next merge, not the next epoch).
     pub fn text_degree(&self, entity: usize, predicate: &str) -> f64 {
+        let pin = self.pinned();
         let terms: Vec<_> = opine_text::tokenize(predicate)
             .iter()
             .filter_map(|t| self.vocab.get(t))
             .collect();
-        let score = self.entity_index.bm25(
+        let mut score = self.entity_index.bm25(
             opine_ir::DocId(entity as u32),
             &terms,
             &Bm25Params::default(),
         );
+        if let Some(index) = Self::delta_text_index(&pin, self.num_entities()) {
+            score += index.bm25(opine_ir::DocId(entity as u32), &terms, &Bm25Params::default());
+        }
         sigmoid(score - self.config.sigmoid_c)
     }
 
@@ -1403,18 +1614,40 @@ impl OpineDb {
     where
         F: Fn(&ReviewMeta) -> bool,
     {
-        let mut out: Vec<Vec<MarkerSummary>> = (0..self.num_entities())
-            .map(|_| {
-                (0..self.attributes.len())
-                    .map(|a| MarkerSummary::empty(self.marker_set(a).markers.len()))
-                    .collect()
-            })
-            .collect();
-        for (entity, per_attr) in self.raw.iter().enumerate() {
-            for (attr, occs) in per_attr.iter().enumerate() {
-                for occ in occs {
+        self.ensure_pinned(|pin| {
+            let mut out: Vec<Vec<MarkerSummary>> = (0..self.num_entities())
+                .map(|_| {
+                    (0..self.attributes.len())
+                        .map(|a| MarkerSummary::empty(self.marker_set(a).markers.len()))
+                        .collect()
+                })
+                .collect();
+            for (entity, per_attr) in self.raw.iter().enumerate() {
+                for (attr, occs) in per_attr.iter().enumerate() {
+                    for occ in occs {
+                        opine_faults::checkpoint();
+                        if !filter(&self.review_meta[occ.review_id]) {
+                            continue;
+                        }
+                        let contribution = occ_contribution(
+                            &self.opinion_domains[attr],
+                            self.marker_set(attr),
+                            &self.config,
+                            occ,
+                        );
+                        out[entity][attr].apply(&contribution, true);
+                    }
+                }
+            }
+            // The pinned delta's occurrences re-aggregate through the
+            // identical contribution path. Map iteration order varies,
+            // but fixed-point accumulation is commutative bit-for-bit,
+            // so the aggregates (not provenance order) are stable.
+            for (&(entity, attr), cell) in &pin.delta.cells {
+                for occ in &cell.occs {
                     opine_faults::checkpoint();
-                    if !filter(&self.review_meta[occ.review_id]) {
+                    let meta = self.review_meta_at(&pin.delta, occ.review_id);
+                    if !filter(&meta) {
                         continue;
                     }
                     let contribution = occ_contribution(
@@ -1426,8 +1659,8 @@ impl OpineDb {
                     out[entity][attr].apply(&contribution, true);
                 }
             }
-        }
-        out
+            out
+        })
     }
 
     /// The filtered summaries of a structured review qualifier, answered
@@ -1447,26 +1680,46 @@ impl OpineDb {
     /// Merged sets are cached (bounded) by the qualifier's canonical
     /// rendering; repeated qualified statements cost a hash probe.
     pub fn summaries_qualified(&self, qualifier: &ReviewQualifier) -> Arc<Vec<Vec<MarkerSummary>>> {
-        let key = qualifier.to_string();
-        if self.caching() {
-            if let Some(hit) = self.filtered_cache.get(&key) {
-                opine_trace::count("summary_merge", "cache_hits", 1);
-                return hit;
+        self.ensure_pinned(|pin| {
+            // Epoch-prefixed key: a publish invalidates by cache miss,
+            // not by flushing, so queries pinned before the publish
+            // keep hitting their own generation's entries.
+            let key = format!("{}\u{1}{}", pin.epoch, qualifier);
+            if self.caching() {
+                if let Some(hit) = self.filtered_cache.get(&key) {
+                    opine_trace::count("summary_merge", "cache_hits", 1);
+                    return hit;
+                }
             }
-        }
-        let span = opine_trace::span("summary_merge");
-        span.count("cache_misses", 1);
-        let merged = Arc::new(self.merge_qualified(qualifier));
-        drop(span);
-        if self.caching() {
-            self.filtered_cache.insert(&key, merged.clone());
-        }
-        merged
+            let span = opine_trace::span("summary_merge");
+            span.count("cache_misses", 1);
+            let merged = Arc::new(self.merge_qualified(qualifier, pin));
+            drop(span);
+            if self.caching() {
+                self.filtered_cache.insert(&key, merged.clone());
+            }
+            merged
+        })
     }
 
     /// The bucket-merge itself, parallel over entity chunks.
-    fn merge_qualified(&self, qualifier: &ReviewQualifier) -> Vec<Vec<MarkerSummary>> {
+    ///
+    /// Delta handling: the base atoms merge as before; each delta
+    /// cell's per-year partials (frozen by the last merge) merge under
+    /// the same year bounds, and the small unsealed tail (bounded by
+    /// the merge threshold) re-resolves its occurrences directly. One
+    /// exception — a reviewer-degree threshold compares against *live*
+    /// review counts, which delta inserts can shift across the
+    /// build-time log2 buckets; with a live delta such qualifiers take
+    /// the exact raw rescan instead of the bucket merge, trading the
+    /// shortcut for correctness (the staleness bug this PR fixes).
+    fn merge_qualified(&self, qualifier: &ReviewQualifier, pin: &Pin) -> Vec<Vec<MarkerSummary>> {
         opine_faults::fire_panic("summary_merge");
+        if qualifier.min_reviewer_count.is_some() && !pin.delta.is_empty() {
+            return self.summaries_with_review_filter(|m| {
+                qualifier.accepts(m.year, self.reviewer_review_count(m.reviewer_id) as u32)
+            });
+        }
         par::par_map(self.num_entities(), |entity| {
             opine_faults::checkpoint();
             (0..self.attributes.len())
@@ -1506,6 +1759,35 @@ impl OpineDb {
                             }
                         }
                     }
+                    // Delta side (no reviewer threshold reaches here):
+                    // merged per-year partials + the unsealed tail.
+                    if let Some(delta_cell) = pin.delta.cells.get(&(entity, attr)) {
+                        // lint:allow(checkpoint_coverage, reason = "bounded by distinct delta years; the par_map closure checkpoints per entity")
+                        for (year, partial) in &delta_cell.year_partials {
+                            if qualifier.min_year.is_some_and(|y| *year < y)
+                                || qualifier.max_year.is_some_and(|y| *year > y)
+                            {
+                                continue;
+                            }
+                            out.merge(partial);
+                        }
+                        for occ in &delta_cell.occs[delta_cell.sealed..] {
+                            opine_faults::checkpoint();
+                            let meta = self.review_meta_at(&pin.delta, occ.review_id);
+                            if qualifier.min_year.is_some_and(|y| meta.year < y)
+                                || qualifier.max_year.is_some_and(|y| meta.year > y)
+                            {
+                                continue;
+                            }
+                            let contribution = occ_contribution(
+                                &self.opinion_domains[attr],
+                                self.marker_set(attr),
+                                &self.config,
+                                occ,
+                            );
+                            out.apply(&contribution, false);
+                        }
+                    }
                     out
                 })
                 .collect()
@@ -1531,17 +1813,29 @@ impl OpineDb {
         self.membership_markers.degree(&feats)
     }
 
-    /// Number of reviews aggregated for an entity. O(1): counts are
-    /// precomputed at build time (this used to walk every review in the
-    /// corpus per call).
+    /// Number of reviews aggregated for an entity: the build-time count
+    /// plus the pinned delta's (both O(1); the base side used to walk
+    /// every review in the corpus per call).
     pub fn review_count(&self, entity: usize) -> usize {
+        let pin = self.pinned();
         self.entity_review_counts[entity] as usize
+            + pin.delta.entity_counts.get(&entity).copied().unwrap_or(0) as usize
     }
 
     /// Number of reviews written by a reviewer — the degree the
     /// qualifier's `reviewer_min_count` thresholds compare against.
+    /// Live: includes the pinned delta's reviews, which is why a
+    /// reviewer-threshold qualifier over a non-empty delta must rescan
+    /// instead of merging the build-time degree buckets.
     pub fn reviewer_review_count(&self, reviewer_id: usize) -> usize {
+        let pin = self.pinned();
         self.reviewer_counts.get(reviewer_id).copied().unwrap_or(0) as usize
+            + pin
+                .delta
+                .reviewer_counts
+                .get(&reviewer_id)
+                .copied()
+                .unwrap_or(0) as usize
     }
 
     /// Resolves an attribute name to its index.
@@ -1590,6 +1884,429 @@ impl OpineDb {
                 })
             })
             .as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Live ingest: snapshot pins, INSERT execution, the delta merge.
+    // ------------------------------------------------------------------
+
+    /// Runs `f` under a pinned delta generation: the pin already
+    /// installed on this thread (so every read inside one query shares
+    /// a generation), else the currently published generation installed
+    /// for the duration of `f`. Every delta-aware entry point goes
+    /// through this — it is what makes a whole request observe exactly
+    /// one epoch.
+    fn ensure_pinned<T>(&self, f: impl FnOnce(&Pin) -> T) -> T {
+        if let Some(pin) = crate::ingest::current_pin() {
+            return f(&pin);
+        }
+        let snap = self.ingest.cell.load();
+        let pin = Pin {
+            epoch: snap.epoch(),
+            delta: snap.value().clone(),
+        };
+        crate::ingest::with_pin(Some(pin.clone()), || f(&pin))
+    }
+
+    /// The delta generation this thread's query pinned, or (outside a
+    /// query) the currently published one. Leaf reads that don't
+    /// recurse into other delta-aware paths use this instead of
+    /// [`Self::ensure_pinned`].
+    fn pinned(&self) -> Pin {
+        crate::ingest::current_pin().unwrap_or_else(|| {
+            let snap = self.ingest.cell.load();
+            Pin {
+                epoch: snap.epoch(),
+                delta: snap.value().clone(),
+            }
+        })
+    }
+
+    /// Whether an epoch-stamped cache entry is valid for `entity` under
+    /// `pin`: the entry must not come from the pin's future (snapshot
+    /// isolation for queries pinned before a publish), and the entity
+    /// must not have changed since the entry was stamped (per-entity
+    /// precision — an insert into entity A never invalidates entity
+    /// B's memoized degrees).
+    #[inline]
+    fn entry_fresh(stamp: u64, entity: usize, pin: &Pin) -> bool {
+        stamp <= pin.epoch && pin.delta.entity_version(entity) <= stamp
+    }
+
+    /// Metadata of a review by global id: base reviews first, then the
+    /// pinned delta's (delta review `i` has id `base_count + i`).
+    #[inline]
+    fn review_meta_at(&self, delta: &DeltaState, review_id: usize) -> ReviewMeta {
+        if review_id < self.review_meta.len() {
+            self.review_meta[review_id]
+        } else {
+            delta.meta[review_id - self.review_meta.len()]
+        }
+    }
+
+    /// The current data epoch: 0 at build, bumped by every published
+    /// `INSERT` batch and every completed merge.
+    pub fn ingest_epoch(&self) -> u64 {
+        self.ingest.cell.epoch()
+    }
+
+    /// Delta reviews live in the current generation.
+    pub fn delta_reviews(&self) -> usize {
+        self.ingest.cell.load().value().meta.len()
+    }
+
+    /// Sets the unsealed-review count that triggers a merge after an
+    /// insert (clamped to ≥ 1; default
+    /// [`crate::ingest::DEFAULT_MERGE_THRESHOLD`]).
+    pub fn set_merge_threshold(&self, reviews: usize) {
+        // sync: writer-side tuning knob; a racing insert that reads the
+        // old threshold merges one batch early or late, both harmless.
+        self.ingest.merge_threshold.store(reviews.max(1), Relaxed);
+    }
+
+    /// Parses and executes one `INSERT INTO reviews ...` statement.
+    pub fn insert_sql(&self, sql: &str) -> Result<IngestReceipt, OpineError> {
+        let stmt = parse_insert(sql).map_err(|e| OpineError::Parse(e.to_string()))?;
+        self.execute_insert(&stmt)
+    }
+
+    /// Executes an already-parsed `INSERT`, all-or-nothing: the batch
+    /// is validated in full, applied to a copy-on-write clone of the
+    /// delta generation, and published with **one** epoch bump — a
+    /// concurrent query pins either every row of the batch or none.
+    ///
+    /// Only the `reviews` table accepts inserts (the entity set — and
+    /// with it every frozen model artifact — is fixed at build time).
+    /// Columns must be listed by name. `entity` is required; the
+    /// virtual `text` column carries the review text that insert-time
+    /// phrase extraction and the next merge's text-index rebuild
+    /// consume; `reviewer_id`, `year`, and `helpful_votes` are
+    /// optional (`reviewer_id` defaults to a fresh reviewer).
+    /// `review_id` is assigned by the engine and cannot be specified.
+    ///
+    /// When the statement pushes the unsealed delta over the merge
+    /// threshold, the merge runs immediately (still under the writer
+    /// lock) and publishes a second epoch. A merge failure does not
+    /// fail the insert — the batch already published; the merge
+    /// retries at the next threshold crossing.
+    pub fn execute_insert(&self, stmt: &InsertStmt) -> Result<IngestReceipt, OpineError> {
+        let rows = self.validate_insert(stmt)?;
+        // lint:allow(lock_hold, reason = "single writer lock by design: inserts and merges serialize; readers pin generations and never take it")
+        let _writer = self.ingest.writer.lock();
+        let span = opine_trace::span("ingest");
+        let snap = self.ingest.cell.load();
+        // Single writer (the lock above) ⇒ the next publish gets
+        // exactly this epoch; inserted entities are stamped with it.
+        let new_epoch = snap.epoch() + 1;
+        let mut next = (**snap.value()).clone();
+        let matcher = self
+            .ingest
+            .matcher
+            .get_or_init(|| PhraseMatcher::build(&self.opinion_domains));
+        let marker_sets = self.interpreter.marker_sets();
+        for row in &rows {
+            opine_faults::checkpoint();
+            let review_id = self.review_meta.len() + next.meta.len();
+            // Fresh default: past the dense base ids plus one per prior
+            // delta review, so two anonymous inserts never merge into
+            // one reviewer.
+            let reviewer_id = row
+                .reviewer_id
+                .unwrap_or(self.reviewer_counts.len() + next.meta.len());
+            next.overlay.push_row(
+                "reviews",
+                vec![
+                    Value::Int(review_id as i64),
+                    Value::text(&self.entity_keys[row.entity]),
+                    Value::Int(reviewer_id as i64),
+                    Value::Int(i64::from(row.year)),
+                    Value::Int(i64::from(row.helpful_votes)),
+                ],
+            );
+            next.meta.push(ReviewMeta {
+                entity_id: row.entity,
+                reviewer_id,
+                year: row.year,
+                helpful_votes: row.helpful_votes,
+            });
+            *next.entity_counts.entry(row.entity).or_insert(0) += 1;
+            *next.reviewer_counts.entry(reviewer_id).or_insert(0) += 1;
+            next.entity_versions.insert(row.entity, new_epoch);
+            next.unsealed_reviews += 1;
+            if !row.text.is_empty() {
+                let slot = next.texts.entry(row.entity).or_default();
+                if !slot.is_empty() {
+                    slot.push(' ');
+                }
+                slot.push_str(&row.text);
+            }
+            // Insert-time extraction against the frozen domains: each
+            // occurrence lands in its cell and folds into the cell's
+            // running summary through the same fixed-point contribution
+            // path the build uses.
+            for (attr, variation) in matcher.extract(&row.text) {
+                opine_faults::checkpoint();
+                let occ = PhraseOcc {
+                    variation,
+                    sentiment: self.opinion_domains[attr].variations()[variation].sentiment,
+                    review_id,
+                };
+                let contribution = occ_contribution(
+                    &self.opinion_domains[attr],
+                    &marker_sets[attr],
+                    &self.config,
+                    &occ,
+                );
+                next.summaries
+                    .entry((row.entity, attr))
+                    .or_insert_with(|| MarkerSummary::empty(marker_sets[attr].markers.len()))
+                    .apply(&contribution, false);
+                next.cells
+                    .entry((row.entity, attr))
+                    .or_default()
+                    .occs
+                    .push(occ);
+            }
+        }
+        let unsealed = next.unsealed_reviews;
+        span.count("rows", rows.len() as u64);
+        let published = self.ingest.cell.publish(next);
+        debug_assert_eq!(published, new_epoch);
+        self.ingest
+            .inserted_reviews
+            .fetch_add(rows.len() as u64, Relaxed);
+        drop(span);
+
+        // Threshold merge, still under the writer lock so no other
+        // insert interleaves between the batch publish and the merge
+        // publish.
+        // sync: tuning knob; a stale threshold merges a batch late.
+        let threshold = self.ingest.merge_threshold.load(Relaxed);
+        let merged = unsealed >= threshold && self.merge_delta_locked().is_ok();
+        let snap = self.ingest.cell.load();
+        Ok(IngestReceipt {
+            inserted: rows.len(),
+            epoch: snap.epoch(),
+            delta_reviews: snap.value().meta.len(),
+            merged,
+        })
+    }
+
+    /// Validates the whole statement before anything mutates — every
+    /// rejection surfaces with zero rows applied.
+    fn validate_insert(&self, stmt: &InsertStmt) -> Result<Vec<InsertRow>, OpineError> {
+        if stmt.table != "reviews" {
+            return Err(insert_error(format!(
+                "INSERT supports only the reviews table (the `{}` entity set and every \
+                 model artifact are frozen at build time), got `{}`",
+                self.entity_table, stmt.table
+            )));
+        }
+        if stmt.columns.is_empty() {
+            return Err(insert_error(
+                "INSERT INTO reviews requires a named column list (the virtual `text` \
+                 column is not part of the stored schema)"
+                    .into(),
+            ));
+        }
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for (i, name) in stmt.columns.iter().enumerate() {
+            opine_faults::checkpoint();
+            match name.as_str() {
+                "entity" | "text" | "reviewer_id" | "year" | "helpful_votes" => {}
+                "review_id" => {
+                    return Err(insert_error(
+                        "review_id is assigned by the engine and cannot be inserted".into(),
+                    ))
+                }
+                other => {
+                    return Err(insert_error(format!(
+                        "unknown insert column `{other}` \
+                         (allowed: entity, text, reviewer_id, year, helpful_votes)"
+                    )))
+                }
+            }
+            if seen.insert(name.as_str(), i).is_some() {
+                return Err(insert_error(format!("duplicate insert column `{name}`")));
+            }
+        }
+        let Some(&entity_col) = seen.get("entity") else {
+            return Err(insert_error(
+                "INSERT INTO reviews requires the entity column".into(),
+            ));
+        };
+        let mut rows = Vec::with_capacity(stmt.rows.len());
+        for (r, values) in stmt.rows.iter().enumerate() {
+            opine_faults::checkpoint();
+            if values.len() != stmt.columns.len() {
+                return Err(insert_error(format!(
+                    "row {r}: {} values for {} columns",
+                    values.len(),
+                    stmt.columns.len()
+                )));
+            }
+            let int_field = |name: &str| -> Result<Option<i64>, OpineError> {
+                match seen.get(name) {
+                    None => Ok(None),
+                    Some(&c) => match &values[c] {
+                        Value::Int(v) => Ok(Some(*v)),
+                        other => Err(insert_error(format!(
+                            "row {r}: {name} must be an integer, got {other}"
+                        ))),
+                    },
+                }
+            };
+            let key = values[entity_col].as_str().ok_or_else(|| {
+                insert_error(format!("row {r}: entity must be a string key"))
+            })?;
+            let entity = self.entity_id(key).ok_or_else(|| {
+                insert_error(format!(
+                    "row {r}: unknown entity `{key}` (the entity set is frozen at build time)"
+                ))
+            })?;
+            let reviewer_id = match int_field("reviewer_id")? {
+                None => None,
+                Some(v) if v >= 0 => Some(v as usize),
+                Some(v) => {
+                    return Err(insert_error(format!(
+                        "row {r}: reviewer_id must be non-negative, got {v}"
+                    )))
+                }
+            };
+            let year = match int_field("year")? {
+                None => 0,
+                Some(v) if (0..=i64::from(u32::MAX)).contains(&v) => v as u32,
+                Some(v) => return Err(insert_error(format!("row {r}: year out of range: {v}"))),
+            };
+            let helpful_votes = match int_field("helpful_votes")? {
+                None => 0,
+                Some(v) if (0..=i64::from(u32::MAX)).contains(&v) => v as u32,
+                Some(v) => {
+                    return Err(insert_error(format!(
+                        "row {r}: helpful_votes out of range: {v}"
+                    )))
+                }
+            };
+            let text = match seen.get("text") {
+                None => String::new(),
+                Some(&c) => values[c]
+                    .as_str()
+                    .ok_or_else(|| insert_error(format!("row {r}: text must be a string")))?
+                    .to_string(),
+            };
+            rows.push(InsertRow {
+                entity,
+                text,
+                reviewer_id,
+                year,
+                helpful_votes,
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Freezes the delta: seals the overlay tail into `Arc`-shared
+    /// chunks, folds every occurrence into per-year partial summaries,
+    /// rebuilds the per-entity delta text index (block-max frozen, so
+    /// delta BM25 serves through the same WAND machinery as the base
+    /// index), and publishes the frozen artifacts with a single epoch
+    /// bump. On failure (an injected `mid_merge` fault, a cancelled
+    /// deadline) nothing publishes — the previous epoch keeps serving
+    /// — and `failed_merges` increments.
+    pub fn merge_delta(&self) -> Result<u64, OpineError> {
+        // lint:allow(lock_hold, reason = "single writer lock by design: inserts and merges serialize; readers pin generations and never take it")
+        let _writer = self.ingest.writer.lock();
+        self.merge_delta_locked()
+    }
+
+    /// The merge body; the caller holds the writer lock.
+    fn merge_delta_locked(&self) -> Result<u64, OpineError> {
+        let snap = self.ingest.cell.load();
+        if snap.value().unsealed_reviews == 0 {
+            return Ok(snap.epoch());
+        }
+        let span = opine_trace::span("delta_merge");
+        let new_epoch = snap.epoch() + 1;
+        let marker_sets = self.interpreter.marker_sets();
+        // The merge builds a complete successor generation off to the
+        // side and publishes it only if every step succeeds; a panic
+        // (injected fault, expired deadline) is caught — NOT resumed,
+        // unlike the query path — because a failed merge is recoverable
+        // by design: the old generation is untouched and keeps serving.
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            opine_faults::fire_panic("mid_merge");
+            let mut next = (**snap.value()).clone();
+            next.overlay.seal();
+            // Fold all occurrences (sealed + tail) into fresh per-year
+            // partials; rebuilding instead of appending keeps one code
+            // path, and the delta stays small by design.
+            for (&(_, attr), cell) in next.cells.iter_mut() {
+                let k = marker_sets[attr].markers.len();
+                let mut by_year: BTreeMap<u32, MarkerSummary> = BTreeMap::new();
+                for occ in &cell.occs {
+                    opine_faults::checkpoint();
+                    let year = if occ.review_id < self.review_meta.len() {
+                        self.review_meta[occ.review_id].year
+                    } else {
+                        snap.value().meta[occ.review_id - self.review_meta.len()].year
+                    };
+                    let contribution = occ_contribution(
+                        &self.opinion_domains[attr],
+                        &marker_sets[attr],
+                        &self.config,
+                        occ,
+                    );
+                    by_year
+                        .entry(year)
+                        .or_insert_with(|| MarkerSummary::empty(k))
+                        .apply(&contribution, false);
+                }
+                cell.year_partials = by_year.into_iter().collect();
+                cell.sealed = cell.occs.len();
+            }
+            // Rebuild the delta text index over every entity's merged
+            // delta text (doc id == entity id so dense BM25 aligns
+            // with the base index), vocabulary frozen.
+            let mut index = InvertedIndex::new();
+            for entity in 0..self.num_entities() {
+                opine_faults::checkpoint();
+                let text = next.texts.get(&entity).map(String::as_str).unwrap_or("");
+                index.add_document_frozen_vocab(text, &self.vocab);
+            }
+            index.freeze();
+            next.text_index = Some(Arc::new(index));
+            // The merge changes these reviews' text-retrieval
+            // contribution, so their entities must invalidate
+            // epoch-stamped cache entries from before it.
+            for i in next.merged_reviews..next.meta.len() {
+                let entity = next.meta[i].entity_id;
+                next.entity_versions.insert(entity, new_epoch);
+            }
+            next.merged_reviews = next.meta.len();
+            next.unsealed_reviews = 0;
+            next
+        }));
+        match built {
+            Ok(next) => {
+                let epoch = self.ingest.cell.publish(next);
+                debug_assert_eq!(epoch, new_epoch);
+                self.ingest.delta_merges.fetch_add(1, Relaxed);
+                drop(span);
+                Ok(epoch)
+            }
+            Err(payload) => {
+                self.ingest.failed_merges.fetch_add(1, Relaxed);
+                drop(span);
+                if payload.is::<opine_faults::Cancelled>() {
+                    Err(OpineError::QueryTimeout)
+                } else {
+                    Err(OpineError::Store(StoreError::Execution(
+                        "delta merge failed and was rolled back; the previous epoch keeps serving"
+                            .into(),
+                    )))
+                }
+            }
+        }
     }
 }
 
@@ -2389,5 +3106,303 @@ mod tests {
         assert!(db.cached_degree_columns() >= 1);
         db.clear_caches();
         assert_eq!(db.cached_degree_columns(), 0);
+    }
+
+    // ---- live ingest ----
+
+    /// Serializes the tests that merge or arm failpoints: the faults
+    /// registry is process-global, and an armed `mid_merge` panic must
+    /// not leak into a concurrently merging test.
+    fn ingest_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn insert_lands_in_delta_and_is_immediately_queryable() {
+        let (_, db) = db();
+        assert_eq!(db.ingest_epoch(), 0);
+        let entity = db.entity_key(3).to_string();
+        let phrase = db.opinion_domain(0).variations()[0].phrase.clone();
+        let base_count = db.review_count(3);
+        let receipt = db
+            .insert_sql(&format!(
+                "INSERT INTO reviews (entity, text, year, reviewer_id, helpful_votes) \
+                 VALUES ('{entity}', 'the {phrase} impressed us', 2021, 77777, 3)"
+            ))
+            .unwrap();
+        assert_eq!(receipt.inserted, 1);
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(receipt.delta_reviews, 1);
+        assert!(!receipt.merged, "below the default merge threshold");
+        assert_eq!(db.ingest_epoch(), 1);
+        assert_eq!(db.delta_reviews(), 1);
+        // Counts are live at the very next read, not merge-deferred.
+        assert_eq!(db.review_count(3), base_count + 1);
+        assert_eq!(db.reviewer_review_count(77777), 1);
+        // The overlay row answers relational SELECTs right away.
+        let out = db
+            .query("select * from reviews where reviewer_id = 77777")
+            .unwrap();
+        assert_eq!(out.result.rows.len(), 1);
+        assert_eq!(out.result.rows[0].0[1].as_str(), Some(entity.as_str()));
+        assert_eq!(out.result.rows[0].0[3], Value::Int(2021));
+    }
+
+    #[test]
+    fn batch_insert_publishes_exactly_one_epoch() {
+        let (_, db) = db();
+        let e0 = db.entity_key(0).to_string();
+        let e1 = db.entity_key(1).to_string();
+        let base0 = db.review_count(0);
+        let base1 = db.review_count(1);
+        let receipt = db
+            .insert_sql(&format!(
+                "INSERT INTO reviews (entity, year) \
+                 VALUES ('{e0}', 2020), ('{e1}', 2021), ('{e0}', 2022)"
+            ))
+            .unwrap();
+        assert_eq!(receipt.inserted, 3);
+        assert_eq!(db.ingest_epoch(), 1, "one publish for the whole batch");
+        assert_eq!(db.delta_reviews(), 3);
+        assert_eq!(db.review_count(0), base0 + 2);
+        assert_eq!(db.review_count(1), base1 + 1);
+        let report = db.cache_report();
+        assert_eq!(report.inserted_reviews, 3);
+        assert_eq!(report.ingest_epoch, 1);
+        assert_eq!(report.delta_reviews, 3);
+    }
+
+    #[test]
+    fn invalid_inserts_are_rejected_with_zero_rows_applied() {
+        let (_, db) = db();
+        let entity = db.entity_key(0).to_string();
+        for sql in [
+            // only the reviews table accepts inserts
+            format!("INSERT INTO hotels (entity) VALUES ('{entity}')"),
+            // review_id is engine-assigned
+            format!("INSERT INTO reviews (review_id, entity) VALUES (1, '{entity}')"),
+            // the column list is required
+            format!("INSERT INTO reviews VALUES (1, '{entity}', 1, 2020, 0)"),
+            // unknown column
+            format!("INSERT INTO reviews (entity, rating) VALUES ('{entity}', 5)"),
+            // duplicate column
+            format!("INSERT INTO reviews (entity, year, year) VALUES ('{entity}', 2020, 2021)"),
+            // unknown entity key — the entity set is frozen at build time
+            "INSERT INTO reviews (entity) VALUES ('no_such_hotel')".to_string(),
+            // entity is required
+            "INSERT INTO reviews (year) VALUES (2020)".to_string(),
+            // type error
+            format!("INSERT INTO reviews (entity, year) VALUES ('{entity}', 'soon')"),
+            // a bad second row rejects the whole batch
+            format!(
+                "INSERT INTO reviews (entity, year) \
+                 VALUES ('{entity}', 2020), ('{entity}', 5000000000)"
+            ),
+        ] {
+            let err = db.insert_sql(&sql).unwrap_err();
+            assert!(matches!(err, OpineError::Store(_)), "{sql}: {err:?}");
+        }
+        assert_eq!(db.ingest_epoch(), 0, "every rejection left the epoch untouched");
+        assert_eq!(db.delta_reviews(), 0);
+        assert_eq!(db.cache_report().inserted_reviews, 0);
+    }
+
+    #[test]
+    fn insert_repairs_degree_columns_precisely() {
+        let (_, db) = db();
+        let predicate = "clean rooms";
+        assert_ne!(
+            db.interpret(predicate),
+            Interpretation::TextFallback,
+            "fixture precondition: the repair under test is the marker path"
+        );
+        let phrase = db.opinion_domain(0).variations()[0].phrase.clone();
+        let before = db.degree_column(predicate);
+        let before_degrees = before.degrees().expect("exact by default").to_vec();
+        // A strong new signal for entity 0 only.
+        let text = [phrase.as_str(); 6].join(" and ");
+        let entity = db.entity_key(0).to_string();
+        db.insert_sql(&format!(
+            "INSERT INTO reviews (entity, text) VALUES ('{entity}', '{text}')"
+        ))
+        .unwrap();
+        // The warm probe repairs the stale column: only entity 0
+        // recomputes, the other slots are reused verbatim.
+        let repaired = db.degree_column(predicate);
+        let repaired_degrees = repaired.degrees().expect("exact").to_vec();
+        for e in 1..db.num_entities() {
+            assert_eq!(
+                repaired_degrees[e].to_bits(),
+                before_degrees[e].to_bits(),
+                "entity {e} was untouched by the insert"
+            );
+        }
+        assert_ne!(
+            repaired_degrees[0].to_bits(),
+            before_degrees[0].to_bits(),
+            "entity 0 absorbed the inserted occurrences"
+        );
+        // Bit-identical to a cold rebuild at the new epoch.
+        db.clear_caches();
+        let cold = db.degree_column(predicate);
+        let cold_degrees = cold.degrees().expect("exact");
+        for e in 0..db.num_entities() {
+            assert_eq!(
+                repaired_degrees[e].to_bits(),
+                cold_degrees[e].to_bits(),
+                "entity {e}: repaired column diverged from a cold rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn qualified_summaries_with_delta_match_rescan_pre_and_post_merge() {
+        let _guard = ingest_lock();
+        let (_, db) = db();
+        let phrase0 = db.opinion_domain(0).variations()[0].phrase.clone();
+        let phrase1 = db.opinion_domain(1).variations()[0].phrase.clone();
+        let e2 = db.entity_key(2).to_string();
+        let e5 = db.entity_key(5).to_string();
+        db.insert_sql(&format!(
+            "INSERT INTO reviews (entity, text, year, reviewer_id) VALUES \
+             ('{e2}', 'really {phrase0} here', 2016, 901), \
+             ('{e2}', '{phrase1} but loud', 2009, 901), \
+             ('{e5}', '{phrase0} and {phrase1}', 2013, 902)"
+        ))
+        .unwrap();
+        let qualifiers = [
+            ReviewQualifier {
+                min_year: Some(2012),
+                max_year: None,
+                min_reviewer_count: None,
+            },
+            ReviewQualifier {
+                min_year: Some(2008),
+                max_year: Some(2015),
+                min_reviewer_count: Some(3),
+            },
+            ReviewQualifier {
+                min_year: None,
+                max_year: None,
+                min_reviewer_count: Some(2),
+            },
+            ReviewQualifier::default(),
+        ];
+        let check = |label: &str| {
+            for q in &qualifiers {
+                let merged = db.summaries_qualified(q);
+                let rebuilt = db.summaries_with_review_filter(|m| {
+                    q.accepts(m.year, db.reviewer_review_count(m.reviewer_id) as u32)
+                });
+                for e in 0..db.num_entities() {
+                    for a in 0..db.attributes.len() {
+                        assert!(
+                            merged[e][a].same_aggregates(&rebuilt[e][a]),
+                            "{label} {q} entity {e} attr {a}: merged {:?} vs rebuilt {:?}",
+                            merged[e][a].counts(),
+                            rebuilt[e][a].counts()
+                        );
+                    }
+                }
+            }
+        };
+        // Pre-merge: the unsealed tail re-resolves raw occurrences.
+        check("pre-merge");
+        let epoch = db.merge_delta().unwrap();
+        assert_eq!(epoch, 2);
+        // Post-merge: the sealed per-year partials path.
+        check("post-merge");
+    }
+
+    #[test]
+    fn threshold_crossing_triggers_an_immediate_merge() {
+        let _guard = ingest_lock();
+        let (_, db) = db();
+        db.set_merge_threshold(2);
+        let e = db.entity_key(7).to_string();
+        let first = db
+            .insert_sql(&format!(
+                "INSERT INTO reviews (entity, year) VALUES ('{e}', 2020)"
+            ))
+            .unwrap();
+        assert!(!first.merged);
+        assert_eq!(first.epoch, 1);
+        let second = db
+            .insert_sql(&format!(
+                "INSERT INTO reviews (entity, year) VALUES ('{e}', 2021)"
+            ))
+            .unwrap();
+        assert!(second.merged, "second insert crossed the threshold");
+        assert_eq!(second.epoch, 3, "batch publish + merge publish");
+        assert_eq!(db.cache_report().delta_merges, 1);
+    }
+
+    #[test]
+    fn merged_delta_text_contributes_to_text_degrees() {
+        let _guard = ingest_lock();
+        let (_, db) = db();
+        let phrase = db.opinion_domain(0).variations()[0].phrase.clone();
+        let entity = db.entity_key(6).to_string();
+        let before = db.text_degree(6, &phrase);
+        db.insert_sql(&format!(
+            "INSERT INTO reviews (entity, text) VALUES ('{entity}', '{phrase} {phrase} {phrase}')"
+        ))
+        .unwrap();
+        // Text retrieval is near-real-time: visible at the next merge,
+        // not at the insert itself (counts and summaries are live
+        // immediately — see the tests above).
+        assert_eq!(db.text_degree(6, &phrase).to_bits(), before.to_bits());
+        db.merge_delta().unwrap();
+        let after = db.text_degree(6, &phrase);
+        assert!(
+            after > before,
+            "merged delta BM25 must lift entity 6: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn failed_merge_leaves_the_old_epoch_serving() {
+        let _guard = ingest_lock();
+        let (_, db) = db();
+        let phrase = db.opinion_domain(0).variations()[0].phrase.clone();
+        let entity = db.entity_key(4).to_string();
+        db.insert_sql(&format!(
+            "INSERT INTO reviews (entity, text, year) VALUES ('{entity}', 'so {phrase}', 2018)"
+        ))
+        .unwrap();
+        assert_eq!(db.ingest_epoch(), 1);
+        let sql = "select * from hotels where \"clean rooms\" limit 16";
+        let before = db.query(sql).unwrap();
+
+        opine_faults::configure("mid_merge=panic@1", 7).expect("valid spec");
+        let err = db.merge_delta().unwrap_err();
+        opine_faults::clear();
+        assert!(
+            matches!(err, OpineError::Store(StoreError::Execution(_))),
+            "{err:?}"
+        );
+        assert_eq!(db.ingest_epoch(), 1, "nothing published");
+        assert_eq!(db.cache_report().failed_merges, 1);
+        assert_eq!(db.cache_report().delta_merges, 0);
+
+        // The failed merge is invisible to readers: byte-identical
+        // answers from the still-serving generation.
+        let after = db.query(sql).unwrap();
+        assert_eq!(before.result.rows.len(), after.result.rows.len());
+        for (a, b) in before.result.rows.iter().zip(&after.result.rows) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+
+        // Disarmed, the retry freezes and publishes.
+        let epoch = db.merge_delta().unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(db.cache_report().delta_merges, 1);
+        assert_eq!(
+            db.delta_reviews(),
+            1,
+            "merged reviews stay in the delta generation"
+        );
     }
 }

@@ -17,6 +17,8 @@
 //!   summary aggregation;
 //! * [`db`] — [`OpineDb`]: the end-to-end engine executing Subjective SQL
 //!   with fuzzy combination (Sec. 3.1);
+//! * [`ingest`] — live ingest: the copy-on-write delta segment behind
+//!   snapshot-isolated `INSERT` at serve time;
 //! * [`topk`] — Fagin's Threshold Algorithm for fuzzy top-k (an extension
 //!   the paper cites as the standard technique \[15\]).
 
@@ -32,6 +34,7 @@ pub use opine_faults as faults;
 /// thread-ambient context).
 pub use opine_trace as trace;
 pub mod domain;
+pub mod ingest;
 pub mod interpret;
 pub mod membership;
 pub mod par;
@@ -46,6 +49,7 @@ pub use db::{
     QueryOutput, QueryRef,
 };
 pub use domain::LinguisticDomain;
+pub use ingest::IngestReceipt;
 pub use interpret::{Interpretation, Interpreter, InterpreterConfig};
 pub use membership::MembershipModel;
 pub use snapshot::{Snapshot, SnapshotCell};

@@ -32,24 +32,31 @@ where
     let workers = workers.min(n);
     let chunk = n.div_ceil(workers);
     let mut out = Vec::with_capacity(n);
-    // The spawning request's cancellation token and trace context are
-    // thread-ambient; re-install both in every worker so deadline
-    // checkpoints inside `f` keep firing across the fan-out and worker
-    // spans/counters aggregate into the coordinator's trace tree.
+    // The spawning request's cancellation token, trace context, and
+    // pinned delta generation are thread-ambient; re-install all three
+    // in every worker so deadline checkpoints inside `f` keep firing
+    // across the fan-out, worker spans/counters aggregate into the
+    // coordinator's trace tree, and delta-aware reads inside `f` see
+    // the coordinator's pinned epoch rather than a possibly newer
+    // published one (snapshot isolation must survive the fan-out).
     let deadline = opine_faults::current_deadline();
     let trace = opine_trace::current_trace();
+    let pin = crate::ingest::current_pin();
     thread::scope(|scope| {
         let f = &f;
         let deadline = &deadline;
         let trace = &trace;
+        let pin = &pin;
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
                     opine_faults::with_deadline(deadline.clone(), || {
                         opine_trace::with_trace(trace.clone(), || {
-                            let lo = w * chunk;
-                            let hi = ((w + 1) * chunk).min(n);
-                            (lo..hi).map(f).collect::<Vec<T>>()
+                            crate::ingest::with_pin(pin.clone(), || {
+                                let lo = w * chunk;
+                                let hi = ((w + 1) * chunk).min(n);
+                                (lo..hi).map(f).collect::<Vec<T>>()
+                            })
                         })
                     })
                 })

@@ -174,7 +174,11 @@ mod tests {
             readers.push(thread::spawn(move || {
                 let mut last_epoch = 0u64;
                 let mut observed = 0u64;
-                while !stop.load(Ordering::Acquire) {
+                // Sample at least once even if the writer finishes
+                // before this thread is first scheduled — the final
+                // load still checks both invariants.
+                loop {
+                    let done = stop.load(Ordering::Acquire);
                     let snap = cell.load();
                     assert_eq!(
                         *snap.value().as_ref(),
@@ -189,6 +193,9 @@ mod tests {
                     );
                     last_epoch = snap.epoch();
                     observed += 1;
+                    if done {
+                        break;
+                    }
                 }
                 observed
             }));

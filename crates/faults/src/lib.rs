@@ -163,7 +163,13 @@ pub fn checkpoint_now() {
 // ---------------------------------------------------------------------------
 
 /// The named failpoint sites compiled into the engine.
-pub const SITES: [&str; 4] = ["pre_ta", "mid_wand", "summary_merge", "response_write"];
+pub const SITES: [&str; 5] = [
+    "pre_ta",
+    "mid_wand",
+    "summary_merge",
+    "response_write",
+    "mid_merge",
+];
 
 /// What a triggered failpoint does.
 #[derive(Debug, Clone, Copy, PartialEq)]

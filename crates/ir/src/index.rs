@@ -138,6 +138,12 @@ struct Frozen {
     /// Parameters the stored impact bounds assume; searches under other
     /// parameters recompute bounds from `(max_tf, min_doc_len)`.
     params: Bm25Params,
+    /// True when every stored `max_impact` is the exact member maximum
+    /// under `params`. Incremental appends flip this off (corpus
+    /// statistics moved under the sealed blocks), and searches fall back
+    /// to the `(max_tf, min_doc_len)` summary bounds — still true upper
+    /// bounds, just looser — until a full [`InvertedIndex::refreeze`].
+    exact_bounds: bool,
 }
 
 /// An in-memory inverted index over tokenized documents.
@@ -270,24 +276,122 @@ impl InvertedIndex {
 
     /// Adds a document, interning its tokens into `vocab`.
     ///
-    /// Returns the new document's id. Invalidates the frozen block
-    /// structure (rebuilt lazily on the next search).
+    /// Returns the new document's id. An existing frozen block structure
+    /// is maintained **incrementally**: sealed blocks keep their
+    /// `(last_doc, max_tf, min_doc_len)` summaries untouched, only the
+    /// unsealed tail block of each touched list grows, and per-list idf
+    /// scalars are refreshed for the new corpus statistics — no posting
+    /// is ever rescanned. Stored exact impact bounds are demoted to the
+    /// summary-derived bounds until [`Self::refreeze`].
     pub fn add_document(&mut self, text: &str, vocab: &mut Vocab) -> DocId {
         let tokens = tokenize(text);
         let doc = DocId(self.doc_lengths.len() as u32);
+        let doc_len = tokens.len() as u32;
         let mut tf: HashMap<WordId, u32> = HashMap::new();
         for t in &tokens {
             *tf.entry(vocab.intern(t)).or_insert(0) += 1;
         }
-        for (word, count) in tf {
+        for (&word, &count) in &tf {
             // Documents arrive in ascending id order, so each posting
             // list stays sorted by doc id without ever re-sorting.
             self.postings.entry(word).or_default().push((doc, count));
         }
-        self.doc_lengths.push(tokens.len() as u32);
+        self.doc_lengths.push(doc_len);
         self.total_length += tokens.len() as u64;
-        self.frozen.take();
+        if let Some(mut frozen) = self.frozen.take() {
+            self.append_to_frozen(&mut frozen, doc.0, doc_len, &tf);
+            let _ = self.frozen.set(frozen);
+        }
         doc
+    }
+
+    /// Adds a document against a **frozen** vocabulary: tokens the vocab
+    /// does not know are dropped instead of interned.
+    ///
+    /// This is the live-ingest path — the engine's vocabulary (and the
+    /// embeddings and idf statistics hanging off it) is fixed at build
+    /// time, so a delta text index built at serve time may only speak
+    /// the frozen vocabulary. The document length counts the *kept*
+    /// tokens only, keeping the index's length statistics consistent
+    /// with the postings it actually holds.
+    pub fn add_document_frozen_vocab(&mut self, text: &str, vocab: &Vocab) -> DocId {
+        let tokens = tokenize(text);
+        let doc = DocId(self.doc_lengths.len() as u32);
+        let mut tf: HashMap<WordId, u32> = HashMap::new();
+        let mut kept = 0u32;
+        for t in &tokens {
+            opine_faults::checkpoint();
+            if let Some(word) = vocab.get(t) {
+                *tf.entry(word).or_insert(0) += 1;
+                kept += 1;
+            }
+        }
+        for (&word, &count) in &tf {
+            opine_faults::checkpoint();
+            // Same invariant as `add_document`: ascending doc ids keep
+            // every posting list sorted without re-sorting.
+            self.postings.entry(word).or_default().push((doc, count));
+        }
+        self.doc_lengths.push(kept);
+        self.total_length += u64::from(kept);
+        if let Some(mut frozen) = self.frozen.take() {
+            self.append_to_frozen(&mut frozen, doc.0, kept, &tf);
+            let _ = self.frozen.set(frozen);
+        }
+        doc
+    }
+
+    /// Extends a frozen structure with one appended document: push the
+    /// new postings onto the unsealed tail blocks (opening a fresh block
+    /// at each `block_size` boundary) and refresh every list's idf for
+    /// the new `N`. Sealed blocks are untouched; `exact_bounds` drops so
+    /// bound probes use the still-valid summary bounds.
+    fn append_to_frozen(
+        &self,
+        frozen: &mut Frozen,
+        doc: u32,
+        doc_len: u32,
+        tf: &HashMap<WordId, u32>,
+    ) {
+        let block_size = frozen.block_size;
+        frozen.exact_bounds = false;
+        for (&word, &count) in tf {
+            opine_faults::checkpoint();
+            let list = frozen.lists.entry(word).or_insert_with(|| FrozenList {
+                docs: Vec::new(),
+                tfs: Vec::new(),
+                blocks: Vec::new(),
+                idf: 0.0,
+                max_impact: 0.0,
+            });
+            list.docs.push(doc);
+            list.tfs.push(count);
+            if (list.docs.len() - 1).is_multiple_of(block_size) {
+                list.blocks.push(Block {
+                    last_doc: doc,
+                    max_tf: count,
+                    min_doc_len: doc_len,
+                    max_impact: 0.0,
+                });
+            } else if let Some(blk) = list.blocks.last_mut() {
+                blk.last_doc = doc;
+                blk.max_tf = blk.max_tf.max(count);
+                blk.min_doc_len = blk.min_doc_len.min(doc_len);
+            }
+        }
+        // N (and avg_len) moved, so every list's idf shifts — a scalar
+        // update per list, never a member rescan.
+        for list in frozen.lists.values_mut() {
+            opine_faults::checkpoint();
+            list.idf = self.idf(list.docs.len());
+        }
+    }
+
+    /// Rebuilds the frozen structure from scratch, restoring exact
+    /// per-block impact bounds after a run of incremental appends.
+    pub fn refreeze(&mut self) {
+        self.frozen.take();
+        self.freeze();
     }
 
     /// Number of indexed documents.
@@ -363,7 +467,7 @@ impl InvertedIndex {
         let Some(list) = frozen.lists.get(&term) else {
             return Vec::new();
         };
-        let same = params.same_bits(&frozen.params);
+        let same = params.same_bits(&frozen.params) && frozen.exact_bounds;
         let avg_len = self.avg_doc_len();
         list.blocks
             .iter()
@@ -508,7 +612,7 @@ impl InvertedIndex {
         let span = opine_trace::span("wand_retrieval");
         let frozen = self.frozen();
         let avg_len = self.avg_doc_len();
-        let same_params = params.same_bits(&frozen.params);
+        let same_params = params.same_bits(&frozen.params) && frozen.exact_bounds;
         let block_size = frozen.block_size;
         let loose =
             |blk: &Block, idf: f64| score_one(idf, blk.max_tf, blk.min_doc_len, avg_len, params);
@@ -723,6 +827,7 @@ impl InvertedIndex {
                 lists,
                 block_size,
                 params,
+                exact_bounds: true,
             }
         })
     }
@@ -846,6 +951,49 @@ mod tests {
         }
         let terms = vec![vocab.get("clean").unwrap(), vocab.get("room").unwrap()];
         (vocab, index, terms)
+    }
+
+    #[test]
+    fn frozen_vocab_add_matches_interning_add_on_known_tokens() {
+        let (mut vocab, mut index) = build();
+        // Reference: the same appended document through the interning
+        // path, on a clone, where every token is already known.
+        let mut reference = index.clone();
+        let text = "clean room with friendly staff";
+        let frozen_doc = index.add_document_frozen_vocab(text, &vocab);
+        let interned_doc = reference.add_document(text, &mut vocab);
+        assert_eq!(frozen_doc, interned_doc);
+        assert_eq!(index.doc_len(frozen_doc), reference.doc_len(interned_doc));
+        let terms = [vocab.get("clean").unwrap(), vocab.get("staff").unwrap()];
+        let params = Bm25Params::default();
+        assert_eq!(
+            index.bm25(frozen_doc, &terms, &params).to_bits(),
+            reference.bm25(interned_doc, &terms, &params).to_bits(),
+            "known-token documents score identically through both add paths"
+        );
+    }
+
+    #[test]
+    fn frozen_vocab_add_drops_unknown_tokens() {
+        let (vocab, mut index) = build();
+        let before_vocab = vocab.len();
+        let doc = index.add_document_frozen_vocab("clean zzzunknown qqqnovel room", &vocab);
+        assert_eq!(vocab.len(), before_vocab, "vocab stays frozen");
+        assert_eq!(index.doc_len(doc), 2, "only the known tokens count");
+        let clean = vocab.get("clean").unwrap();
+        assert!(index
+            .term_postings(clean)
+            .iter()
+            .any(|&(d, tf)| d == doc && tf == 1));
+    }
+
+    #[test]
+    fn frozen_vocab_add_keeps_frozen_structure_queryable() {
+        let (vocab, mut index) = build();
+        index.freeze();
+        index.add_document_frozen_vocab("spotless clean room", &vocab);
+        let clean = vocab.get("clean").unwrap();
+        assert_paths_agree(&index, &[clean], 10);
     }
 
     #[test]
@@ -1105,7 +1253,7 @@ mod tests {
     }
 
     #[test]
-    fn adding_a_document_invalidates_the_frozen_blocks() {
+    fn adding_a_document_extends_the_frozen_blocks_incrementally() {
         let (mut vocab, mut index) = build();
         let term = vocab.get("clean").unwrap();
         let before = index.term_blocks(term, &Bm25Params::default());
@@ -1115,9 +1263,101 @@ mod tests {
         assert_eq!(
             after.last().unwrap().1,
             DocId(4),
-            "new doc must appear in the refrozen blocks"
+            "new doc must appear in the extended blocks"
         );
         assert_paths_agree(&index, &[term], 3);
+    }
+
+    #[test]
+    fn incremental_append_keeps_sealed_blocks_and_grows_the_tail() {
+        let (mut vocab, mut index, terms) = skewed(257, 64);
+        index.freeze();
+        let sealed_before: Vec<(DocId, DocId, f64)> = index
+            .term_blocks(terms[0], &Bm25Params::default())
+            .into_iter()
+            .collect();
+        index.add_document("clean room clean appended", &mut vocab);
+        let after = index.term_blocks(terms[0], &Bm25Params::default());
+        // Sealed block boundaries are untouched; only the tail moved.
+        for (b, a) in sealed_before
+            .iter()
+            .zip(&after)
+            .take(sealed_before.len() - 1)
+        {
+            assert_eq!(b.0, a.0, "sealed block first doc must not move");
+            assert_eq!(b.1, a.1, "sealed block last doc must not move");
+        }
+        assert_eq!(after.last().unwrap().1, DocId(257));
+        // The summary-derived bounds still dominate member scores.
+        let params = Bm25Params::default();
+        for &term in &terms {
+            for (first, last, bound) in index.term_blocks(term, &params) {
+                for &(doc, _) in index.term_postings(term) {
+                    if doc >= first && doc <= last {
+                        let score = index.bm25(doc, &[term], &params);
+                        assert!(
+                            score <= bound,
+                            "doc {doc:?} scores {score} above its post-append bound {bound}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_adds_and_searches_stay_bit_identical() {
+        // Grow a corpus while searching between appends: every search
+        // over the incrementally maintained freeze must stay
+        // bit-identical to the exhaustive scorer over the same state.
+        let mut vocab = Vocab::new();
+        let mut index = InvertedIndex::new();
+        index.set_block_size(4);
+        let phrases = [
+            "clean room and soft bed",
+            "dirty carpet dirty walls",
+            "clean clean spotless lobby",
+            "room with a view of the pool",
+            "clean bed clean desk clean room",
+            "noisy bar downstairs",
+            "spotless room clean staff",
+            "carpet bed desk pool bar room",
+        ];
+        for round in 0..6 {
+            for (i, p) in phrases.iter().enumerate() {
+                index.add_document(p, &mut vocab);
+                if (round + i) % 3 == 0 {
+                    let terms: Vec<WordId> = ["clean", "room", "carpet"]
+                        .iter()
+                        .filter_map(|t| vocab.get(t))
+                        .collect();
+                    for k in [1, 3, 10] {
+                        assert_paths_agree(&index, &terms, k);
+                    }
+                }
+            }
+        }
+        // A refreeze restores exact bounds and stays bit-identical.
+        index.refreeze();
+        let terms: Vec<WordId> = ["clean", "room"]
+            .iter()
+            .filter_map(|t| vocab.get(t))
+            .collect();
+        for k in [1, 5, 48] {
+            assert_paths_agree(&index, &terms, k);
+        }
+    }
+
+    #[test]
+    fn appends_that_introduce_new_terms_extend_the_freeze() {
+        let (mut vocab, mut index) = build();
+        index.freeze();
+        index.add_document("entirely novel wording here", &mut vocab);
+        let novel = vocab.get("novel").unwrap();
+        let hits = index.search_terms(&[novel], 5, &Bm25Params::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, DocId(4));
+        assert_paths_agree(&index, &[novel], 5);
     }
 
     #[test]

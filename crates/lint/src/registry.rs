@@ -22,6 +22,10 @@ pub const MONOTONIC_COUNTERS: &[&str] = &[
     "blocks_skipped",
     // faults crate injection counter
     "INJECTED",
+    // core::db ingest counters (writer-side bumps, reader-side report)
+    "inserted_reviews",
+    "delta_merges",
+    "failed_merges",
     // server::service counters
     "shed_requests",
     "caught_panics",
@@ -61,6 +65,7 @@ pub const HOT_LOOP_FILES: &[&str] = &[
     "crates/core/src/topk.rs",
     "crates/core/src/summary.rs",
     "crates/core/src/db.rs",
+    "crates/core/src/ingest.rs",
     "crates/core/src/par.rs",
     "crates/ir/src/index.rs",
 ];

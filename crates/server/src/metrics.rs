@@ -121,6 +121,8 @@ pub enum Endpoint {
     Prepare,
     /// `POST /execute`
     Execute,
+    /// `POST /insert` (live ingest).
+    Insert,
     /// `GET /stats`
     Stats,
     /// `GET /healthz` (liveness).
@@ -137,10 +139,11 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Every endpoint, in `/stats` rendering order.
-    pub const ALL: [Endpoint; 9] = [
+    pub const ALL: [Endpoint; 10] = [
         Endpoint::Query,
         Endpoint::Prepare,
         Endpoint::Execute,
+        Endpoint::Insert,
         Endpoint::Stats,
         Endpoint::Health,
         Endpoint::Ready,
@@ -155,6 +158,7 @@ impl Endpoint {
             Endpoint::Query => "query",
             Endpoint::Prepare => "prepare",
             Endpoint::Execute => "execute",
+            Endpoint::Insert => "insert",
             Endpoint::Stats => "stats",
             Endpoint::Health => "healthz",
             Endpoint::Ready => "readyz",
@@ -169,12 +173,13 @@ impl Endpoint {
             Endpoint::Query => 0,
             Endpoint::Prepare => 1,
             Endpoint::Execute => 2,
-            Endpoint::Stats => 3,
-            Endpoint::Health => 4,
-            Endpoint::Ready => 5,
-            Endpoint::PromMetrics => 6,
-            Endpoint::SlowQueries => 7,
-            Endpoint::Other => 8,
+            Endpoint::Insert => 3,
+            Endpoint::Stats => 4,
+            Endpoint::Health => 5,
+            Endpoint::Ready => 6,
+            Endpoint::PromMetrics => 7,
+            Endpoint::SlowQueries => 8,
+            Endpoint::Other => 9,
         }
     }
 }
@@ -207,7 +212,7 @@ pub const NUM_STAGES: usize = opine_trace::STAGES.len();
 /// and the Prometheus `/metrics` exposition render from.
 #[derive(Debug)]
 pub struct Metrics {
-    per_endpoint: [EndpointMetrics; 9],
+    per_endpoint: [EndpointMetrics; 10],
     /// Per-stage latency histograms, indexed like [`opine_trace::STAGES`].
     /// Fed one observation per active stage per traced request.
     stages: [LatencyHistogram; NUM_STAGES],

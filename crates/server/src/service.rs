@@ -6,6 +6,7 @@
 //!                {"sql": "explain analyze …"} → rows + per-stage span tree
 //! POST /prepare  {"name": "n", "sql": "…"}    → parse-once registration
 //! POST /execute  {"name": "n"}                → run a prepared statement
+//! POST /insert   {"sql": "insert into …"}     → live ingest, returns receipt
 //! GET  /stats                                 → caches, latencies, counters
 //! GET  /metrics                               → Prometheus text exposition
 //! GET  /debug/slow_queries                    → ring of recent slow traces
@@ -24,9 +25,12 @@
 //! engine's interior caches are `Sync` (statically asserted in
 //! `opine-core`), so queries from different connections warm the same
 //! interpretation memo and degree columns. On top of that sits a bounded
-//! query-*result* cache keyed on the statement's normalized SQL: two
+//! query-*result* cache keyed on `(data epoch, normalized SQL)`: two
 //! textual variants of the same statement share one rendered response
-//! body, and a warm hit costs a hash lookup plus a socket write.
+//! body, a warm hit costs a hash lookup plus a socket write, and every
+//! published `INSERT` batch moves the epoch so later probes can never
+//! replay a pre-insert answer (stale entries age out of the bounded
+//! cache instead of being swept).
 
 use crate::http::{self, HttpError, Request, DEFAULT_MAX_BODY};
 use crate::json::{self, JsonValue};
@@ -36,7 +40,7 @@ use crate::prepared::PreparedRegistry;
 use crate::prometheus::{self, Exposition};
 use opine_core::cache::BoundedCache;
 use opine_core::{MetricValue, OpineDb, OpineError};
-use opine_store::{parse_statement, Select, Statement, ValueRef};
+use opine_store::{parse_insert, parse_statement, InsertStmt, Select, Statement, ValueRef};
 use opine_trace::{TraceContext, TraceSnapshot};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -394,7 +398,11 @@ impl Drop for Permit<'_> {
 /// permit. Probes and stats stay admissible under full load so
 /// operators can observe an overloaded server.
 fn needs_permit(req: &Request) -> bool {
-    req.method == "POST" && matches!(req.path.as_str(), "/query" | "/prepare" | "/execute")
+    req.method == "POST"
+        && matches!(
+            req.path.as_str(),
+            "/query" | "/prepare" | "/execute" | "/insert"
+        )
 }
 
 /// Endpoint attribution for responses produced outside `route` (shed
@@ -404,6 +412,7 @@ fn endpoint_of(req: &Request) -> Endpoint {
         ("POST", "/query") => Endpoint::Query,
         ("POST", "/prepare") => Endpoint::Prepare,
         ("POST", "/execute") => Endpoint::Execute,
+        ("POST", "/insert") => Endpoint::Insert,
         ("GET", "/stats") => Endpoint::Stats,
         ("GET", "/healthz") => Endpoint::Health,
         ("GET", "/readyz") => Endpoint::Ready,
@@ -610,6 +619,7 @@ fn route(state: &ServerState, req: &Request) -> Routed {
         ("POST", "/query") => handle_query(state, req),
         ("POST", "/prepare") => handle_prepare(state, req),
         ("POST", "/execute") => handle_execute(state, req),
+        ("POST", "/insert") => handle_insert(state, req),
         ("GET", "/stats") => Routed::new(Endpoint::Stats, 200, render_stats(state)),
         // Liveness: answers 200 whenever a worker can still serve — the
         // probe for "is the process alive", deliberately load-blind.
@@ -634,6 +644,7 @@ fn route(state: &ServerState, req: &Request) -> Routed {
             "/query"
             | "/prepare"
             | "/execute"
+            | "/insert"
             | "/stats"
             | "/healthz"
             | "/readyz"
@@ -742,16 +753,78 @@ fn handle_query(state: &ServerState, req: &Request) -> Routed {
             }
         };
         let explicit = want_trace || matches!(statement, Statement::ExplainAnalyze(_));
-        let select = statement.select();
-        run_select(
-            state,
-            Endpoint::Query,
-            select,
-            &select.normalized(),
-            &trace,
-            explicit,
-        )
+        match &statement {
+            Statement::Select(select) | Statement::ExplainAnalyze(select) => run_select(
+                state,
+                Endpoint::Query,
+                select,
+                &select.normalized(),
+                &trace,
+                explicit,
+            ),
+            // `INSERT` through the unified SQL surface: the same
+            // execution as `POST /insert`, attributed to `/query`.
+            Statement::Insert(stmt) => {
+                let routed = insert_response(state, Endpoint::Query, stmt);
+                state.metrics.record_stages(&trace.snapshot());
+                routed
+            }
+        }
     })
+}
+
+/// `POST /insert`: parses the body's `INSERT INTO reviews …` statement
+/// and applies it through the engine's live-ingest path. No execution
+/// deadline is armed — the work is bounded by the batch the client
+/// sent, and publication is all-or-nothing regardless, so cancelling a
+/// half-validated batch buys nothing.
+fn handle_insert(state: &ServerState, req: &Request) -> Routed {
+    let body = match parse_body(Endpoint::Insert, req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let sql = match string_field(Endpoint::Insert, &body, "sql") {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let trace = TraceContext::new();
+    opine_trace::with_trace(Some(trace.clone()), || {
+        let stmt = {
+            let _parse = opine_trace::span("parse");
+            match parse_insert(sql) {
+                Ok(s) => s,
+                Err(e) => {
+                    return Routed::new(
+                        Endpoint::Insert,
+                        400,
+                        error_body("bad_request", &e.to_string()),
+                    )
+                }
+            }
+        };
+        let routed = insert_response(state, Endpoint::Insert, &stmt);
+        // The ingest (and a triggered delta_merge) span feeds the same
+        // per-stage histograms the read path fills.
+        state.metrics.record_stages(&trace.snapshot());
+        routed
+    })
+}
+
+/// Executes a parsed `INSERT` and renders the receipt: the rows applied,
+/// the epoch their batch published, the delta's size, and whether the
+/// statement tipped the delta over the merge threshold.
+fn insert_response(state: &ServerState, endpoint: Endpoint, stmt: &InsertStmt) -> Routed {
+    match state.db.execute_insert(stmt) {
+        Ok(receipt) => Routed::new(
+            endpoint,
+            200,
+            format!(
+                "{{\"inserted\":{},\"epoch\":{},\"delta_reviews\":{},\"merged\":{}}}",
+                receipt.inserted, receipt.epoch, receipt.delta_reviews, receipt.merged
+            ),
+        ),
+        Err(e) => Routed::new(endpoint, 400, error_body("bad_request", &e.to_string())),
+    }
 }
 
 fn handle_prepare(state: &ServerState, req: &Request) -> Routed {
@@ -837,9 +910,15 @@ fn run_select(
     explicit: bool,
 ) -> Routed {
     let caching = state.config.result_cache_capacity > 0 && !explicit;
+    // Cache entries are keyed by (data epoch, normalized SQL): every
+    // published `INSERT` batch bumps the epoch, so a post-insert probe
+    // can never replay a pre-insert body. (`\u{1}` cannot appear in
+    // normalized SQL, so the composite key is unambiguous.) Entries
+    // stranded under old epochs age out of the bounded FIFO cache.
+    let cache_key = format!("{}\u{1}{}", state.db.ingest_epoch(), key);
     let routed = 'routed: {
         if caching {
-            if let Some(hit) = state.results.get(key) {
+            if let Some(hit) = state.results.get(&cache_key) {
                 break 'routed Routed {
                     endpoint,
                     status: 200,
@@ -863,7 +942,7 @@ fn run_select(
                 } else {
                     let body = Arc::new(body);
                     if caching {
-                        state.results.insert(key, body.clone());
+                        state.results.insert(&cache_key, body.clone());
                     }
                     body
                 };

@@ -612,3 +612,77 @@ fn oversized_body_gets_413_and_huge_results_still_serve() {
     let resp = resp.unwrap();
     assert_eq!(resp.status, 413);
 }
+
+#[test]
+fn insert_invalidates_the_result_cache_and_updates_stats() {
+    let db = small_db();
+    let server = serve(db.clone());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // Warm the result cache with a query the upcoming insert answers.
+    let sql = "select * from reviews where reviewer_id = 424242";
+    let cold = client.post("/query", &query_body(sql)).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-opine-cache"), Some("miss"));
+    assert!(cold.body.contains("\"row_count\":0"), "{}", cold.body);
+    let warm = client.post("/query", &query_body(sql)).unwrap();
+    assert_eq!(warm.header("x-opine-cache"), Some("hit"));
+
+    // Insert a matching review through the write endpoint.
+    let entity = db.entity_key(0).to_string();
+    let insert = format!(
+        "INSERT INTO reviews (entity, text, year, reviewer_id) \
+         VALUES ('{entity}', 'spotless and friendly', 2024, 424242)"
+    );
+    let receipt = client.post("/insert", &query_body(&insert)).unwrap();
+    assert_eq!(receipt.status, 200, "{}", receipt.body);
+    assert!(receipt.body.contains("\"inserted\":1"), "{}", receipt.body);
+    assert!(receipt.body.contains("\"epoch\":1"), "{}", receipt.body);
+
+    // The staleness regression this PR fixes: the same statement must
+    // MISS (the epoch moved under the cache key) and see the new row —
+    // never replay the cached pre-insert empty answer.
+    let fresh = client.post("/query", &query_body(sql)).unwrap();
+    assert_eq!(fresh.header("x-opine-cache"), Some("miss"));
+    assert!(fresh.body.contains("\"row_count\":1"), "{}", fresh.body);
+    assert!(fresh.body.contains("424242"), "{}", fresh.body);
+
+    // /stats surfaces the ingest counters.
+    let stats = client.get("/stats").unwrap();
+    assert!(stats.body.contains("\"ingest_epoch\":1"), "{}", stats.body);
+    assert!(stats.body.contains("\"inserted_reviews\":1"));
+    assert!(stats.body.contains("\"delta_reviews\":1"));
+}
+
+#[test]
+fn insert_serves_through_the_query_endpoint_and_rejections_are_400s() {
+    let db = small_db();
+    let server = serve(db.clone());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // The unified SQL surface accepts writes too.
+    let entity = db.entity_key(1).to_string();
+    let resp = client
+        .post(
+            "/query",
+            &query_body(&format!(
+                "INSERT INTO reviews (entity, year) VALUES ('{entity}', 2023)"
+            )),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"inserted\":1"), "{}", resp.body);
+
+    // Engine-side rejections surface as bad_request, with zero rows
+    // applied.
+    let bad = client
+        .post(
+            "/insert",
+            &query_body("INSERT INTO hotels (entity) VALUES ('x')"),
+        )
+        .unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert!(bad.body.contains("bad_request"), "{}", bad.body);
+    let stats = client.get("/stats").unwrap();
+    assert!(stats.body.contains("\"inserted_reviews\":1"), "{}", stats.body);
+}

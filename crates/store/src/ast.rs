@@ -194,6 +194,22 @@ impl std::fmt::Display for ReviewQualifier {
     }
 }
 
+/// A parsed `INSERT` statement:
+/// `insert into <table> [(col, …)] values (v, …) [, (v, …)]*`.
+///
+/// The write surface of live ingest. Values are literals only — the
+/// engine-side executor validates them against the table schema, so
+/// the AST stays typed-value-agnostic like [`Operand::Literal`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table name (lowercased, like every identifier).
+    pub table: String,
+    /// Explicit column list; empty means schema order.
+    pub columns: Vec<String>,
+    /// One literal tuple per `(…)` group, in statement order.
+    pub rows: Vec<Vec<Value>>,
+}
+
 /// A parsed `SELECT` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Select {

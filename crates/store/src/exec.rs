@@ -23,6 +23,7 @@
 use crate::ast::{ColumnRef, Expr, Operand, ReviewQualifier, Select};
 use crate::bitmap::Bitmap;
 use crate::catalog::Catalog;
+use crate::overlay::TableOverlay;
 use crate::table::{RowView, Table};
 use crate::value::{Value, ValueRef};
 use crate::StoreError;
@@ -358,6 +359,18 @@ pub fn execute(
     execute_lazy(query, catalog, scorer).map(ScoredRows::into_result_set)
 }
 
+/// [`execute`] over {base tables} ∪ {overlay rows} — the read path of
+/// live ingest, where rows inserted after the build ride in a pinned
+/// [`TableOverlay`] generation instead of mutating catalog tables.
+pub fn execute_with_overlay(
+    query: &Select,
+    catalog: &Catalog,
+    scorer: &dyn SubjectiveScorer,
+    overlay: Option<&TableOverlay>,
+) -> Result<ResultSet, StoreError> {
+    execute_lazy_with_overlay(query, catalog, scorer, overlay).map(ScoredRows::into_result_set)
+}
+
 /// [`execute`] without the final materialization: the returned
 /// [`ScoredRows`] borrows winning rows from the catalog, so serving
 /// layers can serialize results with zero per-row clones.
@@ -365,6 +378,20 @@ pub fn execute_lazy<'a>(
     query: &Select,
     catalog: &'a Catalog,
     scorer: &dyn SubjectiveScorer,
+) -> Result<ScoredRows<'a>, StoreError> {
+    execute_lazy_with_overlay(query, catalog, scorer, None)
+}
+
+/// [`execute_lazy`] with an optional [`TableOverlay`]: overlay rows are
+/// logically appended to their table's row set — they participate in
+/// scans, joins, and scoring as owned rows, after any planner fast path
+/// has ranked the (bitmap-indexed) base rows. Scores are identical to
+/// what a from-scratch build containing the same rows would produce.
+pub fn execute_lazy_with_overlay<'a>(
+    query: &Select,
+    catalog: &'a Catalog,
+    scorer: &dyn SubjectiveScorer,
+    overlay: Option<&TableOverlay>,
 ) -> Result<ScoredRows<'a>, StoreError> {
     // Review-qualified statements swap in the scorer's scoped view for
     // every subjective evaluation below. The scoped view declines
@@ -389,16 +416,29 @@ pub fn execute_lazy<'a>(
 
     // Single-table planner: objective prefilter bitmap + subjective
     // residue, with TA pushdown for conjunction-shaped residues. Joins
-    // change the row set, so they always take the generic path.
+    // change the row set, so they always take the generic path. Overlay
+    // rows are not bitmap-indexed; they are scored one at a time with
+    // the full WHERE expression and appended before the final
+    // sort/limit, which keeps top-k answers exact.
     if query.joins.is_empty() {
-        if let Some(scored) = plan_single_table(query, base, &layout, scorer)? {
+        if let Some(mut scored) = plan_single_table(query, base, &layout, scorer)? {
+            if let Some(overlay) = overlay {
+                score_overlay_rows(query, &layout, overlay, scorer, &mut scored)?;
+            }
             return finish(query, layout, scored);
         }
     }
 
-    // Candidate rows: views into the base table's columns; joins below
-    // replace them with owned combined rows.
+    // Candidate rows: views into the base table's columns plus owned
+    // overlay rows; joins below replace them with owned combined rows.
     let mut rows: Vec<RowHandle<'a>> = base.rows().map(RowHandle::Base).collect();
+    for row in overlay.iter().flat_map(|o| o.rows_for(&query.from)) {
+        rows.push(RowHandle::Owned(checked_overlay_row(
+            &query.from,
+            row,
+            base.schema().columns.len(),
+        )?));
+    }
 
     for join in &query.joins {
         let right = catalog.table(&join.table)?;
@@ -415,21 +455,31 @@ pub fn execute_lazy<'a>(
             .column_index(&build_ref.column)
             .ok_or_else(|| StoreError::UnknownColumn(build_ref.column.clone()))?;
 
-        // Hash join: build side = joined table (row positions).
-        let mut hash: HashMap<String, Vec<usize>> = HashMap::new();
+        // Hash join: build side = joined table (row positions for base
+        // rows, owned tuples for the table's overlay rows).
+        let mut hash: HashMap<String, Vec<BuildRow>> = HashMap::new();
         for view in right.rows() {
             hash.entry(view.get(build_col).to_string())
                 .or_default()
-                .push(view.index());
+                .push(BuildRow::Pos(view.index()));
+        }
+        for row in overlay.iter().flat_map(|o| o.rows_for(&join.table)) {
+            let row = checked_overlay_row(&join.table, row, right.schema().columns.len())?;
+            hash.entry(ValueRef::from(&row[build_col]).to_string())
+                .or_default()
+                .push(BuildRow::Extra(row));
         }
         let mut joined = Vec::new();
         for handle in &rows {
             if let Some(matches) = hash.get(&handle.value(probe_slot).to_string()) {
-                for &m in matches {
+                for m in matches {
                     let mut combined: Vec<Value> = (0..handle.width())
                         .map(|s| handle.value(s).to_value())
                         .collect();
-                    combined.extend(right.row(m).to_values());
+                    match m {
+                        BuildRow::Pos(m) => combined.extend(right.row(*m).to_values()),
+                        BuildRow::Extra(row) => combined.extend(row.iter().cloned()),
+                    }
                     joined.push(RowHandle::Owned(combined));
                 }
             }
@@ -633,10 +683,14 @@ fn objective_bitmap(
                 // The conjunct's canonical rendering is injective, so it
                 // keys the table's selection-vector cache: a repeated
                 // objective filter costs a hash probe, not an O(rows)
-                // column scan.
-                let bitmap = base.cached_filter(&expr.to_string(), || {
-                    base.column(slot).compare_bitmap(op, lit)
-                });
+                // column scan. Rows appended since the cached bitmap
+                // was stamped are evaluated one at a time with the same
+                // NULL/incomparable-is-false semantics as the kernel.
+                let bitmap = base.cached_filter(
+                    &expr.to_string(),
+                    || base.column(slot).compare_bitmap(op, lit),
+                    |i| op.evaluate(base.value(i, slot).compare(&ValueRef::from(lit))),
+                );
                 candidates.and_assign(&bitmap);
                 continue;
             }
@@ -661,6 +715,65 @@ fn objective_bitmap(
         }
     }
     Ok(candidates)
+}
+
+/// One build-side row of a hash join: a base-table position, or an
+/// owned overlay tuple.
+enum BuildRow {
+    Pos(usize),
+    Extra(Vec<Value>),
+}
+
+/// Validates an overlay row's width against the table schema and
+/// returns an owned copy. A mismatched tuple means the engine-side
+/// delta was built against a different schema — surface it rather than
+/// panicking on a slot read.
+fn checked_overlay_row(
+    table: &str,
+    row: &[Value],
+    width: usize,
+) -> Result<Vec<Value>, StoreError> {
+    if row.len() != width {
+        return Err(StoreError::SchemaMismatch(format!(
+            "{table}: overlay row has {} values, schema has {width} columns",
+            row.len()
+        )));
+    }
+    Ok(row.to_vec())
+}
+
+/// Scores the base table's overlay rows with the full WHERE expression
+/// and appends the survivors. Used on the single-table planner path,
+/// whose bitmap/TA machinery only ranks base (positional) rows; full
+/// evaluation here matches the planner's scores bit-for-bit because
+/// both reduce to [`eval`] semantics.
+fn score_overlay_rows(
+    query: &Select,
+    layout: &Layout,
+    overlay: &TableOverlay,
+    scorer: &dyn SubjectiveScorer,
+    scored: &mut Vec<(RowHandle<'_>, f64)>,
+) -> Result<(), StoreError> {
+    let algebra = FuzzyAlgebra::Product;
+    for row in overlay.rows_for(&query.from) {
+        opine_faults::checkpoint();
+        let handle = RowHandle::Owned(checked_overlay_row(
+            &query.from,
+            row,
+            layout.slots.len(),
+        )?);
+        let score = match &query.where_clause {
+            None => 1.0,
+            Some(expr) => {
+                let key = handle.value(layout.base_key_slot).to_value();
+                eval(expr, &handle, layout, &key, scorer, algebra)?
+            }
+        };
+        if score > 0.0 {
+            scored.push((handle, score));
+        }
+    }
+    Ok(())
 }
 
 /// Resolves the scorer's ranked `(key, degree)` pairs back to base-table
@@ -1406,6 +1519,118 @@ mod tests {
         assert_eq!(lazy.len(), 1);
         let vals: Vec<ValueRef<'_>> = lazy.values(0).collect();
         assert_eq!(vals[4], Value::text("Beans"));
+    }
+
+    #[test]
+    fn overlay_rows_join_the_planner_fast_path_results() {
+        let cat = hotel_catalog();
+        let mut overlay = TableOverlay::new();
+        overlay.push_row(
+            "hotels",
+            vec![
+                Value::text("Nieuw"),
+                Value::text("Amsterdam"),
+                Value::Float(80.0),
+                Value::text("damrak"),
+            ],
+        );
+        // Purely objective WHERE rides the bitmap for base rows; the
+        // overlay row is evaluated separately and still included.
+        let q = parse_select("select * from hotels where price_pn < 150").unwrap();
+        let r = execute_with_overlay(&q, &cat, &ObjectiveOnly, Some(&overlay)).unwrap();
+        assert_eq!(r.rows.len(), 3, "Grand, Canal, and the overlay row");
+        assert!(r.rows.iter().any(|(row, _)| row[0] == Value::text("Nieuw")));
+        // Without the overlay the same query sees only base rows.
+        let base = execute(&q, &cat, &ObjectiveOnly).unwrap();
+        assert_eq!(base.rows.len(), 2);
+    }
+
+    #[test]
+    fn overlay_rows_score_subjectively_and_rank_with_base_rows() {
+        let cat = hotel_catalog();
+        let mut overlay = TableOverlay::new();
+        overlay.push_row(
+            "hotels",
+            vec![
+                Value::text("Plaza"), // same canned key: degree 0.5
+                Value::text("Paris"),
+                Value::Float(110.0),
+                Value::text("rivoli"),
+            ],
+        );
+        let q = parse_select("select * from hotels where \"clean rooms\"").unwrap();
+        let r = execute_with_overlay(&q, &cat, &Canned, Some(&overlay)).unwrap();
+        assert_eq!(r.rows.len(), 4);
+        // Ranked by degree among base rows: Grand 0.9, the two Plazas
+        // 0.5, Canal 0.2.
+        assert_eq!(r.rows[0].0[0], Value::text("Grand"));
+        assert!((r.rows[1].1 - 0.5).abs() < 1e-12);
+        assert!((r.rows[2].1 - 0.5).abs() < 1e-12);
+        assert_eq!(r.rows[3].0[0], Value::text("Canal"));
+    }
+
+    #[test]
+    fn overlay_limit_keeps_topk_exact_over_base_and_delta() {
+        let cat = hotel_catalog();
+        let scorer = Indexed::new();
+        let mut overlay = TableOverlay::new();
+        overlay.push_row(
+            "hotels",
+            vec![
+                Value::text("Grand"), // canned degree 0.9 — ties the best base row
+                Value::text("Oslo"),
+                Value::Float(70.0),
+                Value::text("karl"),
+            ],
+        );
+        let q = parse_select("select * from hotels where \"clean rooms\" limit 2").unwrap();
+        let r = execute_with_overlay(&q, &cat, &scorer, Some(&overlay)).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert!((r.rows[0].1 - 0.9).abs() < 1e-12);
+        assert!((r.rows[1].1 - 0.9).abs() < 1e-12, "delta row outranks Plaza");
+    }
+
+    #[test]
+    fn overlay_rows_participate_in_joins() {
+        let mut cat = hotel_catalog();
+        cat.create_table(Schema::new(
+            "cafes",
+            vec![
+                Column::new("cafename", ColumnType::Text),
+                Column::new("street", ColumnType::Text),
+            ],
+            0,
+        ))
+        .unwrap();
+        cat.insert("cafes", vec![Value::text("Beans"), Value::text("baker")])
+            .unwrap();
+        let mut overlay = TableOverlay::new();
+        // Overlay on the build side: a new cafe on Plaza's street.
+        overlay.push_row("cafes", vec![Value::text("Roast"), Value::text("oxford")]);
+        let q = parse_select("select * from hotels h join cafes c on h.street = c.street").unwrap();
+        let r = execute_with_overlay(&q, &cat, &ObjectiveOnly, Some(&overlay)).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert!(r
+            .rows
+            .iter()
+            .any(|(row, _)| row[0] == Value::text("Plaza") && row[4] == Value::text("Roast")));
+    }
+
+    #[test]
+    fn overlay_width_mismatch_is_reported() {
+        let cat = hotel_catalog();
+        let mut overlay = TableOverlay::new();
+        overlay.push_row("hotels", vec![Value::text("Short")]);
+        let q = parse_select("select * from hotels where price_pn < 150").unwrap();
+        assert!(matches!(
+            execute_with_overlay(&q, &cat, &ObjectiveOnly, Some(&overlay)),
+            Err(StoreError::SchemaMismatch(_))
+        ));
+        let scan = parse_select("select * from hotels").unwrap();
+        assert!(matches!(
+            execute_with_overlay(&scan, &cat, &ObjectiveOnly, Some(&overlay)),
+            Err(StoreError::SchemaMismatch(_))
+        ));
     }
 
     #[test]

@@ -46,20 +46,22 @@ pub mod bitmap;
 pub mod catalog;
 pub mod column;
 pub mod exec;
+pub mod overlay;
 pub mod parser;
 pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use ast::{CmpOp, Expr, OrderBy, ReviewQualifier, Select};
+pub use ast::{CmpOp, Expr, InsertStmt, OrderBy, ReviewQualifier, Select};
 pub use bitmap::Bitmap;
 pub use catalog::Catalog;
 pub use column::ColumnData;
 pub use exec::{
-    execute, execute_lazy, FuzzyAlgebra, ObjectiveOnly, ProjectedValues, ResultSet, ScoredRows,
-    SubjectiveScorer,
+    execute, execute_lazy, execute_lazy_with_overlay, execute_with_overlay, FuzzyAlgebra,
+    ObjectiveOnly, ProjectedValues, ResultSet, ScoredRows, SubjectiveScorer,
 };
-pub use parser::{parse_select, parse_statement, ParseError, Statement};
+pub use overlay::TableOverlay;
+pub use parser::{parse_insert, parse_select, parse_statement, ParseError, Statement};
 pub use schema::{Column, ColumnType, Schema};
 pub use table::{RowView, Table};
 pub use value::{Value, ValueRef};

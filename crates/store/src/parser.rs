@@ -7,6 +7,10 @@
 //!              (JOIN ident [ident] ON colref '=' colref)*
 //!              [WHERE expr] [WITH REVIEWS '(' qualifiers ')']
 //!              [ORDER BY colref [ASC|DESC]] [LIMIT int]
+//! insert    := INSERT INTO ident ['(' ident (',' ident)* ')']
+//!              VALUES tuple (',' tuple)*
+//! tuple     := '(' literal (',' literal)* ')'
+//! literal   := number | string | TRUE | FALSE | NULL
 //! cols      := '*' | colref (',' colref)*
 //! qualifiers:= [qualifier (',' qualifier)*]
 //! qualifier := 'year' cmp_op int
@@ -22,7 +26,9 @@
 //! colref    := ident ['.' ident]
 //! ```
 
-use crate::ast::{CmpOp, ColumnRef, Expr, Join, Operand, OrderBy, ReviewQualifier, Select};
+use crate::ast::{
+    CmpOp, ColumnRef, Expr, InsertStmt, Join, Operand, OrderBy, ReviewQualifier, Select,
+};
 use crate::value::Value;
 
 /// A parse failure, with a human-readable message.
@@ -59,35 +65,56 @@ pub enum Statement {
     /// `EXPLAIN ANALYZE SELECT …`: execute the query and return its
     /// per-stage trace instead of (or alongside) the rows.
     ExplainAnalyze(Select),
+    /// `INSERT INTO … VALUES …`: the live-ingest write surface.
+    Insert(InsertStmt),
 }
 
 impl Statement {
-    /// The wrapped `SELECT`, whichever form the statement took.
-    pub fn select(&self) -> &Select {
+    /// The wrapped `SELECT` for the read-statement forms; `None` for a
+    /// write statement.
+    pub fn select(&self) -> Option<&Select> {
         match self {
-            Statement::Select(s) | Statement::ExplainAnalyze(s) => s,
+            Statement::Select(s) | Statement::ExplainAnalyze(s) => Some(s),
+            Statement::Insert(_) => None,
         }
     }
 }
 
-/// Parses a statement: a `SELECT`, optionally prefixed with
-/// `EXPLAIN ANALYZE`.
+/// Parses a statement: a `SELECT` (optionally prefixed with
+/// `EXPLAIN ANALYZE`) or an `INSERT`.
 pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
     let tokens = lex(input)?;
     let mut p = Parser { tokens, pos: 0 };
-    let explain = p.eat_keyword("explain");
-    if explain {
-        p.expect_keyword("analyze")?;
-    }
-    let select = p.parse_select()?;
+    let statement = if p.eat_keyword("insert") {
+        Statement::Insert(p.parse_insert()?)
+    } else {
+        let explain = p.eat_keyword("explain");
+        if explain {
+            p.expect_keyword("analyze")?;
+        }
+        let select = p.parse_select()?;
+        if explain {
+            Statement::ExplainAnalyze(select)
+        } else {
+            Statement::Select(select)
+        }
+    };
     if p.pos != p.tokens.len() {
         return Err(p.err(&format!("unexpected trailing token {:?}", p.peek())));
     }
-    Ok(if explain {
-        Statement::ExplainAnalyze(select)
-    } else {
-        Statement::Select(select)
-    })
+    Ok(statement)
+}
+
+/// Parses a Subjective SQL `INSERT` statement.
+pub fn parse_insert(input: &str) -> Result<InsertStmt, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword("insert")?;
+    let insert = p.parse_insert()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(&format!("unexpected trailing token {:?}", p.peek())));
+    }
+    Ok(insert)
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -276,7 +303,7 @@ impl Parser {
     fn is_reserved(word: &str) -> bool {
         [
             "select", "from", "where", "and", "or", "not", "join", "on", "order", "by", "limit",
-            "asc", "desc", "true", "false", "with",
+            "asc", "desc", "true", "false", "with", "insert", "into", "values", "null",
         ]
         .iter()
         .any(|k| word.eq_ignore_ascii_case(k))
@@ -352,6 +379,85 @@ impl Parser {
             order_by,
             limit,
         })
+    }
+
+    /// Parses the remainder of an `INSERT` statement, after the leading
+    /// `insert` keyword:
+    /// `into <table> ['(' col, … ')'] values (lit, …) [, (lit, …)]*`.
+    fn parse_insert(&mut self) -> Result<InsertStmt, ParseError> {
+        self.expect_keyword("into")?;
+        let table = self.expect_ident()?;
+        let mut columns = Vec::new();
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            loop {
+                columns.push(self.expect_ident()?);
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => {
+                        return Err(self.err(&format!(
+                            "expected ',' or ')' in insert column list, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        self.expect_keyword("values")?;
+        let mut rows = Vec::new();
+        loop {
+            if self.next() != Some(Token::LParen) {
+                return Err(self.err("expected '(' to open a values tuple"));
+            }
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_literal()?);
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => {
+                        return Err(self.err(&format!(
+                            "expected ',' or ')' in values tuple, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            if !columns.is_empty() && row.len() != columns.len() {
+                return Err(self.err(&format!(
+                    "values tuple has {} values but {} columns were named",
+                    row.len(),
+                    columns.len()
+                )));
+            }
+            rows.push(row);
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        Ok(InsertStmt {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    /// Parses one literal cell of a values tuple. Numbers follow the
+    /// same Int/Float split as [`Parser::parse_operand`].
+    fn parse_literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(if n.fract() == 0.0 && n.abs() < 9e15 {
+                Value::Int(n as i64)
+            } else {
+                Value::Float(n)
+            }),
+            Some(Token::Str(s)) => Ok(Value::Text(s)),
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            other => Err(self.err(&format!("expected literal value, got {other:?}"))),
+        }
     }
 
     /// Parses `reviews(year >= 2015, reviewer_min_count >= 10)` — the
@@ -683,7 +789,7 @@ mod tests {
         };
         assert_eq!(q.from, "hotels");
         assert_eq!(q.limit, Some(5));
-        assert_eq!(s.select().from, "hotels");
+        assert_eq!(s.select().unwrap().from, "hotels");
         // Keywords are case-insensitive, like the rest of the dialect.
         assert!(matches!(
             parse_statement("explain analyze select * from t").unwrap(),
@@ -693,12 +799,77 @@ mod tests {
         // `parse_select`.
         let plain = parse_statement("select * from t where \"a\"").unwrap();
         assert_eq!(
-            *plain.select(),
+            *plain.select().unwrap(),
             parse_select("select * from t where \"a\"").unwrap()
         );
         // EXPLAIN without ANALYZE (or bare EXPLAIN ANALYZE) is rejected.
         assert!(parse_statement("explain select * from t").is_err());
         assert!(parse_statement("explain analyze").is_err());
+    }
+
+    #[test]
+    fn parses_insert_statement() {
+        let s = parse_statement(
+            "INSERT INTO reviews (review_id, entity, reviewer_id, year, helpful_votes) \
+             VALUES (900001, 'hotel_3', 42, 2019, 0)",
+        )
+        .unwrap();
+        let Statement::Insert(ins) = &s else {
+            panic!("expected Insert, got {s:?}");
+        };
+        assert_eq!(ins.table, "reviews");
+        assert_eq!(
+            ins.columns,
+            ["review_id", "entity", "reviewer_id", "year", "helpful_votes"]
+        );
+        assert_eq!(ins.rows.len(), 1);
+        assert_eq!(
+            ins.rows[0],
+            vec![
+                Value::Int(900001),
+                Value::text("hotel_3"),
+                Value::Int(42),
+                Value::Int(2019),
+                Value::Int(0),
+            ]
+        );
+        // Write statements carry no SELECT.
+        assert!(s.select().is_none());
+    }
+
+    #[test]
+    fn parses_multi_row_insert_without_column_list() {
+        let ins = parse_insert(
+            "insert into t values (1, 'a', true, null), (2, 'b', false, 1.5)",
+        )
+        .unwrap();
+        assert_eq!(ins.table, "t");
+        assert!(ins.columns.is_empty());
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(
+            ins.rows[0],
+            vec![Value::Int(1), Value::text("a"), Value::Bool(true), Value::Null]
+        );
+        assert_eq!(ins.rows[1][3], Value::Float(1.5));
+    }
+
+    #[test]
+    fn insert_rejects_bad_shapes() {
+        for sql in [
+            "insert",
+            "insert into",
+            "insert into t",
+            "insert into t values",
+            "insert into t values ()",
+            "insert into t values (1",
+            "insert into t values (1,)",
+            "insert into t (a, b) values (1)",
+            "insert into t values (1) garbage",
+            "insert into t values (a)",
+            "insert t values (1)",
+        ] {
+            assert!(parse_statement(sql).is_err(), "{sql:?} should not parse");
+        }
     }
 
     #[test]

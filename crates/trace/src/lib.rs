@@ -29,7 +29,7 @@ use std::time::Instant;
 
 /// The query-path stages, in pipeline order. Spans are aggregated per
 /// stage (not per dynamic call), so this table is the whole tree shape.
-pub const STAGES: [&str; 9] = [
+pub const STAGES: [&str; 11] = [
     "parse",
     "plan",
     "prefilter_bitmap",
@@ -39,6 +39,8 @@ pub const STAGES: [&str; 9] = [
     "rescore",
     "materialize",
     "serialize",
+    "ingest",
+    "delta_merge",
 ];
 
 /// Stage-native counter names. Each stage may bump any of these; the

@@ -11,6 +11,9 @@
 //! * `OPINE_WORKERS` — worker threads (default: 2× cores, clamped 2–16).
 //! * `OPINE_MAX_IN_FLIGHT` — admission budget: concurrent query
 //!   executions before arrivals are shed with 503 (default: workers/2).
+//! * `OPINE_MERGE_THRESHOLD` — unsealed delta reviews that trigger a
+//!   freeze-merge after an insert (default 64; see the README's
+//!   **Live ingest** section).
 //! * `OPINE_REQUEST_TIMEOUT_MS` — per-query execution deadline; scans
 //!   past it answer 504 (default 10000; `0` disables).
 //! * `OPINE_READ_TIMEOUT_MS` / `OPINE_WRITE_TIMEOUT_MS` — socket
@@ -54,6 +57,10 @@ fn main() {
         },
     );
     let db = Arc::new(build(&corpus, &BuildConfig::default()));
+    if let Ok(threshold) = std::env::var("OPINE_MERGE_THRESHOLD") {
+        let threshold = threshold.parse().expect("OPINE_MERGE_THRESHOLD: usize");
+        db.set_merge_threshold(threshold);
+    }
 
     // Failpoints are compiled in but inert until OPINE_FAULTS is set.
     opinedb::core::faults::init_from_env();

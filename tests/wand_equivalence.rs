@@ -148,6 +148,66 @@ proptest! {
         assert_bit_identical(&wand, &exhaustive, &format!("copies={copies} k={k}"))?;
     }
 
+    /// Interleaved add/search: appending documents to an already-frozen
+    /// index keeps sealed blocks and maintains the freeze incrementally,
+    /// and every search between appends stays bit-identical to the
+    /// exhaustive scorer over the same corpus state.
+    #[test]
+    fn interleaved_adds_and_searches_stay_bit_identical(
+        initial in prop::collection::vec(prop::collection::vec(0u8..10, 1..8), 1..24),
+        appended in prop::collection::vec(prop::collection::vec(0u8..10, 0..8), 1..24),
+        query in prop::collection::vec(0usize..12, 1..5),
+        k in 1usize..40,
+        block_size in 1usize..6,
+    ) {
+        let (mut vocab, mut index, ids) = build_index(&initial, 10, block_size);
+        // Freeze now, then append — the sealed prefix must never be
+        // rebuilt, only the unsealed tail and the idf scalars move.
+        index.freeze();
+        let params = Bm25Params::default();
+        let terms: Vec<_> = query.iter().map(|&q| ids[q]).collect();
+        for doc in &appended {
+            let text = doc
+                .iter()
+                .map(|&w| format!("w{w}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            index.add_document(&text, &mut vocab);
+            let wand = index.search_terms(&terms, k, &params);
+            let exhaustive = index.search_terms_exhaustive(&terms, k, &params);
+            assert_bit_identical(
+                &wand,
+                &exhaustive,
+                &format!(
+                    "incremental: base={} appended_len={} k={k} block={block_size}",
+                    initial.len(),
+                    doc.len()
+                ),
+            )?;
+        }
+        // Post-append block bounds still dominate member scores.
+        for &term in &ids {
+            let postings = index.term_postings(term);
+            for (first, last, bound) in index.term_blocks(term, &params) {
+                for &(doc, _) in postings {
+                    if doc >= first && doc <= last {
+                        let score = index.bm25(doc, &[term], &params);
+                        prop_assert!(
+                            score <= bound,
+                            "doc {:?} scores {} above its post-append bound {}",
+                            doc, score, bound
+                        );
+                    }
+                }
+            }
+        }
+        // A full refreeze restores exact bounds bit-identically.
+        index.refreeze();
+        let wand = index.search_terms(&terms, k, &params);
+        let exhaustive = index.search_terms_exhaustive(&terms, k, &params);
+        assert_bit_identical(&wand, &exhaustive, "after refreeze")?;
+    }
+
     /// No block's stored max-impact bound is ever exceeded by a member
     /// document's real score (the invariant every skip relies on).
     #[test]
